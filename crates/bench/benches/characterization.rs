@@ -1,0 +1,67 @@
+//! Criterion benches for the Fig 5 characterization substrate: the LLC
+//! simulator over real sampling traces and the Che-approximation
+//! locality solver behind the full-scale cache model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartsage_core::experiments::{fig5, ExperimentScale};
+use smartsage_hostio::locality::{degree_buckets, lru_hit_rate};
+use smartsage_memsim::{CacheParams, SetAssocCache};
+use smartsage_sim::Xoshiro256;
+
+/// The full Fig 5 driver at a tiny scale.
+fn fig5_driver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_characterization");
+    group.sample_size(10);
+    group.bench_function("all_datasets_tiny", |b| {
+        b.iter(|| fig5(&ExperimentScale::tiny()));
+    });
+    group.finish();
+}
+
+/// Raw LLC-simulation throughput on a random stream.
+fn llc_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llc_simulation");
+    group.sample_size(10);
+    for span in [1u64 << 20, 1 << 30] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("span_{}MB", span >> 20)),
+            &span,
+            |b, &span| {
+                b.iter(|| {
+                    let mut cache = SetAssocCache::new(CacheParams::default());
+                    let mut rng = Xoshiro256::seed_from_u64(1);
+                    let mut misses = 0u64;
+                    for _ in 0..100_000 {
+                        if !cache.access(rng.range_u64(span)) {
+                            misses += 1;
+                        }
+                    }
+                    misses
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Che-approximation solve time over degree-bucket populations.
+fn che_locality_solver(c: &mut Criterion) {
+    let graph = smartsage_graph::generate::generate_power_law(
+        &smartsage_graph::generate::PowerLawConfig {
+            nodes: 10_000,
+            avg_degree: 16.0,
+            seed: 5,
+            ..smartsage_graph::generate::PowerLawConfig::default()
+        },
+    );
+    let buckets = degree_buckets(&graph, 37_300_000, |d| ((d * 8).div_ceil(4096).max(1)) * 4096);
+    let mut group = c.benchmark_group("che_locality");
+    group.sample_size(20);
+    group.bench_function("solve_37M_nodes", |b| {
+        b.iter(|| lru_hit_rate(&buckets, 16 * 1024 * 1024 * 1024));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig5_driver, llc_simulation, che_locality_solver);
+criterion_main!(benches);

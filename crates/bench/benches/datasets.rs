@@ -1,0 +1,69 @@
+//! Criterion benches for the dataset machinery (paper Table I, Fig 13):
+//! power-law synthesis, Kronecker fractal expansion, and degree
+//! statistics — the substrate every experiment materializes first.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartsage_graph::degree::DegreeStats;
+use smartsage_graph::generate::{generate_power_law, generate_seed_graph, PowerLawConfig};
+use smartsage_graph::kronecker::{expand, KroneckerConfig};
+use smartsage_graph::{Dataset, DatasetProfile, GraphScale};
+
+/// Table I materialization: scaled instance per dataset profile.
+fn table1_materialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_materialize");
+    group.sample_size(10);
+    for d in [Dataset::Reddit, Dataset::Amazon] {
+        group.bench_with_input(BenchmarkId::from_parameter(d.name()), &d, |b, &d| {
+            b.iter(|| DatasetProfile::of(d).materialize(GraphScale::LargeScale, 100_000, 7));
+        });
+    }
+    group.finish();
+}
+
+/// Raw power-law generation throughput.
+fn power_law_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_law_generation");
+    group.sample_size(10);
+    for nodes in [2_000usize, 20_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                generate_power_law(&PowerLawConfig {
+                    nodes,
+                    avg_degree: 16.0,
+                    seed: 3,
+                    ..PowerLawConfig::default()
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig 13: Kronecker expansion of an in-memory instance.
+fn fig13_kronecker_expansion(c: &mut Criterion) {
+    let base = generate_power_law(&PowerLawConfig {
+        nodes: 2_000,
+        avg_degree: 10.0,
+        seed: 11,
+        ..PowerLawConfig::default()
+    });
+    let seed_graph = generate_seed_graph(4, 2.5, 12);
+    let mut group = c.benchmark_group("fig13_kronecker");
+    group.sample_size(10);
+    group.bench_function("expand_2k_base", |b| {
+        b.iter(|| expand(&base, &seed_graph, &KroneckerConfig::default()));
+    });
+    let expanded = expand(&base, &seed_graph, &KroneckerConfig::default());
+    group.bench_function("degree_stats_expanded", |b| {
+        b.iter(|| DegreeStats::from_graph(&expanded));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    table1_materialize,
+    power_law_generation,
+    fig13_kronecker_expansion
+);
+criterion_main!(benches);

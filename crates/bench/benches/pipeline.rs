@@ -1,0 +1,98 @@
+//! Criterion benches for the end-to-end pipeline experiments
+//! (paper Figs 6, 7, 18, 20, 21): full producer/consumer simulations per
+//! system, plus the GraphSAINT and fan-out sensitivity variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartsage_core::config::{SystemConfig, SystemKind};
+use smartsage_core::context::RunContext;
+use smartsage_core::pipeline::{run_pipeline, PipelineConfig, SamplerKind};
+use smartsage_gnn::Fanouts;
+use smartsage_graph::{Dataset, DatasetProfile, GraphScale};
+use std::sync::Arc;
+
+fn pipe(kind: SystemKind, sampler: SamplerKind, fanouts: Fanouts) -> f64 {
+    let data = DatasetProfile::of(Dataset::Reddit).materialize(GraphScale::LargeScale, 60_000, 9);
+    let ctx = Arc::new(RunContext::new(data, SystemConfig::new(kind)));
+    let report = run_pipeline(
+        &ctx,
+        &PipelineConfig {
+            workers: 4,
+            total_batches: 4,
+            batch_size: 32,
+            fanouts,
+            queue_depth: 2,
+            hidden_dim: 128,
+            classes: 16,
+            seed: 13,
+            sampler,
+            train: true,
+        },
+    );
+    report.makespan.as_secs_f64()
+}
+
+/// Figs 6/18: end-to-end training per system.
+fn fig18_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_end_to_end");
+    group.sample_size(10);
+    for kind in [
+        SystemKind::Dram,
+        SystemKind::Pmem,
+        SystemKind::SsdMmap,
+        SystemKind::SmartSageSw,
+        SystemKind::SmartSageHwSw,
+        SystemKind::SmartSageOracle,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| pipe(kind, SamplerKind::GraphSage, Fanouts::paper_default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Fig 20: the GraphSAINT variant.
+fn fig20_graphsaint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig20_graphsaint");
+    group.sample_size(10);
+    for kind in [SystemKind::SsdMmap, SystemKind::SmartSageHwSw] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    pipe(
+                        kind,
+                        SamplerKind::SaintWalk { length: 4 },
+                        Fanouts::paper_default(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Fig 21: sampling-rate sensitivity on the ISP.
+fn fig21_sampling_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig21_sampling_rate");
+    group.sample_size(10);
+    for (label, factor) in [("0.5x", 0.5f64), ("1.0x", 1.0), ("2.0x", 2.0)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &factor, |b, &factor| {
+            b.iter(|| {
+                pipe(
+                    SystemKind::SmartSageHwSw,
+                    SamplerKind::GraphSage,
+                    Fanouts::paper_default().scaled(factor),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig18_end_to_end, fig20_graphsaint, fig21_sampling_rate);
+criterion_main!(benches);

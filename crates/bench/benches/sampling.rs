@@ -1,0 +1,142 @@
+//! Criterion benches for the neighbor-sampling experiments
+//! (paper Figs 14, 15, 16, 17): each measurement runs the corresponding
+//! system's data-preparation pipeline at a reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartsage_core::config::SystemKind;
+use smartsage_core::experiments::{run_system, ExperimentScale};
+use smartsage_graph::Dataset;
+
+fn bench_scale() -> ExperimentScale {
+    ExperimentScale {
+        edge_budget: 60_000,
+        batch_size: 32,
+        batches: 4,
+        workers: 4,
+        seed: 2022,
+    }
+}
+
+/// Fig 14: single-worker sampling per system (Reddit profile).
+fn fig14_single_worker(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig14_single_worker_sampling");
+    group.sample_size(10);
+    for kind in [
+        SystemKind::SsdMmap,
+        SystemKind::SmartSageSw,
+        SystemKind::SmartSageHwSw,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| run_system(Dataset::Reddit, kind, &scale, 1, false));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Fig 16: multi-worker sampling per system (Amazon profile).
+fn fig16_multi_worker(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig16_multi_worker_sampling");
+    group.sample_size(10);
+    for kind in [
+        SystemKind::SsdMmap,
+        SystemKind::SmartSageSw,
+        SystemKind::SmartSageHwSw,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| run_system(Dataset::Amazon, kind, &scale, scale.workers, false));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Fig 17: ISP sampling across worker counts (embedded-core contention).
+fn fig17_worker_sweep(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig17_isp_worker_sweep");
+    group.sample_size(10);
+    for workers in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    run_system(
+                        Dataset::ProteinPi,
+                        SystemKind::SmartSageHwSw,
+                        &scale,
+                        workers,
+                        false,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Fig 15: ISP run per coalescing granularity.
+fn fig15_coalescing(c: &mut Criterion) {
+    use smartsage_core::config::SystemConfig;
+    use smartsage_core::context::RunContext;
+    use smartsage_core::pipeline::{run_pipeline, PipelineConfig, SamplerKind};
+    use smartsage_gnn::Fanouts;
+    use smartsage_graph::{DatasetProfile, GraphScale};
+    use std::sync::Arc;
+
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig15_coalescing_granularity");
+    group.sample_size(10);
+    for granularity in [256u32, 16, 1] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(granularity),
+            &granularity,
+            |b, &granularity| {
+                b.iter(|| {
+                    let data = DatasetProfile::of(Dataset::Movielens).materialize(
+                        GraphScale::LargeScale,
+                        scale.edge_budget,
+                        scale.seed,
+                    );
+                    let cfg =
+                        SystemConfig::new(SystemKind::SmartSageHwSw).with_coalescing(granularity);
+                    let ctx = Arc::new(RunContext::new(data, cfg));
+                    run_pipeline(
+                        &ctx,
+                        &PipelineConfig {
+                            workers: 1,
+                            total_batches: 2,
+                            batch_size: 256,
+                            fanouts: Fanouts::paper_default(),
+                            queue_depth: 2,
+                            hidden_dim: 128,
+                            classes: 16,
+                            seed: scale.seed,
+                            sampler: SamplerKind::GraphSage,
+                            train: false,
+                        },
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig14_single_worker,
+    fig16_multi_worker,
+    fig17_worker_sweep,
+    fig15_coalescing
+);
+criterion_main!(benches);

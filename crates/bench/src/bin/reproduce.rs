@@ -1,0 +1,73 @@
+//! Regenerates every table and figure of the SmartSAGE paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [EXPERIMENT...] [--scale tiny|default|paper]
+//! ```
+//!
+//! With no experiment names, everything runs in paper order. Output is a
+//! sequence of text tables whose rows mirror the paper's series; see
+//! EXPERIMENTS.md for the paper-vs-measured record.
+
+use smartsage_bench::{scale_from_flag, EXPERIMENTS};
+use smartsage_core::experiments::{self, ExperimentScale};
+use std::time::Instant;
+
+fn run_one(name: &str, scale: &ExperimentScale) {
+    let started = Instant::now();
+    let table = match name {
+        "table1" => experiments::table1(),
+        "fig5" => experiments::fig5(scale),
+        "fig6" => experiments::fig6(scale),
+        "fig7" => experiments::fig7(scale),
+        "fig13" => experiments::fig13(scale),
+        "fig14" => experiments::fig14(scale),
+        "fig15" => experiments::fig15(scale),
+        "fig16" => experiments::fig16(scale),
+        "fig17" => experiments::fig17(scale),
+        "fig18" => experiments::fig18(scale),
+        "fig19" => experiments::fig19(scale),
+        "fig20" => experiments::fig20(scale),
+        "fig21" => experiments::fig21(scale),
+        "transfer" => experiments::transfer_reduction(scale),
+        "energy" => experiments::energy(scale),
+        "ablation-mechanisms" => smartsage_core::ablations::contribution_breakdown(scale),
+        "ablation-csd" => smartsage_core::ablations::future_csd(scale),
+        "ablation-buffer" => smartsage_core::ablations::buffer_sensitivity(scale),
+        other => {
+            eprintln!("unknown experiment '{other}'; known: {EXPERIMENTS:?}");
+            std::process::exit(2);
+        }
+    };
+    println!("{table}");
+    eprintln!("[{name} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ExperimentScale::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--scale" {
+            let value = it.next().unwrap_or_default();
+            scale = scale_from_flag(&value).unwrap_or_else(|| {
+                eprintln!("unknown scale '{value}' (tiny|default|paper)");
+                std::process::exit(2);
+            });
+        } else {
+            names.push(arg);
+        }
+    }
+    if names.is_empty() {
+        names = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    println!(
+        "# SmartSAGE reproduction (edge budget {}, batch {}, {} batches, {} workers)\n",
+        scale.edge_budget, scale.batch_size, scale.batches, scale.workers
+    );
+    for name in names {
+        run_one(&name, &scale);
+    }
+}

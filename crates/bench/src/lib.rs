@@ -1,0 +1,48 @@
+//! Benchmark harness support for the SmartSAGE reproduction.
+//!
+//! The real entry points are:
+//!
+//! * the `reproduce` binary
+//!   (`cargo run --release -p smartsage-bench --bin reproduce`), which
+//!   regenerates every paper table/figure as a text table, and
+//! * the Criterion benches (`cargo bench`), which measure the simulator's
+//!   own kernels (sampling, cache models, pipeline) per figure.
+
+use smartsage_core::experiments::ExperimentScale;
+
+/// Parses an experiment scale from a CLI flag value.
+///
+/// Accepts `tiny`, `default`, or `paper`.
+pub fn scale_from_flag(flag: &str) -> Option<ExperimentScale> {
+    match flag {
+        "tiny" => Some(ExperimentScale::tiny()),
+        "default" => Some(ExperimentScale::default()),
+        "paper" => Some(ExperimentScale::paper()),
+        _ => None,
+    }
+}
+
+/// The experiment names the `reproduce` binary understands.
+pub const EXPERIMENTS: [&str; 18] = [
+    "table1", "fig5", "fig6", "fig7", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+    "fig19", "fig20", "fig21", "transfer", "energy", "ablation-mechanisms", "ablation-csd",
+    "ablation-buffer",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_flags_parse() {
+        assert!(scale_from_flag("tiny").is_some());
+        assert!(scale_from_flag("default").is_some());
+        assert!(scale_from_flag("paper").is_some());
+        assert!(scale_from_flag("bogus").is_none());
+    }
+
+    #[test]
+    fn experiment_list_is_nonempty() {
+        assert!(EXPERIMENTS.contains(&"fig18"));
+    }
+}

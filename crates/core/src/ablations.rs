@@ -1,0 +1,228 @@
+//! Ablation studies of SmartSAGE's design choices.
+//!
+//! The paper's §VI-A attributes the HW/SW design's gains to three
+//! mechanisms — direct I/O, command coalescing, and ISP acceleration —
+//! and its §VI-C argues that future CSDs (more ISP compute, faster
+//! flash/links) close the remaining gap to DRAM. These drivers decompose
+//! and extrapolate those claims on our simulated platform:
+//!
+//! * [`contribution_breakdown`] — stack the three mechanisms one at a
+//!   time (mmap → +direct I/O → +ISP at fine granularity → +full
+//!   coalescing) and report per-step sampling speedups.
+//! * [`future_csd`] — sweep CSD generations (OpenSSD-class → Newport-
+//!   class → a hypothetical gen4 CSD) against the DRAM bound, the
+//!   paper's "viable option for large-scale GNN training" projection.
+//! * [`buffer_sensitivity`] — the SSD DRAM page buffer's contribution to
+//!   in-storage sampling.
+
+use crate::config::{SystemConfig, SystemKind};
+use crate::context::RunContext;
+use crate::experiments::ExperimentScale;
+use crate::pipeline::{run_pipeline, PipelineConfig, SamplerKind};
+use crate::report::{num, speedup, Table};
+use smartsage_gnn::Fanouts;
+use smartsage_graph::{Dataset, DatasetProfile, GraphScale};
+use smartsage_sim::SimDuration;
+use smartsage_storage::cores::CoreParams;
+use std::sync::Arc;
+
+fn run(cfg: SystemConfig, scale: &ExperimentScale, dataset: Dataset, workers: usize) -> f64 {
+    run_mode(cfg, scale, dataset, workers, false)
+}
+
+fn run_mode(
+    cfg: SystemConfig,
+    scale: &ExperimentScale,
+    dataset: Dataset,
+    workers: usize,
+    train: bool,
+) -> f64 {
+    let data = DatasetProfile::of(dataset).materialize(GraphScale::LargeScale, scale.edge_budget, scale.seed);
+    let ctx = Arc::new(RunContext::new(data, cfg));
+    let report = run_pipeline(
+        &ctx,
+        &PipelineConfig {
+            workers,
+            total_batches: scale.batches.max(2 * workers),
+            batch_size: scale.batch_size,
+            fanouts: Fanouts::paper_default(),
+            queue_depth: 4,
+            hidden_dim: 256,
+            classes: 16,
+            seed: scale.seed,
+            sampler: SamplerKind::GraphSage,
+            train,
+        },
+    );
+    if train {
+        scale.batches.max(2 * workers) as f64 / report.makespan.as_secs_f64()
+    } else {
+        report.sampling_throughput
+    }
+}
+
+/// Decomposes the HW/SW design's speedup into its three mechanisms
+/// (single worker, per dataset): baseline mmap, + direct I/O (the SW
+/// design), + ISP with *per-target* commands (granularity 1), + full
+/// mini-batch coalescing.
+pub fn contribution_breakdown(scale: &ExperimentScale) -> Table {
+    let mut t = Table::new(
+        "Ablation: mechanism-by-mechanism speedup over SSD(mmap)",
+        &[
+            "Dataset",
+            "+direct I/O (SW)",
+            "+ISP, no coalescing",
+            "+coalescing (full HW/SW)",
+        ],
+    );
+    for d in Dataset::ALL {
+        let mmap = run(SystemConfig::new(SystemKind::SsdMmap), scale, d, 1);
+        let sw = run(SystemConfig::new(SystemKind::SmartSageSw), scale, d, 1);
+        let isp_fine = run(
+            SystemConfig::new(SystemKind::SmartSageHwSw).with_coalescing(1),
+            scale,
+            d,
+            1,
+        );
+        let full = run(SystemConfig::new(SystemKind::SmartSageHwSw), scale, d, 1);
+        t.row(vec![
+            d.name().into(),
+            speedup(sw / mmap),
+            speedup(isp_fine / mmap),
+            speedup(full / mmap),
+        ]);
+    }
+    t
+}
+
+/// A CSD generation for [`future_csd`].
+#[derive(Debug, Clone)]
+pub struct CsdGeneration {
+    /// Display name.
+    pub name: &'static str,
+    /// Embedded-core complex.
+    pub cores: CoreParams,
+    /// Flash sense latency.
+    pub flash_read_latency: SimDuration,
+    /// SSD PCIe bandwidth (bytes/s).
+    pub pcie_bytes_per_sec: u64,
+}
+
+/// The generations swept by [`future_csd`].
+pub fn csd_generations() -> Vec<CsdGeneration> {
+    vec![
+        CsdGeneration {
+            name: "OpenSSD (eval platform)",
+            cores: CoreParams::default(),
+            flash_read_latency: SimDuration::from_micros(25),
+            pcie_bytes_per_sec: 3_200_000_000,
+        },
+        CsdGeneration {
+            name: "Newport-class (oracle)",
+            cores: CoreParams {
+                cores: 4,
+                firmware_share: 0.0,
+                speed_vs_host: 0.5,
+            },
+            flash_read_latency: SimDuration::from_micros(25),
+            pcie_bytes_per_sec: 3_200_000_000,
+        },
+        CsdGeneration {
+            name: "future gen4 CSD",
+            cores: CoreParams {
+                cores: 8,
+                firmware_share: 0.0,
+                speed_vs_host: 0.7,
+            },
+            flash_read_latency: SimDuration::from_micros(10),
+            pcie_bytes_per_sec: 7_000_000_000,
+        },
+    ]
+}
+
+/// §VI-C extrapolation: end-to-end training throughput per CSD
+/// generation, as a fraction of the DRAM bound (12 workers, Reddit
+/// profile) — the paper's "an NVMe SSD based system can become a viable
+/// option ... while not compromising on performance" projection.
+pub fn future_csd(scale: &ExperimentScale) -> Table {
+    let mut t = Table::new(
+        "Ablation: CSD generations vs the DRAM bound (Reddit, 12 workers, end-to-end)",
+        &["CSD generation", "Training throughput (batches/s)", "Fraction of DRAM"],
+    );
+    let dram = run_mode(
+        SystemConfig::new(SystemKind::Dram),
+        scale,
+        Dataset::Reddit,
+        scale.workers,
+        true,
+    );
+    for generation in csd_generations() {
+        let mut cfg = SystemConfig::new(SystemKind::SmartSageOracle);
+        cfg.devices.oracle_cores = generation.cores.clone();
+        cfg.devices.ssd.flash.read_latency = generation.flash_read_latency;
+        cfg.ssd_pcie.bytes_per_sec = generation.pcie_bytes_per_sec;
+        let thr = run_mode(cfg, scale, Dataset::Reddit, scale.workers, true);
+        t.row(vec![
+            generation.name.into(),
+            num(thr, 1),
+            num(thr / dram, 3),
+        ]);
+    }
+    t.row(vec!["DRAM bound".into(), num(dram, 1), num(1.0, 3)]);
+    t
+}
+
+/// The page buffer's contribution to in-storage sampling (single
+/// worker, Movielens profile): ISP throughput across buffer capacities.
+pub fn buffer_sensitivity(scale: &ExperimentScale) -> Table {
+    let mut t = Table::new(
+        "Ablation: SSD page-buffer capacity vs ISP sampling throughput",
+        &["Buffer (GiB)", "Sampling throughput (batches/s)", "Relative"],
+    );
+    let mut base = None;
+    for gib in [0u64, 1, 2, 8, 32] {
+        let mut cfg = SystemConfig::new(SystemKind::SmartSageHwSw);
+        cfg.devices.ssd_buffer_bytes = gib << 30;
+        let thr = run(cfg, scale, Dataset::Movielens, 1);
+        let b = *base.get_or_insert(thr);
+        t.row(vec![gib.to_string(), num(thr, 1), num(thr / b, 3)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contribution_stacks_monotonically() {
+        let t = contribution_breakdown(&ExperimentScale::tiny());
+        assert_eq!(t.len(), 5);
+        for row in t.rows() {
+            let sw: f64 = row[1].trim_end_matches('x').parse().expect("sw");
+            let full: f64 = row[3].trim_end_matches('x').parse().expect("full");
+            assert!(sw > 1.0, "direct I/O must help: {row:?}");
+            assert!(full > sw, "full design must beat SW alone: {row:?}");
+        }
+    }
+
+    #[test]
+    fn future_csds_approach_dram() {
+        let t = future_csd(&ExperimentScale::tiny());
+        let rows = t.rows();
+        let openssd: f64 = rows[0][2].parse().expect("frac");
+        let future: f64 = rows[2][2].parse().expect("frac");
+        assert!(
+            future > openssd,
+            "newer CSDs must close the gap: {openssd} -> {future}"
+        );
+    }
+
+    #[test]
+    fn bigger_buffers_do_not_hurt() {
+        let t = buffer_sensitivity(&ExperimentScale::tiny());
+        let first: f64 = t.rows()[0][1].parse().expect("thr");
+        let last: f64 = t.rows().last().expect("rows")[1].parse().expect("thr");
+        assert!(last >= first * 0.95, "more buffer should not hurt");
+    }
+}

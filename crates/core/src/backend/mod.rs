@@ -1,0 +1,206 @@
+//! System backends: one neighbor-sampling implementation per design point.
+//!
+//! Every backend replays the same [`SamplePlan`] (same RNG draws, same
+//! positions), so all seven systems produce **byte-identical subgraphs**
+//! — only *where* the edge-list bytes are read from and *what it costs*
+//! differ. The pipeline drives backends through a cursor-style interface:
+//! [`SamplingBackend::begin`] installs a batch for a worker, and repeated
+//! [`SamplingBackend::step`] calls advance it through virtual time, so
+//! that concurrent workers interleave their accesses on the shared
+//! devices in global time order (the property the queueing models rely
+//! on).
+
+mod fpga;
+mod isp;
+mod mem;
+mod ssd_host;
+
+pub use fpga::FpgaBackend;
+pub use isp::IspBackend;
+pub use mem::MemBackend;
+pub use ssd_host::{DirectIoHostBackend, MmapHostBackend};
+
+use crate::config::SystemKind;
+use crate::context::{Devices, RunContext};
+use crate::metrics::FinishedBatch;
+use smartsage_gnn::SamplePlan;
+use smartsage_sim::SimTime;
+use std::sync::Arc;
+
+/// Result of advancing a worker's batch by one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// More work remains; call `step` again at (or after) `next`.
+    Running {
+        /// Earliest time the next step can make progress.
+        next: SimTime,
+    },
+    /// The batch finished; retrieve it with
+    /// [`SamplingBackend::take_result`].
+    Finished,
+}
+
+/// A neighbor-sampling system backend.
+///
+/// Implementations hold per-worker cursors internally; the pipeline
+/// addresses them by worker index.
+pub trait SamplingBackend {
+    /// Which design point this backend implements.
+    fn kind(&self) -> SystemKind;
+
+    /// Installs a new batch for `worker`, starting at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the worker already has an active
+    /// batch.
+    fn begin(&mut self, worker: usize, at: SimTime, plan: SamplePlan);
+
+    /// Advances `worker`'s batch. `now` is the current virtual time (at
+    /// or after the previously returned `next`).
+    fn step(&mut self, worker: usize, devices: &mut Devices, now: SimTime) -> StepOutcome;
+
+    /// Removes and returns the finished batch of `worker`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the worker's batch is not finished.
+    fn take_result(&mut self, worker: usize) -> FinishedBatch;
+}
+
+/// Instantiates the backend for `ctx.config.kind`.
+pub fn make_backend(ctx: &Arc<RunContext>, workers: usize) -> Box<dyn SamplingBackend> {
+    match ctx.config.kind {
+        SystemKind::Dram => Box::new(MemBackend::new_dram(Arc::clone(ctx), workers)),
+        SystemKind::Pmem => Box::new(MemBackend::new_pmem(Arc::clone(ctx), workers)),
+        SystemKind::SsdMmap => Box::new(MmapHostBackend::new(Arc::clone(ctx), workers)),
+        SystemKind::SmartSageSw => Box::new(DirectIoHostBackend::new(Arc::clone(ctx), workers)),
+        SystemKind::SmartSageHwSw => {
+            Box::new(IspBackend::new(Arc::clone(ctx), workers, false))
+        }
+        SystemKind::SmartSageOracle => {
+            Box::new(IspBackend::new(Arc::clone(ctx), workers, true))
+        }
+        SystemKind::FpgaCsd => Box::new(FpgaBackend::new(Arc::clone(ctx), workers)),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::context::RunContext;
+    use smartsage_gnn::sampler::plan_sample;
+    use smartsage_gnn::Fanouts;
+    use smartsage_graph::{Dataset, DatasetProfile, GraphScale, NodeId};
+    use smartsage_sim::Xoshiro256;
+
+    /// A small large-scale-profile context for backend tests.
+    pub fn test_context(kind: SystemKind) -> Arc<RunContext> {
+        let data =
+            DatasetProfile::of(Dataset::Amazon).materialize(GraphScale::LargeScale, 20_000, 11);
+        Arc::new(RunContext::new(data, SystemConfig::new(kind)))
+    }
+
+    /// A plan of `targets` targets with small fan-outs.
+    pub fn test_plan(ctx: &RunContext, targets: usize, seed: u64) -> SamplePlan {
+        let t: Vec<NodeId> = (0..targets as u32).map(NodeId::new).collect();
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        plan_sample(ctx.graph(), &t, &Fanouts::new(vec![4, 3]), &mut rng)
+    }
+
+    /// Drives one worker's batch to completion; returns the result.
+    pub fn drive(
+        backend: &mut dyn SamplingBackend,
+        devices: &mut Devices,
+        worker: usize,
+        at: SimTime,
+        plan: SamplePlan,
+    ) -> FinishedBatch {
+        backend.begin(worker, at, plan);
+        let mut now = at;
+        let mut guard = 0u64;
+        loop {
+            match backend.step(worker, devices, now) {
+                StepOutcome::Running { next } => {
+                    now = next.max(now);
+                }
+                StepOutcome::Finished => return backend.take_result(worker),
+            }
+            guard += 1;
+            assert!(guard < 10_000_000, "backend failed to terminate");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+    use crate::context::Devices;
+
+    #[test]
+    fn all_backends_produce_identical_subgraphs() {
+        // The central functional property: every system resolves the same
+        // plan to the same subgraph.
+        let mut reference = None;
+        for kind in SystemKind::ALL {
+            let ctx = test_context(kind);
+            let mut devices = Devices::new(&ctx.config);
+            let mut backend = make_backend(&ctx, 1);
+            let plan = test_plan(&ctx, 8, 42);
+            let result = drive(&mut *backend, &mut devices, 0, SimTime::ZERO, plan);
+            match &reference {
+                None => reference = Some(result.batch),
+                Some(want) => assert_eq!(
+                    &result.batch, want,
+                    "{kind} produced a different subgraph"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn relative_speed_ordering_holds() {
+        // Single-worker sampling latency: DRAM < PMEM < ISP < direct-I/O
+        // < mmap — the paper's headline ordering (Figs 14, 18).
+        let mut times = std::collections::HashMap::new();
+        for kind in [
+            SystemKind::Dram,
+            SystemKind::Pmem,
+            SystemKind::SmartSageHwSw,
+            SystemKind::SmartSageSw,
+            SystemKind::SsdMmap,
+        ] {
+            let ctx = test_context(kind);
+            let mut devices = Devices::new(&ctx.config);
+            let mut backend = make_backend(&ctx, 1);
+            let plan = test_plan(&ctx, 64, 7);
+            let result = drive(&mut *backend, &mut devices, 0, SimTime::ZERO, plan);
+            times.insert(kind, result.sampling_time);
+        }
+        assert!(times[&SystemKind::Dram] < times[&SystemKind::Pmem]);
+        assert!(times[&SystemKind::Pmem] < times[&SystemKind::SmartSageHwSw]);
+        assert!(times[&SystemKind::SmartSageHwSw] < times[&SystemKind::SmartSageSw]);
+        assert!(times[&SystemKind::SmartSageSw] < times[&SystemKind::SsdMmap]);
+    }
+
+    #[test]
+    fn isp_moves_far_fewer_bytes_than_mmap() {
+        let run = |kind| {
+            let ctx = test_context(kind);
+            let mut devices = Devices::new(&ctx.config);
+            let mut backend = make_backend(&ctx, 1);
+            let plan = test_plan(&ctx, 64, 3);
+            drive(&mut *backend, &mut devices, 0, SimTime::ZERO, plan)
+        };
+        let mmap = run(SystemKind::SsdMmap);
+        let isp = run(SystemKind::SmartSageHwSw);
+        assert!(
+            mmap.transfers.ssd_to_host_bytes > 5 * isp.transfers.ssd_to_host_bytes,
+            "mmap {} vs isp {}",
+            mmap.transfers.ssd_to_host_bytes,
+            isp.transfers.ssd_to_host_bytes
+        );
+    }
+}

@@ -1,0 +1,831 @@
+//! Experiment drivers: one per paper table/figure.
+//!
+//! Each driver runs the relevant systems/datasets at a configurable
+//! [`ExperimentScale`] and returns a [`Table`] whose rows mirror the
+//! paper's series. `smartsage-bench`'s `reproduce` binary prints them
+//! all; EXPERIMENTS.md records paper-vs-measured values.
+
+use crate::backend::{make_backend, StepOutcome};
+use crate::config::{SystemConfig, SystemKind};
+use crate::context::{Devices, RunContext};
+use crate::metrics::FinishedBatch;
+use crate::pipeline::{run_pipeline, PipelineConfig, PipelineReport, SamplerKind};
+use crate::report::{num, pct, speedup, Table};
+use smartsage_gnn::sampler::{epoch_targets, plan_sample};
+use smartsage_gnn::Fanouts;
+use smartsage_graph::degree::DegreeStats;
+use smartsage_graph::kronecker::{expand, KroneckerConfig};
+use smartsage_graph::{Dataset, DatasetProfile, GraphScale};
+use smartsage_memsim::{BandwidthMeter, CacheParams, SetAssocCache};
+use smartsage_sim::{SimTime, Xoshiro256};
+use std::sync::Arc;
+
+/// How big the scaled experiments are. Defaults favour fast iteration;
+/// [`ExperimentScale::paper`] uses larger instances for the final
+/// reproduction pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// Edge budget per materialized dataset.
+    pub edge_budget: u64,
+    /// Targets per mini-batch.
+    pub batch_size: usize,
+    /// Batches per measurement.
+    pub batches: usize,
+    /// Producer workers for multi-worker experiments.
+    pub workers: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale {
+            edge_budget: 200_000,
+            batch_size: 96,
+            batches: 24,
+            workers: 12,
+            seed: 2022,
+        }
+    }
+}
+
+impl ExperimentScale {
+    /// A minimal scale for unit tests.
+    pub fn tiny() -> Self {
+        ExperimentScale {
+            edge_budget: 40_000,
+            batch_size: 24,
+            batches: 6,
+            workers: 3,
+            seed: 7,
+        }
+    }
+
+    /// The heavier configuration used for the recorded reproduction.
+    pub fn paper() -> Self {
+        ExperimentScale {
+            edge_budget: 600_000,
+            batch_size: 192,
+            batches: 36,
+            workers: 12,
+            seed: 2022,
+        }
+    }
+}
+
+/// Builds a run context for `dataset` under `kind`.
+pub fn context_for(
+    dataset: Dataset,
+    kind: SystemKind,
+    scale: &ExperimentScale,
+    graph_scale: GraphScale,
+) -> Arc<RunContext> {
+    let data = DatasetProfile::of(dataset).materialize(graph_scale, scale.edge_budget, scale.seed);
+    Arc::new(RunContext::new(data, SystemConfig::new(kind)))
+}
+
+fn pipe_cfg(scale: &ExperimentScale, workers: usize, train: bool) -> PipelineConfig {
+    PipelineConfig {
+        workers,
+        total_batches: scale.batches,
+        batch_size: scale.batch_size,
+        fanouts: Fanouts::paper_default(),
+        queue_depth: 4,
+        hidden_dim: 256,
+        classes: 16,
+        seed: scale.seed,
+        sampler: SamplerKind::GraphSage,
+        train,
+    }
+}
+
+/// Runs one system end-to-end (train) or data-preparation-only.
+pub fn run_system(
+    dataset: Dataset,
+    kind: SystemKind,
+    scale: &ExperimentScale,
+    workers: usize,
+    train: bool,
+) -> PipelineReport {
+    let ctx = context_for(dataset, kind, scale, GraphScale::LargeScale);
+    run_pipeline(&ctx, &pipe_cfg(scale, workers, train))
+}
+
+// ---------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------
+
+/// Table I: dataset statistics (paper values, by construction).
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table I: Graph dataset information",
+        &[
+            "Dataset",
+            "Nodes (in-mem)",
+            "Edges (in-mem)",
+            "Size GB",
+            "Nodes (large)",
+            "Edges (large)",
+            "Size GB (large)",
+            "Features",
+        ],
+    );
+    for d in Dataset::ALL {
+        let p = DatasetProfile::of(d);
+        t.row(vec![
+            d.name().into(),
+            p.in_memory.nodes.to_string(),
+            p.in_memory.edges.to_string(),
+            num(p.in_memory.size_gb, 1),
+            p.large_scale.nodes.to_string(),
+            p.large_scale.edges.to_string(),
+            num(p.large_scale.size_gb, 1),
+            p.feature_dim.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig 5: LLC miss rate + DRAM bandwidth utilization
+// ---------------------------------------------------------------------
+
+/// Fig 5: in-memory sampling characterization. The LLC is scaled by the
+/// materialization factor so cache coverage matches full scale (see
+/// DESIGN.md §5).
+pub fn fig5(scale: &ExperimentScale) -> Table {
+    let mut t = Table::new(
+        "Fig 5: LLC miss rate and DRAM BW utilization (in-memory sampling)",
+        &["Dataset", "LLC miss rate", "DRAM BW utilization"],
+    );
+    for d in Dataset::ALL {
+        let ctx = context_for(d, SystemKind::Dram, scale, GraphScale::InMemory);
+        let graph = ctx.graph();
+        // Scale the 22 MiB LLC by materialized/full byte ratio.
+        let full_bytes = ctx.data.full_stats().edge_array_bytes() as f64;
+        let scaled_bytes = graph.edge_array_bytes() as f64;
+        let frac = (scaled_bytes / full_bytes).min(1.0);
+        let base = CacheParams::default();
+        let capacity = ((base.capacity_bytes as f64 * frac) as u64)
+            .max(base.line_bytes * base.associativity as u64 * 8);
+        let mut cache = SetAssocCache::new(CacheParams {
+            capacity_bytes: capacity,
+            ..base
+        });
+        let mut meter = BandwidthMeter::new(scale.workers as u32);
+        // Interleave the access traces of `workers` concurrent samplers.
+        let mut plans = Vec::new();
+        for w in 0..scale.workers {
+            let targets = epoch_targets(graph.num_nodes(), scale.batch_size, w, scale.seed);
+            let mut rng = Xoshiro256::seed_from_u64(scale.seed ^ w as u64);
+            plans.push(plan_sample(graph, &targets, &Fanouts::paper_default(), &mut rng));
+        }
+        let traces: Vec<Vec<(u64, u64)>> = plans
+            .iter()
+            .map(|p| {
+                let mut trace = Vec::new();
+                for hop in &p.hops {
+                    for a in &hop.accesses {
+                        let off = ctx.layout.offset_entry_range(a.node);
+                        trace.push((off.offset, off.len));
+                        let base = ctx.layout.edge_list_range(graph, a.node);
+                        for &pos in &a.positions {
+                            trace.push((base.offset + pos * 8, 8));
+                        }
+                    }
+                }
+                trace
+            })
+            .collect();
+        let max_len = traces.iter().map(Vec::len).max().unwrap_or(0);
+        for i in 0..max_len {
+            for trace in &traces {
+                if let Some(&(addr, len)) = trace.get(i) {
+                    let missed = cache.access_range(addr, len);
+                    let lines = len.div_ceil(64).max(1);
+                    meter.record(lines - missed.min(lines), missed);
+                }
+            }
+        }
+        t.row(vec![
+            d.name().into(),
+            pct(cache.miss_rate()),
+            pct(meter.utilization()),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig 6 + Fig 7: DRAM vs SSD(mmap) end-to-end
+// ---------------------------------------------------------------------
+
+/// Fig 6: per-stage breakdown and normalized end-to-end latency,
+/// DRAM vs SSD(mmap).
+pub fn fig6(scale: &ExperimentScale) -> Table {
+    let mut t = Table::new(
+        "Fig 6: End-to-end breakdown, DRAM vs SSD(mmap)",
+        &[
+            "Dataset",
+            "System",
+            "Sampling",
+            "Feature",
+            "CPU->GPU",
+            "Train",
+            "Else",
+            "Latency (vs DRAM)",
+        ],
+    );
+    let mut slowdowns = Vec::new();
+    for d in Dataset::ALL {
+        let dram = run_system(d, SystemKind::Dram, scale, scale.workers, true);
+        let mmap = run_system(d, SystemKind::SsdMmap, scale, scale.workers, true);
+        for r in [&dram, &mmap] {
+            let f = r.breakdown.fractions();
+            t.row(vec![
+                d.name().into(),
+                r.kind.label().into(),
+                pct(f[0]),
+                pct(f[1]),
+                pct(f[2]),
+                pct(f[3]),
+                pct(f[4]),
+                speedup(r.makespan.ratio(dram.makespan)),
+            ]);
+        }
+        slowdowns.push(mmap.makespan.ratio(dram.makespan));
+    }
+    let avg = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
+    let max = slowdowns.iter().cloned().fold(0.0, f64::max);
+    t.row(vec![
+        "average".into(),
+        "SSD(mmap) slowdown".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        format!("{} (max {})", speedup(avg), speedup(max)),
+    ]);
+    t
+}
+
+/// Fig 7: GPU idle fraction under DRAM vs SSD(mmap).
+pub fn fig7(scale: &ExperimentScale) -> Table {
+    let mut t = Table::new(
+        "Fig 7: GPU idle time (%)",
+        &["Dataset", "DRAM", "SSD (mmap)"],
+    );
+    for d in Dataset::ALL {
+        let dram = run_system(d, SystemKind::Dram, scale, scale.workers, true);
+        let mmap = run_system(d, SystemKind::SsdMmap, scale, scale.workers, true);
+        t.row(vec![
+            d.name().into(),
+            pct(dram.gpu_idle_frac),
+            pct(mmap.gpu_idle_frac),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig 13: Kronecker degree distributions
+// ---------------------------------------------------------------------
+
+/// Fig 13: degree distribution before/after Kronecker fractal expansion
+/// for Reddit and Protein-PI (log-log bucket series).
+pub fn fig13(scale: &ExperimentScale) -> Table {
+    let mut t = Table::new(
+        "Fig 13: Degree distribution, in-memory vs Kronecker-expanded",
+        &[
+            "Dataset",
+            "Degree bucket <=",
+            "Nodes (in-memory)",
+            "Nodes (expanded)",
+        ],
+    );
+    for d in [Dataset::Reddit, Dataset::ProteinPi] {
+        let profile = DatasetProfile::of(d);
+        // A degree *distribution* needs enough nodes to show its shape:
+        // size the budget so the scaled instance has >= 2000 nodes at the
+        // profile's true average degree.
+        let budget = (2_000.0 * profile.in_memory.avg_degree()) as u64;
+        let base = profile
+            .materialize(GraphScale::InMemory, budget.max(scale.edge_budget), scale.seed)
+            .graph;
+        // Seed graph sized to reproduce the profile's densification.
+        let densify = profile.densification().max(1.1);
+        let seed_nodes = 4;
+        let seed_deg = densify.min(4.0);
+        let seed =
+            smartsage_graph::generate::generate_seed_graph(seed_nodes, seed_deg, scale.seed);
+        let keep = (2.0 * base.num_edges() as f64
+            / (base.num_edges() as f64 * seed.num_edges() as f64))
+            .min(1.0);
+        let expanded = expand(
+            &base,
+            &seed,
+            &KroneckerConfig {
+                edge_keep_probability: keep,
+                seed: scale.seed,
+            },
+        );
+        let s_base = DegreeStats::from_graph(&base);
+        let s_exp = DegreeStats::from_graph(&expanded);
+        let buckets = s_base
+            .histogram
+            .num_buckets()
+            .max(s_exp.histogram.num_buckets());
+        for b in 0..buckets {
+            let c0 = s_base.histogram.count_in_bucket(b);
+            let c1 = s_exp.histogram.count_in_bucket(b);
+            if c0 == 0 && c1 == 0 {
+                continue;
+            }
+            t.row(vec![
+                d.name().into(),
+                smartsage_sim::Histogram::bucket_hi(b).to_string(),
+                c0.to_string(),
+                c1.to_string(),
+            ]);
+        }
+        t.row(vec![
+            d.name().into(),
+            "alpha (in-mem / expanded)".into(),
+            num(s_base.power_law_alpha, 2),
+            num(s_exp.power_law_alpha, 2),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig 14 / 16: sampling speedups (single / multi worker)
+// ---------------------------------------------------------------------
+
+fn sampling_speedups(scale: &ExperimentScale, workers: usize, title: &str) -> Table {
+    let mut t = Table::new(
+        title,
+        &["Dataset", "SSD (mmap)", "SmartSAGE (SW)", "SmartSAGE (HW/SW)"],
+    );
+    let mut sw_all = Vec::new();
+    let mut hw_all = Vec::new();
+    for d in Dataset::ALL {
+        let mmap = run_system(d, SystemKind::SsdMmap, scale, workers, false);
+        let sw = run_system(d, SystemKind::SmartSageSw, scale, workers, false);
+        let hw = run_system(d, SystemKind::SmartSageHwSw, scale, workers, false);
+        let s_sw = sw.sampling_throughput / mmap.sampling_throughput;
+        let s_hw = hw.sampling_throughput / mmap.sampling_throughput;
+        sw_all.push(s_sw);
+        hw_all.push(s_hw);
+        t.row(vec![
+            d.name().into(),
+            speedup(1.0),
+            speedup(s_sw),
+            speedup(s_hw),
+        ]);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
+    t.row(vec![
+        "average (max)".into(),
+        speedup(1.0),
+        format!("{} ({})", speedup(avg(&sw_all)), speedup(max(&sw_all))),
+        format!("{} ({})", speedup(avg(&hw_all)), speedup(max(&hw_all))),
+    ]);
+    t
+}
+
+/// Fig 14: single-worker neighbor-sampling speedup vs SSD(mmap).
+pub fn fig14(scale: &ExperimentScale) -> Table {
+    sampling_speedups(
+        scale,
+        1,
+        "Fig 14: Neighbor sampling speedup vs SSD(mmap), single worker",
+    )
+}
+
+/// Fig 16: multi-worker neighbor-sampling speedup vs SSD(mmap).
+pub fn fig16(scale: &ExperimentScale) -> Table {
+    sampling_speedups(
+        scale,
+        scale.workers,
+        "Fig 16: Neighbor sampling speedup vs SSD(mmap), 12 workers",
+    )
+}
+
+// ---------------------------------------------------------------------
+// Fig 15: coalescing granularity sweep
+// ---------------------------------------------------------------------
+
+/// Fig 15: SmartSAGE(HW/SW) performance as the I/O command coalescing
+/// granularity shrinks (normalized to full-batch coalescing).
+///
+/// This sweep uses the paper's mini-batch size of 1024 regardless of the
+/// experiment scale — the x-axis *is* "targets per NVMe command", so the
+/// batch must be the paper's for the granularities to mean the same
+/// thing.
+pub fn fig15(scale: &ExperimentScale) -> Table {
+    let mut t = Table::new(
+        "Fig 15: Effect of I/O command coalescing granularity",
+        &["Dataset", "Granularity", "Performance (norm.)"],
+    );
+    let grans: [u32; 6] = [1024, 512, 256, 64, 16, 1];
+    for d in Dataset::ALL {
+        let mut base = None;
+        for &g in &grans {
+            let data = DatasetProfile::of(d).materialize(
+                GraphScale::LargeScale,
+                scale.edge_budget,
+                scale.seed,
+            );
+            let cfg = SystemConfig::new(SystemKind::SmartSageHwSw).with_coalescing(g);
+            let ctx = Arc::new(RunContext::new(data, cfg));
+            let mut pc = pipe_cfg(scale, 1, false);
+            pc.batch_size = 1024;
+            pc.total_batches = 2;
+            let report = run_pipeline(&ctx, &pc);
+            let perf = report.sampling_throughput;
+            let norm = match base {
+                None => {
+                    base = Some(perf);
+                    1.0
+                }
+                Some(b0) => perf / b0,
+            };
+            t.row(vec![d.name().into(), g.to_string(), num(norm, 3)]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig 17: HW/SW-over-SW speedup vs worker count
+// ---------------------------------------------------------------------
+
+/// Fig 17: SmartSAGE(HW/SW) speedup over SmartSAGE(SW) as CPU-side
+/// workers scale (embedded-core contention).
+pub fn fig17(scale: &ExperimentScale) -> Table {
+    let mut t = Table::new(
+        "Fig 17: HW/SW speedup over SW vs worker count",
+        &["Dataset", "1", "2", "4", "8", "12"],
+    );
+    for d in Dataset::ALL {
+        let mut cells = vec![d.name().to_string()];
+        for workers in [1usize, 2, 4, 8, 12] {
+            let sw = run_system(d, SystemKind::SmartSageSw, scale, workers, false);
+            let hw = run_system(d, SystemKind::SmartSageHwSw, scale, workers, false);
+            cells.push(speedup(hw.sampling_throughput / sw.sampling_throughput));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig 18: end-to-end latency, all systems
+// ---------------------------------------------------------------------
+
+/// Fig 18: end-to-end training-latency breakdown across all six systems
+/// (normalized to SSD(mmap) = 1.0).
+pub fn fig18(scale: &ExperimentScale) -> Table {
+    let systems = [
+        SystemKind::SsdMmap,
+        SystemKind::SmartSageSw,
+        SystemKind::SmartSageHwSw,
+        SystemKind::SmartSageOracle,
+        SystemKind::Pmem,
+        SystemKind::Dram,
+    ];
+    let mut t = Table::new(
+        "Fig 18: End-to-end GNN training latency (normalized to SSD(mmap))",
+        &[
+            "Dataset", "System", "Sampling", "Feature", "CPU->GPU", "Train", "Else",
+            "Latency",
+        ],
+    );
+    let mut hw_speedups = Vec::new();
+    for d in Dataset::ALL {
+        let reports: Vec<PipelineReport> = systems
+            .iter()
+            .map(|&k| run_system(d, k, scale, scale.workers, true))
+            .collect();
+        let mmap_time = reports[0].makespan;
+        for r in &reports {
+            let f = r.breakdown.fractions();
+            t.row(vec![
+                d.name().into(),
+                r.kind.label().into(),
+                pct(f[0]),
+                pct(f[1]),
+                pct(f[2]),
+                pct(f[3]),
+                pct(f[4]),
+                num(r.makespan.ratio(mmap_time), 3),
+            ]);
+        }
+        hw_speedups.push(mmap_time.ratio(reports[2].makespan));
+    }
+    let avg = hw_speedups.iter().sum::<f64>() / hw_speedups.len() as f64;
+    let max = hw_speedups.iter().cloned().fold(0.0, f64::max);
+    t.row(vec![
+        "average".into(),
+        "HW/SW speedup vs mmap".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        format!("{} (max {})", speedup(avg), speedup(max)),
+    ]);
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig 19: FPGA-based CSD comparison
+// ---------------------------------------------------------------------
+
+/// Drives one single-worker batch on a backend and returns the result.
+fn sample_once(ctx: &Arc<RunContext>, scale: &ExperimentScale) -> FinishedBatch {
+    let mut devices = Devices::new(&ctx.config);
+    let mut backend = make_backend(ctx, 1);
+    let graph = ctx.graph();
+    let targets = epoch_targets(graph.num_nodes(), scale.batch_size, 0, scale.seed);
+    let mut rng = Xoshiro256::seed_from_u64(scale.seed);
+    let plan = plan_sample(graph, &targets, &Fanouts::paper_default(), &mut rng);
+    backend.begin(0, SimTime::ZERO, plan);
+    let mut now = SimTime::ZERO;
+    loop {
+        match backend.step(0, &mut devices, now) {
+            StepOutcome::Running { next } => now = next.max(now),
+            StepOutcome::Finished => return backend.take_result(0),
+        }
+    }
+}
+
+/// Fig 19: FPGA-CSD latency breakdown vs SSD(mmap) and SmartSAGE(SW),
+/// normalized to SSD(mmap) = 1.0 per dataset.
+pub fn fig19(scale: &ExperimentScale) -> Table {
+    let mut t = Table::new(
+        "Fig 19: FPGA-based CSD vs host paths (normalized latency)",
+        &[
+            "Dataset",
+            "System",
+            "SSD->CPU",
+            "SSD->FPGA",
+            "FPGA->CPU",
+            "Sampling(FPGA)",
+            "Sampling(host)",
+            "Total",
+        ],
+    );
+    for d in Dataset::ALL {
+        let mk = |k: SystemKind| context_for(d, k, scale, GraphScale::LargeScale);
+        let mmap = sample_once(&mk(SystemKind::SsdMmap), scale);
+        let sw = sample_once(&mk(SystemKind::SmartSageSw), scale);
+        let fpga = sample_once(&mk(SystemKind::FpgaCsd), scale);
+        let base = mmap.sampling_time;
+        let host_row = |name: &str, r: &FinishedBatch, t: &mut Table| {
+            let compute = r
+                .sampling_time
+                .saturating_sub(r.overhead_time)
+                .mul_f64(0.05);
+            let io = r.sampling_time.saturating_sub(compute);
+            t.row(vec![
+                d.name().into(),
+                name.into(),
+                num(io.ratio(base), 3),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                num(compute.ratio(base), 3),
+                num(r.sampling_time.ratio(base), 3),
+            ]);
+        };
+        host_row("SSD (mmap)", &mmap, &mut t);
+        host_row("SmartSAGE (SW)", &sw, &mut t);
+        let ph = fpga.fpga.expect("fpga phases");
+        t.row(vec![
+            d.name().into(),
+            "FPGA-CSD".into(),
+            "-".into(),
+            num(ph.ssd_to_fpga.ratio(base), 3),
+            num(ph.fpga_to_cpu.ratio(base), 3),
+            num(ph.sampling.ratio(base), 3),
+            "-".into(),
+            num(fpga.sampling_time.ratio(base), 3),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig 20: GraphSAINT
+// ---------------------------------------------------------------------
+
+/// Fig 20: end-to-end speedup with the GraphSAINT random-walk sampler.
+pub fn fig20(scale: &ExperimentScale) -> Table {
+    let mut t = Table::new(
+        "Fig 20: GraphSAINT end-to-end speedup vs SSD(mmap)",
+        &["Dataset", "SSD (mmap)", "SmartSAGE (SW)", "SmartSAGE (HW/SW)"],
+    );
+    let mut hw_all = Vec::new();
+    for d in Dataset::ALL {
+        let run = |k: SystemKind| {
+            let ctx = context_for(d, k, scale, GraphScale::LargeScale);
+            let mut cfg = pipe_cfg(scale, scale.workers, true);
+            cfg.sampler = SamplerKind::SaintWalk { length: 4 };
+            run_pipeline(&ctx, &cfg)
+        };
+        let mmap = run(SystemKind::SsdMmap);
+        let sw = run(SystemKind::SmartSageSw);
+        let hw = run(SystemKind::SmartSageHwSw);
+        let s_hw = mmap.makespan.ratio(hw.makespan);
+        hw_all.push(s_hw);
+        t.row(vec![
+            d.name().into(),
+            speedup(1.0),
+            speedup(mmap.makespan.ratio(sw.makespan)),
+            speedup(s_hw),
+        ]);
+    }
+    let avg = hw_all.iter().sum::<f64>() / hw_all.len() as f64;
+    t.row(vec![
+        "average".into(),
+        String::new(),
+        String::new(),
+        speedup(avg),
+    ]);
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig 21: sampling-rate sensitivity
+// ---------------------------------------------------------------------
+
+/// Fig 21: end-to-end speedup sensitivity to the sampling rate
+/// (0.5x / 1.0x / 2.0x of the default 25/10 fan-outs).
+pub fn fig21(scale: &ExperimentScale) -> Table {
+    let mut t = Table::new(
+        "Fig 21: Sensitivity to sampling rate (speedup vs SSD(mmap))",
+        &["Dataset", "Rate", "SmartSAGE (SW)", "SmartSAGE (HW/SW)"],
+    );
+    for d in Dataset::ALL {
+        for (label, factor) in [("0.5x", 0.5), ("1.0x", 1.0), ("2.0x", 2.0)] {
+            let run = |k: SystemKind| {
+                let ctx = context_for(d, k, scale, GraphScale::LargeScale);
+                let mut cfg = pipe_cfg(scale, scale.workers, true);
+                cfg.fanouts = Fanouts::paper_default().scaled(factor);
+                run_pipeline(&ctx, &cfg)
+            };
+            let mmap = run(SystemKind::SsdMmap);
+            let sw = run(SystemKind::SmartSageSw);
+            let hw = run(SystemKind::SmartSageHwSw);
+            t.row(vec![
+                d.name().into(),
+                label.into(),
+                speedup(mmap.makespan.ratio(sw.makespan)),
+                speedup(mmap.makespan.ratio(hw.makespan)),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Transfer reduction (Fig 10 / §I's ~20x claim)
+// ---------------------------------------------------------------------
+
+/// SSD→CPU data-movement reduction of the ISP vs the baseline (§I: ~20x).
+pub fn transfer_reduction(scale: &ExperimentScale) -> Table {
+    let mut t = Table::new(
+        "Fig 10 / SSD->CPU transfer reduction per mini-batch",
+        &[
+            "Dataset",
+            "mmap bytes/batch",
+            "ISP bytes/batch",
+            "Reduction",
+        ],
+    );
+    let mut all = Vec::new();
+    for d in Dataset::ALL {
+        let mmap = sample_once(&context_for(d, SystemKind::SsdMmap, scale, GraphScale::LargeScale), scale);
+        let isp = sample_once(
+            &context_for(d, SystemKind::SmartSageHwSw, scale, GraphScale::LargeScale),
+            scale,
+        );
+        let reduction = mmap.transfers.ssd_to_host_bytes as f64
+            / isp.transfers.ssd_to_host_bytes.max(1) as f64;
+        all.push(reduction);
+        t.row(vec![
+            d.name().into(),
+            mmap.transfers.ssd_to_host_bytes.to_string(),
+            isp.transfers.ssd_to_host_bytes.to_string(),
+            speedup(reduction),
+        ]);
+    }
+    let avg = all.iter().sum::<f64>() / all.len() as f64;
+    t.row(vec![
+        "average".into(),
+        String::new(),
+        String::new(),
+        speedup(avg),
+    ]);
+    t
+}
+
+// ---------------------------------------------------------------------
+// §VI-E: power and energy
+// ---------------------------------------------------------------------
+
+/// §VI-E: system-level energy per trained batch set. Firmware ISP adds
+/// no hardware; the oracle CSD adds 2-6 W of dedicated cores.
+pub fn energy(scale: &ExperimentScale) -> Table {
+    // System-level power envelope (W): CPU + GPU + DRAM + SSD.
+    let base_watts = 150.0 + 70.0 + 30.0 + 10.0;
+    let extra = |k: SystemKind| match k {
+        SystemKind::SmartSageOracle => 4.0, // dedicated A53 complex
+        _ => 0.0,
+    };
+    let systems = [
+        SystemKind::SsdMmap,
+        SystemKind::SmartSageSw,
+        SystemKind::SmartSageHwSw,
+        SystemKind::SmartSageOracle,
+        SystemKind::Dram,
+    ];
+    let mut t = Table::new(
+        "Sec VI-E: Energy per workload (normalized to SSD(mmap))",
+        &["Dataset", "System", "Power (W)", "Energy (norm.)"],
+    );
+    for d in Dataset::ALL {
+        let reports: Vec<PipelineReport> = systems
+            .iter()
+            .map(|&k| run_system(d, k, scale, scale.workers, true))
+            .collect();
+        let base_energy = base_watts * reports[0].makespan.as_secs_f64();
+        for r in &reports {
+            let watts = base_watts + extra(r.kind);
+            let e = watts * r.makespan.as_secs_f64();
+            t.row(vec![
+                d.name().into(),
+                r.kind.label().into(),
+                num(watts, 0),
+                num(e / base_energy, 3),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_five_rows_with_paper_values() {
+        let t = table1();
+        assert_eq!(t.len(), 5);
+        let s = t.to_string();
+        assert!(s.contains("Reddit"));
+        assert!(s.contains("53900000000"));
+    }
+
+    #[test]
+    fn fig5_produces_rates_in_range() {
+        let t = fig5(&ExperimentScale::tiny());
+        assert_eq!(t.len(), 5);
+        for row in t.rows() {
+            for cell in &row[1..] {
+                let v: f64 = cell.trim_end_matches('%').parse().expect("pct");
+                assert!((0.0..=100.0).contains(&v), "rate {cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig13_shows_expansion_growth() {
+        let t = fig13(&ExperimentScale::tiny());
+        assert!(t.len() > 4);
+    }
+
+    #[test]
+    fn fig14_orders_systems() {
+        let t = fig14(&ExperimentScale::tiny());
+        // Last row is the average; check each dataset row's ordering:
+        for row in &t.rows()[..t.len() - 1] {
+            let sw: f64 = row[2].trim_end_matches('x').parse().expect("sw");
+            let hw: f64 = row[3].trim_end_matches('x').parse().expect("hw");
+            assert!(sw > 1.0, "SW should beat mmap: {sw}");
+            assert!(hw > sw, "HW/SW {hw} should beat SW {sw}");
+        }
+    }
+
+    #[test]
+    fn transfer_reduction_is_large() {
+        let t = transfer_reduction(&ExperimentScale::tiny());
+        let avg_row = t.rows().last().expect("avg row");
+        let avg: f64 = avg_row[3].trim_end_matches('x').parse().expect("avg");
+        assert!(avg > 5.0, "transfer reduction {avg} too small");
+    }
+}

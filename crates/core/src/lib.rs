@@ -1,0 +1,37 @@
+//! SmartSAGE core: the paper's system, its baselines, and its experiments.
+//!
+//! This crate assembles the substrate crates into the seven training
+//! systems the paper evaluates and the experiment drivers that regenerate
+//! every table and figure:
+//!
+//! * [`config`] — system kinds (DRAM, PMEM, SSD-mmap, SmartSAGE SW /
+//!   HW/SW / oracle, FPGA-CSD) and device parameter sets.
+//! * [`nsconfig`] — the `NSconfig` neighbor-sampling descriptor the host
+//!   driver DMAs to the SSD (paper Fig 11), with a byte-exact
+//!   encode/decode round trip.
+//! * [`context`] — per-run shared state: the materialized dataset, the
+//!   on-SSD layout, and full-scale locality rates (Che approximation).
+//! * [`backend`] — one sampling backend per system, all replaying the
+//!   same [`smartsage_gnn::SamplePlan`] so results are functionally
+//!   identical while timing differs.
+//! * [`pipeline`] — the producer/consumer discrete-event simulator
+//!   (paper Fig 4): CPU-side workers produce subgraphs, the GPU consumes
+//!   them; reports makespan, per-stage breakdowns and GPU idle time.
+//! * [`experiments`] — drivers named after the paper artifacts
+//!   (`table1`, `fig5` … `fig21`), each returning printable rows.
+//! * [`report`] — plain-text table rendering shared by the drivers.
+
+pub mod ablations;
+pub mod backend;
+pub mod config;
+pub mod context;
+pub mod experiments;
+pub mod metrics;
+pub mod nsconfig;
+pub mod pipeline;
+pub mod report;
+
+pub use backend::{make_backend, SamplingBackend};
+pub use config::{SystemConfig, SystemKind};
+pub use context::RunContext;
+pub use pipeline::{PipelineConfig, PipelineReport};

@@ -1,0 +1,400 @@
+//! Producer/consumer training-pipeline simulator (paper Fig 4).
+//!
+//! CPU-side producer workers generate subgraphs through a system backend;
+//! finished mini-batches (subgraph + gathered features) enter a bounded
+//! work queue; the GPU consumer pops them, pays the CPU→GPU transfer, and
+//! trains. The simulation is event-driven at the backend's step
+//! granularity, so concurrent workers contend for shared devices in
+//! global time order, and GPU idle time (Fig 7) falls out of the queue
+//! dynamics exactly as in the paper: when producers cannot keep up, the
+//! GPU starves.
+
+use crate::backend::{make_backend, StepOutcome};
+use crate::config::SystemKind;
+use crate::context::{Devices, RunContext};
+use crate::metrics::{FinishedBatch, StageBreakdown, TransferStats};
+use smartsage_gnn::gpu::BatchDims;
+use smartsage_gnn::sampler::{epoch_targets, plan_sample};
+use smartsage_gnn::saint::plan_random_walk;
+use smartsage_gnn::{Fanouts, SamplePlan};
+use smartsage_sim::{EventQueue, SimDuration, SimTime, Xoshiro256};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Which sampling algorithm drives the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SamplerKind {
+    /// GraphSAGE fan-out sampling (the paper's default).
+    GraphSage,
+    /// GraphSAINT random walks (Fig 20).
+    SaintWalk {
+        /// Steps per walk.
+        length: usize,
+    },
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Number of CPU-side producer workers.
+    pub workers: usize,
+    /// Mini-batches to train (across all workers).
+    pub total_batches: usize,
+    /// Targets per mini-batch.
+    pub batch_size: usize,
+    /// Sampling fan-outs.
+    pub fanouts: Fanouts,
+    /// Work-queue depth (mini-batches buffered ahead of the GPU).
+    pub queue_depth: usize,
+    /// GNN hidden width (GPU cost model).
+    pub hidden_dim: u64,
+    /// Output classes (GPU cost model).
+    pub classes: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Sampling algorithm.
+    pub sampler: SamplerKind,
+    /// `false` measures data preparation only (Figs 14-17): batches are
+    /// consumed instantly and the GPU plays no part.
+    pub train: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            workers: 12,
+            total_batches: 24,
+            batch_size: 1024,
+            fanouts: Fanouts::paper_default(),
+            queue_depth: 4,
+            hidden_dim: 256,
+            classes: 16,
+            seed: 0xC0FFEE,
+            sampler: SamplerKind::GraphSage,
+            train: true,
+        }
+    }
+}
+
+/// Results of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The design point measured.
+    pub kind: SystemKind,
+    /// End-to-end wall time.
+    pub makespan: SimDuration,
+    /// Batches completed.
+    pub batches: usize,
+    /// Per-stage time totals (summed across workers/GPU).
+    pub breakdown: StageBreakdown,
+    /// Time the GPU spent transferring + training.
+    pub gpu_busy: SimDuration,
+    /// Fraction of the makespan the GPU sat idle (Fig 7).
+    pub gpu_idle_frac: f64,
+    /// Aggregate data movement.
+    pub transfers: TransferStats,
+    /// Mean per-batch neighbor-sampling time.
+    pub avg_sampling_time: SimDuration,
+    /// Data-preparation throughput in batches/second.
+    pub sampling_throughput: f64,
+}
+
+impl PipelineReport {
+    /// Makespan ratio `other / self` (how much faster `self` is).
+    pub fn speedup_over(&self, other: &PipelineReport) -> f64 {
+        other.makespan.ratio(self.makespan)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Worker(usize),
+    Gpu,
+}
+
+struct ReadyBatch {
+    ready: SimTime,
+    transfer_bytes: u64,
+    compute: SimDuration,
+}
+
+/// Runs the pipeline for `ctx` and returns its report.
+///
+/// # Panics
+///
+/// Panics if `cfg.workers` or `cfg.total_batches` is zero.
+pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineReport {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(cfg.total_batches > 0, "need at least one batch");
+    let mut devices = Devices::new(&ctx.config);
+    let mut backend = make_backend(ctx, cfg.workers);
+    let gpu_params = ctx.config.devices.gpu.clone();
+    let feat_dim = ctx.data.features.dim() as u64;
+    let feat_bytes = ctx.data.features.bytes_per_node();
+
+    let mut events: EventQueue<Event> = EventQueue::new();
+    let mut next_batch = 0usize;
+    let mut produced_done = 0usize;
+    let mut consumed = 0usize;
+    let mut queue: VecDeque<ReadyBatch> = VecDeque::new();
+    let mut blocked: VecDeque<(usize, ReadyBatch)> = VecDeque::new();
+    let mut gpu_next_free = SimTime::ZERO;
+    let mut gpu_scheduled = false;
+    let mut gpu_busy = SimDuration::ZERO;
+    let mut breakdown = StageBreakdown::default();
+    let mut transfers = TransferStats::default();
+    let mut sampling_total = SimDuration::ZERO;
+    let mut makespan_end = SimTime::ZERO;
+
+    let make_plan = |index: usize| -> SamplePlan {
+        let graph = ctx.graph();
+        let targets = epoch_targets(graph.num_nodes(), cfg.batch_size, index, cfg.seed);
+        let mut rng = Xoshiro256::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9E37));
+        match &cfg.sampler {
+            SamplerKind::GraphSage => plan_sample(graph, &targets, &cfg.fanouts, &mut rng),
+            SamplerKind::SaintWalk { length } => {
+                plan_random_walk(graph, &targets, *length, &mut rng)
+            }
+        }
+    };
+
+    // Seed each worker with its first batch.
+    for w in 0..cfg.workers {
+        if next_batch < cfg.total_batches {
+            backend.begin(w, SimTime::ZERO, make_plan(next_batch));
+            next_batch += 1;
+            events.schedule(SimTime::ZERO, Event::Worker(w));
+        }
+    }
+
+    while let Some((now, event)) = events.pop() {
+        match event {
+            Event::Worker(w) => match backend.step(w, &mut devices, now) {
+                StepOutcome::Running { next } => {
+                    events.schedule(next.max(now), Event::Worker(w));
+                }
+                StepOutcome::Finished => {
+                    let result: FinishedBatch = backend.take_result(w);
+                    sampling_total += result.sampling_time;
+                    breakdown.sampling +=
+                        result.sampling_time.saturating_sub(result.overhead_time);
+                    breakdown.other += result.overhead_time;
+                    transfers.ssd_to_host_bytes += result.transfers.ssd_to_host_bytes;
+                    transfers.host_to_ssd_bytes += result.transfers.host_to_ssd_bytes;
+                    transfers.useful_bytes += result.transfers.useful_bytes;
+                    produced_done += 1;
+
+                    let mut t = result.done;
+                    if cfg.train {
+                        // Feature table lookup (always host DRAM).
+                        let distinct = result.batch.all_nodes().len() as u64;
+                        let f_done = devices.host_dram.random_access(t, distinct, feat_bytes);
+                        breakdown.feature_lookup += f_done.saturating_elapsed_since(t);
+                        t = f_done;
+                        let dims = BatchDims::of_batch(
+                            &result.batch,
+                            feat_dim,
+                            cfg.hidden_dim,
+                            cfg.classes,
+                        );
+                        let cost = gpu_params.batch_cost(&dims);
+                        let ready = ReadyBatch {
+                            ready: t,
+                            transfer_bytes: cost.transfer_bytes,
+                            compute: cost.compute,
+                        };
+                        if queue.len() >= cfg.queue_depth {
+                            // Worker stalls holding its batch.
+                            blocked.push_back((w, ready));
+                        } else {
+                            queue.push_back(ready);
+                            if !gpu_scheduled {
+                                gpu_scheduled = true;
+                                events.schedule(t, Event::Gpu);
+                            }
+                            if next_batch < cfg.total_batches {
+                                backend.begin(w, t, make_plan(next_batch));
+                                next_batch += 1;
+                                events.schedule(t, Event::Worker(w));
+                            }
+                        }
+                    } else {
+                        makespan_end = makespan_end.max(t);
+                        consumed += 1;
+                        if next_batch < cfg.total_batches {
+                            backend.begin(w, t, make_plan(next_batch));
+                            next_batch += 1;
+                            events.schedule(t, Event::Worker(w));
+                        }
+                    }
+                }
+            },
+            Event::Gpu => {
+                gpu_scheduled = false;
+                if let Some(head) = queue.front() {
+                    let start = now.max(head.ready).max(gpu_next_free);
+                    if start > now {
+                        gpu_scheduled = true;
+                        events.schedule(start, Event::Gpu);
+                        continue;
+                    }
+                    let batch = queue.pop_front().expect("non-empty");
+                    let transferred = devices.gpu_link.transfer(start, batch.transfer_bytes);
+                    let (_, end) = devices.gpu.schedule(transferred, batch.compute);
+                    breakdown.cpu_to_gpu += transferred.saturating_elapsed_since(start);
+                    breakdown.gnn_train += end.saturating_elapsed_since(transferred);
+                    gpu_busy += end.saturating_elapsed_since(start);
+                    gpu_next_free = end;
+                    consumed += 1;
+                    makespan_end = makespan_end.max(end);
+                    // Queue space opened: admit a blocked worker.
+                    if let Some((bw, payload)) = blocked.pop_front() {
+                        queue.push_back(payload);
+                        if next_batch < cfg.total_batches {
+                            backend.begin(bw, now, make_plan(next_batch));
+                            next_batch += 1;
+                            events.schedule(now, Event::Worker(bw));
+                        }
+                    }
+                    if !queue.is_empty() {
+                        gpu_scheduled = true;
+                        events.schedule(gpu_next_free, Event::Gpu);
+                    }
+                }
+            }
+        }
+        if consumed >= cfg.total_batches {
+            break;
+        }
+    }
+
+    let makespan = makespan_end.since_epoch();
+    let batches = consumed.max(produced_done);
+    let gpu_idle_frac = if cfg.train && !makespan.is_zero() {
+        1.0 - gpu_busy.ratio(makespan)
+    } else {
+        0.0
+    };
+    PipelineReport {
+        kind: ctx.config.kind,
+        makespan,
+        batches,
+        breakdown,
+        gpu_busy,
+        gpu_idle_frac: gpu_idle_frac.clamp(0.0, 1.0),
+        transfers,
+        avg_sampling_time: if produced_done > 0 {
+            sampling_total / produced_done as u64
+        } else {
+            SimDuration::ZERO
+        },
+        sampling_throughput: if makespan.is_zero() {
+            0.0
+        } else {
+            batches as f64 / makespan.as_secs_f64()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use smartsage_graph::{Dataset, DatasetProfile, GraphScale};
+
+    fn ctx(kind: SystemKind) -> Arc<RunContext> {
+        let data =
+            DatasetProfile::of(Dataset::Amazon).materialize(GraphScale::LargeScale, 30_000, 5);
+        Arc::new(RunContext::new(data, SystemConfig::new(kind)))
+    }
+
+    fn small_cfg(train: bool) -> PipelineConfig {
+        PipelineConfig {
+            workers: 3,
+            total_batches: 6,
+            batch_size: 32,
+            fanouts: Fanouts::new(vec![5, 4]),
+            queue_depth: 2,
+            train,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn trains_all_batches_and_accounts_time() {
+        let ctx = ctx(SystemKind::Dram);
+        let report = run_pipeline(&ctx, &small_cfg(true));
+        assert_eq!(report.batches, 6);
+        assert!(!report.makespan.is_zero());
+        assert!(report.breakdown.gnn_train > SimDuration::ZERO);
+        assert!(report.breakdown.feature_lookup > SimDuration::ZERO);
+        assert!(report.gpu_busy <= report.makespan);
+        assert!((0.0..=1.0).contains(&report.gpu_idle_frac));
+    }
+
+    #[test]
+    fn sampling_only_mode_skips_gpu() {
+        let ctx = ctx(SystemKind::SmartSageHwSw);
+        let report = run_pipeline(&ctx, &small_cfg(false));
+        assert_eq!(report.batches, 6);
+        assert!(report.gpu_busy.is_zero());
+        assert!(report.breakdown.gnn_train.is_zero());
+        assert!(report.sampling_throughput > 0.0);
+    }
+
+    #[test]
+    fn mmap_idles_the_gpu_more_than_dram() {
+        let dram = run_pipeline(&ctx(SystemKind::Dram), &small_cfg(true));
+        let mmap = run_pipeline(&ctx(SystemKind::SsdMmap), &small_cfg(true));
+        assert!(
+            mmap.gpu_idle_frac > dram.gpu_idle_frac,
+            "mmap idle {} should exceed dram idle {}",
+            mmap.gpu_idle_frac,
+            dram.gpu_idle_frac
+        );
+        assert!(mmap.makespan > dram.makespan);
+    }
+
+    #[test]
+    fn more_workers_do_not_slow_sampling_throughput() {
+        let ctx1 = ctx(SystemKind::SsdMmap);
+        let one = run_pipeline(
+            &ctx1,
+            &PipelineConfig {
+                workers: 1,
+                total_batches: 4,
+                batch_size: 32,
+                fanouts: Fanouts::new(vec![5, 4]),
+                train: false,
+                ..PipelineConfig::default()
+            },
+        );
+        let ctx4 = ctx(SystemKind::SsdMmap);
+        let four = run_pipeline(
+            &ctx4,
+            &PipelineConfig {
+                workers: 4,
+                total_batches: 8,
+                batch_size: 32,
+                fanouts: Fanouts::new(vec![5, 4]),
+                train: false,
+                ..PipelineConfig::default()
+            },
+        );
+        assert!(
+            four.sampling_throughput > one.sampling_throughput,
+            "4 workers {} <= 1 worker {}",
+            four.sampling_throughput,
+            one.sampling_throughput
+        );
+    }
+
+    #[test]
+    fn saint_walks_run_end_to_end() {
+        let ctx = ctx(SystemKind::SmartSageHwSw);
+        let mut cfg = small_cfg(false);
+        cfg.sampler = SamplerKind::SaintWalk { length: 3 };
+        let report = run_pipeline(&ctx, &cfg);
+        assert_eq!(report.batches, 6);
+    }
+}

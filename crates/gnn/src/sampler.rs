@@ -1,0 +1,416 @@
+//! GraphSAGE neighbor sampling (paper §II-B, Algorithm 1).
+//!
+//! Sampling is split into two phases so that *every* system backend
+//! replays exactly the same random choices:
+//!
+//! 1. [`plan_sample`] draws, for each edge-list access, the **positions**
+//!    of the sampled neighbors within the node's neighbor list, producing
+//!    a [`SamplePlan`]. The plan is the ground truth for both the
+//!    functional result and the storage access pattern (which blocks of
+//!    the edge-list array each backend must touch).
+//! 2. [`SamplePlan::resolve`] materializes the sampled neighbor IDs (the
+//!    subgraph) by reading the graph — host-side backends do this from
+//!    (simulated) host memory, the ISP does it inside the SSD; both get
+//!    byte-identical results because they share the plan.
+//!
+//! The paper's default configuration samples 25 neighbors at the first
+//! GNN layer and 10 at the second (§VI-F); mini-batch size is 1024 (§V).
+
+use smartsage_graph::{CsrGraph, NodeId};
+use smartsage_sim::Xoshiro256;
+
+/// Per-layer sampling fan-outs, outermost (target) layer first.
+///
+/// # Example
+///
+/// ```
+/// use smartsage_gnn::Fanouts;
+/// let f = Fanouts::paper_default();
+/// assert_eq!(f.as_slice(), &[25, 10]);
+/// assert_eq!(f.scaled(2.0).as_slice(), &[50, 20]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fanouts(Vec<usize>);
+
+impl Fanouts {
+    /// Creates fan-outs from a per-hop list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or any fan-out is zero.
+    pub fn new(fanouts: Vec<usize>) -> Self {
+        assert!(!fanouts.is_empty(), "need at least one hop");
+        assert!(fanouts.iter().all(|&f| f > 0), "fan-outs must be positive");
+        Fanouts(fanouts)
+    }
+
+    /// The paper's default: 25 neighbors at layer 1, 10 at layer 2.
+    pub fn paper_default() -> Self {
+        Fanouts(vec![25, 10])
+    }
+
+    /// The per-hop fan-outs.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of hops.
+    pub fn hops(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Fan-outs scaled by `factor` (minimum 1 each) — Fig 21's sweep.
+    pub fn scaled(&self, factor: f64) -> Fanouts {
+        Fanouts(
+            self.0
+                .iter()
+                .map(|&f| ((f as f64 * factor).round() as usize).max(1))
+                .collect(),
+        )
+    }
+
+    /// Total sampled nodes per target (s1 + s1*s2 + ...).
+    pub fn sampled_per_target(&self) -> u64 {
+        let mut total = 0u64;
+        let mut layer = 1u64;
+        for &f in &self.0 {
+            layer *= f as u64;
+            total += layer;
+        }
+        total
+    }
+}
+
+/// One edge-list access: the node whose neighbor list is read and the
+/// sampled positions within it. Empty positions mean the node had no
+/// neighbors (the resolver substitutes self-loops).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeListAccess {
+    /// The node whose edge list is read.
+    pub node: NodeId,
+    /// Sampled indices into the node's neighbor list (with replacement).
+    pub positions: Vec<u64>,
+}
+
+/// All edge-list accesses of one hop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopPlan {
+    /// Fan-out at this hop.
+    pub fanout: usize,
+    /// One access per parent node (in parent order).
+    pub accesses: Vec<EdgeListAccess>,
+}
+
+/// The complete sampling plan for one mini-batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamplePlan {
+    /// The mini-batch target nodes.
+    pub targets: Vec<NodeId>,
+    /// Hop plans, outermost first.
+    pub hops: Vec<HopPlan>,
+}
+
+impl SamplePlan {
+    /// Total number of edge-list accesses across hops.
+    pub fn num_accesses(&self) -> u64 {
+        self.hops.iter().map(|h| h.accesses.len() as u64).sum()
+    }
+
+    /// Total number of sampled neighbor IDs.
+    pub fn num_sampled(&self) -> u64 {
+        self.hops
+            .iter()
+            .map(|h| (h.accesses.len() * h.fanout) as u64)
+            .sum()
+    }
+
+    /// Materializes sampled neighbor IDs from the graph.
+    ///
+    /// Positions index into each node's neighbor list; nodes without
+    /// neighbors contribute self-loops. The result is deterministic given
+    /// the plan.
+    pub fn resolve(&self, graph: &CsrGraph) -> SampledBatch {
+        let mut hops = Vec::with_capacity(self.hops.len());
+        for hop in &self.hops {
+            let mut parents = Vec::with_capacity(hop.accesses.len());
+            let mut neighbors = Vec::with_capacity(hop.accesses.len() * hop.fanout);
+            for access in &hop.accesses {
+                parents.push(access.node);
+                if access.positions.is_empty() {
+                    // Isolated node: self-loops keep the tree shape.
+                    neighbors.extend(std::iter::repeat(access.node).take(hop.fanout));
+                } else {
+                    debug_assert_eq!(access.positions.len(), hop.fanout);
+                    for &pos in &access.positions {
+                        neighbors.push(graph.neighbor(access.node, pos));
+                    }
+                }
+            }
+            hops.push(HopSample {
+                fanout: hop.fanout,
+                parents,
+                neighbors,
+            });
+        }
+        SampledBatch {
+            targets: self.targets.clone(),
+            hops,
+        }
+    }
+}
+
+/// One resolved hop: each parent's `fanout` sampled neighbors,
+/// flattened in parent order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopSample {
+    /// Fan-out at this hop.
+    pub fanout: usize,
+    /// Parent nodes (hop k-1's neighbor list, or the targets for hop 0).
+    pub parents: Vec<NodeId>,
+    /// Sampled neighbors; `parents.len() * fanout` entries.
+    pub neighbors: Vec<NodeId>,
+}
+
+/// A resolved mini-batch subgraph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampledBatch {
+    /// The target nodes.
+    pub targets: Vec<NodeId>,
+    /// Resolved hops, outermost first.
+    pub hops: Vec<HopSample>,
+}
+
+impl SampledBatch {
+    /// All distinct nodes in the subgraph (targets + sampled), sorted.
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.targets.clone();
+        for hop in &self.hops {
+            nodes.extend_from_slice(&hop.neighbors);
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Total sampled-ID count (the payload the ISP ships back).
+    pub fn num_sampled(&self) -> u64 {
+        self.hops.iter().map(|h| h.neighbors.len() as u64).sum()
+    }
+
+    /// Size in bytes of the dense sampled-ID list (8 B per entry,
+    /// matching the edge-list entry width).
+    pub fn subgraph_bytes(&self) -> u64 {
+        self.num_sampled() * smartsage_graph::csr::NEIGHBOR_ENTRY_BYTES
+    }
+}
+
+/// Draws the sampling plan for one mini-batch (paper Algorithm 1,
+/// applied per hop).
+///
+/// Hop 0 reads each target's edge list and samples `fanouts[0]` positions
+/// with replacement; hop `k` does the same for every neighbor sampled at
+/// hop `k-1`.
+pub fn plan_sample(
+    graph: &CsrGraph,
+    targets: &[NodeId],
+    fanouts: &Fanouts,
+    rng: &mut Xoshiro256,
+) -> SamplePlan {
+    let mut hops = Vec::with_capacity(fanouts.hops());
+    let mut frontier: Vec<NodeId> = targets.to_vec();
+    for &fanout in fanouts.as_slice() {
+        let mut accesses = Vec::with_capacity(frontier.len());
+        let mut next_frontier = Vec::with_capacity(frontier.len() * fanout);
+        for &node in &frontier {
+            let degree = graph.degree(node);
+            let positions: Vec<u64> = if degree == 0 {
+                Vec::new()
+            } else {
+                (0..fanout).map(|_| rng.range_u64(degree)).collect()
+            };
+            if positions.is_empty() {
+                next_frontier.extend(std::iter::repeat(node).take(fanout));
+            } else {
+                for &p in &positions {
+                    next_frontier.push(graph.neighbor(node, p));
+                }
+            }
+            accesses.push(EdgeListAccess { node, positions });
+        }
+        hops.push(HopPlan { fanout, accesses });
+        frontier = next_frontier;
+    }
+    SamplePlan {
+        targets: targets.to_vec(),
+        hops,
+    }
+}
+
+/// Draws `batch_size` target nodes for step `step` of an epoch-long
+/// deterministic permutation (sampling without replacement across the
+/// epoch, as ML dataloaders do).
+pub fn epoch_targets(
+    num_nodes: usize,
+    batch_size: usize,
+    step: usize,
+    epoch_seed: u64,
+) -> Vec<NodeId> {
+    let mut rng = Xoshiro256::seed_from_u64(epoch_seed);
+    // A cheap full permutation would cost O(n) per call; instead use a
+    // random affine bijection over [0, n): x -> (a*x + b) mod n with
+    // gcd(a, n) = 1, which visits every node exactly once per epoch.
+    let n = num_nodes as u64;
+    let mut a = rng.range(1, n.max(2));
+    while gcd(a, n) != 1 {
+        a = rng.range(1, n.max(2));
+    }
+    let b = rng.range_u64(n.max(1));
+    let start = (step * batch_size) as u64;
+    (0..batch_size as u64)
+        .map(|i| {
+            let x = (start + i) % n;
+            let y = (a.wrapping_mul(x) + b) % n;
+            NodeId::new(y as u32)
+        })
+        .collect()
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartsage_graph::generate::{generate_power_law, PowerLawConfig};
+    use smartsage_graph::traversal::k_hop_neighborhood;
+
+    fn graph() -> CsrGraph {
+        generate_power_law(&PowerLawConfig {
+            nodes: 500,
+            avg_degree: 8.0,
+            seed: 77,
+            ..PowerLawConfig::default()
+        })
+    }
+
+    #[test]
+    fn fanout_arithmetic() {
+        let f = Fanouts::paper_default();
+        assert_eq!(f.hops(), 2);
+        assert_eq!(f.sampled_per_target(), 25 + 25 * 10);
+        assert_eq!(f.scaled(0.5).as_slice(), &[13, 5]);
+        assert_eq!(Fanouts::new(vec![3]).sampled_per_target(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_fanout_panics() {
+        Fanouts::new(vec![5, 0]);
+    }
+
+    #[test]
+    fn plan_counts_match_structure() {
+        let g = graph();
+        let targets: Vec<NodeId> = (0..16u32).map(NodeId::new).collect();
+        let f = Fanouts::new(vec![4, 3]);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let plan = plan_sample(&g, &targets, &f, &mut rng);
+        assert_eq!(plan.hops.len(), 2);
+        assert_eq!(plan.hops[0].accesses.len(), 16);
+        assert_eq!(plan.hops[1].accesses.len(), 16 * 4);
+        assert_eq!(plan.num_accesses(), 16 + 64);
+        assert_eq!(plan.num_sampled(), 16 * 4 + 64 * 3);
+    }
+
+    #[test]
+    fn resolve_is_deterministic_and_consistent() {
+        let g = graph();
+        let targets: Vec<NodeId> = (0..8u32).map(NodeId::new).collect();
+        let f = Fanouts::new(vec![5, 2]);
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let plan = plan_sample(&g, &targets, &f, &mut rng);
+        let a = plan.resolve(&g);
+        let b = plan.resolve(&g);
+        assert_eq!(a, b);
+        // Hop-1 parents are exactly hop-0's flattened neighbors.
+        assert_eq!(a.hops[1].parents, a.hops[0].neighbors);
+        assert_eq!(a.num_sampled(), plan.num_sampled());
+        assert_eq!(a.subgraph_bytes(), plan.num_sampled() * 8);
+    }
+
+    #[test]
+    fn sampled_nodes_are_real_neighbors() {
+        let g = graph();
+        let targets: Vec<NodeId> = (0..8u32).map(NodeId::new).collect();
+        let f = Fanouts::new(vec![4, 4]);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let batch = plan_sample(&g, &targets, &f, &mut rng).resolve(&g);
+        for hop in &batch.hops {
+            for (i, &parent) in hop.parents.iter().enumerate() {
+                let nbrs = g.neighbors(parent);
+                for k in 0..hop.fanout {
+                    let sampled = hop.neighbors[i * hop.fanout + k];
+                    assert!(
+                        nbrs.contains(&sampled) || (nbrs.is_empty() && sampled == parent),
+                        "{sampled} is not a neighbor of {parent}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subgraph_is_within_k_hops() {
+        let g = graph();
+        let targets: Vec<NodeId> = (0..4u32).map(NodeId::new).collect();
+        let f = Fanouts::new(vec![6, 6]);
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let batch = plan_sample(&g, &targets, &f, &mut rng).resolve(&g);
+        let hood = k_hop_neighborhood(&g, &targets, 2);
+        for n in batch.all_nodes() {
+            assert!(hood.contains(&n), "{n} escaped the 2-hop neighborhood");
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_self_loop() {
+        let g = CsrGraph::from_edges(3, [(0, 1)]); // node 2 isolated
+        let f = Fanouts::new(vec![3]);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let plan = plan_sample(&g, &[NodeId::new(2)], &f, &mut rng);
+        assert!(plan.hops[0].accesses[0].positions.is_empty());
+        let batch = plan.resolve(&g);
+        assert_eq!(batch.hops[0].neighbors, vec![NodeId::new(2); 3]);
+    }
+
+    #[test]
+    fn epoch_targets_form_a_permutation() {
+        let n = 97;
+        let bs = 10;
+        let mut seen: Vec<u32> = Vec::new();
+        for step in 0..((n + bs - 1) / bs) {
+            seen.extend(epoch_targets(n, bs, step, 42).iter().map(|t| t.raw()));
+        }
+        seen.truncate(n);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), n, "epoch must visit each node once");
+    }
+
+    #[test]
+    fn different_seeds_give_different_plans() {
+        let g = graph();
+        let targets: Vec<NodeId> = (0..8u32).map(NodeId::new).collect();
+        let f = Fanouts::paper_default();
+        let p1 = plan_sample(&g, &targets, &f, &mut Xoshiro256::seed_from_u64(1));
+        let p2 = plan_sample(&g, &targets, &f, &mut Xoshiro256::seed_from_u64(2));
+        assert_ne!(p1, p2);
+    }
+}

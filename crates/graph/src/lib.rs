@@ -1,0 +1,56 @@
+//! Graph substrate for the SmartSAGE reproduction.
+//!
+//! GraphSAGE training (paper §II) operates on two key data structures:
+//!
+//! * the **neighbor edge-list array** — the CSR adjacency of the input
+//!   graph, which dominates memory consumption and is the structure
+//!   SmartSAGE offloads to the SSD, and
+//! * the **feature table** — one dense feature vector per node, consumed by
+//!   the aggregation stage.
+//!
+//! This crate implements both, along with the machinery the paper uses to
+//! *obtain* large-scale graphs:
+//!
+//! * [`csr::CsrGraph`] — compressed-sparse-row adjacency with the exact
+//!   byte-level layout used by the simulated on-SSD graph file,
+//! * [`generate`] — power-law graph synthesis matched to each dataset's
+//!   published statistics,
+//! * [`kronecker`] — Kronecker fractal expansion (paper §V, ref [7]) used to
+//!   scale the in-memory datasets to "large-scale" variants while
+//!   preserving the degree distribution (Fig 13) and the densification
+//!   power law,
+//! * [`datasets`] — Table I profiles (Reddit, Movielens, Amazon,
+//!   OGBN-100M, Protein-PI) with both full-scale (analytic) and scaled
+//!   (materialized) instantiations,
+//! * [`features::FeatureTable`] — synthetic node features and labels,
+//! * [`degree`] — degree histograms and power-law exponent estimation used
+//!   to validate expansion quality.
+//!
+//! # Example
+//!
+//! ```
+//! use smartsage_graph::generate::{PowerLawConfig, generate_power_law};
+//!
+//! let cfg = PowerLawConfig {
+//!     nodes: 1_000,
+//!     avg_degree: 8.0,
+//!     exponent: 2.1,
+//!     seed: 42,
+//!     ..PowerLawConfig::default()
+//! };
+//! let g = generate_power_law(&cfg);
+//! assert_eq!(g.num_nodes(), 1_000);
+//! assert!(g.num_edges() > 0);
+//! ```
+
+pub mod csr;
+pub mod datasets;
+pub mod degree;
+pub mod features;
+pub mod generate;
+pub mod kronecker;
+pub mod traversal;
+
+pub use csr::{CsrGraph, NodeId};
+pub use datasets::{Dataset, DatasetProfile, GraphScale};
+pub use features::FeatureTable;

@@ -1,0 +1,43 @@
+//! Host I/O software-stack models for the SmartSAGE reproduction.
+//!
+//! The paper's software contribution is a *latency-optimized* host stack:
+//! it observes that the OS page cache — the locality machinery behind
+//! `mmap` — costs tens of microseconds per miss in kernel overheads while
+//! providing little locality benefit for neighbor sampling, and replaces
+//! it with direct I/O into a user-space scratchpad plus NVMe command
+//! coalescing (paper §IV-C, Fig 12).
+//!
+//! This crate models both paths:
+//!
+//! * [`layout::GraphFile`] — the on-SSD byte layout of the neighbor
+//!   edge-list array (and feature table), mapping nodes to logical block
+//!   addresses.
+//! * [`lru::LruSet`] — the generic exact-LRU used by both caches.
+//! * [`page_cache::PageCache`] — the OS page cache: 4 KiB pages, page
+//!   faults with kernel-crossing costs, minor-hit costs.
+//! * [`mmap::MmapReader`] — the baseline `SSD (mmap)` read path.
+//! * [`direct_io::DirectIoReader`] — SmartSAGE(SW)'s `O_DIRECT` path with
+//!   a user-space scratchpad buffer.
+//! * [`coalesce`] — NVMe command coalescing cost model (Fig 15).
+//! * [`locality`] — Che's approximation for LRU hit rates at *full-scale*
+//!   capacities. Scaled-down materializations would otherwise overstate
+//!   locality (a thousand-node graph fits in any cache); experiments
+//!   instead impose the hit probability the cache would achieve at the
+//!   dataset's true size.
+
+pub mod coalesce;
+pub mod direct_io;
+pub mod layout;
+pub mod locality;
+pub mod lru;
+pub mod mmap;
+pub mod page_cache;
+pub mod params;
+
+pub use direct_io::DirectIoReader;
+pub use layout::{ByteRange, GraphFile};
+pub use locality::lru_hit_rate;
+pub use lru::LruSet;
+pub use mmap::MmapReader;
+pub use page_cache::PageCache;
+pub use params::HostIoParams;

@@ -1,0 +1,224 @@
+//! Generic exact-LRU membership cache.
+//!
+//! Both host-side caches (the OS page cache and the direct-I/O
+//! scratchpad) are key-only LRU sets: the simulator needs residency and
+//! eviction order, not payloads. O(1) access/insert via a hash map over
+//! an intrusive doubly-linked list of slots.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+/// An exact-LRU set of keys with bounded capacity.
+///
+/// # Example
+///
+/// ```
+/// use smartsage_hostio::LruSet;
+/// let mut lru = LruSet::new(2);
+/// lru.insert(1u64);
+/// lru.insert(2);
+/// assert!(lru.touch(&1)); // 1 becomes MRU, 2 is now LRU
+/// assert_eq!(lru.insert(3), Some(2));
+/// assert!(lru.contains(&1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruSet<K> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    keys: Vec<K>,
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    head: usize,
+    tail: usize,
+    free: Vec<usize>,
+}
+
+impl<K: Hash + Eq + Copy> LruSet<K> {
+    /// Creates a set holding at most `capacity` keys. Zero capacity is
+    /// legal (nothing is ever retained).
+    pub fn new(capacity: usize) -> Self {
+        LruSet {
+            capacity,
+            map: HashMap::new(),
+            keys: Vec::new(),
+            prev: Vec::new(),
+            next: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+        }
+    }
+
+    /// Maximum number of resident keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of resident keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Returns `true` and promotes `key` to MRU if resident.
+    pub fn touch(&mut self, key: &K) -> bool {
+        if let Some(&slot) = self.map.get(key) {
+            self.unlink(slot);
+            self.push_front(slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Residency check without recency side effects.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts `key` as MRU; returns the evicted LRU key when full.
+    /// Re-inserting a resident key only promotes it.
+    pub fn insert(&mut self, key: K) -> Option<K> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if self.touch(&key) {
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            let victim = self.keys[lru];
+            self.unlink(lru);
+            self.map.remove(&victim);
+            self.free.push(lru);
+            evicted = Some(victim);
+        }
+        let slot = if let Some(s) = self.free.pop() {
+            self.keys[s] = key;
+            s
+        } else {
+            self.keys.push(key);
+            self.prev.push(NIL);
+            self.next.push(NIL);
+            self.keys.len() - 1
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        evicted
+    }
+
+    /// Clears all entries, keeping capacity.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.keys.clear();
+        self.prev.clear();
+        self.next.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let p = self.prev[slot];
+        let n = self.next[slot];
+        if p != NIL {
+            self.next[p] = n;
+        } else if self.head == slot {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        } else if self.tail == slot {
+            self.tail = p;
+        }
+        self.prev[slot] = NIL;
+        self.next[slot] = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.prev[slot] = NIL;
+        self.next[slot] = self.head;
+        if self.head != NIL {
+            self.prev[self.head] = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_follows_recency() {
+        let mut l = LruSet::new(3);
+        l.insert('a');
+        l.insert('b');
+        l.insert('c');
+        assert!(l.touch(&'a'));
+        assert_eq!(l.insert('d'), Some('b'));
+        assert!(l.contains(&'a') && l.contains(&'c') && l.contains(&'d'));
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut l = LruSet::new(5);
+        for i in 0..100u32 {
+            l.insert(i);
+            assert!(l.len() <= 5);
+        }
+        for i in 95..100u32 {
+            assert!(l.contains(&i));
+        }
+    }
+
+    #[test]
+    fn zero_capacity_retains_nothing() {
+        let mut l = LruSet::new(0);
+        assert_eq!(l.insert(1u8), None);
+        assert!(!l.contains(&1));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn reinsert_promotes() {
+        let mut l = LruSet::new(2);
+        l.insert(1u8);
+        l.insert(2);
+        l.insert(1); // promote, not duplicate
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.insert(3), Some(2));
+    }
+
+    #[test]
+    fn clear_then_reuse() {
+        let mut l = LruSet::new(2);
+        l.insert(1u8);
+        l.clear();
+        assert!(l.is_empty());
+        l.insert(2);
+        assert!(l.contains(&2));
+        assert_eq!(l.capacity(), 2);
+    }
+
+    #[test]
+    fn slot_recycling_is_sound() {
+        // Interleave insert/evict heavily to exercise the free list.
+        let mut l = LruSet::new(4);
+        for i in 0..1000u32 {
+            l.insert(i % 16);
+            assert!(l.len() <= 4);
+        }
+    }
+}

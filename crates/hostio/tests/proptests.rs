@@ -1,0 +1,80 @@
+//! Property tests for the host I/O stack: cache conservation, coalescing
+//! arithmetic, and the Che-approximation's analytic guarantees.
+
+use proptest::prelude::*;
+use smartsage_hostio::coalesce::CoalescingPlan;
+use smartsage_hostio::locality::{lru_hit_rate, PopularityBucket};
+use smartsage_hostio::page_cache::PageCache;
+use smartsage_hostio::{HostIoParams, LruSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn page_cache_accounting_is_conserved(
+        capacity_pages in 0u64..64,
+        accesses in proptest::collection::vec(0u64..200, 1..300),
+    ) {
+        let params = HostIoParams::default();
+        let mut cache = PageCache::new(capacity_pages * params.os_page_bytes, &params);
+        for &page in &accesses {
+            cache.access_page(page);
+            prop_assert!(cache.resident_pages() as u64 <= capacity_pages);
+        }
+        prop_assert_eq!(cache.hits() + cache.faults(), accesses.len() as u64);
+        if capacity_pages == 0 {
+            prop_assert_eq!(cache.hits(), 0);
+        }
+    }
+
+    #[test]
+    fn lru_touch_insert_agree(
+        capacity in 1usize..32,
+        keys in proptest::collection::vec(0u32..64, 1..200),
+    ) {
+        let mut lru = LruSet::new(capacity);
+        for &k in &keys {
+            let was_resident = lru.contains(&k);
+            prop_assert_eq!(lru.touch(&k), was_resident);
+            lru.insert(k);
+            prop_assert!(lru.contains(&k), "inserted key must be resident");
+        }
+    }
+
+    #[test]
+    fn coalescing_conserves_targets(
+        batch in 1u32..2048,
+        granularity in 1u32..2048,
+    ) {
+        let plan = CoalescingPlan::new(batch, granularity);
+        let total: u32 = (0..plan.commands).map(|i| plan.targets_of(i)).sum();
+        prop_assert_eq!(total, batch);
+        for i in 0..plan.commands {
+            prop_assert!(plan.targets_of(i) <= granularity);
+            prop_assert!(plan.targets_of(i) > 0);
+        }
+    }
+
+    #[test]
+    fn che_hit_rate_is_a_monotone_probability(
+        objects in 100.0f64..100_000.0,
+        weight_hot in 1.0f64..50.0,
+        bytes in 64.0f64..8192.0,
+    ) {
+        let buckets = vec![
+            PopularityBucket { objects: objects * 0.1, weight: weight_hot, bytes_per_object: bytes },
+            PopularityBucket { objects: objects * 0.9, weight: 1.0, bytes_per_object: bytes },
+        ];
+        let total_bytes = objects * bytes;
+        let mut prev = 0.0;
+        for frac in [0.0, 0.1, 0.3, 0.6, 1.0] {
+            // Round capacity up so "full coverage" is not truncated one
+            // byte short of the population.
+            let hr = lru_hit_rate(&buckets, (total_bytes * frac).ceil() as u64);
+            prop_assert!((0.0..=1.0).contains(&hr), "hit rate {hr}");
+            prop_assert!(hr + 1e-9 >= prev, "not monotone at {frac}");
+            prev = hr;
+        }
+        prop_assert!((prev - 1.0).abs() < 1e-9, "full coverage must hit 1.0");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the simulation substrate: server capacity, link
+//! conservation, event-queue ordering, and RNG uniformity.
+
+use proptest::prelude::*;
+use smartsage_sim::{EventQueue, Link, Server, SimDuration, SimTime, Xoshiro256};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn server_never_overlaps_more_than_capacity(
+        capacity in 1usize..6,
+        jobs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..80),
+    ) {
+        let mut server = Server::new(capacity);
+        let mut jobs = jobs;
+        jobs.sort_by_key(|&(at, _)| at);
+        let mut intervals: Vec<(SimTime, SimTime)> = Vec::new();
+        for (at, service) in jobs {
+            let at = SimTime::ZERO + SimDuration::from_micros(at);
+            let service = SimDuration::from_micros(service);
+            let (start, end) = server.schedule(at, service);
+            prop_assert!(start >= at, "start before arrival");
+            prop_assert_eq!(end, start + service);
+            intervals.push((start, end));
+        }
+        // No instant may have more than `capacity` overlapping jobs.
+        for &(s, _) in &intervals {
+            let overlapping = intervals
+                .iter()
+                .filter(|&&(s2, e2)| s2 <= s && s < e2)
+                .count();
+            prop_assert!(
+                overlapping <= capacity,
+                "{overlapping} concurrent jobs at {s} with capacity {capacity}"
+            );
+        }
+    }
+
+    #[test]
+    fn link_reservations_never_overlap(
+        transfers in proptest::collection::vec((0u64..5_000, 1u64..100_000), 1..60),
+    ) {
+        let mut link = Link::new(1_000_000_000, SimDuration::ZERO);
+        let mut transfers = transfers;
+        transfers.sort_by_key(|&(at, _)| at);
+        let mut intervals: Vec<(SimTime, SimTime)> = Vec::new();
+        let mut total = 0u64;
+        for (at, bytes) in transfers {
+            let at = SimTime::ZERO + SimDuration::from_micros(at);
+            let done = link.transfer(at, bytes);
+            let occ = link.occupancy(bytes);
+            let start = done - occ;
+            prop_assert!(start >= at);
+            intervals.push((start, done));
+            total += bytes;
+        }
+        prop_assert_eq!(link.bytes_moved(), total);
+        // Pairwise exclusivity of wire occupancy.
+        intervals.sort();
+        for pair in intervals.windows(2) {
+            prop_assert!(
+                pair[0].1 <= pair[1].0,
+                "wire intervals overlap: {:?} then {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(
+        times in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::ZERO + SimDuration::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last, "events out of order");
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn rng_range_is_always_in_bounds(
+        seed in any::<u64>(),
+        bound in 1u64..1_000_000,
+        draws in 1usize..200,
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for _ in 0..draws {
+            prop_assert!(rng.range_u64(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn derived_streams_are_reproducible(
+        seed in any::<u64>(),
+        stream in any::<u64>(),
+    ) {
+        let root = Xoshiro256::seed_from_u64(seed);
+        let mut a = root.derive(stream);
+        let mut b = root.derive(stream);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Design-space exploration: sweep the knobs the paper holds fixed and
+//! see how SmartSAGE's advantage moves.
+//!
+//! Three sweeps on a Movielens-like large-scale graph:
+//!
+//! 1. **Embedded-core count** — how much ISP compute does the CSD need
+//!    before flash bandwidth becomes the binding constraint?
+//! 2. **Flash channels** — the internal-bandwidth lever the ISP taps.
+//! 3. **SSD page-buffer size** — how sensitive is in-storage sampling to
+//!    device DRAM?
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use smartsage::core::config::{SystemConfig, SystemKind};
+use smartsage::core::context::RunContext;
+use smartsage::core::pipeline::{run_pipeline, PipelineConfig, SamplerKind};
+use smartsage::gnn::Fanouts;
+use smartsage::graph::{Dataset, DatasetProfile, GraphScale};
+use std::sync::Arc;
+
+fn sampling_throughput(mut cfg: SystemConfig, workers: usize) -> f64 {
+    let data =
+        DatasetProfile::of(Dataset::Movielens).materialize(GraphScale::LargeScale, 150_000, 9);
+    cfg.kind = SystemKind::SmartSageHwSw;
+    let ctx = Arc::new(RunContext::new(data, cfg));
+    let report = run_pipeline(
+        &ctx,
+        &PipelineConfig {
+            workers,
+            total_batches: 2 * workers,
+            batch_size: 64,
+            fanouts: Fanouts::paper_default(),
+            queue_depth: 4,
+            hidden_dim: 256,
+            classes: 16,
+            seed: 5,
+            sampler: SamplerKind::GraphSage,
+            train: false,
+        },
+    );
+    report.sampling_throughput
+}
+
+fn main() {
+    println!("== Ablation 1: embedded-core count (12 workers) ==");
+    for cores in [1usize, 2, 4, 8] {
+        let mut cfg = SystemConfig::new(SystemKind::SmartSageHwSw);
+        cfg.devices.ssd.cores.cores = cores;
+        let thr = sampling_throughput(cfg, 12);
+        println!("  {cores} cores: {thr:>8.1} batches/s");
+    }
+
+    println!("\n== Ablation 2: flash channels (12 workers) ==");
+    for channels in [4usize, 8, 16, 32] {
+        let mut cfg = SystemConfig::new(SystemKind::SmartSageHwSw);
+        cfg.devices.ssd.flash.channels = channels;
+        cfg.devices.ssd.ftl.channels = channels as u64;
+        let thr = sampling_throughput(cfg, 12);
+        println!("  {channels} channels: {thr:>8.1} batches/s");
+    }
+
+    println!("\n== Ablation 3: SSD page-buffer capacity (single worker) ==");
+    for gib in [0u64, 1, 2, 8, 32] {
+        let mut cfg = SystemConfig::new(SystemKind::SmartSageHwSw);
+        cfg.devices.ssd_buffer_bytes = gib * 1024 * 1024 * 1024;
+        let thr = sampling_throughput(cfg, 1);
+        println!("  {gib:>2} GiB buffer: {thr:>8.1} batches/s");
+    }
+
+    println!("\n== Ablation 4: ISP flash queue depth (single worker) ==");
+    for depth in [1usize, 2, 4, 8, 16, 32] {
+        let mut cfg = SystemConfig::new(SystemKind::SmartSageHwSw);
+        cfg.devices.isp_queue_depth = depth;
+        let thr = sampling_throughput(cfg, 1);
+        println!("  depth {depth:>2}: {thr:>8.1} batches/s");
+    }
+}

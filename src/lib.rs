@@ -1,0 +1,46 @@
+//! # SmartSAGE (reproduction)
+//!
+//! Facade crate for the reproduction of *SmartSAGE: Training Large-scale
+//! Graph Neural Networks using In-Storage Processing Architectures*
+//! (Lee, Chung, Rhu — ISCA 2022). It re-exports every workspace crate under
+//! one roof so applications can depend on a single crate:
+//!
+//! * [`sim`] — virtual time, deterministic RNG, event queues, resources.
+//! * [`graph`] — CSR graphs, power-law generation, Kronecker expansion,
+//!   Table I dataset profiles, feature tables.
+//! * [`storage`] — NVMe SSD (flash, FTL, page buffer, embedded cores),
+//!   DRAM and PMEM device models.
+//! * [`hostio`] — OS page cache / mmap, direct I/O, command coalescing,
+//!   and the on-SSD graph file layout.
+//! * [`memsim`] — LLC simulation and DRAM bandwidth accounting used by the
+//!   paper's characterization (Fig 5).
+//! * [`gnn`] — GraphSAGE/GraphSAINT samplers, dense layers, the functional
+//!   trainer and the GPU timing model.
+//! * [`core`] — the SmartSAGE system itself: NSconfig, the ISP firmware
+//!   model, the seven system backends, the producer/consumer pipeline
+//!   simulator, and one experiment driver per paper table/figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use smartsage::core::config::{SystemConfig, SystemKind};
+//! use smartsage::core::experiments::ExperimentScale;
+//! use smartsage::graph::{Dataset, DatasetProfile, GraphScale};
+//!
+//! // Materialize a scaled Reddit-like large-scale graph...
+//! let data = DatasetProfile::of(Dataset::Reddit)
+//!     .materialize(GraphScale::LargeScale, 100_000, 42);
+//! assert!(data.graph.num_edges() > 0);
+//! // ...and name the systems the paper compares.
+//! let cfg = SystemConfig::new(SystemKind::SmartSageHwSw);
+//! assert_eq!(cfg.kind, SystemKind::SmartSageHwSw);
+//! let _ = ExperimentScale::default();
+//! ```
+
+pub use smartsage_core as core;
+pub use smartsage_gnn as gnn;
+pub use smartsage_graph as graph;
+pub use smartsage_hostio as hostio;
+pub use smartsage_memsim as memsim;
+pub use smartsage_sim as sim;
+pub use smartsage_storage as storage;

@@ -1,0 +1,179 @@
+//! Integration: the functional training loop composes with every
+//! storage backend — subgraphs produced by the system simulators feed
+//! the real GraphSAGE model, and learning happens regardless of which
+//! design point produced the data (the paper's systems change *where*
+//! sampling runs, never *what* it computes).
+
+use smartsage::core::backend::{make_backend, StepOutcome};
+use smartsage::core::config::{SystemConfig, SystemKind};
+use smartsage::core::context::{Devices, RunContext};
+use smartsage::gnn::model::{GraphSageModel, ModelDims};
+use smartsage::gnn::sampler::plan_sample;
+use smartsage::gnn::Fanouts;
+use smartsage::graph::datasets::DEFAULT_NUM_CLASSES;
+use smartsage::graph::generate::{generate_power_law, PowerLawConfig};
+use smartsage::graph::{Dataset, DatasetProfile, FeatureTable, GraphScale, NodeId};
+use smartsage::sim::{SimTime, Xoshiro256};
+use std::sync::Arc;
+
+/// Samples one batch through a system backend and returns the subgraph.
+fn sample_via(
+    kind: SystemKind,
+    ctx: &Arc<RunContext>,
+    targets: &[NodeId],
+    seed: u64,
+) -> smartsage::gnn::SampledBatch {
+    let mut devices = Devices::new(&ctx.config);
+    let mut backend = make_backend(ctx, 1);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let plan = plan_sample(ctx.graph(), targets, &Fanouts::new(vec![5, 3]), &mut rng);
+    backend.begin(0, SimTime::ZERO, plan);
+    let mut now = SimTime::ZERO;
+    loop {
+        match backend.step(0, &mut devices, now) {
+            StepOutcome::Running { next } => now = next.max(now),
+            StepOutcome::Finished => break,
+        }
+    }
+    let result = backend.take_result(0);
+    assert_eq!(result.batch.targets, targets, "{kind}: targets preserved");
+    result.batch
+}
+
+#[test]
+fn training_on_isp_produced_subgraphs_reduces_loss() {
+    // Subgraphs are generated inside the simulated SSD; the model trains
+    // on them exactly as it would on host-sampled ones.
+    let data = DatasetProfile::of(Dataset::Amazon).materialize(GraphScale::LargeScale, 30_000, 1);
+    let ctx = Arc::new(RunContext::new(
+        data,
+        SystemConfig::new(SystemKind::SmartSageHwSw),
+    ));
+    // Use a small feature table for the functional model.
+    let table = FeatureTable::new(12, DEFAULT_NUM_CLASSES, 3);
+    let mut rng = Xoshiro256::seed_from_u64(2);
+    let mut model = GraphSageModel::new(
+        ModelDims {
+            features: 12,
+            hidden1: 16,
+            hidden2: 16,
+            classes: DEFAULT_NUM_CLASSES,
+        },
+        &mut rng,
+    );
+    let targets: Vec<NodeId> = (0..64u32).map(NodeId::new).collect();
+    let mut first_loss = None;
+    let mut last_loss = 0.0;
+    for step in 0..60 {
+        let batch = sample_via(SystemKind::SmartSageHwSw, &ctx, &targets, 100 + step);
+        let (x0, x1, x2) = model.gather_features(&batch, &table);
+        let cache = model.forward(&batch, x0, x1, x2);
+        let labels: Vec<usize> = batch.targets.iter().map(|&t| table.label(t)).collect();
+        let (loss, grads) = model.loss_and_gradients(&cache, &labels);
+        model.apply_gradients(&grads, 0.4);
+        first_loss.get_or_insert(loss);
+        last_loss = loss;
+    }
+    let first = first_loss.expect("at least one step");
+    assert!(
+        last_loss < first * 0.6,
+        "loss should fall training on ISP subgraphs: {first} -> {last_loss}"
+    );
+}
+
+#[test]
+fn every_system_trains_to_the_same_loss_trajectory() {
+    // Because all backends replay the same plan, training is
+    // *numerically identical* across them — storage placement cannot
+    // change learning outcomes.
+    let mut reference: Option<Vec<f32>> = None;
+    for kind in [
+        SystemKind::Dram,
+        SystemKind::SsdMmap,
+        SystemKind::SmartSageHwSw,
+        SystemKind::FpgaCsd,
+    ] {
+        let data =
+            DatasetProfile::of(Dataset::ProteinPi).materialize(GraphScale::LargeScale, 25_000, 4);
+        let ctx = Arc::new(RunContext::new(data, SystemConfig::new(kind)));
+        let table = FeatureTable::new(8, DEFAULT_NUM_CLASSES, 5);
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let mut model = GraphSageModel::new(
+            ModelDims {
+                features: 8,
+                hidden1: 8,
+                hidden2: 8,
+                classes: DEFAULT_NUM_CLASSES,
+            },
+            &mut rng,
+        );
+        let targets: Vec<NodeId> = (0..32u32).map(NodeId::new).collect();
+        let mut losses = Vec::new();
+        for step in 0..5 {
+            let batch = sample_via(kind, &ctx, &targets, 50 + step);
+            let (x0, x1, x2) = model.gather_features(&batch, &table);
+            let cache = model.forward(&batch, x0, x1, x2);
+            let labels: Vec<usize> = batch.targets.iter().map(|&t| table.label(t)).collect();
+            let (loss, grads) = model.loss_and_gradients(&cache, &labels);
+            model.apply_gradients(&grads, 0.2);
+            losses.push(loss);
+        }
+        match &reference {
+            None => reference = Some(losses),
+            Some(want) => assert_eq!(&losses, want, "{kind} diverged from reference"),
+        }
+    }
+}
+
+#[test]
+fn exact_mode_small_graph_runs_without_analytic_locality() {
+    // When the materialized graph IS the whole dataset, the exact LRU
+    // caches drive locality (RunContext::new_exact).
+    let graph = generate_power_law(&PowerLawConfig {
+        nodes: 500,
+        avg_degree: 8.0,
+        seed: 9,
+        ..PowerLawConfig::default()
+    });
+    let data = smartsage::graph::datasets::MaterializedDataset {
+        profile: DatasetProfile::of(Dataset::Reddit),
+        scale: GraphScale::InMemory,
+        graph,
+        features: FeatureTable::new(8, 4, 0),
+    };
+    let ctx = Arc::new(RunContext::new_exact(
+        data,
+        SystemConfig::new(SystemKind::SsdMmap),
+    ));
+    assert!(ctx.locality.is_none());
+    let targets: Vec<NodeId> = (0..16u32).map(NodeId::new).collect();
+    let batch = sample_via(SystemKind::SsdMmap, &ctx, &targets, 1);
+    assert_eq!(batch.targets.len(), 16);
+    // Repeat sampling warms the exact caches: the second pass with the
+    // same plan must not be slower.
+    let mut devices = Devices::new(&ctx.config);
+    let mut backend = make_backend(&ctx, 1);
+    let mut rng = Xoshiro256::seed_from_u64(1);
+    let plan = plan_sample(ctx.graph(), &targets, &Fanouts::new(vec![5, 3]), &mut rng);
+    let run = |backend: &mut Box<dyn smartsage::core::backend::SamplingBackend>,
+               devices: &mut Devices,
+               at: SimTime,
+               plan: smartsage::gnn::SamplePlan| {
+        backend.begin(0, at, plan);
+        let mut now = at;
+        loop {
+            match backend.step(0, devices, now) {
+                StepOutcome::Running { next } => now = next.max(now),
+                StepOutcome::Finished => return backend.take_result(0),
+            }
+        }
+    };
+    let cold = run(&mut backend, &mut devices, SimTime::ZERO, plan.clone());
+    let warm = run(&mut backend, &mut devices, cold.done, plan);
+    assert!(
+        warm.sampling_time <= cold.sampling_time,
+        "warm pass {} should not exceed cold pass {}",
+        warm.sampling_time,
+        cold.sampling_time
+    );
+}

@@ -1,0 +1,188 @@
+//! Integration: conservation and ordering invariants of the
+//! producer/consumer pipeline simulator across system backends.
+
+use smartsage::core::config::{SystemConfig, SystemKind};
+use smartsage::core::context::RunContext;
+use smartsage::core::pipeline::{run_pipeline, PipelineConfig, PipelineReport, SamplerKind};
+use smartsage::gnn::Fanouts;
+use smartsage::graph::{Dataset, DatasetProfile, GraphScale};
+use smartsage::sim::SimDuration;
+use std::sync::Arc;
+
+fn run(kind: SystemKind, workers: usize, train: bool, seed: u64) -> PipelineReport {
+    let data = DatasetProfile::of(Dataset::Amazon).materialize(GraphScale::LargeScale, 30_000, 8);
+    let ctx = Arc::new(RunContext::new(data, SystemConfig::new(kind)));
+    run_pipeline(
+        &ctx,
+        &PipelineConfig {
+            workers,
+            total_batches: 8,
+            batch_size: 24,
+            fanouts: Fanouts::new(vec![5, 4]),
+            queue_depth: 3,
+            hidden_dim: 64,
+            classes: 16,
+            seed,
+            sampler: SamplerKind::GraphSage,
+            train,
+        },
+    )
+}
+
+#[test]
+fn all_batches_are_consumed_on_every_system() {
+    for kind in SystemKind::ALL {
+        let report = run(kind, 3, true, 1);
+        assert_eq!(report.batches, 8, "{kind} lost batches");
+        assert!(!report.makespan.is_zero(), "{kind} zero makespan");
+    }
+}
+
+#[test]
+fn gpu_accounting_is_conserved() {
+    for kind in [SystemKind::Dram, SystemKind::SsdMmap, SystemKind::SmartSageHwSw] {
+        let report = run(kind, 3, true, 2);
+        assert!(
+            report.gpu_busy <= report.makespan,
+            "{kind}: GPU busy {} exceeds makespan {}",
+            report.gpu_busy,
+            report.makespan
+        );
+        assert!((0.0..=1.0).contains(&report.gpu_idle_frac), "{kind}");
+        // Transfer + train stage totals equal GPU busy time.
+        let gpu_stage = report.breakdown.cpu_to_gpu + report.breakdown.gnn_train;
+        let diff = if gpu_stage > report.gpu_busy {
+            gpu_stage - report.gpu_busy
+        } else {
+            report.gpu_busy - gpu_stage
+        };
+        assert!(
+            diff < SimDuration::from_micros(1),
+            "{kind}: stage sum {gpu_stage} vs busy {}",
+            report.gpu_busy
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let a = run(SystemKind::SmartSageHwSw, 3, true, 42);
+    let b = run(SystemKind::SmartSageHwSw, 3, true, 42);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.transfers, b.transfers);
+    let c = run(SystemKind::SmartSageHwSw, 3, true, 43);
+    assert_ne!(a.makespan, c.makespan, "different seed should differ");
+}
+
+#[test]
+fn end_to_end_ordering_matches_the_paper() {
+    // Fig 18's ordering: DRAM fastest, then PMEM, oracle, HW/SW, SW,
+    // mmap slowest.
+    let systems = [
+        SystemKind::Dram,
+        SystemKind::Pmem,
+        SystemKind::SmartSageOracle,
+        SystemKind::SmartSageHwSw,
+        SystemKind::SmartSageSw,
+        SystemKind::SsdMmap,
+    ];
+    let times: Vec<(SystemKind, SimDuration)> = systems
+        .iter()
+        .map(|&k| (k, run(k, 3, true, 5).makespan))
+        .collect();
+    for pair in times.windows(2) {
+        assert!(
+            pair[0].1 <= pair[1].1,
+            "{} ({}) should be <= {} ({})",
+            pair[0].0,
+            pair[0].1,
+            pair[1].0,
+            pair[1].1
+        );
+    }
+}
+
+#[test]
+fn sampling_only_mode_runs_faster_than_training() {
+    let with_gpu = run(SystemKind::SmartSageHwSw, 3, true, 6);
+    let sampling = run(SystemKind::SmartSageHwSw, 3, false, 6);
+    assert!(sampling.gpu_busy.is_zero());
+    assert!(sampling.makespan <= with_gpu.makespan);
+}
+
+#[test]
+fn bounded_queue_blocks_producers_not_correctness() {
+    // A depth-1 queue forces producer stalls; everything still completes
+    // and the makespan can only grow.
+    let data = DatasetProfile::of(Dataset::Amazon).materialize(GraphScale::LargeScale, 30_000, 8);
+    let mk = |depth: usize| {
+        let ctx = Arc::new(RunContext::new(
+            data.clone(),
+            SystemConfig::new(SystemKind::Dram),
+        ));
+        run_pipeline(
+            &ctx,
+            &PipelineConfig {
+                workers: 4,
+                total_batches: 12,
+                batch_size: 24,
+                fanouts: Fanouts::new(vec![5, 4]),
+                queue_depth: depth,
+                hidden_dim: 64,
+                classes: 16,
+                seed: 9,
+                sampler: SamplerKind::GraphSage,
+                train: true,
+            },
+        )
+    };
+    let narrow = mk(1);
+    let wide = mk(8);
+    assert_eq!(narrow.batches, 12);
+    assert_eq!(wide.batches, 12);
+    assert!(
+        narrow.makespan >= wide.makespan,
+        "narrow queue {} should not beat wide queue {}",
+        narrow.makespan,
+        wide.makespan
+    );
+}
+
+#[test]
+fn saint_walks_complete_on_ssd_systems() {
+    let data = DatasetProfile::of(Dataset::Reddit).materialize(GraphScale::LargeScale, 30_000, 8);
+    let ctx = Arc::new(RunContext::new(
+        data,
+        SystemConfig::new(SystemKind::SmartSageHwSw),
+    ));
+    let report = run_pipeline(
+        &ctx,
+        &PipelineConfig {
+            workers: 2,
+            total_batches: 4,
+            batch_size: 32,
+            fanouts: Fanouts::paper_default(),
+            queue_depth: 2,
+            hidden_dim: 64,
+            classes: 16,
+            seed: 3,
+            sampler: SamplerKind::SaintWalk { length: 4 },
+            train: true,
+        },
+    );
+    assert_eq!(report.batches, 4);
+    assert!(report.transfers.ssd_to_host_bytes > 0);
+}
+
+#[test]
+fn transfer_accounting_is_consistent() {
+    let mmap = run(SystemKind::SsdMmap, 2, false, 11);
+    let isp = run(SystemKind::SmartSageHwSw, 2, false, 11);
+    // Useful bytes identical (same subgraphs), moved bytes wildly different.
+    assert_eq!(mmap.transfers.useful_bytes, isp.transfers.useful_bytes);
+    assert!(mmap.transfers.ssd_to_host_bytes > isp.transfers.ssd_to_host_bytes);
+    assert_eq!(mmap.transfers.host_to_ssd_bytes, 0);
+    assert!(isp.transfers.host_to_ssd_bytes > 0, "NSconfig bytes");
+    // ISP moves exactly the dense subgraph.
+    assert_eq!(isp.transfers.ssd_to_host_bytes, isp.transfers.useful_bytes);
+}
