@@ -3,17 +3,18 @@
 //! locality solver behind the full-scale cache model.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use smartsage_core::experiments::{fig5, ExperimentScale};
+use smartsage_core::experiments::{Experiment, ExperimentScale};
 use smartsage_hostio::locality::{degree_buckets, lru_hit_rate};
 use smartsage_memsim::{CacheParams, SetAssocCache};
 use smartsage_sim::Xoshiro256;
 
-/// The full Fig 5 driver at a tiny scale.
+/// The full Fig 5 driver (resolved via the registry) at a tiny scale.
 fn fig5_driver(c: &mut Criterion) {
+    let fig5 = Experiment::find("fig5").expect("fig5 is registered");
     let mut group = c.benchmark_group("fig5_characterization");
     group.sample_size(10);
     group.bench_function("all_datasets_tiny", |b| {
-        b.iter(|| fig5(&ExperimentScale::tiny()));
+        b.iter(|| fig5.run(&ExperimentScale::tiny()));
     });
     group.finish();
 }
@@ -46,15 +47,16 @@ fn llc_simulation(c: &mut Criterion) {
 
 /// Che-approximation solve time over degree-bucket populations.
 fn che_locality_solver(c: &mut Criterion) {
-    let graph = smartsage_graph::generate::generate_power_law(
-        &smartsage_graph::generate::PowerLawConfig {
+    let graph =
+        smartsage_graph::generate::generate_power_law(&smartsage_graph::generate::PowerLawConfig {
             nodes: 10_000,
             avg_degree: 16.0,
             seed: 5,
             ..smartsage_graph::generate::PowerLawConfig::default()
-        },
-    );
-    let buckets = degree_buckets(&graph, 37_300_000, |d| ((d * 8).div_ceil(4096).max(1)) * 4096);
+        });
+    let buckets = degree_buckets(&graph, 37_300_000, |d| {
+        ((d * 8).div_ceil(4096).max(1)) * 4096
+    });
     let mut group = c.benchmark_group("che_locality");
     group.sample_size(20);
     group.bench_function("solve_37M_nodes", |b| {

@@ -94,5 +94,10 @@ fn fig21_sampling_rate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig18_end_to_end, fig20_graphsaint, fig21_sampling_rate);
+criterion_group!(
+    benches,
+    fig18_end_to_end,
+    fig20_graphsaint,
+    fig21_sampling_rate
+);
 criterion_main!(benches);

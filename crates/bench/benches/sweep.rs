@@ -1,0 +1,58 @@
+//! Criterion benches for the registry sweep machinery itself: how fast
+//! the `Runner` drives a fixed selection of experiments serially vs
+//! fanned out across worker threads, and the cost of the machine
+//! renderings (CSV/JSON) relative to text.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartsage_core::experiments::ExperimentScale;
+use smartsage_core::runner::{OutputFormat, Runner};
+
+fn sweep(jobs: usize) -> usize {
+    Runner::builder()
+        .scale(ExperimentScale::tiny())
+        .filter(|e| matches!(e.name, "table1" | "fig5" | "fig7" | "fig13" | "transfer"))
+        .jobs(jobs)
+        .build()
+        .run()
+        .len()
+}
+
+/// Serial vs parallel execution of a five-experiment selection.
+fn runner_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runner_sweep");
+    group.sample_size(10);
+    for jobs in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("jobs_{jobs}")),
+            &jobs,
+            |b, &jobs| {
+                b.iter(|| sweep(jobs));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Rendering cost per output format over one completed sweep.
+fn rendering(c: &mut Criterion) {
+    let outcomes = Runner::builder()
+        .scale(ExperimentScale::tiny())
+        .filter(|e| matches!(e.name, "table1" | "fig13"))
+        .build()
+        .run();
+    let mut group = c.benchmark_group("sweep_rendering");
+    group.sample_size(10);
+    for (label, format) in [
+        ("text", OutputFormat::Text),
+        ("csv", OutputFormat::Csv),
+        ("json", OutputFormat::Json),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &format, |b, format| {
+            b.iter(|| format.render(&outcomes).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, runner_parallelism, rendering);
+criterion_main!(benches);

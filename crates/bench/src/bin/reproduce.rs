@@ -1,73 +1,187 @@
-//! Regenerates every table and figure of the SmartSAGE paper.
+//! Regenerates tables and figures of the SmartSAGE paper from the
+//! experiment registry.
 //!
 //! Usage:
 //!
 //! ```text
-//! reproduce [EXPERIMENT...] [--scale tiny|default|paper]
+//! reproduce [EXPERIMENT...] [--list] [--filter SUBSTR]
+//!           [--scale tiny|default|paper] [--format text|csv|json]
+//!           [--jobs N]
 //! ```
 //!
-//! With no experiment names, everything runs in paper order. Output is a
-//! sequence of text tables whose rows mirror the paper's series; see
-//! EXPERIMENTS.md for the paper-vs-measured record.
+//! With no experiment names, everything runs in paper (registry) order.
+//! `--jobs N` fans the sweep across N threads (`0` = one per CPU);
+//! each result is *streamed* to stdout as soon as it and all of its
+//! predecessors in the selection are done, so parallel output is
+//! byte-identical to serial output and long sweeps show progress.
+//! Timing lines go to stderr. `--list` prints the selection (after
+//! name/filter resolution) without running anything.
+//!
+//! All flags are validated (and unknown experiment names rejected with
+//! the list of valid names, exit code 2) before any experiment runs.
 
-use smartsage_bench::{scale_from_flag, EXPERIMENTS};
-use smartsage_core::experiments::{self, ExperimentScale};
-use std::time::Instant;
+use smartsage_bench::scale_from_flag;
+use smartsage_core::experiments::{registry, Experiment, ExperimentScale};
+use smartsage_core::runner::{OutputFormat, Runner};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Mutex;
 
-fn run_one(name: &str, scale: &ExperimentScale) {
-    let started = Instant::now();
-    let table = match name {
-        "table1" => experiments::table1(),
-        "fig5" => experiments::fig5(scale),
-        "fig6" => experiments::fig6(scale),
-        "fig7" => experiments::fig7(scale),
-        "fig13" => experiments::fig13(scale),
-        "fig14" => experiments::fig14(scale),
-        "fig15" => experiments::fig15(scale),
-        "fig16" => experiments::fig16(scale),
-        "fig17" => experiments::fig17(scale),
-        "fig18" => experiments::fig18(scale),
-        "fig19" => experiments::fig19(scale),
-        "fig20" => experiments::fig20(scale),
-        "fig21" => experiments::fig21(scale),
-        "transfer" => experiments::transfer_reduction(scale),
-        "energy" => experiments::energy(scale),
-        "ablation-mechanisms" => smartsage_core::ablations::contribution_breakdown(scale),
-        "ablation-csd" => smartsage_core::ablations::future_csd(scale),
-        "ablation-buffer" => smartsage_core::ablations::buffer_sensitivity(scale),
-        other => {
-            eprintln!("unknown experiment '{other}'; known: {EXPERIMENTS:?}");
-            std::process::exit(2);
-        }
+fn fail_usage(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!(
+        "usage: reproduce [EXPERIMENT...] [--list] [--filter SUBSTR] \
+         [--scale tiny|default|paper] [--format text|csv|json] [--jobs N]"
+    );
+    std::process::exit(2);
+}
+
+fn fail_unknown_experiment(name: &str) -> ! {
+    eprintln!("unknown experiment '{name}'; valid names:");
+    for e in registry() {
+        eprintln!("  {:<20} {}", e.name, e.artifact);
+    }
+    std::process::exit(2);
+}
+
+/// Writes to stdout, treating a closed pipe (e.g. `reproduce | head`)
+/// as a clean early exit rather than a panic.
+fn emit(s: &str) {
+    let mut out = std::io::stdout().lock();
+    if out.write_all(s.as_bytes()).is_err() || out.flush().is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn print_list(selection: &[&'static Experiment]) {
+    emit(&format!("{:<20} {:<18} DESCRIPTION\n", "NAME", "ARTIFACT"));
+    for e in selection {
+        emit(&format!(
+            "{:<20} {:<18} {}\n",
+            e.name, e.artifact, e.description
+        ));
+    }
+}
+
+struct Cli {
+    names: Vec<String>,
+    filter: Option<String>,
+    scale: ExperimentScale,
+    format: OutputFormat,
+    jobs: usize,
+    list: bool,
+}
+
+fn parse_args(args: Vec<String>) -> Cli {
+    let mut cli = Cli {
+        names: Vec::new(),
+        filter: None,
+        scale: ExperimentScale::default(),
+        format: OutputFormat::Text,
+        jobs: 1,
+        list: false,
     };
-    println!("{table}");
-    eprintln!("[{name} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| fail_usage(&format!("{flag} requires a value")))
+        };
+        match arg.as_str() {
+            "--list" => cli.list = true,
+            "--scale" => {
+                let value = value_of("--scale");
+                cli.scale = scale_from_flag(&value).unwrap_or_else(|| {
+                    fail_usage(&format!("unknown scale '{value}' (tiny|default|paper)"))
+                });
+            }
+            "--format" => {
+                let value = value_of("--format");
+                cli.format = OutputFormat::parse(&value).unwrap_or_else(|| {
+                    fail_usage(&format!("unknown format '{value}' (text|csv|json)"))
+                });
+            }
+            "--jobs" => {
+                let value = value_of("--jobs");
+                cli.jobs = value.parse().unwrap_or_else(|_| {
+                    fail_usage(&format!("--jobs expects an integer, got '{value}'"))
+                });
+            }
+            "--filter" => cli.filter = Some(value_of("--filter")),
+            flag if flag.starts_with("--") => fail_usage(&format!("unknown flag '{flag}'")),
+            name => cli.names.push(name.to_string()),
+        }
+    }
+    cli
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = ExperimentScale::default();
-    let mut names: Vec<String> = Vec::new();
-    let mut it = args.into_iter();
-    while let Some(arg) = it.next() {
-        if arg == "--scale" {
-            let value = it.next().unwrap_or_default();
-            scale = scale_from_flag(&value).unwrap_or_else(|| {
-                eprintln!("unknown scale '{value}' (tiny|default|paper)");
-                std::process::exit(2);
-            });
-        } else {
-            names.push(arg);
+    let cli = parse_args(std::env::args().skip(1).collect());
+
+    // Resolve and validate the whole selection up front: a typo in the
+    // last name must abort before the first experiment runs, and
+    // `--list` must show exactly what a run would execute.
+    let mut selection: Vec<&'static Experiment> = if cli.names.is_empty() {
+        registry().iter().collect()
+    } else {
+        cli.names
+            .iter()
+            .map(|n| Experiment::find(n).unwrap_or_else(|| fail_unknown_experiment(n)))
+            .collect()
+    };
+    if let Some(filter) = &cli.filter {
+        selection
+            .retain(|e| e.name.contains(filter.as_str()) || e.artifact.contains(filter.as_str()));
+        if selection.is_empty() {
+            fail_usage(&format!("--filter '{filter}' matches no experiments"));
         }
     }
-    if names.is_empty() {
-        names = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    if cli.list {
+        print_list(&selection);
+        return;
     }
-    println!(
-        "# SmartSAGE reproduction (edge budget {}, batch {}, {} batches, {} workers)\n",
-        scale.edge_budget, scale.batch_size, scale.batches, scale.workers
-    );
-    for name in names {
-        run_one(&name, &scale);
+
+    // Stream each result as soon as it and all earlier selections are
+    // done: completion order may differ under --jobs, so buffer
+    // out-of-order chunks and flush the contiguous prefix. This keeps
+    // parallel stdout byte-identical to serial while long sweeps still
+    // show progress.
+    let format = cli.format;
+    let printer: Mutex<(usize, BTreeMap<usize, String>)> = Mutex::new((0, BTreeMap::new()));
+    let scale = cli.scale;
+    let runner = Runner::builder()
+        .scale(scale)
+        .experiments(selection)
+        .jobs(cli.jobs)
+        .on_result(move |o| {
+            eprintln!(
+                "[{} finished in {:.1}s]",
+                o.experiment.name,
+                o.wall.as_secs_f64()
+            );
+            let chunk = format.render_one(o, o.index == 0);
+            let mut state = printer.lock().expect("printer state");
+            state.1.insert(o.index, chunk);
+            loop {
+                let next = state.0;
+                match state.1.remove(&next) {
+                    Some(chunk) => {
+                        emit(&chunk);
+                        state.0 += 1;
+                    }
+                    None => break,
+                }
+            }
+        })
+        .build();
+
+    if format == OutputFormat::Text {
+        emit(&format!(
+            "# SmartSAGE reproduction (edge budget {}, batch {}, {} batches, {} workers)\n\n",
+            scale.edge_budget, scale.batch_size, scale.batches, scale.workers
+        ));
     }
+    emit(format.prologue());
+    runner.run();
+    emit(format.epilogue());
 }

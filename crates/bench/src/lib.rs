@@ -4,11 +4,16 @@
 //!
 //! * the `reproduce` binary
 //!   (`cargo run --release -p smartsage-bench --bin reproduce`), which
-//!   regenerates every paper table/figure as a text table, and
+//!   regenerates paper tables/figures from the experiment registry
+//!   (`--list`, `--filter`, `--jobs N`, `--format text|csv|json`), and
 //! * the Criterion benches (`cargo bench`), which measure the simulator's
-//!   own kernels (sampling, cache models, pipeline) per figure.
+//!   own kernels (sampling, cache models, pipeline, registry sweeps).
+//!
+//! The set of experiment names is owned by
+//! [`smartsage_core::experiments::registry`]; this crate only re-derives
+//! views of it and parses CLI flag values.
 
-use smartsage_core::experiments::ExperimentScale;
+use smartsage_core::experiments::{registry, ExperimentScale};
 
 /// Parses an experiment scale from a CLI flag value.
 ///
@@ -22,12 +27,11 @@ pub fn scale_from_flag(flag: &str) -> Option<ExperimentScale> {
     }
 }
 
-/// The experiment names the `reproduce` binary understands.
-pub const EXPERIMENTS: [&str; 18] = [
-    "table1", "fig5", "fig6", "fig7", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-    "fig19", "fig20", "fig21", "transfer", "energy", "ablation-mechanisms", "ablation-csd",
-    "ablation-buffer",
-];
+/// The experiment names the `reproduce` binary understands, derived
+/// from the registry (registry order).
+pub fn experiment_names() -> Vec<&'static str> {
+    registry().iter().map(|e| e.name).collect()
+}
 
 #[cfg(test)]
 mod tests {
@@ -42,7 +46,12 @@ mod tests {
     }
 
     #[test]
-    fn experiment_list_is_nonempty() {
-        assert!(EXPERIMENTS.contains(&"fig18"));
+    fn experiment_names_mirror_the_registry() {
+        // Uniqueness itself is asserted next to the registry (core) and
+        // in tests/registry_runner.rs; here only the derivation matters.
+        let names = experiment_names();
+        assert_eq!(names.len(), registry().len());
+        assert!(names.contains(&"fig18"));
+        assert!(names.contains(&"ablation-buffer"));
     }
 }

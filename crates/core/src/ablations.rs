@@ -17,7 +17,7 @@
 
 use crate::config::{SystemConfig, SystemKind};
 use crate::context::RunContext;
-use crate::experiments::ExperimentScale;
+use crate::experiments::{by_name, ExperimentScale};
 use crate::pipeline::{run_pipeline, PipelineConfig, SamplerKind};
 use crate::report::{num, speedup, Table};
 use smartsage_gnn::Fanouts;
@@ -37,7 +37,11 @@ fn run_mode(
     workers: usize,
     train: bool,
 ) -> f64 {
-    let data = DatasetProfile::of(dataset).materialize(GraphScale::LargeScale, scale.edge_budget, scale.seed);
+    let data = DatasetProfile::of(dataset).materialize(
+        GraphScale::LargeScale,
+        scale.edge_budget,
+        scale.seed,
+    );
     let ctx = Arc::new(RunContext::new(data, cfg));
     let report = run_pipeline(
         &ctx,
@@ -65,7 +69,13 @@ fn run_mode(
 /// (single worker, per dataset): baseline mmap, + direct I/O (the SW
 /// design), + ISP with *per-target* commands (granularity 1), + full
 /// mini-batch coalescing.
+///
+/// Shim over the registry entry `ablation-mechanisms`.
 pub fn contribution_breakdown(scale: &ExperimentScale) -> Table {
+    by_name("ablation-mechanisms", scale)
+}
+
+pub(crate) fn contribution_breakdown_driver(scale: &ExperimentScale) -> Table {
     let mut t = Table::new(
         "Ablation: mechanism-by-mechanism speedup over SSD(mmap)",
         &[
@@ -144,10 +154,20 @@ pub fn csd_generations() -> Vec<CsdGeneration> {
 /// generation, as a fraction of the DRAM bound (12 workers, Reddit
 /// profile) — the paper's "an NVMe SSD based system can become a viable
 /// option ... while not compromising on performance" projection.
+///
+/// Shim over the registry entry `ablation-csd`.
 pub fn future_csd(scale: &ExperimentScale) -> Table {
+    by_name("ablation-csd", scale)
+}
+
+pub(crate) fn future_csd_driver(scale: &ExperimentScale) -> Table {
     let mut t = Table::new(
         "Ablation: CSD generations vs the DRAM bound (Reddit, 12 workers, end-to-end)",
-        &["CSD generation", "Training throughput (batches/s)", "Fraction of DRAM"],
+        &[
+            "CSD generation",
+            "Training throughput (batches/s)",
+            "Fraction of DRAM",
+        ],
     );
     let dram = run_mode(
         SystemConfig::new(SystemKind::Dram),
@@ -174,10 +194,20 @@ pub fn future_csd(scale: &ExperimentScale) -> Table {
 
 /// The page buffer's contribution to in-storage sampling (single
 /// worker, Movielens profile): ISP throughput across buffer capacities.
+///
+/// Shim over the registry entry `ablation-buffer`.
 pub fn buffer_sensitivity(scale: &ExperimentScale) -> Table {
+    by_name("ablation-buffer", scale)
+}
+
+pub(crate) fn buffer_sensitivity_driver(scale: &ExperimentScale) -> Table {
     let mut t = Table::new(
         "Ablation: SSD page-buffer capacity vs ISP sampling throughput",
-        &["Buffer (GiB)", "Sampling throughput (batches/s)", "Relative"],
+        &[
+            "Buffer (GiB)",
+            "Sampling throughput (batches/s)",
+            "Relative",
+        ],
     );
     let mut base = None;
     for gib in [0u64, 1, 2, 8, 32] {
@@ -185,7 +215,7 @@ pub fn buffer_sensitivity(scale: &ExperimentScale) -> Table {
         cfg.devices.ssd_buffer_bytes = gib << 30;
         let thr = run(cfg, scale, Dataset::Movielens, 1);
         let b = *base.get_or_insert(thr);
-        t.row(vec![gib.to_string(), num(thr, 1), num(thr / b, 3)]);
+        t.row(vec![gib.into(), num(thr, 1), num(thr / b, 3)]);
     }
     t
 }
@@ -199,8 +229,8 @@ mod tests {
         let t = contribution_breakdown(&ExperimentScale::tiny());
         assert_eq!(t.len(), 5);
         for row in t.rows() {
-            let sw: f64 = row[1].trim_end_matches('x').parse().expect("sw");
-            let full: f64 = row[3].trim_end_matches('x').parse().expect("full");
+            let sw = row[1].value().expect("sw");
+            let full = row[3].value().expect("full");
             assert!(sw > 1.0, "direct I/O must help: {row:?}");
             assert!(full > sw, "full design must beat SW alone: {row:?}");
         }
@@ -210,8 +240,8 @@ mod tests {
     fn future_csds_approach_dram() {
         let t = future_csd(&ExperimentScale::tiny());
         let rows = t.rows();
-        let openssd: f64 = rows[0][2].parse().expect("frac");
-        let future: f64 = rows[2][2].parse().expect("frac");
+        let openssd = rows[0][2].value().expect("frac");
+        let future = rows[2][2].value().expect("frac");
         assert!(
             future > openssd,
             "newer CSDs must close the gap: {openssd} -> {future}"
@@ -221,8 +251,8 @@ mod tests {
     #[test]
     fn bigger_buffers_do_not_hurt() {
         let t = buffer_sensitivity(&ExperimentScale::tiny());
-        let first: f64 = t.rows()[0][1].parse().expect("thr");
-        let last: f64 = t.rows().last().expect("rows")[1].parse().expect("thr");
+        let first = t.rows()[0][1].value().expect("thr");
+        let last = t.rows().last().expect("rows")[1].value().expect("thr");
         assert!(last >= first * 0.95, "more buffer should not hurt");
     }
 }

@@ -94,8 +94,7 @@ impl SamplingBackend for FpgaBackend {
             // Process one chunk of accesses: flash fill, P2P move of the
             // block-granular chunks to the FPGA, then the gather.
             let hop = &cursor.plan.hops[cursor.hop];
-            let chunk_end =
-                (cursor.access + params.fpga.p2p_queue_depth).min(hop.accesses.len());
+            let chunk_end = (cursor.access + params.fpga.p2p_queue_depth).min(hop.accesses.len());
             let page_bytes = devices.ssd.page_bytes();
             let block = params.hostio.os_page_bytes;
             let mut flash_done = t;
@@ -202,7 +201,13 @@ mod tests {
         let ctx = test_context(SystemKind::FpgaCsd);
         let mut devices = Devices::new(&ctx.config);
         let mut b = FpgaBackend::new(Arc::clone(&ctx), 1);
-        let r = drive(&mut b, &mut devices, 0, SimTime::ZERO, test_plan(&ctx, 32, 1));
+        let r = drive(
+            &mut b,
+            &mut devices,
+            0,
+            SimTime::ZERO,
+            test_plan(&ctx, 32, 1),
+        );
         let phases = r.fpga.expect("fpga detail");
         assert!(phases.ssd_to_fpga > SimDuration::ZERO);
         assert!(phases.ssd_to_fpga_bytes > 0);
@@ -216,11 +221,23 @@ mod tests {
         let ctx_f = test_context(SystemKind::FpgaCsd);
         let mut dev_f = Devices::new(&ctx_f.config);
         let mut bf = FpgaBackend::new(Arc::clone(&ctx_f), 1);
-        let rf = drive(&mut bf, &mut dev_f, 0, SimTime::ZERO, test_plan(&ctx_f, 64, 5));
+        let rf = drive(
+            &mut bf,
+            &mut dev_f,
+            0,
+            SimTime::ZERO,
+            test_plan(&ctx_f, 64, 5),
+        );
         let ctx_i = test_context(SystemKind::SmartSageHwSw);
         let mut dev_i = Devices::new(&ctx_i.config);
         let mut bi = IspBackend::new(Arc::clone(&ctx_i), 1, false);
-        let ri = drive(&mut bi, &mut dev_i, 0, SimTime::ZERO, test_plan(&ctx_i, 64, 5));
+        let ri = drive(
+            &mut bi,
+            &mut dev_i,
+            0,
+            SimTime::ZERO,
+            test_plan(&ctx_i, 64, 5),
+        );
         assert!(
             rf.sampling_time > ri.sampling_time,
             "FPGA {} should trail firmware ISP {}",
@@ -234,11 +251,23 @@ mod tests {
         let ctx_f = test_context(SystemKind::FpgaCsd);
         let mut dev_f = Devices::new(&ctx_f.config);
         let mut bf = FpgaBackend::new(Arc::clone(&ctx_f), 1);
-        let rf = drive(&mut bf, &mut dev_f, 0, SimTime::ZERO, test_plan(&ctx_f, 64, 6));
+        let rf = drive(
+            &mut bf,
+            &mut dev_f,
+            0,
+            SimTime::ZERO,
+            test_plan(&ctx_f, 64, 6),
+        );
         let ctx_s = test_context(SystemKind::SmartSageSw);
         let mut dev_s = Devices::new(&ctx_s.config);
         let mut bs = DirectIoHostBackend::new(Arc::clone(&ctx_s), 1);
-        let rs = drive(&mut bs, &mut dev_s, 0, SimTime::ZERO, test_plan(&ctx_s, 64, 6));
+        let rs = drive(
+            &mut bs,
+            &mut dev_s,
+            0,
+            SimTime::ZERO,
+            test_plan(&ctx_s, 64, 6),
+        );
         // "failing to achieve any performance advantage even over our
         // software-only SmartSAGE(SW)" — allow parity but no clear win.
         assert!(

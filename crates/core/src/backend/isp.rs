@@ -118,12 +118,7 @@ impl IspBackend {
             .collect();
         NsConfig {
             seed: 0x5A6E_0000 ^ cursor.cmd as u64,
-            fanouts: cursor
-                .plan
-                .hops
-                .iter()
-                .map(|h| h.fanout as u16)
-                .collect(),
+            fanouts: cursor.plan.hops.iter().map(|h| h.fanout as u16).collect(),
             targets,
         }
     }
@@ -141,11 +136,7 @@ impl SamplingBackend for IspBackend {
     fn begin(&mut self, worker: usize, at: SimTime, plan: SamplePlan) {
         assert!(self.cursors[worker].is_none(), "worker {worker} is busy");
         let m = plan.targets.len().max(1);
-        let per_target: Vec<usize> = plan
-            .hops
-            .iter()
-            .map(|h| h.accesses.len() / m)
-            .collect();
+        let per_target: Vec<usize> = plan.hops.iter().map(|h| h.accesses.len() / m).collect();
         let g = self.ctx.config.coalescing_granularity as usize;
         let num_cmds = plan.targets.len().div_ceil(g).max(1);
         self.cursors[worker] = Some(Cursor {
@@ -187,9 +178,9 @@ impl SamplingBackend for IspBackend {
             Phase::Issue => {
                 let blob = nscfg.expect("built above").encode();
                 // Host: one ioctl; firmware: polling pickup + decode.
-                t = t + params.hostio.ioctl_cost;
+                t += params.hostio.ioctl_cost;
                 cursor.overhead += params.hostio.ioctl_cost;
-                t = t + params.ssd.nvme.isp_pickup_delay();
+                t += params.ssd.nvme.isp_pickup_delay();
                 let cores: &mut smartsage_storage::EmbeddedCores = if self.oracle {
                     &mut devices.oracle_cores
                 } else {
@@ -218,7 +209,9 @@ impl SamplingBackend for IspBackend {
                     let access = &hop.accesses[idx];
                     core_work += params.isp_access_cost
                         + devices.ssd.ftl.translate_cost()
-                        + params.isp_sample_cost.mul_u64(access.positions.len() as u64);
+                        + params
+                            .isp_sample_cost
+                            .mul_u64(access.positions.len() as u64);
                     let range = ctx.layout.edge_list_range(ctx.graph(), access.node);
                     if range.len == 0 {
                         continue;
@@ -284,7 +277,7 @@ impl SamplingBackend for IspBackend {
             Phase::Return => {
                 // Completion pickup by the firmware polling loop, then a
                 // single dense DMA of the command's sampled IDs.
-                t = t + params.ssd.nvme.isp_pickup_delay();
+                t += params.ssd.nvme.isp_pickup_delay();
                 let (t0, t1) = cursor.cmd_targets(g);
                 let mut sampled: u64 = 0;
                 for (h, hop) in cursor.plan.hops.iter().enumerate() {
@@ -352,11 +345,23 @@ mod tests {
         let ctx_h = test_context(SystemKind::SmartSageHwSw);
         let mut dev_h = Devices::new(&ctx_h.config);
         let mut bh = IspBackend::new(Arc::clone(&ctx_h), 1, false);
-        let rh = drive(&mut bh, &mut dev_h, 0, SimTime::ZERO, test_plan(&ctx_h, 64, 8));
+        let rh = drive(
+            &mut bh,
+            &mut dev_h,
+            0,
+            SimTime::ZERO,
+            test_plan(&ctx_h, 64, 8),
+        );
         let ctx_o = test_context(SystemKind::SmartSageOracle);
         let mut dev_o = Devices::new(&ctx_o.config);
         let mut bo = IspBackend::new(Arc::clone(&ctx_o), 1, true);
-        let ro = drive(&mut bo, &mut dev_o, 0, SimTime::ZERO, test_plan(&ctx_o, 64, 8));
+        let ro = drive(
+            &mut bo,
+            &mut dev_o,
+            0,
+            SimTime::ZERO,
+            test_plan(&ctx_o, 64, 8),
+        );
         assert!(
             ro.sampling_time <= rh.sampling_time,
             "oracle {} should be <= shared {}",
@@ -370,8 +375,7 @@ mod tests {
         let data =
             DatasetProfile::of(Dataset::Amazon).materialize(GraphScale::LargeScale, 20_000, 11);
         let run = |granularity: u32| {
-            let cfg =
-                SystemConfig::new(SystemKind::SmartSageHwSw).with_coalescing(granularity);
+            let cfg = SystemConfig::new(SystemKind::SmartSageHwSw).with_coalescing(granularity);
             let ctx = Arc::new(RunContext::new(data.clone(), cfg));
             let mut devices = Devices::new(&ctx.config);
             let mut b = IspBackend::new(Arc::clone(&ctx), 1, false);

@@ -75,12 +75,8 @@ pub fn make_backend(ctx: &Arc<RunContext>, workers: usize) -> Box<dyn SamplingBa
         SystemKind::Pmem => Box::new(MemBackend::new_pmem(Arc::clone(ctx), workers)),
         SystemKind::SsdMmap => Box::new(MmapHostBackend::new(Arc::clone(ctx), workers)),
         SystemKind::SmartSageSw => Box::new(DirectIoHostBackend::new(Arc::clone(ctx), workers)),
-        SystemKind::SmartSageHwSw => {
-            Box::new(IspBackend::new(Arc::clone(ctx), workers, false))
-        }
-        SystemKind::SmartSageOracle => {
-            Box::new(IspBackend::new(Arc::clone(ctx), workers, true))
-        }
+        SystemKind::SmartSageHwSw => Box::new(IspBackend::new(Arc::clone(ctx), workers, false)),
+        SystemKind::SmartSageOracle => Box::new(IspBackend::new(Arc::clone(ctx), workers, true)),
         SystemKind::FpgaCsd => Box::new(FpgaBackend::new(Arc::clone(ctx), workers)),
     }
 }
@@ -152,10 +148,9 @@ mod tests {
             let result = drive(&mut *backend, &mut devices, 0, SimTime::ZERO, plan);
             match &reference {
                 None => reference = Some(result.batch),
-                Some(want) => assert_eq!(
-                    &result.batch, want,
-                    "{kind} produced a different subgraph"
-                ),
+                Some(want) => {
+                    assert_eq!(&result.batch, want, "{kind} produced a different subgraph")
+                }
             }
         }
     }

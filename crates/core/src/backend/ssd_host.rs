@@ -127,6 +127,7 @@ pub struct DirectIoHostBackend;
 
 impl DirectIoHostBackend {
     /// Builds the `SmartSAGE (SW)` backend (see [`HostBackend::new_direct_io`]).
+    #[allow(clippy::new_ret_no_self)] // intentionally an alias constructor
     pub fn new(ctx: Arc<RunContext>, workers: usize) -> HostBackend {
         HostBackend::new_direct_io(ctx, workers)
     }
@@ -162,7 +163,7 @@ impl SamplingBackend for HostBackend {
         let access = &hop.accesses[cursor.access];
         // Offset-table lookup: resident in host DRAM for all systems
         // (it is ~1% of the edge array; see DESIGN.md).
-        t = t + SimDuration::from_nanos(30);
+        t += SimDuration::from_nanos(30);
         // Fetch the node's neighbor-ID chunk in block granularity.
         let range = graph.layout.edge_list_range(graph.graph(), access.node);
         if range.len > 0 {
@@ -185,7 +186,7 @@ impl SamplingBackend for HostBackend {
             t = out.done;
         }
         // Host-side sampling compute for this access.
-        t = t + params.sample_compute_per_access;
+        t += params.sample_compute_per_access;
 
         // Advance the cursor.
         cursor.now = t;
@@ -249,11 +250,23 @@ mod tests {
         let ctx_m = test_context(SystemKind::SsdMmap);
         let mut dev_m = Devices::new(&ctx_m.config);
         let mut bm = HostBackend::new(Arc::clone(&ctx_m), 1);
-        let rm = drive(&mut bm, &mut dev_m, 0, SimTime::ZERO, test_plan(&ctx_m, 48, 6));
+        let rm = drive(
+            &mut bm,
+            &mut dev_m,
+            0,
+            SimTime::ZERO,
+            test_plan(&ctx_m, 48, 6),
+        );
         let ctx_d = test_context(SystemKind::SmartSageSw);
         let mut dev_d = Devices::new(&ctx_d.config);
         let mut bd = HostBackend::new_direct_io(Arc::clone(&ctx_d), 1);
-        let rd = drive(&mut bd, &mut dev_d, 0, SimTime::ZERO, test_plan(&ctx_d, 48, 6));
+        let rd = drive(
+            &mut bd,
+            &mut dev_d,
+            0,
+            SimTime::ZERO,
+            test_plan(&ctx_d, 48, 6),
+        );
         let speedup = rm.sampling_time.ratio(rd.sampling_time);
         assert!(
             speedup > 1.1,
@@ -266,7 +279,13 @@ mod tests {
         let ctx = test_context(SystemKind::SsdMmap);
         let mut devices = Devices::new(&ctx.config);
         let mut b = HostBackend::new(Arc::clone(&ctx), 1);
-        let r = drive(&mut b, &mut devices, 0, SimTime::ZERO, test_plan(&ctx, 16, 9));
+        let r = drive(
+            &mut b,
+            &mut devices,
+            0,
+            SimTime::ZERO,
+            test_plan(&ctx, 16, 9),
+        );
         assert_eq!(r.transfers.ssd_to_host_bytes % 4096, 0);
         // Over-fetch: block-granular chunks dwarf the useful sample IDs.
         assert!(r.transfers.amplification() > 1.0);

@@ -1,10 +1,21 @@
-//! Experiment drivers: one per paper table/figure.
+//! The experiment registry and its drivers: one entry per paper artifact.
 //!
-//! Each driver runs the relevant systems/datasets at a configurable
-//! [`ExperimentScale`] and returns a [`Table`] whose rows mirror the
-//! paper's series. `smartsage-bench`'s `reproduce` binary prints them
-//! all; EXPERIMENTS.md records paper-vs-measured values.
+//! Every table/figure reproduction is registered as an [`Experiment`]
+//! descriptor — name, paper artifact, description, and a driver
+//! `fn(&ExperimentScale) -> Table` — in the single [`registry`]. All
+//! consumers (the `reproduce` CLI, the sweep [`Runner`](crate::runner),
+//! benches, tests) enumerate or look up experiments through the
+//! registry, so experiment lists can never drift apart. The historical
+//! free functions (`table1`, `fig5` … `energy`) survive as thin shims
+//! that resolve their entry via [`Experiment::find`] and run it.
+//!
+//! Drivers return typed [`Table`]s (see [`crate::report`]) whose rows
+//! mirror the paper's series and render as text, CSV, or JSON. To sweep
+//! several experiments — optionally in parallel — use
+//! [`Runner`](crate::runner::Runner) instead of calling drivers
+//! directly.
 
+use crate::ablations;
 use crate::backend::{make_backend, StepOutcome};
 use crate::config::{SystemConfig, SystemKind};
 use crate::context::{Devices, RunContext};
@@ -73,6 +84,167 @@ impl ExperimentScale {
     }
 }
 
+// ---------------------------------------------------------------------
+// The registry
+// ---------------------------------------------------------------------
+
+/// A registered experiment: one paper table/figure (or ablation) with
+/// its driver. All instances live in the static [`registry`].
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// CLI / API name, e.g. `"fig14"`.
+    pub name: &'static str,
+    /// The paper artifact it reproduces, e.g. `"Fig. 14"`.
+    pub artifact: &'static str,
+    /// One-line description of what the driver measures.
+    pub description: &'static str,
+    driver: fn(&ExperimentScale) -> Table,
+}
+
+impl Experiment {
+    /// Runs the driver at `scale`. Drivers are deterministic in `scale`
+    /// and shared-state free, so runs may execute on any thread.
+    pub fn run(&self, scale: &ExperimentScale) -> Table {
+        (self.driver)(scale)
+    }
+
+    /// Looks an experiment up by `name`.
+    pub fn find(name: &str) -> Option<&'static Experiment> {
+        registry().iter().find(|e| e.name == name)
+    }
+}
+
+const fn entry(
+    name: &'static str,
+    artifact: &'static str,
+    description: &'static str,
+    driver: fn(&ExperimentScale) -> Table,
+) -> Experiment {
+    Experiment {
+        name,
+        artifact,
+        description,
+        driver,
+    }
+}
+
+static REGISTRY: [Experiment; 18] = [
+    entry(
+        "table1",
+        "Table I",
+        "Graph dataset statistics (paper values, by construction)",
+        table1_driver,
+    ),
+    entry(
+        "fig5",
+        "Fig. 5",
+        "LLC miss rate and DRAM bandwidth utilization of in-memory sampling",
+        fig5_driver,
+    ),
+    entry(
+        "fig6",
+        "Fig. 6",
+        "End-to-end per-stage breakdown, DRAM vs SSD(mmap)",
+        fig6_driver,
+    ),
+    entry(
+        "fig7",
+        "Fig. 7",
+        "GPU idle fraction under DRAM vs SSD(mmap)",
+        fig7_driver,
+    ),
+    entry(
+        "fig13",
+        "Fig. 13",
+        "Degree distributions before/after Kronecker fractal expansion",
+        fig13_driver,
+    ),
+    entry(
+        "fig14",
+        "Fig. 14",
+        "Single-worker neighbor-sampling speedup vs SSD(mmap)",
+        fig14_driver,
+    ),
+    entry(
+        "fig15",
+        "Fig. 15",
+        "Effect of I/O command coalescing granularity",
+        fig15_driver,
+    ),
+    entry(
+        "fig16",
+        "Fig. 16",
+        "Multi-worker neighbor-sampling speedup vs SSD(mmap)",
+        fig16_driver,
+    ),
+    entry(
+        "fig17",
+        "Fig. 17",
+        "HW/SW speedup over SW as CPU-side workers scale",
+        fig17_driver,
+    ),
+    entry(
+        "fig18",
+        "Fig. 18",
+        "End-to-end training latency across all six systems",
+        fig18_driver,
+    ),
+    entry(
+        "fig19",
+        "Fig. 19",
+        "FPGA-based CSD latency breakdown vs host paths",
+        fig19_driver,
+    ),
+    entry(
+        "fig20",
+        "Fig. 20",
+        "GraphSAINT random-walk end-to-end speedup",
+        fig20_driver,
+    ),
+    entry(
+        "fig21",
+        "Fig. 21",
+        "Speedup sensitivity to the sampling rate",
+        fig21_driver,
+    ),
+    entry(
+        "transfer",
+        "Fig. 10 / §I",
+        "SSD->CPU data-movement reduction of the ISP per mini-batch",
+        transfer_driver,
+    ),
+    entry(
+        "energy",
+        "§VI-E",
+        "System-level energy per workload, normalized to SSD(mmap)",
+        energy_driver,
+    ),
+    entry(
+        "ablation-mechanisms",
+        "§VI-A (ablation)",
+        "Mechanism-by-mechanism speedup: direct I/O, ISP, coalescing",
+        ablations::contribution_breakdown_driver,
+    ),
+    entry(
+        "ablation-csd",
+        "§VI-C (ablation)",
+        "CSD generations vs the DRAM bound, end-to-end",
+        ablations::future_csd_driver,
+    ),
+    entry(
+        "ablation-buffer",
+        "§VI-B (ablation)",
+        "SSD page-buffer capacity vs ISP sampling throughput",
+        ablations::buffer_sensitivity_driver,
+    ),
+];
+
+/// The full experiment registry in paper order. The single source of
+/// truth for what exists and what it is called.
+pub fn registry() -> &'static [Experiment] {
+    &REGISTRY
+}
+
 /// Builds a run context for `dataset` under `kind`.
 pub fn context_for(
     dataset: Dataset,
@@ -112,11 +284,96 @@ pub fn run_system(
 }
 
 // ---------------------------------------------------------------------
-// Table I
+// Registry-backed shims (the historical free-function surface)
 // ---------------------------------------------------------------------
+
+pub(crate) fn by_name(name: &str, scale: &ExperimentScale) -> Table {
+    Experiment::find(name)
+        .unwrap_or_else(|| panic!("experiment '{name}' is registered"))
+        .run(scale)
+}
 
 /// Table I: dataset statistics (paper values, by construction).
 pub fn table1() -> Table {
+    by_name("table1", &ExperimentScale::default())
+}
+
+/// Fig 5: in-memory sampling characterization.
+pub fn fig5(scale: &ExperimentScale) -> Table {
+    by_name("fig5", scale)
+}
+
+/// Fig 6: per-stage breakdown and normalized end-to-end latency,
+/// DRAM vs SSD(mmap).
+pub fn fig6(scale: &ExperimentScale) -> Table {
+    by_name("fig6", scale)
+}
+
+/// Fig 7: GPU idle fraction under DRAM vs SSD(mmap).
+pub fn fig7(scale: &ExperimentScale) -> Table {
+    by_name("fig7", scale)
+}
+
+/// Fig 13: degree distribution before/after Kronecker expansion.
+pub fn fig13(scale: &ExperimentScale) -> Table {
+    by_name("fig13", scale)
+}
+
+/// Fig 14: single-worker neighbor-sampling speedup vs SSD(mmap).
+pub fn fig14(scale: &ExperimentScale) -> Table {
+    by_name("fig14", scale)
+}
+
+/// Fig 15: I/O command coalescing granularity sweep.
+pub fn fig15(scale: &ExperimentScale) -> Table {
+    by_name("fig15", scale)
+}
+
+/// Fig 16: multi-worker neighbor-sampling speedup vs SSD(mmap).
+pub fn fig16(scale: &ExperimentScale) -> Table {
+    by_name("fig16", scale)
+}
+
+/// Fig 17: HW/SW speedup over SW vs worker count.
+pub fn fig17(scale: &ExperimentScale) -> Table {
+    by_name("fig17", scale)
+}
+
+/// Fig 18: end-to-end training latency across all six systems.
+pub fn fig18(scale: &ExperimentScale) -> Table {
+    by_name("fig18", scale)
+}
+
+/// Fig 19: FPGA-CSD latency breakdown vs host paths.
+pub fn fig19(scale: &ExperimentScale) -> Table {
+    by_name("fig19", scale)
+}
+
+/// Fig 20: GraphSAINT end-to-end speedup.
+pub fn fig20(scale: &ExperimentScale) -> Table {
+    by_name("fig20", scale)
+}
+
+/// Fig 21: speedup sensitivity to the sampling rate.
+pub fn fig21(scale: &ExperimentScale) -> Table {
+    by_name("fig21", scale)
+}
+
+/// SSD→CPU data-movement reduction of the ISP vs the baseline (§I: ~20x).
+pub fn transfer_reduction(scale: &ExperimentScale) -> Table {
+    by_name("transfer", scale)
+}
+
+/// §VI-E: system-level energy per trained batch set.
+pub fn energy(scale: &ExperimentScale) -> Table {
+    by_name("energy", scale)
+}
+
+// ---------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------
+
+fn table1_driver(_scale: &ExperimentScale) -> Table {
     let mut t = Table::new(
         "Table I: Graph dataset information",
         &[
@@ -134,13 +391,13 @@ pub fn table1() -> Table {
         let p = DatasetProfile::of(d);
         t.row(vec![
             d.name().into(),
-            p.in_memory.nodes.to_string(),
-            p.in_memory.edges.to_string(),
+            p.in_memory.nodes.into(),
+            p.in_memory.edges.into(),
             num(p.in_memory.size_gb, 1),
-            p.large_scale.nodes.to_string(),
-            p.large_scale.edges.to_string(),
+            p.large_scale.nodes.into(),
+            p.large_scale.edges.into(),
             num(p.large_scale.size_gb, 1),
-            p.feature_dim.to_string(),
+            p.feature_dim.into(),
         ]);
     }
     t
@@ -150,10 +407,9 @@ pub fn table1() -> Table {
 // Fig 5: LLC miss rate + DRAM bandwidth utilization
 // ---------------------------------------------------------------------
 
-/// Fig 5: in-memory sampling characterization. The LLC is scaled by the
-/// materialization factor so cache coverage matches full scale (see
-/// DESIGN.md §5).
-pub fn fig5(scale: &ExperimentScale) -> Table {
+/// Fig 5 driver. The LLC is scaled by the materialization factor so
+/// cache coverage matches full scale (see DESIGN.md §5).
+fn fig5_driver(scale: &ExperimentScale) -> Table {
     let mut t = Table::new(
         "Fig 5: LLC miss rate and DRAM BW utilization (in-memory sampling)",
         &["Dataset", "LLC miss rate", "DRAM BW utilization"],
@@ -178,7 +434,12 @@ pub fn fig5(scale: &ExperimentScale) -> Table {
         for w in 0..scale.workers {
             let targets = epoch_targets(graph.num_nodes(), scale.batch_size, w, scale.seed);
             let mut rng = Xoshiro256::seed_from_u64(scale.seed ^ w as u64);
-            plans.push(plan_sample(graph, &targets, &Fanouts::paper_default(), &mut rng));
+            plans.push(plan_sample(
+                graph,
+                &targets,
+                &Fanouts::paper_default(),
+                &mut rng,
+            ));
         }
         let traces: Vec<Vec<(u64, u64)>> = plans
             .iter()
@@ -220,9 +481,7 @@ pub fn fig5(scale: &ExperimentScale) -> Table {
 // Fig 6 + Fig 7: DRAM vs SSD(mmap) end-to-end
 // ---------------------------------------------------------------------
 
-/// Fig 6: per-stage breakdown and normalized end-to-end latency,
-/// DRAM vs SSD(mmap).
-pub fn fig6(scale: &ExperimentScale) -> Table {
+fn fig6_driver(scale: &ExperimentScale) -> Table {
     let mut t = Table::new(
         "Fig 6: End-to-end breakdown, DRAM vs SSD(mmap)",
         &[
@@ -260,18 +519,17 @@ pub fn fig6(scale: &ExperimentScale) -> Table {
     t.row(vec![
         "average".into(),
         "SSD(mmap) slowdown".into(),
-        String::new(),
-        String::new(),
-        String::new(),
-        String::new(),
-        String::new(),
-        format!("{} (max {})", speedup(avg), speedup(max)),
+        "".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        format!("{} (max {})", speedup(avg).text(), speedup(max).text()).into(),
     ]);
     t
 }
 
-/// Fig 7: GPU idle fraction under DRAM vs SSD(mmap).
-pub fn fig7(scale: &ExperimentScale) -> Table {
+fn fig7_driver(scale: &ExperimentScale) -> Table {
     let mut t = Table::new(
         "Fig 7: GPU idle time (%)",
         &["Dataset", "DRAM", "SSD (mmap)"],
@@ -292,9 +550,7 @@ pub fn fig7(scale: &ExperimentScale) -> Table {
 // Fig 13: Kronecker degree distributions
 // ---------------------------------------------------------------------
 
-/// Fig 13: degree distribution before/after Kronecker fractal expansion
-/// for Reddit and Protein-PI (log-log bucket series).
-pub fn fig13(scale: &ExperimentScale) -> Table {
+fn fig13_driver(scale: &ExperimentScale) -> Table {
     let mut t = Table::new(
         "Fig 13: Degree distribution, in-memory vs Kronecker-expanded",
         &[
@@ -311,14 +567,17 @@ pub fn fig13(scale: &ExperimentScale) -> Table {
         // profile's true average degree.
         let budget = (2_000.0 * profile.in_memory.avg_degree()) as u64;
         let base = profile
-            .materialize(GraphScale::InMemory, budget.max(scale.edge_budget), scale.seed)
+            .materialize(
+                GraphScale::InMemory,
+                budget.max(scale.edge_budget),
+                scale.seed,
+            )
             .graph;
         // Seed graph sized to reproduce the profile's densification.
         let densify = profile.densification().max(1.1);
         let seed_nodes = 4;
         let seed_deg = densify.min(4.0);
-        let seed =
-            smartsage_graph::generate::generate_seed_graph(seed_nodes, seed_deg, scale.seed);
+        let seed = smartsage_graph::generate::generate_seed_graph(seed_nodes, seed_deg, scale.seed);
         let keep = (2.0 * base.num_edges() as f64
             / (base.num_edges() as f64 * seed.num_edges() as f64))
             .min(1.0);
@@ -344,9 +603,9 @@ pub fn fig13(scale: &ExperimentScale) -> Table {
             }
             t.row(vec![
                 d.name().into(),
-                smartsage_sim::Histogram::bucket_hi(b).to_string(),
-                c0.to_string(),
-                c1.to_string(),
+                smartsage_sim::Histogram::bucket_hi(b).into(),
+                c0.into(),
+                c1.into(),
             ]);
         }
         t.row(vec![
@@ -366,7 +625,12 @@ pub fn fig13(scale: &ExperimentScale) -> Table {
 fn sampling_speedups(scale: &ExperimentScale, workers: usize, title: &str) -> Table {
     let mut t = Table::new(
         title,
-        &["Dataset", "SSD (mmap)", "SmartSAGE (SW)", "SmartSAGE (HW/SW)"],
+        &[
+            "Dataset",
+            "SSD (mmap)",
+            "SmartSAGE (SW)",
+            "SmartSAGE (HW/SW)",
+        ],
     );
     let mut sw_all = Vec::new();
     let mut hw_all = Vec::new();
@@ -390,14 +654,23 @@ fn sampling_speedups(scale: &ExperimentScale, workers: usize, title: &str) -> Ta
     t.row(vec![
         "average (max)".into(),
         speedup(1.0),
-        format!("{} ({})", speedup(avg(&sw_all)), speedup(max(&sw_all))),
-        format!("{} ({})", speedup(avg(&hw_all)), speedup(max(&hw_all))),
+        format!(
+            "{} ({})",
+            speedup(avg(&sw_all)).text(),
+            speedup(max(&sw_all)).text()
+        )
+        .into(),
+        format!(
+            "{} ({})",
+            speedup(avg(&hw_all)).text(),
+            speedup(max(&hw_all)).text()
+        )
+        .into(),
     ]);
     t
 }
 
-/// Fig 14: single-worker neighbor-sampling speedup vs SSD(mmap).
-pub fn fig14(scale: &ExperimentScale) -> Table {
+fn fig14_driver(scale: &ExperimentScale) -> Table {
     sampling_speedups(
         scale,
         1,
@@ -405,8 +678,7 @@ pub fn fig14(scale: &ExperimentScale) -> Table {
     )
 }
 
-/// Fig 16: multi-worker neighbor-sampling speedup vs SSD(mmap).
-pub fn fig16(scale: &ExperimentScale) -> Table {
+fn fig16_driver(scale: &ExperimentScale) -> Table {
     sampling_speedups(
         scale,
         scale.workers,
@@ -418,14 +690,13 @@ pub fn fig16(scale: &ExperimentScale) -> Table {
 // Fig 15: coalescing granularity sweep
 // ---------------------------------------------------------------------
 
-/// Fig 15: SmartSAGE(HW/SW) performance as the I/O command coalescing
-/// granularity shrinks (normalized to full-batch coalescing).
+/// Fig 15 driver.
 ///
 /// This sweep uses the paper's mini-batch size of 1024 regardless of the
 /// experiment scale — the x-axis *is* "targets per NVMe command", so the
 /// batch must be the paper's for the granularities to mean the same
 /// thing.
-pub fn fig15(scale: &ExperimentScale) -> Table {
+fn fig15_driver(scale: &ExperimentScale) -> Table {
     let mut t = Table::new(
         "Fig 15: Effect of I/O command coalescing granularity",
         &["Dataset", "Granularity", "Performance (norm.)"],
@@ -453,7 +724,7 @@ pub fn fig15(scale: &ExperimentScale) -> Table {
                 }
                 Some(b0) => perf / b0,
             };
-            t.row(vec![d.name().into(), g.to_string(), num(norm, 3)]);
+            t.row(vec![d.name().into(), g.into(), num(norm, 3)]);
         }
     }
     t
@@ -463,15 +734,13 @@ pub fn fig15(scale: &ExperimentScale) -> Table {
 // Fig 17: HW/SW-over-SW speedup vs worker count
 // ---------------------------------------------------------------------
 
-/// Fig 17: SmartSAGE(HW/SW) speedup over SmartSAGE(SW) as CPU-side
-/// workers scale (embedded-core contention).
-pub fn fig17(scale: &ExperimentScale) -> Table {
+fn fig17_driver(scale: &ExperimentScale) -> Table {
     let mut t = Table::new(
         "Fig 17: HW/SW speedup over SW vs worker count",
         &["Dataset", "1", "2", "4", "8", "12"],
     );
     for d in Dataset::ALL {
-        let mut cells = vec![d.name().to_string()];
+        let mut cells = vec![d.name().into()];
         for workers in [1usize, 2, 4, 8, 12] {
             let sw = run_system(d, SystemKind::SmartSageSw, scale, workers, false);
             let hw = run_system(d, SystemKind::SmartSageHwSw, scale, workers, false);
@@ -486,9 +755,7 @@ pub fn fig17(scale: &ExperimentScale) -> Table {
 // Fig 18: end-to-end latency, all systems
 // ---------------------------------------------------------------------
 
-/// Fig 18: end-to-end training-latency breakdown across all six systems
-/// (normalized to SSD(mmap) = 1.0).
-pub fn fig18(scale: &ExperimentScale) -> Table {
+fn fig18_driver(scale: &ExperimentScale) -> Table {
     let systems = [
         SystemKind::SsdMmap,
         SystemKind::SmartSageSw,
@@ -500,8 +767,7 @@ pub fn fig18(scale: &ExperimentScale) -> Table {
     let mut t = Table::new(
         "Fig 18: End-to-end GNN training latency (normalized to SSD(mmap))",
         &[
-            "Dataset", "System", "Sampling", "Feature", "CPU->GPU", "Train", "Else",
-            "Latency",
+            "Dataset", "System", "Sampling", "Feature", "CPU->GPU", "Train", "Else", "Latency",
         ],
     );
     let mut hw_speedups = Vec::new();
@@ -531,12 +797,12 @@ pub fn fig18(scale: &ExperimentScale) -> Table {
     t.row(vec![
         "average".into(),
         "HW/SW speedup vs mmap".into(),
-        String::new(),
-        String::new(),
-        String::new(),
-        String::new(),
-        String::new(),
-        format!("{} (max {})", speedup(avg), speedup(max)),
+        "".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        format!("{} (max {})", speedup(avg).text(), speedup(max).text()).into(),
     ]);
     t
 }
@@ -563,9 +829,7 @@ fn sample_once(ctx: &Arc<RunContext>, scale: &ExperimentScale) -> FinishedBatch 
     }
 }
 
-/// Fig 19: FPGA-CSD latency breakdown vs SSD(mmap) and SmartSAGE(SW),
-/// normalized to SSD(mmap) = 1.0 per dataset.
-pub fn fig19(scale: &ExperimentScale) -> Table {
+fn fig19_driver(scale: &ExperimentScale) -> Table {
     let mut t = Table::new(
         "Fig 19: FPGA-based CSD vs host paths (normalized latency)",
         &[
@@ -623,11 +887,15 @@ pub fn fig19(scale: &ExperimentScale) -> Table {
 // Fig 20: GraphSAINT
 // ---------------------------------------------------------------------
 
-/// Fig 20: end-to-end speedup with the GraphSAINT random-walk sampler.
-pub fn fig20(scale: &ExperimentScale) -> Table {
+fn fig20_driver(scale: &ExperimentScale) -> Table {
     let mut t = Table::new(
         "Fig 20: GraphSAINT end-to-end speedup vs SSD(mmap)",
-        &["Dataset", "SSD (mmap)", "SmartSAGE (SW)", "SmartSAGE (HW/SW)"],
+        &[
+            "Dataset",
+            "SSD (mmap)",
+            "SmartSAGE (SW)",
+            "SmartSAGE (HW/SW)",
+        ],
     );
     let mut hw_all = Vec::new();
     for d in Dataset::ALL {
@@ -650,12 +918,7 @@ pub fn fig20(scale: &ExperimentScale) -> Table {
         ]);
     }
     let avg = hw_all.iter().sum::<f64>() / hw_all.len() as f64;
-    t.row(vec![
-        "average".into(),
-        String::new(),
-        String::new(),
-        speedup(avg),
-    ]);
+    t.row(vec!["average".into(), "".into(), "".into(), speedup(avg)]);
     t
 }
 
@@ -663,9 +926,7 @@ pub fn fig20(scale: &ExperimentScale) -> Table {
 // Fig 21: sampling-rate sensitivity
 // ---------------------------------------------------------------------
 
-/// Fig 21: end-to-end speedup sensitivity to the sampling rate
-/// (0.5x / 1.0x / 2.0x of the default 25/10 fan-outs).
-pub fn fig21(scale: &ExperimentScale) -> Table {
+fn fig21_driver(scale: &ExperimentScale) -> Table {
     let mut t = Table::new(
         "Fig 21: Sensitivity to sampling rate (speedup vs SSD(mmap))",
         &["Dataset", "Rate", "SmartSAGE (SW)", "SmartSAGE (HW/SW)"],
@@ -696,8 +957,7 @@ pub fn fig21(scale: &ExperimentScale) -> Table {
 // Transfer reduction (Fig 10 / §I's ~20x claim)
 // ---------------------------------------------------------------------
 
-/// SSD→CPU data-movement reduction of the ISP vs the baseline (§I: ~20x).
-pub fn transfer_reduction(scale: &ExperimentScale) -> Table {
+fn transfer_driver(scale: &ExperimentScale) -> Table {
     let mut t = Table::new(
         "Fig 10 / SSD->CPU transfer reduction per mini-batch",
         &[
@@ -709,28 +969,26 @@ pub fn transfer_reduction(scale: &ExperimentScale) -> Table {
     );
     let mut all = Vec::new();
     for d in Dataset::ALL {
-        let mmap = sample_once(&context_for(d, SystemKind::SsdMmap, scale, GraphScale::LargeScale), scale);
+        let mmap = sample_once(
+            &context_for(d, SystemKind::SsdMmap, scale, GraphScale::LargeScale),
+            scale,
+        );
         let isp = sample_once(
             &context_for(d, SystemKind::SmartSageHwSw, scale, GraphScale::LargeScale),
             scale,
         );
-        let reduction = mmap.transfers.ssd_to_host_bytes as f64
-            / isp.transfers.ssd_to_host_bytes.max(1) as f64;
+        let reduction =
+            mmap.transfers.ssd_to_host_bytes as f64 / isp.transfers.ssd_to_host_bytes.max(1) as f64;
         all.push(reduction);
         t.row(vec![
             d.name().into(),
-            mmap.transfers.ssd_to_host_bytes.to_string(),
-            isp.transfers.ssd_to_host_bytes.to_string(),
+            mmap.transfers.ssd_to_host_bytes.into(),
+            isp.transfers.ssd_to_host_bytes.into(),
             speedup(reduction),
         ]);
     }
     let avg = all.iter().sum::<f64>() / all.len() as f64;
-    t.row(vec![
-        "average".into(),
-        String::new(),
-        String::new(),
-        speedup(avg),
-    ]);
+    t.row(vec!["average".into(), "".into(), "".into(), speedup(avg)]);
     t
 }
 
@@ -738,9 +996,9 @@ pub fn transfer_reduction(scale: &ExperimentScale) -> Table {
 // §VI-E: power and energy
 // ---------------------------------------------------------------------
 
-/// §VI-E: system-level energy per trained batch set. Firmware ISP adds
-/// no hardware; the oracle CSD adds 2-6 W of dedicated cores.
-pub fn energy(scale: &ExperimentScale) -> Table {
+/// §VI-E driver. Firmware ISP adds no hardware; the oracle CSD adds
+/// 2-6 W of dedicated cores.
+fn energy_driver(scale: &ExperimentScale) -> Table {
     // System-level power envelope (W): CPU + GPU + DRAM + SSD.
     let base_watts = 150.0 + 70.0 + 30.0 + 10.0;
     let extra = |k: SystemKind| match k {
@@ -783,6 +1041,20 @@ mod tests {
     use super::*;
 
     #[test]
+    fn registry_names_are_unique_and_findable() {
+        let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate registry names");
+        assert_eq!(names.len(), 18);
+        for name in names {
+            assert!(Experiment::find(name).is_some(), "{name} not findable");
+        }
+        assert!(Experiment::find("nope").is_none());
+    }
+
+    #[test]
     fn table1_has_five_rows_with_paper_values() {
         let t = table1();
         assert_eq!(t.len(), 5);
@@ -797,8 +1069,8 @@ mod tests {
         assert_eq!(t.len(), 5);
         for row in t.rows() {
             for cell in &row[1..] {
-                let v: f64 = cell.trim_end_matches('%').parse().expect("pct");
-                assert!((0.0..=100.0).contains(&v), "rate {cell}");
+                let v = cell.value().expect("rate cell");
+                assert!((0.0..=1.0).contains(&v), "rate {v}");
             }
         }
     }
@@ -814,8 +1086,8 @@ mod tests {
         let t = fig14(&ExperimentScale::tiny());
         // Last row is the average; check each dataset row's ordering:
         for row in &t.rows()[..t.len() - 1] {
-            let sw: f64 = row[2].trim_end_matches('x').parse().expect("sw");
-            let hw: f64 = row[3].trim_end_matches('x').parse().expect("hw");
+            let sw = row[2].value().expect("sw");
+            let hw = row[3].value().expect("hw");
             assert!(sw > 1.0, "SW should beat mmap: {sw}");
             assert!(hw > sw, "HW/SW {hw} should beat SW {sw}");
         }
@@ -825,7 +1097,7 @@ mod tests {
     fn transfer_reduction_is_large() {
         let t = transfer_reduction(&ExperimentScale::tiny());
         let avg_row = t.rows().last().expect("avg row");
-        let avg: f64 = avg_row[3].trim_end_matches('x').parse().expect("avg");
+        let avg = avg_row[3].value().expect("avg");
         assert!(avg > 5.0, "transfer reduction {avg} too small");
     }
 }

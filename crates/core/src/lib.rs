@@ -17,9 +17,12 @@
 //! * [`pipeline`] — the producer/consumer discrete-event simulator
 //!   (paper Fig 4): CPU-side workers produce subgraphs, the GPU consumes
 //!   them; reports makespan, per-stage breakdowns and GPU idle time.
-//! * [`experiments`] — drivers named after the paper artifacts
-//!   (`table1`, `fig5` … `fig21`), each returning printable rows.
-//! * [`report`] — plain-text table rendering shared by the drivers.
+//! * [`experiments`] — the [`Experiment`] registry: one descriptor per
+//!   paper artifact (`table1`, `fig5` … ablations), each driving a
+//!   typed [`report::Table`].
+//! * [`runner`] — the sweep API: select registered experiments, run
+//!   them serially or across a thread pool, observe typed outcomes.
+//! * [`report`] — typed-cell tables rendering to text, CSV, and JSON.
 
 pub mod ablations;
 pub mod backend;
@@ -30,8 +33,12 @@ pub mod metrics;
 pub mod nsconfig;
 pub mod pipeline;
 pub mod report;
+pub mod runner;
 
 pub use backend::{make_backend, SamplingBackend};
 pub use config::{SystemConfig, SystemKind};
 pub use context::RunContext;
+pub use experiments::{registry, Experiment, ExperimentScale};
 pub use pipeline::{PipelineConfig, PipelineReport};
+pub use report::{Cell, Table};
+pub use runner::{OutputFormat, RunOutcome, Runner, RunnerBuilder};

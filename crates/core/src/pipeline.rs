@@ -14,8 +14,8 @@ use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
 use crate::metrics::{FinishedBatch, StageBreakdown, TransferStats};
 use smartsage_gnn::gpu::BatchDims;
-use smartsage_gnn::sampler::{epoch_targets, plan_sample};
 use smartsage_gnn::saint::plan_random_walk;
+use smartsage_gnn::sampler::{epoch_targets, plan_sample};
 use smartsage_gnn::{Fanouts, SamplePlan};
 use smartsage_sim::{EventQueue, SimDuration, SimTime, Xoshiro256};
 use std::collections::VecDeque;
@@ -176,8 +176,7 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
                 StepOutcome::Finished => {
                     let result: FinishedBatch = backend.take_result(w);
                     sampling_total += result.sampling_time;
-                    breakdown.sampling +=
-                        result.sampling_time.saturating_sub(result.overhead_time);
+                    breakdown.sampling += result.sampling_time.saturating_sub(result.overhead_time);
                     breakdown.other += result.overhead_time;
                     transfers.ssd_to_host_bytes += result.transfers.ssd_to_host_bytes;
                     transfers.host_to_ssd_bytes += result.transfers.host_to_ssd_bytes;

@@ -1,29 +1,238 @@
-//! Plain-text table rendering for experiment output.
+//! Typed table rendering for experiment output.
+//!
+//! Every experiment driver returns a [`Table`] whose cells are typed
+//! [`Cell`] values rather than pre-formatted strings, so one table can
+//! render as aligned text (for humans), CSV, or JSON (for tooling)
+//! without the consumer re-parsing `"61.7%"`-style strings:
+//!
+//! * [`Cell::Text`] — labels (dataset/system names, composite notes).
+//! * [`Cell::Int`] — exact counts (node/edge/byte totals).
+//! * [`Cell::Num`] — a float with an explicit display precision.
+//! * [`Cell::Pct`] — a fraction in `[0, 1]`, displayed as `61.7%`.
+//! * [`Cell::Speedup`] — a ratio, displayed as `2.50x`.
+//!
+//! Machine formats ([`Table::to_csv`], [`Table::to_json`]) emit the raw
+//! numeric values; only the text renderer applies the display
+//! formatting. Consumers that need numbers use [`Cell::value`], never
+//! string parsing.
 
+use std::error::Error;
 use std::fmt;
 
-/// A fixed-width text table with a title, headers, and string rows.
+/// One typed value in a [`Table`] row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Free-form label text.
+    Text(String),
+    /// An exact unsigned count.
+    Int(u64),
+    /// A float rendered with `prec` decimals in text output.
+    Num {
+        /// The raw value.
+        value: f64,
+        /// Text-rendering precision (decimal places).
+        prec: usize,
+    },
+    /// A fraction in `[0, 1]`, text-rendered as a percentage.
+    Pct(f64),
+    /// A ratio, text-rendered as `N.NNx`.
+    Speedup(f64),
+}
+
+impl Cell {
+    /// Renders the cell the way the text table shows it.
+    pub fn text(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Num { value, prec } => format!("{value:.prec$}"),
+            Cell::Pct(v) => format!("{:.1}%", v * 100.0),
+            Cell::Speedup(v) => format!("{v:.2}x"),
+        }
+    }
+
+    /// The raw numeric value: the count, the float, the *fraction* of a
+    /// percentage, the ratio of a speedup. `None` for text.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            Cell::Text(_) => None,
+            Cell::Int(v) => Some(*v as f64),
+            Cell::Num { value, .. } => Some(*value),
+            Cell::Pct(v) => Some(*v),
+            Cell::Speedup(v) => Some(*v),
+        }
+    }
+
+    /// The label when this is a text cell.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Cell::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The exact count when this is an integer cell.
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            Cell::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// JSON value: numbers stay numbers (non-finite becomes `null`),
+    /// text becomes a JSON string.
+    fn json_value(&self) -> String {
+        match self {
+            Cell::Text(s) => json_string(s),
+            Cell::Int(v) => v.to_string(),
+            Cell::Num { value, .. } => json_number(*value),
+            Cell::Pct(v) | Cell::Speedup(v) => json_number(*v),
+        }
+    }
+
+    /// CSV value: raw numbers, quoted text where needed.
+    fn csv_value(&self) -> String {
+        match self {
+            Cell::Text(s) => csv_quote(s),
+            Cell::Int(v) => v.to_string(),
+            Cell::Num { value, .. } => raw_number(*value),
+            Cell::Pct(v) | Cell::Speedup(v) => raw_number(*v),
+        }
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Cell {
+        Cell::Text(s)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Cell {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Cell {
+        Cell::Int(v)
+    }
+}
+
+impl From<u32> for Cell {
+    fn from(v: u32) -> Cell {
+        Cell::Int(v as u64)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Cell {
+        Cell::Int(v as u64)
+    }
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn raw_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        String::new()
+    }
+}
+
+/// JSON string literal with escaping; shared with the runner's
+/// sweep-level rendering.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn csv_quote(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// A driver handed a row whose width differs from the header width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowWidthError {
+    /// Title of the table that rejected the row.
+    pub table: String,
+    /// Header (expected) width.
+    pub expected: usize,
+    /// Offered row width.
+    pub got: usize,
+}
+
+impl fmt::Display for RowWidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "table '{}': row has {} cells, headers have {}",
+            self.table, self.got, self.expected
+        )
+    }
+}
+
+impl Error for RowWidthError {}
+
+/// A titled table of typed cells.
 ///
 /// # Example
 ///
 /// ```
-/// use smartsage_core::report::Table;
-/// let mut t = Table::new("Demo", &["a", "b"]);
-/// t.row(vec!["1".into(), "2".into()]);
-/// let s = t.to_string();
-/// assert!(s.contains("Demo"));
-/// assert!(s.contains("| 1"));
+/// use smartsage_core::report::{num, Cell, Table};
+/// let mut t = Table::new("Demo", &["name", "ratio"]);
+/// t.row(vec!["a".into(), num(1.234, 2)]);
+/// assert!(t.to_string().contains("| a"));
+/// assert!(t.to_string().contains("1.23"));
+/// assert_eq!(t.rows()[0][1].value(), Some(1.234));
+/// assert!(t.to_json().starts_with("{\"title\":\"Demo\""));
+/// assert!(t.to_csv().starts_with("name,ratio"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     title: String,
     headers: Vec<String>,
-    rows: Vec<Vec<String>>,
+    rows: Vec<Vec<Cell>>,
 }
 
 impl Table {
     /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate headers: JSON rows are keyed by header, so
+    /// duplicates would silently drop cells in `to_json`.
     pub fn new(title: &str, headers: &[&str]) -> Table {
+        for (i, h) in headers.iter().enumerate() {
+            assert!(
+                !headers[..i].contains(h),
+                "table '{title}': duplicate header '{h}'"
+            );
+        }
         Table {
             title: title.to_string(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
@@ -31,14 +240,41 @@ impl Table {
         }
     }
 
+    /// Appends a row, rejecting width mismatches with a diagnosable
+    /// error naming the table.
+    pub fn try_row(&mut self, cells: Vec<Cell>) -> Result<(), RowWidthError> {
+        if cells.len() != self.headers.len() {
+            return Err(RowWidthError {
+                table: self.title.clone(),
+                expected: self.headers.len(),
+                got: cells.len(),
+            });
+        }
+        self.rows.push(cells);
+        Ok(())
+    }
+
     /// Appends a row.
     ///
     /// # Panics
     ///
-    /// Panics if the row width differs from the header width.
-    pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells);
+    /// Panics (naming the table) if the row width differs from the
+    /// header width; drivers with fallible row sources should prefer
+    /// [`Table::try_row`].
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        if let Err(e) = self.try_row(cells) {
+            panic!("row width mismatch: {e}");
+        }
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
     }
 
     /// Number of data rows.
@@ -51,16 +287,77 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// The rows (for programmatic checks in tests).
-    pub fn rows(&self) -> &[Vec<String>] {
+    /// The typed rows.
+    pub fn rows(&self) -> &[Vec<Cell>] {
         &self.rows
+    }
+
+    /// CSV: a header line then one line per row, raw numeric values.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| csv_quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &row.iter()
+                    .map(Cell::csv_value)
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON object: `{"title", "headers", "rows"}` with each row an
+    /// object keyed by header and numeric cells as JSON numbers.
+    pub fn to_json(&self) -> String {
+        let headers_json = self
+            .headers
+            .iter()
+            .map(|h| json_string(h))
+            .collect::<Vec<_>>()
+            .join(",");
+        let rows_json = self
+            .rows
+            .iter()
+            .map(|row| {
+                let fields = self
+                    .headers
+                    .iter()
+                    .zip(row)
+                    .map(|(h, c)| format!("{}:{}", json_string(h), c.json_value()))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("{{{fields}}}")
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"title\":{},\"headers\":[{}],\"rows\":[{}]}}",
+            json_string(&self.title),
+            headers_json,
+            rows_json
+        )
     }
 }
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(Cell::text).collect())
+            .collect();
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
-        for row in &self.rows {
+        for row in &rendered {
             for (w, cell) in widths.iter_mut().zip(row) {
                 *w = (*w).max(cell.len());
             }
@@ -76,26 +373,26 @@ impl fmt::Display for Table {
         line(f, &self.headers)?;
         let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
         line(f, &sep)?;
-        for row in &self.rows {
+        for row in &rendered {
             line(f, row)?;
         }
         Ok(())
     }
 }
 
-/// Formats a float with `prec` decimals.
-pub fn num(x: f64, prec: usize) -> String {
-    format!("{x:.prec$}")
+/// A float cell with `prec` display decimals.
+pub fn num(x: f64, prec: usize) -> Cell {
+    Cell::Num { value: x, prec }
 }
 
-/// Formats a ratio as `N.NNx`.
-pub fn speedup(x: f64) -> String {
-    format!("{x:.2}x")
+/// A ratio cell, text-rendered as `N.NNx`.
+pub fn speedup(x: f64) -> Cell {
+    Cell::Speedup(x)
 }
 
-/// Formats a fraction as a percentage.
-pub fn pct(x: f64) -> String {
-    format!("{:.1}%", x * 100.0)
+/// A fraction cell, text-rendered as a percentage.
+pub fn pct(x: f64) -> Cell {
+    Cell::Pct(x)
 }
 
 #[cfg(test)]
@@ -116,16 +413,74 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "width mismatch")]
-    fn ragged_row_panics() {
+    #[should_panic(expected = "table 'T'")]
+    fn ragged_row_panics_naming_the_table() {
         let mut t = Table::new("T", &["a"]);
         t.row(vec!["1".into(), "2".into()]);
     }
 
     #[test]
-    fn formatters() {
-        assert_eq!(num(1.23456, 2), "1.23");
-        assert_eq!(speedup(2.5), "2.50x");
-        assert_eq!(pct(0.617), "61.7%");
+    #[should_panic(expected = "duplicate header")]
+    fn duplicate_headers_rejected_at_construction() {
+        Table::new("T", &["a", "a"]);
+    }
+
+    #[test]
+    fn try_row_reports_widths() {
+        let mut t = Table::new("Widths", &["a", "b"]);
+        let err = t.try_row(vec!["1".into()]).unwrap_err();
+        assert_eq!(err.table, "Widths");
+        assert_eq!(err.expected, 2);
+        assert_eq!(err.got, 1);
+        assert!(err.to_string().contains("Widths"));
+        assert!(t.try_row(vec!["1".into(), "2".into()]).is_ok());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn cell_text_formatting() {
+        assert_eq!(num(1.23456, 2).text(), "1.23");
+        assert_eq!(speedup(2.5).text(), "2.50x");
+        assert_eq!(pct(0.617).text(), "61.7%");
+        assert_eq!(Cell::Int(42).text(), "42");
+        assert_eq!(Cell::from("hi").text(), "hi");
+    }
+
+    #[test]
+    fn cell_raw_values() {
+        assert_eq!(pct(0.617).value(), Some(0.617));
+        assert_eq!(speedup(2.5).value(), Some(2.5));
+        assert_eq!(num(1.5, 0).value(), Some(1.5));
+        assert_eq!(Cell::Int(7).value(), Some(7.0));
+        assert_eq!(Cell::Int(7).as_int(), Some(7));
+        assert_eq!(Cell::from("x").value(), None);
+        assert_eq!(Cell::from("x").as_str(), Some("x"));
+    }
+
+    #[test]
+    fn csv_emits_raw_values_and_quotes_text() {
+        let mut t = Table::new("T", &["name", "miss", "n"]);
+        t.row(vec!["a,b".into(), pct(0.5), 3u64.into()]);
+        assert_eq!(t.to_csv(), "name,miss,n\n\"a,b\",0.5,3\n");
+    }
+
+    #[test]
+    fn json_is_wellformed_and_typed() {
+        let mut t = Table::new("T\"x", &["name", "miss"]);
+        t.row(vec!["r".into(), pct(0.25)]);
+        let j = t.to_json();
+        assert_eq!(
+            j,
+            "{\"title\":\"T\\\"x\",\"headers\":[\"name\",\"miss\"],\
+             \"rows\":[{\"name\":\"r\",\"miss\":0.25}]}"
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let mut t = Table::new("T", &["v"]);
+        t.row(vec![num(f64::NAN, 2)]);
+        assert!(t.to_json().contains("null"));
+        assert_eq!(t.to_csv(), "v\n\n");
     }
 }

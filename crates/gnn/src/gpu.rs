@@ -123,8 +123,7 @@ impl GpuParams {
 
     /// Pure transfer delay of `bytes` over the host→GPU link (unloaded).
     pub fn transfer_delay(&self, bytes: u64) -> SimDuration {
-        let occupancy =
-            SimDuration::from_secs_f64(bytes as f64 / self.pcie_bytes_per_sec as f64);
+        let occupancy = SimDuration::from_secs_f64(bytes as f64 / self.pcie_bytes_per_sec as f64);
         occupancy + self.pcie_latency
     }
 }

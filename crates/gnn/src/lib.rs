@@ -24,8 +24,8 @@
 
 pub mod gpu;
 pub mod model;
-pub mod sampler;
 pub mod saint;
+pub mod sampler;
 pub mod tensor;
 pub mod trainer;
 

@@ -150,7 +150,9 @@ impl GraphSageModel {
 
         // Layer 1 on hop-1 nodes.
         let n1_mean = x2.group_mean(m * s1, s2);
-        let mut h1 = x1.matmul(&self.w1_self).add(&n1_mean.matmul(&self.w1_neigh));
+        let mut h1 = x1
+            .matmul(&self.w1_self)
+            .add(&n1_mean.matmul(&self.w1_neigh));
         h1.add_bias_inplace(&self.b1);
         let mask1 = h1.relu_inplace();
 
@@ -162,7 +164,9 @@ impl GraphSageModel {
 
         // Layer 2 on targets.
         let h1_mean = h1.group_mean(m, s1);
-        let mut h2 = ht.matmul(&self.w2_self).add(&h1_mean.matmul(&self.w2_neigh));
+        let mut h2 = ht
+            .matmul(&self.w2_self)
+            .add(&h1_mean.matmul(&self.w2_neigh));
         h2.add_bias_inplace(&self.b2);
         let mask2 = h2.relu_inplace();
 
@@ -289,7 +293,14 @@ mod tests {
     use smartsage_graph::generate::{generate_power_law, PowerLawConfig};
     use smartsage_graph::NodeId;
 
-    fn setup() -> (GraphSageModel, SampledBatch, Matrix, Matrix, Matrix, Vec<usize>) {
+    fn setup() -> (
+        GraphSageModel,
+        SampledBatch,
+        Matrix,
+        Matrix,
+        Matrix,
+        Vec<usize>,
+    ) {
         let g = generate_power_law(&PowerLawConfig {
             nodes: 100,
             avg_degree: 6.0,

@@ -138,7 +138,7 @@ impl SamplePlan {
                 parents.push(access.node);
                 if access.positions.is_empty() {
                     // Isolated node: self-loops keep the tree shape.
-                    neighbors.extend(std::iter::repeat(access.node).take(hop.fanout));
+                    neighbors.extend(std::iter::repeat_n(access.node, hop.fanout));
                 } else {
                     debug_assert_eq!(access.positions.len(), hop.fanout);
                     for &pos in &access.positions {
@@ -229,7 +229,7 @@ pub fn plan_sample(
                 (0..fanout).map(|_| rng.range_u64(degree)).collect()
             };
             if positions.is_empty() {
-                next_frontier.extend(std::iter::repeat(node).take(fanout));
+                next_frontier.extend(std::iter::repeat_n(node, fanout));
             } else {
                 for &p in &positions {
                     next_frontier.push(graph.neighbor(node, p));
@@ -391,10 +391,10 @@ mod tests {
 
     #[test]
     fn epoch_targets_form_a_permutation() {
-        let n = 97;
+        let n: usize = 97;
         let bs = 10;
         let mut seen: Vec<u32> = Vec::new();
-        for step in 0..((n + bs - 1) / bs) {
+        for step in 0..n.div_ceil(bs) {
             seen.extend(epoch_targets(n, bs, step, 42).iter().map(|t| t.raw()));
         }
         seen.truncate(n);

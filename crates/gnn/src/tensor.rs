@@ -58,7 +58,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds from a flat row-major vector.
@@ -214,8 +218,8 @@ impl Matrix {
     pub fn add_bias_inplace(&mut self, bias: &[f32]) {
         assert_eq!(bias.len(), self.cols, "bias length mismatch");
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                self.data[r * self.cols + c] += bias[c];
+            for (c, &b) in bias.iter().enumerate() {
+                self.data[r * self.cols + c] += b;
             }
         }
     }
@@ -307,17 +311,16 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix)
     let c = logits.cols();
     let mut grad = Matrix::zeros(n, c);
     let mut loss = 0.0f64;
-    for i in 0..n {
-        assert!(labels[i] < c, "label {} out of range {c}", labels[i]);
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {label} out of range {c}");
         let row = logits.row(i);
         let maxv = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|&v| (v - maxv).exp()).collect();
         let sum: f32 = exps.iter().sum();
-        let label = labels[i];
         let p = exps[label] / sum;
         loss += -(p.max(1e-12) as f64).ln();
-        for j in 0..c {
-            let soft = exps[j] / sum;
+        for (j, &e) in exps.iter().enumerate() {
+            let soft = e / sum;
             *grad.at_mut(i, j) = (soft - if j == label { 1.0 } else { 0.0 }) / n as f32;
         }
     }

@@ -67,7 +67,8 @@ impl Trainer {
         let cache = self.model.forward(&batch, x0, x1, x2);
         let labels: Vec<usize> = batch.targets.iter().map(|&t| features.label(t)).collect();
         let (loss, grads) = self.model.loss_and_gradients(&cache, &labels);
-        self.model.apply_gradients(&grads, self.config.learning_rate);
+        self.model
+            .apply_gradients(&grads, self.config.learning_rate);
         loss
     }
 

@@ -334,7 +334,10 @@ mod tests {
         let g = diamond();
         assert_eq!(g.num_nodes(), 4);
         assert_eq!(g.num_edges(), 5);
-        assert_eq!(g.neighbors(NodeId::new(0)), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            g.neighbors(NodeId::new(0)),
+            &[NodeId::new(1), NodeId::new(2)]
+        );
         assert_eq!(g.neighbors(NodeId::new(3)), &[NodeId::new(0)]);
         assert_eq!(g.degree(NodeId::new(1)), 1);
         assert_eq!(g.neighbor(NodeId::new(0), 1), NodeId::new(2));
@@ -377,8 +380,14 @@ mod tests {
         let g = diamond();
         assert_eq!(g.edge_array_bytes(), 5 * NEIGHBOR_ENTRY_BYTES);
         assert_eq!(g.edge_list_byte_offset(NodeId::new(0)), 0);
-        assert_eq!(g.edge_list_byte_offset(NodeId::new(1)), 2 * NEIGHBOR_ENTRY_BYTES);
-        assert_eq!(g.edge_list_byte_len(NodeId::new(0)), 2 * NEIGHBOR_ENTRY_BYTES);
+        assert_eq!(
+            g.edge_list_byte_offset(NodeId::new(1)),
+            2 * NEIGHBOR_ENTRY_BYTES
+        );
+        assert_eq!(
+            g.edge_list_byte_len(NodeId::new(0)),
+            2 * NEIGHBOR_ENTRY_BYTES
+        );
     }
 
     #[test]
@@ -424,7 +433,10 @@ mod tests {
                 last_offset: 1,
                 targets: 2,
             },
-            CsrError::TargetOutOfBounds { target: 7, nodes: 2 },
+            CsrError::TargetOutOfBounds {
+                target: 7,
+                nodes: 2,
+            },
         ];
         for e in errs {
             assert!(!format!("{e}").is_empty());

@@ -126,32 +126,77 @@ impl DatasetProfile {
         // Numbers transcribed from paper Table I.
         let (in_memory, large_scale, feature_dim) = match dataset {
             Dataset::Reddit => (
-                ScaleStats { nodes: 233_000, edges: 114_600_000, size_gb: 0.8 },
-                ScaleStats { nodes: 37_300_000, edges: 53_900_000_000, size_gb: 402.0 },
+                ScaleStats {
+                    nodes: 233_000,
+                    edges: 114_600_000,
+                    size_gb: 0.8,
+                },
+                ScaleStats {
+                    nodes: 37_300_000,
+                    edges: 53_900_000_000,
+                    size_gb: 402.0,
+                },
                 602,
             ),
             Dataset::Movielens => (
-                ScaleStats { nodes: 5_500_000, edges: 6_000_000_000, size_gb: 45.0 },
-                ScaleStats { nodes: 22_200_000, edges: 59_200_000_000, size_gb: 442.0 },
+                ScaleStats {
+                    nodes: 5_500_000,
+                    edges: 6_000_000_000,
+                    size_gb: 45.0,
+                },
+                ScaleStats {
+                    nodes: 22_200_000,
+                    edges: 59_200_000_000,
+                    size_gb: 442.0,
+                },
                 1_024,
             ),
             Dataset::Amazon => (
-                ScaleStats { nodes: 42_500_000, edges: 1_300_000_000, size_gb: 9.7 },
-                ScaleStats { nodes: 265_900_000, edges: 9_500_000_000, size_gb: 75.0 },
+                ScaleStats {
+                    nodes: 42_500_000,
+                    edges: 1_300_000_000,
+                    size_gb: 9.7,
+                },
+                ScaleStats {
+                    nodes: 265_900_000,
+                    edges: 9_500_000_000,
+                    size_gb: 75.0,
+                },
                 32,
             ),
             Dataset::Ogbn100M => (
-                ScaleStats { nodes: 89_600_000, edges: 3_200_000_000, size_gb: 26.0 },
-                ScaleStats { nodes: 179_100_000, edges: 5_000_000_000, size_gb: 41.0 },
+                ScaleStats {
+                    nodes: 89_600_000,
+                    edges: 3_200_000_000,
+                    size_gb: 26.0,
+                },
+                ScaleStats {
+                    nodes: 179_100_000,
+                    edges: 5_000_000_000,
+                    size_gb: 41.0,
+                },
                 32,
             ),
             Dataset::ProteinPi => (
-                ScaleStats { nodes: 907_000, edges: 317_500_000, size_gb: 2.4 },
-                ScaleStats { nodes: 9_100_000, edges: 8_800_000_000, size_gb: 66.0 },
+                ScaleStats {
+                    nodes: 907_000,
+                    edges: 317_500_000,
+                    size_gb: 2.4,
+                },
+                ScaleStats {
+                    nodes: 9_100_000,
+                    edges: 8_800_000_000,
+                    size_gb: 66.0,
+                },
                 512,
             ),
         };
-        DatasetProfile { dataset, in_memory, large_scale, feature_dim }
+        DatasetProfile {
+            dataset,
+            in_memory,
+            large_scale,
+            feature_dim,
+        }
     }
 
     /// Statistics for the requested variant.

@@ -131,8 +131,8 @@ pub fn generate_power_law(cfg: &PowerLawConfig) -> CsrGraph {
     };
 
     let mut edges: Vec<(u32, u32)> = Vec::with_capacity((n as f64 * cfg.avg_degree) as usize);
-    for src in 0..n {
-        let expected = (weights[src] * cfg.avg_degree).round().max(1.0) as usize;
+    for (src, &weight) in weights.iter().enumerate() {
+        let expected = (weight * cfg.avg_degree).round().max(1.0) as usize;
         let comm = community_of(NodeId::new(src as u32), communities);
         let members = &comm_members[comm];
         let cum = &comm_cum[comm];
@@ -253,7 +253,10 @@ mod tests {
             .filter(|&(u, v)| community_of(u, 8) == community_of(v, 8))
             .count();
         let frac0 = within0 as f64 / g0.num_edges() as f64;
-        assert!(frac0 < 0.3, "control within-community fraction {frac0} too high");
+        assert!(
+            frac0 < 0.3,
+            "control within-community fraction {frac0} too high"
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ pub fn expansion_stats(base_nodes: u64, base_edges: u64, seed: &CsrGraph) -> Exp
     ExpansionStats {
         nodes,
         edges,
-        avg_degree: if nodes == 0 { 0.0 } else { edges as f64 / nodes as f64 },
+        avg_degree: if nodes == 0 {
+            0.0
+        } else {
+            edges as f64 / nodes as f64
+        },
     }
 }
 

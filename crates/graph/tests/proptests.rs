@@ -27,15 +27,15 @@ proptest! {
         for (s, d) in &edges {
             want[*s as usize].push(*d);
         }
-        for n in 0..nodes {
+        for (n, want_n) in want.iter_mut().enumerate() {
             let mut got: Vec<u32> = g
                 .neighbors(NodeId::new(n as u32))
                 .iter()
                 .map(|x| x.raw())
                 .collect();
             got.sort_unstable();
-            want[n].sort_unstable();
-            prop_assert_eq!(&got, &want[n], "node {}", n);
+            want_n.sort_unstable();
+            prop_assert_eq!(&got, want_n, "node {}", n);
         }
     }
 

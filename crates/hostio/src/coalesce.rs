@@ -34,7 +34,11 @@ impl CoalescingPlan {
         CoalescingPlan {
             granularity,
             commands,
-            last_command_targets: if rem == 0 { granularity.min(batch_targets) } else { rem },
+            last_command_targets: if rem == 0 {
+                granularity.min(batch_targets)
+            } else {
+                rem
+            },
         }
     }
 

@@ -103,7 +103,7 @@ impl DirectIoReader {
             if resident {
                 hits += 1;
                 self.hits += 1;
-                now = now + self.params.scratchpad_hit_cost;
+                now += self.params.scratchpad_hit_cost;
             } else {
                 self.misses += 1;
                 missing.push(block);
@@ -112,7 +112,7 @@ impl DirectIoReader {
         let mut ssd_blocks = 0;
         if !missing.is_empty() {
             // One lean syscall covers the whole missing run.
-            now = now + self.params.direct_io_syscall_cost;
+            now += self.params.direct_io_syscall_cost;
             let mut prev_flash_page: Option<u64> = None;
             for block in missing.iter() {
                 // Blocks of one chunk share flash pages; after the first
@@ -166,7 +166,10 @@ mod tests {
         let out = r.read(
             &mut dev,
             SimTime::ZERO,
-            ByteRange { offset: 0, len: 2 * 4096 },
+            ByteRange {
+                offset: 0,
+                len: 2 * 4096,
+            },
             None,
             None,
         );
@@ -193,7 +196,10 @@ mod tests {
     #[test]
     fn direct_io_beats_mmap_on_cold_misses() {
         use crate::mmap::MmapReader;
-        let range = ByteRange { offset: 0, len: 3 * 4096 };
+        let range = ByteRange {
+            offset: 0,
+            len: 3 * 4096,
+        };
         let mut dio = reader(0); // no scratchpad: pure path comparison
         let mut dev1 = ssd();
         let dio_out = dio.read(&mut dev1, SimTime::ZERO, range, None, None);
@@ -212,7 +218,10 @@ mod tests {
     fn scratchpad_hits_skip_the_device() {
         let mut r = reader(64);
         let mut dev = ssd();
-        let range = ByteRange { offset: 0, len: 4096 };
+        let range = ByteRange {
+            offset: 0,
+            len: 4096,
+        };
         let first = r.read(&mut dev, SimTime::ZERO, range, None, None);
         let second = r.read(&mut dev, first.done, range, None, None);
         assert_eq!(second.ssd_blocks, 0);
@@ -231,7 +240,10 @@ mod tests {
         let out = r.read(
             &mut dev,
             SimTime::ZERO,
-            ByteRange { offset: 0, len: 4096 },
+            ByteRange {
+                offset: 0,
+                len: 4096,
+            },
             Some(true),
             None,
         );
@@ -243,7 +255,10 @@ mod tests {
     fn reset_clears_scratchpad() {
         let mut r = reader(64);
         let mut dev = ssd();
-        let range = ByteRange { offset: 0, len: 4096 };
+        let range = ByteRange {
+            offset: 0,
+            len: 4096,
+        };
         r.read(&mut dev, SimTime::ZERO, range, None, None);
         r.reset();
         assert_eq!(r.hits(), 0);

@@ -110,7 +110,8 @@ impl GraphFile {
         debug_assert!(first + count <= graph.degree(node));
         ByteRange {
             offset: self.edge_array_base
-                + (graph.edge_list_start(node) + first) * smartsage_graph::csr::NEIGHBOR_ENTRY_BYTES,
+                + (graph.edge_list_start(node) + first)
+                    * smartsage_graph::csr::NEIGHBOR_ENTRY_BYTES,
             len: count * smartsage_graph::csr::NEIGHBOR_ENTRY_BYTES,
         }
     }
@@ -159,13 +160,19 @@ mod tests {
 
     #[test]
     fn block_math() {
-        let r = ByteRange { offset: 4090, len: 20 };
+        let r = ByteRange {
+            offset: 4090,
+            len: 20,
+        };
         assert_eq!(r.blocks(4096), Some((0, 1)));
         assert_eq!(r.block_count(4096), 2);
         let empty = ByteRange { offset: 10, len: 0 };
         assert_eq!(empty.blocks(4096), None);
         assert_eq!(empty.block_count(4096), 0);
-        let exact = ByteRange { offset: 8192, len: 4096 };
+        let exact = ByteRange {
+            offset: 8192,
+            len: 4096,
+        };
         assert_eq!(exact.blocks(4096), Some((2, 2)));
     }
 

@@ -146,10 +146,7 @@ mod tests {
         for frac in [0.1, 0.3, 0.5, 0.9] {
             let cap = (1_000_000.0 * 4096.0 * frac) as u64;
             let hr = lru_hit_rate(&buckets, cap);
-            assert!(
-                (hr - frac).abs() < 0.05,
-                "coverage {frac}: hit rate {hr}"
-            );
+            assert!((hr - frac).abs() < 0.05, "coverage {frac}: hit rate {hr}");
         }
     }
 
@@ -206,10 +203,7 @@ mod tests {
         ];
         let mut prev = 0.0;
         for frac in [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0] {
-            let total: f64 = buckets
-                .iter()
-                .map(|b| b.objects * b.bytes_per_object)
-                .sum();
+            let total: f64 = buckets.iter().map(|b| b.objects * b.bytes_per_object).sum();
             let hr = lru_hit_rate(&buckets, (total * frac) as u64);
             assert!(hr + 1e-9 >= prev, "hit rate not monotone at {frac}");
             prev = hr;

@@ -87,12 +87,12 @@ impl MmapReader {
             match lookup {
                 PageLookup::Hit => {
                     hits += 1;
-                    now = now + self.params.minor_hit_cost;
+                    now += self.params.minor_hit_cost;
                 }
                 PageLookup::Fault => {
                     misses += 1;
                     // Kernel fault path, then a synchronous block read.
-                    now = now + self.params.fault_cost;
+                    now += self.params.fault_cost;
                     // Consecutive blocks of one chunk usually share a
                     // flash page: once the first block's page is read it
                     // is resident in the SSD buffer for the rest.
@@ -145,7 +145,10 @@ mod tests {
         let out = r.read(
             &mut dev,
             SimTime::ZERO,
-            ByteRange { offset: 0, len: 3 * 4096 },
+            ByteRange {
+                offset: 0,
+                len: 3 * 4096,
+            },
             None,
             None,
         );
@@ -161,19 +164,28 @@ mod tests {
     fn warm_read_is_cheap() {
         let mut r = reader(1024);
         let mut dev = ssd();
-        let range = ByteRange { offset: 0, len: 4096 };
+        let range = ByteRange {
+            offset: 0,
+            len: 4096,
+        };
         let cold = r.read(&mut dev, SimTime::ZERO, range, None, None);
         let warm = r.read(&mut dev, cold.done, range, None, None);
         assert_eq!(warm.host_hits, 1);
         assert_eq!(warm.ssd_blocks, 0);
-        assert_eq!(warm.done - cold.done, HostIoParams::default().minor_hit_cost);
+        assert_eq!(
+            warm.done - cold.done,
+            HostIoParams::default().minor_hit_cost
+        );
     }
 
     #[test]
     fn override_imposes_outcomes() {
         let mut r = reader(1024);
         let mut dev = ssd();
-        let range = ByteRange { offset: 0, len: 4096 };
+        let range = ByteRange {
+            offset: 0,
+            len: 4096,
+        };
         let forced_hit = r.read(&mut dev, SimTime::ZERO, range, Some(true), None);
         assert_eq!(forced_hit.host_hits, 1);
         assert_eq!(forced_hit.ssd_blocks, 0);
@@ -189,7 +201,10 @@ mod tests {
         let out = r.read(
             &mut dev,
             SimTime::ZERO,
-            ByteRange { offset: 100, len: 0 },
+            ByteRange {
+                offset: 100,
+                len: 0,
+            },
             None,
             None,
         );

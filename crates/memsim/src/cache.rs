@@ -71,7 +71,10 @@ impl SetAssocCache {
     ///
     /// Panics if the line size is not a power of two or associativity is 0.
     pub fn new(params: CacheParams) -> Self {
-        assert!(params.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            params.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(params.associativity > 0, "associativity must be positive");
         let num_sets = params.num_sets();
         SetAssocCache {

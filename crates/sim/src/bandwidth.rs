@@ -170,8 +170,14 @@ mod tests {
         let t0 = SimTime::ZERO;
         let d1 = link.transfer(t0, 1_000_000); // occupies [0, 1ms)
         let d2 = link.transfer(t0, 1_000_000); // occupies [1ms, 2ms)
-        assert_eq!(d1, t0 + SimDuration::from_millis(1) + SimDuration::from_micros(2));
-        assert_eq!(d2, t0 + SimDuration::from_millis(2) + SimDuration::from_micros(2));
+        assert_eq!(
+            d1,
+            t0 + SimDuration::from_millis(1) + SimDuration::from_micros(2)
+        );
+        assert_eq!(
+            d2,
+            t0 + SimDuration::from_millis(2) + SimDuration::from_micros(2)
+        );
         assert_eq!(link.bytes_moved(), 2_000_000);
         assert_eq!(link.transfers(), 2);
         assert_eq!(link.busy_time(), SimDuration::from_millis(2));
@@ -209,7 +215,7 @@ mod tests {
         let t = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
         link.transfer(t(0), 1000); // [0, 1ms)
         link.transfer(t(10), 1000); // [10, 11ms)
-        // 1ms transfer arriving at 2ms fits in the [1, 10) gap.
+                                    // 1ms transfer arriving at 2ms fits in the [1, 10) gap.
         let done = link.transfer(t(2), 1000);
         assert_eq!(done, t(3));
     }
@@ -223,7 +229,10 @@ mod tests {
         assert_eq!(link.latency(), SimDuration::from_nanos(5));
         assert_eq!(link.bytes_per_sec(), 500);
         let done = link.transfer(SimTime::ZERO, 500);
-        assert_eq!(done, SimTime::ZERO + SimDuration::from_secs(1) + SimDuration::from_nanos(5));
+        assert_eq!(
+            done,
+            SimTime::ZERO + SimDuration::from_secs(1) + SimDuration::from_nanos(5)
+        );
     }
 
     #[test]

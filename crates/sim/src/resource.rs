@@ -101,11 +101,7 @@ impl Server {
 
     /// Earliest time a new arrival at `at` could start service.
     pub fn next_start(&self, at: SimTime) -> SimTime {
-        let in_flight = self
-            .busy_until
-            .iter()
-            .filter(|&&Reverse(t)| t > at)
-            .count();
+        let in_flight = self.busy_until.iter().filter(|&&Reverse(t)| t > at).count();
         if in_flight < self.capacity {
             at
         } else {

@@ -85,10 +85,7 @@ impl Xoshiro256 {
     /// Returns the next 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -202,7 +199,8 @@ impl Xoshiro256 {
     /// Deriving rather than cloning prevents accidental stream correlation
     /// between e.g. the graph generator and the sampler.
     pub fn derive(&self, stream: u64) -> Xoshiro256 {
-        let mut sm = SplitMix64::new(self.s[0] ^ self.s[3] ^ stream.wrapping_mul(0xA24B_AED4_963E_E407));
+        let mut sm =
+            SplitMix64::new(self.s[0] ^ self.s[3] ^ stream.wrapping_mul(0xA24B_AED4_963E_E407));
         let mut s = [0u64; 4];
         for slot in &mut s {
             *slot = sm.next_u64();

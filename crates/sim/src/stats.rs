@@ -287,7 +287,9 @@ mod tests {
 
     #[test]
     fn stats_match_closed_form() {
-        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.variance() - 4.0).abs() < 1e-12);
         assert!((s.stddev() - 2.0).abs() < 1e-12);
@@ -357,7 +359,7 @@ mod tests {
             h.record(v);
         }
         let median = h.quantile(0.5).unwrap();
-        assert!(median >= 256 && median <= 1024, "median bucket {median}");
+        assert!((256..=1024).contains(&median), "median bucket {median}");
         assert!(h.quantile(1.0).unwrap() >= 1000);
         assert_eq!(Histogram::new().quantile(0.5), None);
         assert_eq!(h.quantile(1.5), None);

@@ -209,10 +209,7 @@ mod tests {
         let b = f.read_page(SimTime::ZERO, PhysPage(2)); // same channel 0
         assert!(b > a, "second read on the same die must queue");
         // Sense (50us) queues behind the first: 50+50+10 = 110us total.
-        assert_eq!(
-            b,
-            SimTime::ZERO + SimDuration::from_micros(110)
-        );
+        assert_eq!(b, SimTime::ZERO + SimDuration::from_micros(110));
     }
 
     #[test]

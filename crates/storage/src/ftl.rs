@@ -127,7 +127,11 @@ mod tests {
         // FlashArray assigns channel = ppn % channels, so 8 consecutive
         // LPNs must land on all 8 channels.
         let channels: HashSet<u64> = (0..8).map(|l| f.translate(l).0 % 8).collect();
-        assert_eq!(channels.len(), 8, "8 consecutive LPNs should use 8 channels");
+        assert_eq!(
+            channels.len(),
+            8,
+            "8 consecutive LPNs should use 8 channels"
+        );
     }
 
     #[test]

@@ -129,9 +129,7 @@ impl Ssd {
         buffer_hit_override: Option<bool>,
     ) -> BlockRead {
         // Firmware: command decode + FTL + DMA setup, on the shared cores.
-        let (_, fw_done) = self
-            .cores
-            .exec_raw(at, self.nvme.per_io_firmware_cost);
+        let (_, fw_done) = self.cores.exec_raw(at, self.nvme.per_io_firmware_cost);
         let lpn = lba * self.nvme.block_bytes / self.page_bytes;
         let ppn = self.ftl.translate(lpn);
         let hit = match buffer_hit_override {

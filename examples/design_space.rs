@@ -1,7 +1,7 @@
 //! Design-space exploration: sweep the knobs the paper holds fixed and
 //! see how SmartSAGE's advantage moves.
 //!
-//! Three sweeps on a Movielens-like large-scale graph:
+//! Three custom sweeps on a Movielens-like large-scale graph:
 //!
 //! 1. **Embedded-core count** — how much ISP compute does the CSD need
 //!    before flash bandwidth becomes the binding constraint?
@@ -9,11 +9,17 @@
 //! 3. **SSD page-buffer size** — how sensitive is in-storage sampling to
 //!    device DRAM?
 //!
+//! …followed by the registered `ablation-*` experiments, executed in
+//! parallel through the [`Runner`] sweep API and rendered as CSV — the
+//! same machinery the `reproduce` binary uses.
+//!
 //! Run with `cargo run --release --example design_space`.
 
 use smartsage::core::config::{SystemConfig, SystemKind};
 use smartsage::core::context::RunContext;
+use smartsage::core::experiments::ExperimentScale;
 use smartsage::core::pipeline::{run_pipeline, PipelineConfig, SamplerKind};
+use smartsage::core::runner::{OutputFormat, Runner};
 use smartsage::gnn::Fanouts;
 use smartsage::graph::{Dataset, DatasetProfile, GraphScale};
 use std::sync::Arc;
@@ -74,4 +80,23 @@ fn main() {
         let thr = sampling_throughput(cfg, 1);
         println!("  depth {depth:>2}: {thr:>8.1} batches/s");
     }
+
+    // The registered ablations, through the same sweep API the
+    // `reproduce` CLI uses: parallel execution, progress on stderr,
+    // machine-readable CSV on stdout.
+    println!("\n== Registered ablations (Runner, CSV) ==");
+    let outcomes = Runner::builder()
+        .scale(ExperimentScale::tiny())
+        .filter(|e| e.name.starts_with("ablation-"))
+        .jobs(0)
+        .on_result(|o| {
+            eprintln!(
+                "[{} finished in {:.1}s]",
+                o.experiment.name,
+                o.wall.as_secs_f64()
+            )
+        })
+        .build()
+        .run();
+    print!("{}", OutputFormat::Csv.render(&outcomes));
 }

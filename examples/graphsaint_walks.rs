@@ -17,7 +17,8 @@ use smartsage::sim::Xoshiro256;
 use std::sync::Arc;
 
 fn main() {
-    let data = DatasetProfile::of(Dataset::ProteinPi).materialize(GraphScale::LargeScale, 150_000, 21);
+    let data =
+        DatasetProfile::of(Dataset::ProteinPi).materialize(GraphScale::LargeScale, 150_000, 21);
     let graph = &data.graph;
 
     // ------------------------------------------------------------------

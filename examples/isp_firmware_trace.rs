@@ -49,8 +49,16 @@ fn main() {
     };
     let blob = nsconfig.encode();
     println!("== NSconfig (driver -> firmware contract) ==");
-    println!("  {} targets, fanouts {:?}", nsconfig.targets.len(), nsconfig.fanouts);
-    println!("  encoded: {} bytes, first 16: {:02x?}", blob.len(), &blob[..16]);
+    println!(
+        "  {} targets, fanouts {:?}",
+        nsconfig.targets.len(),
+        nsconfig.fanouts
+    );
+    println!(
+        "  encoded: {} bytes, first 16: {:02x?}",
+        blob.len(),
+        &blob[..16]
+    );
     let decoded = NsConfig::decode(&blob).expect("firmware decodes the blob");
     assert_eq!(decoded, nsconfig);
     println!("  firmware decode round-trips byte-exactly\n");
@@ -81,17 +89,12 @@ fn main() {
     backend.begin(0, SimTime::ZERO, plan);
     let mut now = SimTime::ZERO;
     let mut steps = 0u32;
-    loop {
-        match backend.step(0, &mut devices, now) {
-            StepOutcome::Running { next } => {
-                if steps < 6 || steps % 8 == 0 {
-                    println!("  step {steps:>3}: firmware advances to {next}");
-                }
-                now = next.max(now);
-                steps += 1;
-            }
-            StepOutcome::Finished => break,
+    while let StepOutcome::Running { next } = backend.step(0, &mut devices, now) {
+        if steps < 6 || steps.is_multiple_of(8) {
+            println!("  step {steps:>3}: firmware advances to {next}");
         }
+        now = next.max(now);
+        steps += 1;
     }
     let result = backend.take_result(0);
     println!("  done at {} after {} firmware steps", result.done, steps);
@@ -101,7 +104,10 @@ fn main() {
         devices.ssd.flash.pages_read(),
         devices.ssd.flash.coalesced_reads()
     );
-    println!("  FTL translations     : {}", devices.ssd.ftl.translations());
+    println!(
+        "  FTL translations     : {}",
+        devices.ssd.ftl.translations()
+    );
     println!(
         "  page-buffer hit ratio: {:.1}%",
         devices.ssd.buffer.hit_ratio() * 100.0

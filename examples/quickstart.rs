@@ -54,7 +54,10 @@ fn main() {
     }
     let eval: Vec<NodeId> = (0..400u32).map(NodeId::new).collect();
     let acc = trainer.accuracy(&graph, &features, &eval, &mut rng);
-    println!("  accuracy on 400 nodes: {:.1}% (chance 25%)\n", acc * 100.0);
+    println!(
+        "  accuracy on 400 nodes: {:.1}% (chance 25%)\n",
+        acc * 100.0
+    );
 
     // ------------------------------------------------------------------
     // 2. System comparison: the same sampling workload on the paper's

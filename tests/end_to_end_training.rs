@@ -29,11 +29,8 @@ fn sample_via(
     let plan = plan_sample(ctx.graph(), targets, &Fanouts::new(vec![5, 3]), &mut rng);
     backend.begin(0, SimTime::ZERO, plan);
     let mut now = SimTime::ZERO;
-    loop {
-        match backend.step(0, &mut devices, now) {
-            StepOutcome::Running { next } => now = next.max(now),
-            StepOutcome::Finished => break,
-        }
+    while let StepOutcome::Running { next } = backend.step(0, &mut devices, now) {
+        now = next.max(now);
     }
     let result = backend.take_result(0);
     assert_eq!(result.batch.targets, targets, "{kind}: targets preserved");

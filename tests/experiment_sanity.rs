@@ -1,19 +1,17 @@
 //! Integration: every experiment driver produces well-formed tables at
 //! tiny scale, and the headline relations the paper reports hold in the
-//! measured rows.
+//! measured rows. Numeric checks read typed [`Cell`] values directly —
+//! no string re-parsing.
 
 use smartsage::core::experiments::{self, ExperimentScale};
+use smartsage::core::report::Cell;
 
 fn scale() -> ExperimentScale {
     ExperimentScale::tiny()
 }
 
-fn parse_speedup(cell: &str) -> f64 {
-    cell.trim_end_matches('x').parse().expect("speedup cell")
-}
-
-fn parse_pct(cell: &str) -> f64 {
-    cell.trim_end_matches('%').parse().expect("pct cell")
+fn value(cell: &Cell) -> f64 {
+    cell.value().expect("numeric cell")
 }
 
 #[test]
@@ -22,21 +20,21 @@ fn table1_matches_the_paper_exactly() {
     assert_eq!(t.len(), 5);
     let rows = t.rows();
     // Spot-check against the paper's Table I.
-    assert_eq!(rows[0][0], "Reddit");
-    assert_eq!(rows[0][1], "233000");
-    assert_eq!(rows[1][7], "1024"); // Movielens features
-    assert_eq!(rows[4][5], "8800000000"); // Protein-PI large edges
+    assert_eq!(rows[0][0].as_str(), Some("Reddit"));
+    assert_eq!(rows[0][1].as_int(), Some(233_000));
+    assert_eq!(rows[1][7].as_int(), Some(1024)); // Movielens features
+    assert_eq!(rows[4][5].as_int(), Some(8_800_000_000)); // Protein-PI large edges
 }
 
 #[test]
 fn fig5_rates_are_in_the_characterization_band() {
     let t = experiments::fig5(&scale());
     for row in t.rows() {
-        let miss = parse_pct(&row[1]);
-        let bw = parse_pct(&row[2]);
+        let miss = value(&row[1]);
+        let bw = value(&row[2]);
         // Paper: ~62% average miss rate, ~21% average BW utilization.
-        assert!((30.0..=100.0).contains(&miss), "{row:?}");
-        assert!((2.0..=60.0).contains(&bw), "{row:?}");
+        assert!((0.30..=1.0).contains(&miss), "{row:?}");
+        assert!((0.02..=0.60).contains(&bw), "{row:?}");
     }
 }
 
@@ -44,8 +42,8 @@ fn fig5_rates_are_in_the_characterization_band() {
 fn fig6_mmap_is_always_slower_than_dram() {
     let t = experiments::fig6(&scale());
     for row in t.rows() {
-        if row[1] == "SSD (mmap)" {
-            let slowdown = parse_speedup(&row[7]);
+        if row[1].as_str() == Some("SSD (mmap)") {
+            let slowdown = value(&row[7]);
             assert!(slowdown > 2.0, "mmap slowdown too small: {row:?}");
         }
     }
@@ -55,10 +53,10 @@ fn fig6_mmap_is_always_slower_than_dram() {
 fn fig7_mmap_idles_the_gpu_more() {
     let t = experiments::fig7(&scale());
     for row in t.rows() {
-        let dram = parse_pct(&row[1]);
-        let mmap = parse_pct(&row[2]);
+        let dram = value(&row[1]);
+        let mmap = value(&row[2]);
         assert!(
-            mmap > dram + 10.0,
+            mmap > dram + 0.10,
             "mmap should idle the GPU far more: {row:?}"
         );
     }
@@ -69,10 +67,10 @@ fn fig13_expansion_grows_and_preserves_alpha() {
     let t = experiments::fig13(&scale());
     let mut alpha_rows = 0;
     for row in t.rows() {
-        if row[1].starts_with("alpha") {
+        if row[1].as_str().is_some_and(|s| s.starts_with("alpha")) {
             alpha_rows += 1;
-            let a0: f64 = row[2].parse().expect("alpha");
-            let a1: f64 = row[3].parse().expect("alpha");
+            let a0 = value(&row[2]);
+            let a1 = value(&row[3]);
             assert!(
                 (a0 - a1).abs() < 1.0,
                 "expansion should preserve the exponent: {row:?}"
@@ -87,8 +85,8 @@ fn fig14_and_fig16_speedup_relations() {
     for t in [experiments::fig14(&scale()), experiments::fig16(&scale())] {
         let data_rows = &t.rows()[..t.len() - 1];
         for row in data_rows {
-            let sw = parse_speedup(&row[2]);
-            let hw = parse_speedup(&row[3]);
+            let sw = value(&row[2]);
+            let hw = value(&row[3]);
             assert!(sw > 1.0, "SW must beat mmap: {row:?}");
             assert!(hw > sw, "HW/SW must beat SW: {row:?}");
         }
@@ -101,8 +99,8 @@ fn fig15_degrades_toward_fine_granularity() {
     // Per dataset, performance at granularity 1 must be well below 1024.
     let rows = t.rows();
     for chunk in rows.chunks(6) {
-        let coarse: f64 = chunk[0][2].parse().expect("norm");
-        let fine: f64 = chunk[5][2].parse().expect("norm");
+        let coarse = value(&chunk[0][2]);
+        let fine = value(&chunk[5][2]);
         assert!((coarse - 1.0).abs() < 1e-9);
         assert!(
             fine < 0.8,
@@ -111,7 +109,7 @@ fn fig15_degrades_toward_fine_granularity() {
         // Monotone non-increasing within noise.
         let mut prev = f64::INFINITY;
         for row in chunk {
-            let v: f64 = row[2].parse().expect("norm");
+            let v = value(&row[2]);
             assert!(v <= prev + 0.02, "non-monotone sweep: {chunk:?}");
             prev = v;
         }
@@ -124,10 +122,10 @@ fn fig18_headline_speedups() {
     let rows = t.rows();
     // Per dataset block of 6 systems: mmap first (latency 1.0), DRAM last.
     for block in rows[..rows.len() - 1].chunks(6) {
-        let mmap: f64 = block[0][7].parse().expect("latency");
+        let mmap = value(&block[0][7]);
         assert!((mmap - 1.0).abs() < 1e-9);
-        let hwsw: f64 = block[2][7].parse().expect("latency");
-        let dram: f64 = block[5][7].parse().expect("latency");
+        let hwsw = value(&block[2][7]);
+        let dram = value(&block[5][7]);
         assert!(hwsw < 0.7, "HW/SW should clearly beat mmap: {block:?}");
         assert!(dram <= hwsw, "DRAM is the lower bound: {block:?}");
     }
@@ -140,8 +138,8 @@ fn fig19_fpga_not_better_than_sw_on_average() {
     let mut fpga_total = 0.0;
     for row in t.rows() {
         match row[1].as_str() {
-            "SmartSAGE (SW)" => sw_total += row[7].parse::<f64>().expect("total"),
-            "FPGA-CSD" => fpga_total += row[7].parse::<f64>().expect("total"),
+            Some("SmartSAGE (SW)") => sw_total += value(&row[7]),
+            Some("FPGA-CSD") => fpga_total += value(&row[7]),
             _ => {}
         }
     }
@@ -156,7 +154,7 @@ fn fig20_saint_speedups_hold() {
     let t = experiments::fig20(&scale());
     let data_rows = &t.rows()[..t.len() - 1];
     for row in data_rows {
-        let hw = parse_speedup(&row[3]);
+        let hw = value(&row[3]);
         assert!(hw > 1.5, "GraphSAINT HW/SW speedup too small: {row:?}");
     }
 }
@@ -165,8 +163,8 @@ fn fig20_saint_speedups_hold() {
 fn fig21_speedup_shrinks_with_sampling_rate() {
     let t = experiments::fig21(&scale());
     for block in t.rows().chunks(3) {
-        let half = parse_speedup(&block[0][3]);
-        let double = parse_speedup(&block[2][3]);
+        let half = value(&block[0][3]);
+        let double = value(&block[2][3]);
         assert!(
             half > double,
             "HW/SW speedup should shrink as the rate grows: {block:?}"
@@ -177,7 +175,7 @@ fn fig21_speedup_shrinks_with_sampling_rate() {
 #[test]
 fn transfer_reduction_is_an_order_of_magnitude() {
     let t = experiments::transfer_reduction(&scale());
-    let avg = parse_speedup(&t.rows().last().expect("avg")[3]);
+    let avg = value(&t.rows().last().expect("avg")[3]);
     assert!(avg > 10.0, "transfer reduction {avg} too small");
 }
 
@@ -185,8 +183,8 @@ fn transfer_reduction_is_an_order_of_magnitude() {
 fn energy_tracks_latency() {
     let t = experiments::energy(&scale());
     for block in t.rows().chunks(5) {
-        let mmap: f64 = block[0][3].parse().expect("energy");
-        let hwsw: f64 = block[2][3].parse().expect("energy");
+        let mmap = value(&block[0][3]);
+        let hwsw = value(&block[2][3]);
         assert!((mmap - 1.0).abs() < 1e-9);
         assert!(hwsw < 1.0, "ISP should save energy: {block:?}");
     }

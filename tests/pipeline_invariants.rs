@@ -40,7 +40,11 @@ fn all_batches_are_consumed_on_every_system() {
 
 #[test]
 fn gpu_accounting_is_conserved() {
-    for kind in [SystemKind::Dram, SystemKind::SsdMmap, SystemKind::SmartSageHwSw] {
+    for kind in [
+        SystemKind::Dram,
+        SystemKind::SsdMmap,
+        SystemKind::SmartSageHwSw,
+    ] {
         let report = run(kind, 3, true, 2);
         assert!(
             report.gpu_busy <= report.makespan,

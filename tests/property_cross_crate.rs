@@ -64,11 +64,8 @@ proptest! {
             let plan = plan_sample(ctx.graph(), &targets, &Fanouts::new(vec![3, 2]), &mut rng);
             backend.begin(0, SimTime::ZERO, plan);
             let mut now = SimTime::ZERO;
-            loop {
-                match backend.step(0, &mut devices, now) {
-                    StepOutcome::Running { next } => now = next.max(now),
-                    StepOutcome::Finished => break,
-                }
+            while let StepOutcome::Running { next } = backend.step(0, &mut devices, now) {
+                now = next.max(now);
             }
             results.push(backend.take_result(0).batch);
         }

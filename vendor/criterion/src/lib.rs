@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The container this repo builds in has no crates.io access, so the
+//! Criterion benches link against this API-compatible subset instead:
+//! the same `criterion_group!`/`criterion_main!` entry points, groups,
+//! `BenchmarkId`, and `Bencher::iter`, but with a fixed-iteration timer
+//! instead of Criterion's adaptive sampling and statistics. Results are
+//! printed as `group/id: mean <time> (N iters)` on stdout.
+//!
+//! Only the surface the workspace benches use is provided; swap the
+//! `criterion` workspace dependency back to crates.io to get the real
+//! harness.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, one per bench binary.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Ungrouped single measurement.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.default_sample_size;
+        run_one("bench", &id.into(), sample_size, f);
+    }
+}
+
+/// A named collection of measurements sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per measurement.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measures `f` under `id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        run_one(&self.name, &id.into(), self.sample_size, f);
+    }
+
+    /// Measures `f(input)` under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&self.name, &id.into(), self.sample_size, |b| {
+            b_input(&mut f, b, input)
+        });
+    }
+
+    /// Ends the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn b_input<I: ?Sized>(f: &mut impl FnMut(&mut Bencher, &I), b: &mut Bencher, input: &I) {
+    f(b, input)
+}
+
+fn run_one(group: &str, id: &BenchmarkId, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Cap iterations: the stand-in reports a mean, not a distribution,
+    // so large sample sizes only burn wall time.
+    let iters = sample_size.min(10);
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let mean = bencher
+        .elapsed
+        .checked_div(iters as u32)
+        .unwrap_or_default();
+    println!("{group}/{id}: mean {mean:?} ({iters} iters)");
+}
+
+/// Timer handle passed to each measurement closure.
+pub struct Bencher {
+    iters: usize,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured iteration count.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // One untimed warm-up so first-touch costs (page faults, lazy
+        // allocation) do not dominate the short fixed run.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifies one measurement inside a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Opaque value sink, re-exported for parity with criterion's API.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a bench group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_elapsed_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &2usize, |b, &two| {
+            b.iter(|| calls += two)
+        });
+        group.finish();
+        // warm-up + 3 timed iterations, each adding 2.
+        assert_eq!(calls, 8);
+    }
+}
