@@ -6,7 +6,7 @@
 //! ```text
 //! reproduce [EXPERIMENT...] [--list] [--filter SUBSTR]
 //!           [--scale tiny|default|paper] [--format text|csv|json]
-//!           [--jobs N]
+//!           [--jobs N] [--store mem|file]
 //! ```
 //!
 //! With no experiment names, everything runs in paper (registry) order.
@@ -17,12 +17,20 @@
 //! Timing lines go to stderr. `--list` prints the selection (after
 //! name/filter resolution) without running anything.
 //!
+//! `--store mem|file` routes every pipeline run's feature gathers
+//! through a feature store — `file` trains through a real on-disk
+//! feature file with page-aligned I/O and an LRU page cache — and
+//! prints the sweep's aggregate I/O (bytes read, page-cache hit rate)
+//! to stderr at the end. Tables are byte-identical with and without a
+//! store (the determinism contract); only the I/O accounting changes.
+//!
 //! All flags are validated (and unknown experiment names rejected with
 //! the list of valid names, exit code 2) before any experiment runs.
 
-use smartsage_bench::scale_from_flag;
+use smartsage_bench::{scale_from_flag, store_from_flag};
 use smartsage_core::experiments::{registry, Experiment, ExperimentScale};
 use smartsage_core::runner::{OutputFormat, Runner};
+use smartsage_core::{store_metrics, StoreKind};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::Mutex;
@@ -31,7 +39,8 @@ fn fail_usage(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: reproduce [EXPERIMENT...] [--list] [--filter SUBSTR] \
-         [--scale tiny|default|paper] [--format text|csv|json] [--jobs N]"
+         [--scale tiny|default|paper] [--format text|csv|json] [--jobs N] \
+         [--store mem|file]"
     );
     std::process::exit(2);
 }
@@ -70,6 +79,7 @@ struct Cli {
     format: OutputFormat,
     jobs: usize,
     list: bool,
+    store: Option<StoreKind>,
 }
 
 fn parse_args(args: Vec<String>) -> Cli {
@@ -80,6 +90,7 @@ fn parse_args(args: Vec<String>) -> Cli {
         format: OutputFormat::Text,
         jobs: 1,
         list: false,
+        store: None,
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -106,6 +117,13 @@ fn parse_args(args: Vec<String>) -> Cli {
                 cli.jobs = value.parse().unwrap_or_else(|_| {
                     fail_usage(&format!("--jobs expects an integer, got '{value}'"))
                 });
+            }
+            "--store" => {
+                let value = value_of("--store");
+                cli.store =
+                    Some(store_from_flag(&value).unwrap_or_else(|| {
+                        fail_usage(&format!("unknown store '{value}' (mem|file)"))
+                    }));
             }
             "--filter" => cli.filter = Some(value_of("--filter")),
             flag if flag.starts_with("--") => fail_usage(&format!("unknown flag '{flag}'")),
@@ -148,7 +166,10 @@ fn main() {
     // show progress.
     let format = cli.format;
     let printer: Mutex<(usize, BTreeMap<usize, String>)> = Mutex::new((0, BTreeMap::new()));
-    let scale = cli.scale;
+    let mut scale = cli.scale;
+    if let Some(kind) = cli.store {
+        scale.store = Some(kind);
+    }
     let runner = Runner::builder()
         .scale(scale)
         .experiments(selection)
@@ -184,4 +205,20 @@ fn main() {
     emit(format.prologue());
     runner.run();
     emit(format.epilogue());
+
+    // Report the sweep's aggregate feature-store I/O. Stderr, like the
+    // timing lines, so every --format stays machine-parseable.
+    if let Some(kind) = cli.store {
+        let s = store_metrics::snapshot();
+        eprintln!(
+            "[store {}: {} gathers, {} feature bytes, {} bytes read from disk \
+             ({} pages), page-cache hit rate {:.1}%]",
+            kind.label(),
+            s.gathers,
+            s.feature_bytes,
+            s.bytes_read,
+            s.pages_read,
+            s.hit_rate() * 100.0
+        );
+    }
 }

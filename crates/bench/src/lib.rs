@@ -14,6 +14,7 @@
 //! views of it and parses CLI flag values.
 
 use smartsage_core::experiments::{registry, ExperimentScale};
+use smartsage_core::StoreKind;
 
 /// Parses an experiment scale from a CLI flag value.
 ///
@@ -25,6 +26,13 @@ pub fn scale_from_flag(flag: &str) -> Option<ExperimentScale> {
         "paper" => Some(ExperimentScale::paper()),
         _ => None,
     }
+}
+
+/// Parses a feature-store selection from a CLI flag value.
+///
+/// Accepts `mem` or `file`.
+pub fn store_from_flag(flag: &str) -> Option<StoreKind> {
+    StoreKind::parse(flag)
 }
 
 /// The experiment names the `reproduce` binary understands, derived
@@ -43,6 +51,13 @@ mod tests {
         assert!(scale_from_flag("default").is_some());
         assert!(scale_from_flag("paper").is_some());
         assert!(scale_from_flag("bogus").is_none());
+    }
+
+    #[test]
+    fn store_flags_parse() {
+        assert_eq!(store_from_flag("mem"), Some(StoreKind::Mem));
+        assert_eq!(store_from_flag("file"), Some(StoreKind::File));
+        assert_eq!(store_from_flag("ramdisk"), None);
     }
 
     #[test]

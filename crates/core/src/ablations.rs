@@ -56,6 +56,7 @@ fn run_mode(
             seed: scale.seed,
             sampler: SamplerKind::GraphSage,
             train,
+            store: scale.store,
         },
     );
     if train {

@@ -9,7 +9,7 @@
 //! over-fetch the firmware ISP eliminates, so the FPGA CSD fails to beat
 //! even the software-only direct-I/O design.
 
-use super::{SamplingBackend, StepOutcome};
+use super::{SamplingBackend, SharedFeatureStore, StepOutcome};
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
 use crate::metrics::{FinishedBatch, FpgaPhases, TransferStats};
@@ -38,6 +38,7 @@ pub struct FpgaBackend {
     rng: Xoshiro256,
     cursors: Vec<Option<Cursor>>,
     finished: Vec<Option<FinishedBatch>>,
+    store: Option<SharedFeatureStore>,
 }
 
 impl FpgaBackend {
@@ -52,6 +53,7 @@ impl FpgaBackend {
             rng,
             cursors: (0..workers).map(|_| None).collect(),
             finished: (0..workers).map(|_| None).collect(),
+            store: None,
         }
     }
 }
@@ -181,12 +183,19 @@ impl SamplingBackend for FpgaBackend {
                 useful_bytes: useful,
             },
             fpga: Some(cursor.phases),
+            features: None,
         });
         StepOutcome::Finished
     }
 
     fn take_result(&mut self, worker: usize) -> FinishedBatch {
-        self.finished[worker].take().expect("no finished batch")
+        let mut result = self.finished[worker].take().expect("no finished batch");
+        super::gather_batch_features(self.store.as_ref(), &mut result);
+        result
+    }
+
+    fn attach_store(&mut self, store: SharedFeatureStore) {
+        self.store = Some(store);
     }
 }
 

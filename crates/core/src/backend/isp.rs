@@ -20,7 +20,7 @@
 //! work on a dedicated core complex instead of the firmware-shared one
 //! (§VI-C: "dedicated, ISP-purposed embedded cores like Newport").
 
-use super::{SamplingBackend, StepOutcome};
+use super::{SamplingBackend, SharedFeatureStore, StepOutcome};
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
 use crate::metrics::{FinishedBatch, TransferStats};
@@ -83,6 +83,7 @@ pub struct IspBackend {
     rng: Xoshiro256,
     cursors: Vec<Option<Cursor>>,
     finished: Vec<Option<FinishedBatch>>,
+    store: Option<SharedFeatureStore>,
 }
 
 impl IspBackend {
@@ -95,6 +96,7 @@ impl IspBackend {
             rng,
             cursors: (0..workers).map(|_| None).collect(),
             finished: (0..workers).map(|_| None).collect(),
+            store: None,
         }
     }
 
@@ -307,6 +309,7 @@ impl SamplingBackend for IspBackend {
                         useful_bytes: useful,
                     },
                     fpga: None,
+                    features: None,
                 });
                 StepOutcome::Finished
             }
@@ -314,7 +317,13 @@ impl SamplingBackend for IspBackend {
     }
 
     fn take_result(&mut self, worker: usize) -> FinishedBatch {
-        self.finished[worker].take().expect("no finished batch")
+        let mut result = self.finished[worker].take().expect("no finished batch");
+        super::gather_batch_features(self.store.as_ref(), &mut result);
+        result
+    }
+
+    fn attach_store(&mut self, store: SharedFeatureStore) {
+        self.store = Some(store);
     }
 }
 

@@ -6,7 +6,7 @@
 //! host-CPU cost. One step processes one hop (accesses within a hop are
 //! independent and execute back-to-back on the worker's core).
 
-use super::{SamplingBackend, StepOutcome};
+use super::{SamplingBackend, SharedFeatureStore, StepOutcome};
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
 use crate::metrics::{FinishedBatch, TransferStats};
@@ -29,6 +29,7 @@ pub struct MemBackend {
     kind: SystemKind,
     cursors: Vec<Option<Cursor>>,
     finished: Vec<Option<FinishedBatch>>,
+    store: Option<SharedFeatureStore>,
 }
 
 impl MemBackend {
@@ -48,6 +49,7 @@ impl MemBackend {
             kind,
             cursors: (0..workers).map(|_| None).collect(),
             finished: (0..workers).map(|_| None).collect(),
+            store: None,
         }
     }
 }
@@ -114,12 +116,19 @@ impl SamplingBackend for MemBackend {
                 useful_bytes: useful,
             },
             fpga: None,
+            features: None,
         });
         StepOutcome::Finished
     }
 
     fn take_result(&mut self, worker: usize) -> FinishedBatch {
-        self.finished[worker].take().expect("no finished batch")
+        let mut result = self.finished[worker].take().expect("no finished batch");
+        super::gather_batch_features(self.store.as_ref(), &mut result);
+        result
+    }
+
+    fn attach_store(&mut self, store: SharedFeatureStore) {
+        self.store = Some(store);
     }
 }
 

@@ -22,10 +22,45 @@ pub use ssd_host::{DirectIoHostBackend, MmapHostBackend};
 
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
-use crate::metrics::FinishedBatch;
+use crate::metrics::{FinishedBatch, GatheredFeatures};
 use smartsage_gnn::SamplePlan;
 use smartsage_sim::SimTime;
+use smartsage_store::FeatureStore;
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::Arc;
+
+/// A feature store shared by the producer workers of one pipeline run.
+///
+/// Workers are simulated cursors inside one backend on one thread, so a
+/// plain `Rc<RefCell<…>>` suffices; cross-thread sweeps build one store
+/// per run.
+pub type SharedFeatureStore = Rc<RefCell<Box<dyn FeatureStore>>>;
+
+/// Producer-side feature gather: resolves the feature rows of a
+/// finished batch's distinct nodes through `store` and attaches them to
+/// the result. Shared by every backend's `take_result`.
+///
+/// # Panics
+///
+/// Panics if the store fails (a real I/O error on the file-backed
+/// path) — producers have no recovery path mid-simulation.
+pub(crate) fn gather_batch_features(
+    store: Option<&SharedFeatureStore>,
+    result: &mut FinishedBatch,
+) {
+    let Some(store) = store else { return };
+    let mut store = store.borrow_mut();
+    let nodes = result.batch.all_nodes();
+    let data = store
+        .gather(&nodes)
+        .unwrap_or_else(|e| panic!("producer feature gather failed: {e}"));
+    result.features = Some(GatheredFeatures {
+        dim: store.dim(),
+        nodes,
+        data,
+    });
+}
 
 /// Result of advancing a worker's batch by one step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,12 +95,20 @@ pub trait SamplingBackend {
     /// or after the previously returned `next`).
     fn step(&mut self, worker: usize, devices: &mut Devices, now: SimTime) -> StepOutcome;
 
-    /// Removes and returns the finished batch of `worker`.
+    /// Removes and returns the finished batch of `worker`. With a store
+    /// attached (see [`SamplingBackend::attach_store`]), the result
+    /// carries the gathered feature rows of the subgraph.
     ///
     /// # Panics
     ///
     /// Implementations may panic if the worker's batch is not finished.
     fn take_result(&mut self, worker: usize) -> FinishedBatch;
+
+    /// Installs the feature store the producer workers gather through.
+    /// Subsequent finished batches carry
+    /// [`GatheredFeatures`](crate::metrics::GatheredFeatures); the
+    /// store's counters record the resulting I/O.
+    fn attach_store(&mut self, store: SharedFeatureStore);
 }
 
 /// Instantiates the backend for `ctx.config.kind`.

@@ -13,7 +13,7 @@
 //! thread: each edge-list read depends on the previous control flow),
 //! which is exactly why these paths are latency-bound.
 
-use super::{SamplingBackend, StepOutcome};
+use super::{SamplingBackend, SharedFeatureStore, StepOutcome};
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
 use crate::metrics::{FinishedBatch, TransferStats};
@@ -49,6 +49,7 @@ pub struct HostBackend {
     rng: Xoshiro256,
     cursors: Vec<Option<Cursor>>,
     finished: Vec<Option<FinishedBatch>>,
+    store: Option<SharedFeatureStore>,
 }
 
 /// The baseline mmap-based SSD system.
@@ -103,6 +104,7 @@ impl HostBackend {
             rng,
             cursors: (0..workers).map(|_| None).collect(),
             finished: (0..workers).map(|_| None).collect(),
+            store: None,
         }
     }
 
@@ -212,12 +214,19 @@ impl SamplingBackend for HostBackend {
                 useful_bytes: useful,
             },
             fpga: None,
+            features: None,
         });
         StepOutcome::Finished
     }
 
     fn take_result(&mut self, worker: usize) -> FinishedBatch {
-        self.finished[worker].take().expect("no finished batch")
+        let mut result = self.finished[worker].take().expect("no finished batch");
+        super::gather_batch_features(self.store.as_ref(), &mut result);
+        result
+    }
+
+    fn attach_store(&mut self, store: SharedFeatureStore) {
+        self.store = Some(store);
     }
 }
 

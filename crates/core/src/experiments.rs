@@ -29,6 +29,7 @@ use smartsage_graph::kronecker::{expand, KroneckerConfig};
 use smartsage_graph::{Dataset, DatasetProfile, GraphScale};
 use smartsage_memsim::{BandwidthMeter, CacheParams, SetAssocCache};
 use smartsage_sim::{SimTime, Xoshiro256};
+use smartsage_store::StoreKind;
 use std::sync::Arc;
 
 /// How big the scaled experiments are. Defaults favour fast iteration;
@@ -46,6 +47,10 @@ pub struct ExperimentScale {
     pub workers: usize,
     /// Base seed.
     pub seed: u64,
+    /// Feature store pipeline producers gather through (`None` keeps
+    /// the timing-only mode; results are identical either way — only
+    /// I/O counters are added).
+    pub store: Option<StoreKind>,
 }
 
 impl Default for ExperimentScale {
@@ -56,6 +61,7 @@ impl Default for ExperimentScale {
             batches: 24,
             workers: 12,
             seed: 2022,
+            store: None,
         }
     }
 }
@@ -69,6 +75,7 @@ impl ExperimentScale {
             batches: 6,
             workers: 3,
             seed: 7,
+            store: None,
         }
     }
 
@@ -80,7 +87,14 @@ impl ExperimentScale {
             batches: 36,
             workers: 12,
             seed: 2022,
+            store: None,
         }
+    }
+
+    /// The same scale with feature gathers routed through `kind`.
+    pub fn with_store(mut self, kind: StoreKind) -> Self {
+        self.store = Some(kind);
+        self
     }
 }
 
@@ -268,6 +282,7 @@ fn pipe_cfg(scale: &ExperimentScale, workers: usize, train: bool) -> PipelineCon
         seed: scale.seed,
         sampler: SamplerKind::GraphSage,
         train,
+        store: scale.store,
     }
 }
 

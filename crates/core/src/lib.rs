@@ -23,6 +23,9 @@
 //! * [`runner`] — the sweep API: select registered experiments, run
 //!   them serially or across a thread pool, observe typed outcomes.
 //! * [`report`] — typed-cell tables rendering to text, CSV, and JSON.
+//! * [`store_metrics`] — process-wide feature-store I/O aggregate, fed
+//!   by pipeline runs whose producers gather through a
+//!   [`smartsage_store::FeatureStore`] (`--store mem|file`).
 
 pub mod ablations;
 pub mod backend;
@@ -34,6 +37,7 @@ pub mod nsconfig;
 pub mod pipeline;
 pub mod report;
 pub mod runner;
+pub mod store_metrics;
 
 pub use backend::{make_backend, SamplingBackend};
 pub use config::{SystemConfig, SystemKind};
@@ -42,3 +46,4 @@ pub use experiments::{registry, Experiment, ExperimentScale};
 pub use pipeline::{PipelineConfig, PipelineReport};
 pub use report::{Cell, Table};
 pub use runner::{OutputFormat, RunOutcome, Runner, RunnerBuilder};
+pub use smartsage_store::{StoreKind, StoreStats};

@@ -1,5 +1,6 @@
 //! Measurement records shared by the pipeline and experiment drivers.
 
+use smartsage_graph::NodeId;
 use smartsage_sim::{SimDuration, SimTime};
 
 /// Time attributed to each stage of the training pipeline (paper Fig 6 /
@@ -86,6 +87,18 @@ pub struct FpgaPhases {
     pub fpga_to_cpu: SimDuration,
 }
 
+/// Feature rows gathered for one batch's distinct subgraph nodes by the
+/// producer-side feature store (when one is attached to the backend).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatheredFeatures {
+    /// The distinct subgraph nodes, sorted ascending (the gather plan).
+    pub nodes: Vec<NodeId>,
+    /// Feature dimensionality of each row.
+    pub dim: usize,
+    /// Row-major `nodes.len() × dim` feature matrix.
+    pub data: Vec<f32>,
+}
+
 /// Outcome of one produced batch, as reported by a backend.
 #[derive(Debug, Clone)]
 pub struct FinishedBatch {
@@ -102,6 +115,9 @@ pub struct FinishedBatch {
     pub transfers: TransferStats,
     /// FPGA-CSD phase detail (only set by that backend).
     pub fpga: Option<FpgaPhases>,
+    /// Features gathered through the attached store (`None` when no
+    /// store is attached — the historical timing-only mode).
+    pub features: Option<GatheredFeatures>,
 }
 
 #[cfg(test)]

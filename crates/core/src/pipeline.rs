@@ -9,17 +9,25 @@
 //! dynamics exactly as in the paper: when producers cannot keep up, the
 //! GPU starves.
 
-use crate::backend::{make_backend, StepOutcome};
+use crate::backend::{make_backend, SharedFeatureStore, StepOutcome};
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
 use crate::metrics::{FinishedBatch, StageBreakdown, TransferStats};
+use crate::store_metrics;
 use smartsage_gnn::gpu::BatchDims;
 use smartsage_gnn::saint::plan_random_walk;
 use smartsage_gnn::sampler::{epoch_targets, plan_sample};
 use smartsage_gnn::{Fanouts, SamplePlan};
 use smartsage_sim::{EventQueue, SimDuration, SimTime, Xoshiro256};
+use smartsage_store::{
+    write_feature_file, FeatureStore, FileStore, FileStoreOptions, InMemoryStore, MeteredStore,
+    StoreKind, StoreStats,
+};
+use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Which sampling algorithm drives the pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +65,17 @@ pub struct PipelineConfig {
     /// `false` measures data preparation only (Figs 14-17): batches are
     /// consumed instantly and the GPU plays no part.
     pub train: bool,
+    /// Feature store the producers gather through. `None` (default)
+    /// keeps the historical timing-only mode — no functional feature
+    /// I/O. `Some(Mem)` gathers through an in-memory store,
+    /// `Some(File)` through a real on-disk feature file, content-keyed
+    /// and cached in the OS temp directory so identical tables are
+    /// serialized once, not once per run; both
+    /// record exact I/O counters in [`PipelineReport::store_stats`]
+    /// without perturbing simulated time — the store determinism
+    /// contract guarantees identical results, so only the report's I/O
+    /// section changes.
+    pub store: Option<StoreKind>,
 }
 
 impl Default for PipelineConfig {
@@ -72,6 +91,7 @@ impl Default for PipelineConfig {
             seed: 0xC0FFEE,
             sampler: SamplerKind::GraphSage,
             train: true,
+            store: None,
         }
     }
 }
@@ -97,6 +117,8 @@ pub struct PipelineReport {
     pub avg_sampling_time: SimDuration,
     /// Data-preparation throughput in batches/second.
     pub sampling_throughput: f64,
+    /// Feature-store counters (`None` when no store was configured).
+    pub store_stats: Option<StoreStats>,
 }
 
 impl PipelineReport {
@@ -110,6 +132,77 @@ impl PipelineReport {
 enum Event {
     Worker(usize),
     Gpu,
+}
+
+/// Page-cache capacity of the pipeline's file-backed store: 4 MiB of
+/// 4 KiB pages — big enough to show reuse, small enough that scaled
+/// feature files do not fit, so runs report both hits and misses.
+const FILE_STORE_CACHE_PAGES: usize = 1024;
+
+/// Builds the configured feature store for one run.
+///
+/// For [`StoreKind::File`] the feature file lives in the OS temp
+/// directory under a **content key** — feature bytes are a pure
+/// function of `(dim, num_classes, seed, num_nodes)` — so every run
+/// (and every process) wanting the same table reuses one file instead
+/// of re-serializing multi-MB identical bytes per run. An existing
+/// file is revalidated through [`FileStore::open_with`]'s header and
+/// length checks; anything stale or foreign is rewritten to a private
+/// name and atomically renamed into place.
+///
+/// # Panics
+///
+/// Panics if the feature file cannot be written or opened — a real I/O
+/// failure on the host filesystem.
+fn build_store(ctx: &Arc<RunContext>, kind: StoreKind) -> SharedFeatureStore {
+    let features = ctx.data.features.clone();
+    let num_nodes = ctx.graph().num_nodes();
+    let store: Box<dyn FeatureStore> = match kind {
+        StoreKind::Mem => Box::new(MeteredStore::new(InMemoryStore::new(features, num_nodes))),
+        StoreKind::File => {
+            let path = std::env::temp_dir().join(format!(
+                "smartsage-feat-n{num_nodes}-d{}-c{}-s{:x}.fbin",
+                features.dim(),
+                features.num_classes(),
+                features.seed(),
+            ));
+            let opts = FileStoreOptions {
+                cache_pages: FILE_STORE_CACHE_PAGES,
+                ..FileStoreOptions::default()
+            };
+            // Serialize creation within the process: concurrent sweep
+            // threads almost always want the same file.
+            static CREATE: Mutex<()> = Mutex::new(());
+            let guard = CREATE.lock().expect("feature-file creation lock");
+            let reopened = FileStore::open_with(&path, opts);
+            let store = match reopened {
+                Ok(store)
+                    if store.dim() == features.dim()
+                        && store.num_nodes() == num_nodes
+                        && store.num_classes() == features.num_classes() =>
+                {
+                    store
+                }
+                _ => {
+                    static SEQ: AtomicU64 = AtomicU64::new(0);
+                    let tmp = path.with_extension(format!(
+                        "tmp-{}-{}",
+                        std::process::id(),
+                        SEQ.fetch_add(1, Ordering::Relaxed)
+                    ));
+                    write_feature_file(&tmp, &features, num_nodes)
+                        .unwrap_or_else(|e| panic!("writing feature file failed: {e}"));
+                    std::fs::rename(&tmp, &path)
+                        .unwrap_or_else(|e| panic!("publishing feature file failed: {e}"));
+                    FileStore::open_with(&path, opts)
+                        .unwrap_or_else(|e| panic!("opening feature file failed: {e}"))
+                }
+            };
+            drop(guard);
+            Box::new(MeteredStore::new(store))
+        }
+    };
+    Rc::new(RefCell::new(store))
 }
 
 struct ReadyBatch {
@@ -128,6 +221,13 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
     assert!(cfg.total_batches > 0, "need at least one batch");
     let mut devices = Devices::new(&ctx.config);
     let mut backend = make_backend(ctx, cfg.workers);
+    // Producer-side feature store: the backend gathers every finished
+    // batch's features through it (real I/O for StoreKind::File).
+    let store = cfg.store.map(|kind| {
+        let store = build_store(ctx, kind);
+        backend.attach_store(Rc::clone(&store));
+        store
+    });
     let gpu_params = ctx.config.devices.gpu.clone();
     let feat_dim = ctx.data.features.dim() as u64;
     let feat_bytes = ctx.data.features.bytes_per_node();
@@ -186,7 +286,13 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
                     let mut t = result.done;
                     if cfg.train {
                         // Feature table lookup (always host DRAM).
-                        let distinct = result.batch.all_nodes().len() as u64;
+                        // With a store attached the backend already
+                        // built the sorted-distinct node list.
+                        let distinct = result
+                            .features
+                            .as_ref()
+                            .map_or_else(|| result.batch.all_nodes().len(), |f| f.nodes.len())
+                            as u64;
                         let f_done = devices.host_dram.random_access(t, distinct, feat_bytes);
                         breakdown.feature_lookup += f_done.saturating_elapsed_since(t);
                         t = f_done;
@@ -292,6 +398,11 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
         } else {
             batches as f64 / makespan.as_secs_f64()
         },
+        store_stats: store.map(|s| {
+            let stats = s.borrow().stats();
+            store_metrics::record(&stats);
+            stats
+        }),
     }
 }
 

@@ -55,6 +55,7 @@ pub struct RunnerBuilder {
     selection: Vec<&'static Experiment>,
     jobs: usize,
     observer: Option<Observer>,
+    store: Option<smartsage_store::StoreKind>,
 }
 
 impl RunnerBuilder {
@@ -65,12 +66,26 @@ impl RunnerBuilder {
             selection: registry().iter().collect(),
             jobs: 1,
             observer: None,
+            store: None,
         }
     }
 
     /// Sets the experiment scale.
     pub fn scale(mut self, scale: ExperimentScale) -> RunnerBuilder {
         self.scale = scale;
+        self
+    }
+
+    /// Routes every run's feature gathers through `kind`
+    /// (`--store mem|file`): pipeline producers gather features through
+    /// the selected [`FeatureStore`](smartsage_store::FeatureStore) and
+    /// the sweep's I/O totals accumulate in
+    /// [`store_metrics`](crate::store_metrics). Tables are unchanged by
+    /// construction (the store determinism contract). Kept separately
+    /// from the scale until [`RunnerBuilder::build`], so `.store(..)`
+    /// and `.scale(..)` compose in either order.
+    pub fn store(mut self, kind: smartsage_store::StoreKind) -> RunnerBuilder {
+        self.store = Some(kind);
         self
     }
 
@@ -108,8 +123,12 @@ impl RunnerBuilder {
         } else {
             self.jobs
         };
+        let mut scale = self.scale;
+        if let Some(kind) = self.store {
+            scale.store = Some(kind);
+        }
         Runner {
-            scale: self.scale,
+            scale,
             selection: self.selection,
             jobs,
             observer: self.observer,
@@ -286,6 +305,27 @@ mod tests {
     fn selection_defaults_to_full_registry() {
         let runner = Runner::builder().build();
         assert_eq!(runner.experiments().len(), registry().len());
+        assert_eq!(runner.scale().store, None);
+    }
+
+    #[test]
+    fn store_survives_scale_in_either_order() {
+        use smartsage_store::StoreKind;
+        let store_then_scale = Runner::builder()
+            .store(StoreKind::File)
+            .scale(ExperimentScale::tiny())
+            .build();
+        assert_eq!(store_then_scale.scale().store, Some(StoreKind::File));
+        let scale_then_store = Runner::builder()
+            .scale(ExperimentScale::tiny())
+            .store(StoreKind::File)
+            .build();
+        assert_eq!(scale_then_store.scale().store, Some(StoreKind::File));
+        // An explicit scale.store wins only when .store() is not used.
+        let via_scale = Runner::builder()
+            .scale(ExperimentScale::tiny().with_store(StoreKind::Mem))
+            .build();
+        assert_eq!(via_scale.scale().store, Some(StoreKind::Mem));
     }
 
     #[test]

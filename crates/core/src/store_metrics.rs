@@ -1,0 +1,86 @@
+//! Process-wide feature-store I/O accounting.
+//!
+//! Experiment drivers return typed tables, not pipeline reports, so
+//! per-run [`StoreStats`] would be invisible to sweep consumers (the
+//! `reproduce` CLI). Every pipeline run with a configured store
+//! [`record`]s its counters here; a sweep [`snapshot`]s the aggregate
+//! at the end to report total bytes read and the page-cache hit rate.
+//! Counters are monotonic atomics, so recording from the runner's
+//! worker threads is safe and the aggregate is deterministic for a
+//! given selection.
+
+use smartsage_store::StoreStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static GATHERS: AtomicU64 = AtomicU64::new(0);
+static NODES: AtomicU64 = AtomicU64::new(0);
+static FEATURE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PAGES_READ: AtomicU64 = AtomicU64::new(0);
+static BYTES_READ: AtomicU64 = AtomicU64::new(0);
+static PAGE_HITS: AtomicU64 = AtomicU64::new(0);
+static PAGE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Adds one run's counters to the process-wide aggregate.
+pub fn record(stats: &StoreStats) {
+    GATHERS.fetch_add(stats.gathers, Ordering::Relaxed);
+    NODES.fetch_add(stats.nodes_gathered, Ordering::Relaxed);
+    FEATURE_BYTES.fetch_add(stats.feature_bytes, Ordering::Relaxed);
+    PAGES_READ.fetch_add(stats.pages_read, Ordering::Relaxed);
+    BYTES_READ.fetch_add(stats.bytes_read, Ordering::Relaxed);
+    PAGE_HITS.fetch_add(stats.page_hits, Ordering::Relaxed);
+    PAGE_MISSES.fetch_add(stats.page_misses, Ordering::Relaxed);
+}
+
+/// The aggregate recorded so far.
+pub fn snapshot() -> StoreStats {
+    StoreStats {
+        gathers: GATHERS.load(Ordering::Relaxed),
+        nodes_gathered: NODES.load(Ordering::Relaxed),
+        feature_bytes: FEATURE_BYTES.load(Ordering::Relaxed),
+        pages_read: PAGES_READ.load(Ordering::Relaxed),
+        bytes_read: BYTES_READ.load(Ordering::Relaxed),
+        page_hits: PAGE_HITS.load(Ordering::Relaxed),
+        page_misses: PAGE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the aggregate (test isolation).
+pub fn reset() {
+    for c in [
+        &GATHERS,
+        &NODES,
+        &FEATURE_BYTES,
+        &PAGES_READ,
+        &BYTES_READ,
+        &PAGE_HITS,
+        &PAGE_MISSES,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_snapshot_reads() {
+        // Other tests may record concurrently; assert deltas via a
+        // distinctive increment rather than absolute values.
+        let before = snapshot();
+        let one = StoreStats {
+            gathers: 1,
+            nodes_gathered: 2,
+            feature_bytes: 3,
+            pages_read: 4,
+            bytes_read: 5,
+            page_hits: 6,
+            page_misses: 7,
+        };
+        record(&one);
+        let after = snapshot();
+        assert!(after.gathers > before.gathers);
+        assert!(after.bytes_read >= before.bytes_read + 5);
+        assert!(after.page_misses >= before.page_misses + 7);
+    }
+}

@@ -18,6 +18,7 @@ use crate::sampler::SampledBatch;
 use crate::tensor::{softmax_cross_entropy, Matrix};
 use smartsage_graph::FeatureTable;
 use smartsage_sim::Xoshiro256;
+use smartsage_store::{FeatureStore, InMemoryStore, StoreError};
 
 /// Model hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,7 +101,9 @@ impl GraphSageModel {
         self.dims
     }
 
-    /// Gathers the three per-hop feature matrices for `batch`.
+    /// Gathers the three per-hop feature matrices for `batch`. Shim
+    /// over [`GraphSageModel::gather_features_from`] with an in-memory
+    /// store.
     ///
     /// # Panics
     ///
@@ -111,21 +114,41 @@ impl GraphSageModel {
         batch: &SampledBatch,
         table: &FeatureTable,
     ) -> (Matrix, Matrix, Matrix) {
+        let mut store = InMemoryStore::unbounded(table.clone());
+        self.gather_features_from(batch, &mut store)
+            .expect("in-memory gathers cannot fail")
+    }
+
+    /// Gathers the three per-hop feature matrices for `batch` through a
+    /// [`FeatureStore`] — the storage-backed twin of
+    /// [`GraphSageModel::gather_features`]. By the store determinism
+    /// contract the matrices are byte-identical across store
+    /// implementations; only the I/O counters differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch does not have exactly 2 hops or the store
+    /// dimension disagrees with the model.
+    pub fn gather_features_from(
+        &self,
+        batch: &SampledBatch,
+        store: &mut dyn FeatureStore,
+    ) -> Result<(Matrix, Matrix, Matrix), StoreError> {
         assert_eq!(batch.hops.len(), 2, "model is depth-2");
-        assert_eq!(table.dim(), self.dims.features, "feature dim mismatch");
-        let f = table.dim();
-        let x0 = Matrix::from_vec(batch.targets.len(), f, table.gather(&batch.targets));
+        assert_eq!(store.dim(), self.dims.features, "feature dim mismatch");
+        let f = store.dim();
+        let x0 = Matrix::from_vec(batch.targets.len(), f, store.gather(&batch.targets)?);
         let x1 = Matrix::from_vec(
             batch.hops[0].neighbors.len(),
             f,
-            table.gather(&batch.hops[0].neighbors),
+            store.gather(&batch.hops[0].neighbors)?,
         );
         let x2 = Matrix::from_vec(
             batch.hops[1].neighbors.len(),
             f,
-            table.gather(&batch.hops[1].neighbors),
+            store.gather(&batch.hops[1].neighbors)?,
         );
-        (x0, x1, x2)
+        Ok((x0, x1, x2))
     }
 
     /// Forward pass over a depth-2 batch given its per-hop features.

@@ -5,11 +5,21 @@
 //! The integration tests use it to prove the reproduction trains — loss
 //! decreases and accuracy beats chance on community-labeled graphs —
 //! independent of which storage backend produced the subgraphs.
+//!
+//! The gather stage goes through a
+//! [`FeatureStore`](smartsage_store::FeatureStore): the `*_on` methods
+//! accept any store (in-memory, file-backed, metered), and the
+//! historical [`FeatureTable`]-based methods are thin shims over an
+//! [`InMemoryStore`](smartsage_store::InMemoryStore). Because stores
+//! resolve gathers to byte-identical values, the loss trajectory of a
+//! run is independent of the store backing it — asserted end-to-end in
+//! `tests/feature_store_training.rs`.
 
 use crate::model::{GraphSageModel, ModelDims};
 use crate::sampler::{epoch_targets, plan_sample, Fanouts};
 use smartsage_graph::{CsrGraph, FeatureTable, NodeId};
 use smartsage_sim::Xoshiro256;
+use smartsage_store::{FeatureStore, InMemoryStore, StoreError};
 
 /// Training configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,7 +63,81 @@ impl Trainer {
         &self.model
     }
 
+    /// Gathers the per-hop feature matrices of a resolved batch through
+    /// `store` — the trainer's gather stage, shared by the training and
+    /// evaluation paths.
+    pub fn gather(
+        &self,
+        batch: &crate::sampler::SampledBatch,
+        store: &mut dyn FeatureStore,
+    ) -> Result<(crate::Matrix, crate::Matrix, crate::Matrix), StoreError> {
+        self.model.gather_features_from(batch, store)
+    }
+
+    /// Runs one training step on `targets`, gathering features through
+    /// `store`; returns the batch loss.
+    pub fn train_step_on(
+        &mut self,
+        graph: &CsrGraph,
+        store: &mut dyn FeatureStore,
+        targets: &[NodeId],
+        rng: &mut Xoshiro256,
+    ) -> Result<f32, StoreError> {
+        let plan = plan_sample(graph, targets, &self.config.fanouts, rng);
+        let batch = plan.resolve(graph);
+        let (x0, x1, x2) = self.gather(&batch, store)?;
+        let cache = self.model.forward(&batch, x0, x1, x2);
+        let labels: Vec<usize> = batch.targets.iter().map(|&t| store.label(t)).collect();
+        let (loss, grads) = self.model.loss_and_gradients(&cache, &labels);
+        self.model
+            .apply_gradients(&grads, self.config.learning_rate);
+        Ok(loss)
+    }
+
+    /// Runs one epoch through `store` (every node visited once as a
+    /// target, in permuted order); returns the mean batch loss.
+    pub fn train_epoch_on(
+        &mut self,
+        graph: &CsrGraph,
+        store: &mut dyn FeatureStore,
+        epoch_seed: u64,
+        rng: &mut Xoshiro256,
+    ) -> Result<f32, StoreError> {
+        let n = graph.num_nodes();
+        let bs = self.config.batch_size.min(n).max(1);
+        let steps = n.div_ceil(bs);
+        let mut total = 0.0;
+        for step in 0..steps {
+            let targets = epoch_targets(n, bs, step, epoch_seed);
+            total += self.train_step_on(graph, store, &targets, rng)?;
+        }
+        Ok(total / steps as f32)
+    }
+
+    /// Classification accuracy on `targets` through `store` (forward
+    /// only).
+    pub fn accuracy_on(
+        &self,
+        graph: &CsrGraph,
+        store: &mut dyn FeatureStore,
+        targets: &[NodeId],
+        rng: &mut Xoshiro256,
+    ) -> Result<f64, StoreError> {
+        let plan = plan_sample(graph, targets, &self.config.fanouts, rng);
+        let batch = plan.resolve(graph);
+        let (x0, x1, x2) = self.gather(&batch, store)?;
+        let cache = self.model.forward(&batch, x0, x1, x2);
+        let preds = GraphSageModel::predictions(&cache);
+        let correct = preds
+            .iter()
+            .zip(&batch.targets)
+            .filter(|&(p, t)| *p == store.label(*t))
+            .count();
+        Ok(correct as f64 / targets.len().max(1) as f64)
+    }
+
     /// Runs one training step on `targets`; returns the batch loss.
+    /// Shim over [`Trainer::train_step_on`] with an in-memory store.
     pub fn train_step(
         &mut self,
         graph: &CsrGraph,
@@ -61,19 +145,14 @@ impl Trainer {
         targets: &[NodeId],
         rng: &mut Xoshiro256,
     ) -> f32 {
-        let plan = plan_sample(graph, targets, &self.config.fanouts, rng);
-        let batch = plan.resolve(graph);
-        let (x0, x1, x2) = self.model.gather_features(&batch, features);
-        let cache = self.model.forward(&batch, x0, x1, x2);
-        let labels: Vec<usize> = batch.targets.iter().map(|&t| features.label(t)).collect();
-        let (loss, grads) = self.model.loss_and_gradients(&cache, &labels);
-        self.model
-            .apply_gradients(&grads, self.config.learning_rate);
-        loss
+        let mut store = InMemoryStore::unbounded(features.clone());
+        self.train_step_on(graph, &mut store, targets, rng)
+            .expect("in-memory gathers cannot fail")
     }
 
     /// Runs one epoch (every node visited once as a target, in permuted
-    /// order); returns the mean batch loss.
+    /// order); returns the mean batch loss. Shim over
+    /// [`Trainer::train_epoch_on`] with an in-memory store.
     pub fn train_epoch(
         &mut self,
         graph: &CsrGraph,
@@ -81,18 +160,13 @@ impl Trainer {
         epoch_seed: u64,
         rng: &mut Xoshiro256,
     ) -> f32 {
-        let n = graph.num_nodes();
-        let bs = self.config.batch_size.min(n).max(1);
-        let steps = n.div_ceil(bs);
-        let mut total = 0.0;
-        for step in 0..steps {
-            let targets = epoch_targets(n, bs, step, epoch_seed);
-            total += self.train_step(graph, features, &targets, rng);
-        }
-        total / steps as f32
+        let mut store = InMemoryStore::unbounded(features.clone());
+        self.train_epoch_on(graph, &mut store, epoch_seed, rng)
+            .expect("in-memory gathers cannot fail")
     }
 
-    /// Classification accuracy on `targets` (forward only).
+    /// Classification accuracy on `targets` (forward only). Shim over
+    /// [`Trainer::accuracy_on`] with an in-memory store.
     pub fn accuracy(
         &self,
         graph: &CsrGraph,
@@ -100,17 +174,9 @@ impl Trainer {
         targets: &[NodeId],
         rng: &mut Xoshiro256,
     ) -> f64 {
-        let plan = plan_sample(graph, targets, &self.config.fanouts, rng);
-        let batch = plan.resolve(graph);
-        let (x0, x1, x2) = self.model.gather_features(&batch, features);
-        let cache = self.model.forward(&batch, x0, x1, x2);
-        let preds = GraphSageModel::predictions(&cache);
-        let correct = preds
-            .iter()
-            .zip(&batch.targets)
-            .filter(|&(p, t)| *p == features.label(*t))
-            .count();
-        correct as f64 / targets.len().max(1) as f64
+        let mut store = InMemoryStore::unbounded(features.clone());
+        self.accuracy_on(graph, &mut store, targets, rng)
+            .expect("in-memory gathers cannot fail")
     }
 }
 

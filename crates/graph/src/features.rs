@@ -62,6 +62,13 @@ impl FeatureTable {
         self.num_classes
     }
 
+    /// The generator seed. Together with `dim` and `num_classes` it
+    /// fully determines every feature value, so `(dim, num_classes,
+    /// seed, num_nodes)` is a content key for serialized feature files.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Bytes occupied by one node's feature vector in the on-SSD layout.
     pub fn bytes_per_node(&self) -> u64 {
         self.dim as u64 * FEATURE_ELEMENT_BYTES

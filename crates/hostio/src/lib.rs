@@ -34,6 +34,7 @@ pub mod mmap;
 pub mod page_cache;
 pub mod params;
 
+pub use coalesce::{merge_page_runs, PageRun};
 pub use direct_io::DirectIoReader;
 pub use layout::{ByteRange, GraphFile};
 pub use locality::lru_hit_rate;

@@ -115,6 +115,25 @@ impl<K: Hash + Eq + Copy> LruSet<K> {
         evicted
     }
 
+    /// The key that would be evicted next (the least-recently used), if
+    /// any.
+    pub fn lru_key(&self) -> Option<K> {
+        (self.tail != NIL).then(|| self.keys[self.tail])
+    }
+
+    /// All resident keys in recency order, most-recently used first.
+    /// The last element is the next eviction victim. O(len); intended
+    /// for tests and introspection, not hot paths.
+    pub fn keys_mru_first(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut slot = self.head;
+        while slot != NIL {
+            out.push(self.keys[slot]);
+            slot = self.next[slot];
+        }
+        out
+    }
+
     /// Clears all entries, keeping capacity.
     pub fn clear(&mut self) {
         self.map.clear();
@@ -220,5 +239,51 @@ mod tests {
             l.insert(i % 16);
             assert!(l.len() <= 4);
         }
+    }
+
+    #[test]
+    fn recency_order_is_exact() {
+        let mut l = LruSet::new(4);
+        for k in ['a', 'b', 'c', 'd'] {
+            l.insert(k);
+        }
+        assert_eq!(l.keys_mru_first(), ['d', 'c', 'b', 'a']);
+        assert_eq!(l.lru_key(), Some('a'));
+        // A touch moves exactly one key to the front, preserving the
+        // relative order of the rest.
+        assert!(l.touch(&'b'));
+        assert_eq!(l.keys_mru_first(), ['b', 'd', 'c', 'a']);
+        // A promote-by-reinsert behaves identically to a touch.
+        l.insert('c');
+        assert_eq!(l.keys_mru_first(), ['c', 'b', 'd', 'a']);
+        assert_eq!(l.lru_key(), Some('a'));
+    }
+
+    #[test]
+    fn eviction_sequence_follows_recency_exactly() {
+        // Fill, then keep inserting fresh keys: victims must come out in
+        // precisely least-recently-used order.
+        let mut l = LruSet::new(3);
+        l.insert(0u32);
+        l.insert(1);
+        l.insert(2);
+        l.touch(&0); // order (MRU..LRU): 0, 2, 1
+        let mut evicted = Vec::new();
+        for k in 100..105u32 {
+            if let Some(v) = l.insert(k) {
+                evicted.push(v);
+            }
+        }
+        // First two victims are the pre-existing keys in LRU order (1,
+        // then 2, then the promoted 0), then the fresh keys age out in
+        // insertion order.
+        assert_eq!(evicted, [1, 2, 0, 100, 101]);
+    }
+
+    #[test]
+    fn untouched_set_reports_no_order() {
+        let l: LruSet<u8> = LruSet::new(2);
+        assert_eq!(l.lru_key(), None);
+        assert!(l.keys_mru_first().is_empty());
     }
 }

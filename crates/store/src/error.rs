@@ -1,0 +1,145 @@
+//! Typed errors for feature-store I/O.
+//!
+//! Every fallible store operation returns a [`StoreError`] — no store
+//! implementation is allowed to `unwrap` an I/O result. Errors carry
+//! enough context to be actionable: the file path, the expected and
+//! observed sizes, the offending node id.
+
+use smartsage_graph::NodeId;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// An error raised by a [`FeatureStore`](crate::FeatureStore).
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O operation failed.
+    Io {
+        /// The file being operated on.
+        path: PathBuf,
+        /// What the store was doing when it failed.
+        action: &'static str,
+        /// The OS error.
+        source: io::Error,
+    },
+    /// The feature file's magic bytes are wrong — not a feature file.
+    BadMagic {
+        /// The file that was opened.
+        path: PathBuf,
+    },
+    /// The feature file's header fields are inconsistent.
+    BadHeader {
+        /// The file that was opened.
+        path: PathBuf,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The feature file is shorter (or longer) than its header promises.
+    Truncated {
+        /// The file that was opened.
+        path: PathBuf,
+        /// The exact length the header implies.
+        expected: u64,
+        /// The length found on disk.
+        actual: u64,
+    },
+    /// A gather requested a node the store does not hold.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes the store holds.
+        num_nodes: usize,
+    },
+    /// An output buffer's length disagrees with `nodes.len() * dim`.
+    BadBuffer {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io {
+                path,
+                action,
+                source,
+            } => {
+                write!(f, "feature file '{}': {action}: {source}", path.display())
+            }
+            StoreError::BadMagic { path } => {
+                write!(
+                    f,
+                    "feature file '{}': bad magic (not a SmartSAGE feature file)",
+                    path.display()
+                )
+            }
+            StoreError::BadHeader { path, reason } => {
+                write!(
+                    f,
+                    "feature file '{}': invalid header: {reason}",
+                    path.display()
+                )
+            }
+            StoreError::Truncated {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "feature file '{}' is truncated or corrupt: expected exactly \
+                 {expected} bytes, found {actual}",
+                path.display()
+            ),
+            StoreError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node:?} out of range for a {num_nodes}-node store")
+            }
+            StoreError::BadBuffer { expected, actual } => {
+                write!(
+                    f,
+                    "gather buffer holds {actual} elements, need exactly {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncated_message_names_file_and_expected_length() {
+        let e = StoreError::Truncated {
+            path: PathBuf::from("/tmp/feat.bin"),
+            expected: 8192,
+            actual: 100,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("/tmp/feat.bin"), "{msg}");
+        assert!(msg.contains("8192"), "{msg}");
+        assert!(msg.contains("100"), "{msg}");
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let e = StoreError::Io {
+            path: PathBuf::from("x"),
+            action: "read page",
+            source: io::Error::new(io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("read page"));
+    }
+}

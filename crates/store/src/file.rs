@@ -1,0 +1,578 @@
+//! The file-backed feature store: real page-aligned storage I/O.
+//!
+//! # On-disk layout
+//!
+//! A feature file is one page-aligned header followed by the dense
+//! row-major feature matrix (mirroring the on-SSD graph layout of
+//! [`smartsage_hostio::layout`], where the edge array starts
+//! block-aligned after the offset table):
+//!
+//! ```text
+//! offset 0      magic  "SSFEAT01"            (8 bytes)
+//! offset 8      dim         u64 LE
+//! offset 16     num_nodes   u64 LE
+//! offset 24     num_classes u64 LE
+//! offset 32     zero padding to 4096
+//! offset 4096   node 0 row: dim × f32 LE
+//!               node 1 row …
+//! ```
+//!
+//! Node `i`'s row lives at byte `4096 + i·dim·4`; the file is exactly
+//! `4096 + num_nodes·dim·4` bytes. A file whose length disagrees with
+//! its header fails to open with [`StoreError::Truncated`] naming the
+//! file and the expected length.
+//!
+//! # Read path
+//!
+//! A batch gather is planned, coalesced, resolved:
+//!
+//! 1. **Plan** — compute every row's byte range and the distinct pages
+//!    it spans (pure address arithmetic via
+//!    [`smartsage_hostio::ByteRange`]).
+//! 2. **Coalesce** — merge the missing pages into maximal contiguous
+//!    runs ([`smartsage_hostio::merge_page_runs`]); resident pages are
+//!    exact-LRU cache hits ([`smartsage_hostio::LruSet`] ordering).
+//! 3. **Resolve** — one `read` syscall per contiguous missing run,
+//!    page-aligned; rows are then assembled from cached + fetched
+//!    pages. Values are byte-identical to [`InMemoryStore`]
+//!    (`crate::InMemoryStore`) by the determinism contract.
+
+use crate::error::StoreError;
+use crate::{FeatureStore, StoreStats};
+use smartsage_graph::generate::community_of;
+use smartsage_graph::{FeatureTable, NodeId};
+use smartsage_hostio::{merge_page_runs, ByteRange, LruSet};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes identifying a feature file (versioned).
+pub const FEATURE_FILE_MAGIC: [u8; 8] = *b"SSFEAT01";
+
+/// Bytes reserved for the header; the feature matrix starts here, so
+/// rows are page-aligned with respect to the default 4 KiB page.
+pub const HEADER_BYTES: u64 = 4096;
+
+/// Tuning knobs for [`FileStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileStoreOptions {
+    /// I/O granularity: reads are issued in whole `page_bytes` units
+    /// aligned to multiples of `page_bytes` within the file.
+    pub page_bytes: u64,
+    /// Page-cache capacity in pages (0 disables caching entirely).
+    pub cache_pages: usize,
+}
+
+impl Default for FileStoreOptions {
+    fn default() -> Self {
+        FileStoreOptions {
+            page_bytes: 4096,
+            cache_pages: 1024,
+        }
+    }
+}
+
+/// Serializes `table`'s first `num_nodes` rows to `path` in the layout
+/// above. Overwrites any existing file.
+pub fn write_feature_file(
+    path: &Path,
+    table: &FeatureTable,
+    num_nodes: usize,
+) -> Result<(), StoreError> {
+    let io_err = |action: &'static str| {
+        move |source: std::io::Error| StoreError::Io {
+            path: path.to_path_buf(),
+            action,
+            source,
+        }
+    };
+    let file = File::create(path).map_err(io_err("create"))?;
+    let mut w = BufWriter::new(file);
+    let mut header = [0u8; HEADER_BYTES as usize];
+    header[0..8].copy_from_slice(&FEATURE_FILE_MAGIC);
+    header[8..16].copy_from_slice(&(table.dim() as u64).to_le_bytes());
+    header[16..24].copy_from_slice(&(num_nodes as u64).to_le_bytes());
+    header[24..32].copy_from_slice(&(table.num_classes() as u64).to_le_bytes());
+    w.write_all(&header).map_err(io_err("write header"))?;
+    let mut row = vec![0.0f32; table.dim()];
+    let mut bytes = vec![0u8; table.dim() * 4];
+    for i in 0..num_nodes {
+        table.features_into(NodeId::new(i as u32), &mut row);
+        for (chunk, v) in bytes.chunks_exact_mut(4).zip(&row) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&bytes).map_err(io_err("write row"))?;
+    }
+    w.flush().map_err(io_err("flush"))?;
+    Ok(())
+}
+
+/// Exact-LRU page cache with payloads: `LruSet` supplies the recency
+/// bookkeeping, the map holds the page bytes.
+#[derive(Debug)]
+struct PageCacheData {
+    order: LruSet<u64>,
+    data: HashMap<u64, Vec<u8>>,
+}
+
+impl PageCacheData {
+    fn new(capacity: usize) -> PageCacheData {
+        PageCacheData {
+            order: LruSet::new(capacity),
+            data: HashMap::new(),
+        }
+    }
+
+    /// Residency probe with recency promotion.
+    fn touch(&mut self, page: u64) -> bool {
+        self.order.touch(&page)
+    }
+
+    /// Residency probe without recency side effects.
+    fn contains(&self, page: u64) -> bool {
+        self.order.contains(&page)
+    }
+
+    fn get(&self, page: u64) -> Option<&[u8]> {
+        self.data.get(&page).map(Vec::as_slice)
+    }
+
+    fn insert(&mut self, page: u64, buf: Vec<u8>) {
+        if self.order.capacity() == 0 {
+            return;
+        }
+        if let Some(evicted) = self.order.insert(page) {
+            self.data.remove(&evicted);
+        }
+        self.data.insert(page, buf);
+    }
+}
+
+/// A [`FeatureStore`] over an on-disk feature file.
+#[derive(Debug)]
+pub struct FileStore {
+    file: File,
+    path: PathBuf,
+    dim: usize,
+    num_nodes: usize,
+    num_classes: usize,
+    file_len: u64,
+    opts: FileStoreOptions,
+    cache: PageCacheData,
+    stats: StoreStats,
+}
+
+impl FileStore {
+    /// Opens `path` with default options (4 KiB pages, 4 MiB cache).
+    pub fn open(path: &Path) -> Result<FileStore, StoreError> {
+        FileStore::open_with(path, FileStoreOptions::default())
+    }
+
+    /// Opens `path`, validating magic, header consistency, and the
+    /// exact file length before any row can be read.
+    pub fn open_with(path: &Path, opts: FileStoreOptions) -> Result<FileStore, StoreError> {
+        assert!(opts.page_bytes > 0, "page size must be positive");
+        let io_err = |action: &'static str| {
+            move |source: std::io::Error| StoreError::Io {
+                path: path.to_path_buf(),
+                action,
+                source,
+            }
+        };
+        let mut file = File::open(path).map_err(io_err("open"))?;
+        let file_len = file.metadata().map_err(io_err("stat"))?.len();
+        if file_len < HEADER_BYTES {
+            return Err(StoreError::Truncated {
+                path: path.to_path_buf(),
+                expected: HEADER_BYTES,
+                actual: file_len,
+            });
+        }
+        let mut header = [0u8; 32];
+        file.read_exact(&mut header)
+            .map_err(io_err("read header"))?;
+        if header[0..8] != FEATURE_FILE_MAGIC {
+            return Err(StoreError::BadMagic {
+                path: path.to_path_buf(),
+            });
+        }
+        let field = |at: usize| u64::from_le_bytes(header[at..at + 8].try_into().expect("8 bytes"));
+        let dim = field(8);
+        let num_nodes = field(16);
+        let num_classes = field(24);
+        let bad = |reason: String| StoreError::BadHeader {
+            path: path.to_path_buf(),
+            reason,
+        };
+        if dim == 0 || dim > u32::MAX as u64 {
+            return Err(bad(format!("feature dimension {dim} out of range")));
+        }
+        if num_classes == 0 {
+            return Err(bad("zero label classes".to_string()));
+        }
+        if num_nodes > u32::MAX as u64 {
+            return Err(bad(format!("node count {num_nodes} exceeds u32 ids")));
+        }
+        // Checked arithmetic: a corrupt header must fail typed, not
+        // overflow past the truncation check.
+        let expected = num_nodes
+            .checked_mul(dim)
+            .and_then(|b| b.checked_mul(4))
+            .and_then(|b| b.checked_add(HEADER_BYTES))
+            .ok_or_else(|| {
+                bad(format!(
+                    "header implies an impossible size ({num_nodes} nodes × {dim} features)"
+                ))
+            })?;
+        if file_len != expected {
+            return Err(StoreError::Truncated {
+                path: path.to_path_buf(),
+                expected,
+                actual: file_len,
+            });
+        }
+        Ok(FileStore {
+            file,
+            path: path.to_path_buf(),
+            dim: dim as usize,
+            num_nodes: num_nodes as usize,
+            num_classes: num_classes as usize,
+            file_len,
+            opts,
+            cache: PageCacheData::new(opts.cache_pages),
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// The file this store reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> FileStoreOptions {
+        self.opts
+    }
+
+    /// Byte range of `node`'s feature row within the file.
+    fn row_range(&self, node: NodeId) -> Result<ByteRange, StoreError> {
+        if node.index() >= self.num_nodes {
+            return Err(StoreError::NodeOutOfRange {
+                node,
+                num_nodes: self.num_nodes,
+            });
+        }
+        let row_bytes = self.dim as u64 * 4;
+        Ok(ByteRange {
+            offset: HEADER_BYTES + node.index() as u64 * row_bytes,
+            len: row_bytes,
+        })
+    }
+
+    /// Reads pages `[first, first + count)` with one syscall; returns
+    /// one buffer per page (the final page of the file may be short).
+    fn read_page_run(&mut self, first: u64, count: u64) -> Result<Vec<Vec<u8>>, StoreError> {
+        let pb = self.opts.page_bytes;
+        let start = first * pb;
+        let len = (count * pb).min(self.file_len - start) as usize;
+        let mut buf = vec![0u8; len];
+        let io_err = |action: &'static str| {
+            let path = self.path.clone();
+            move |source: std::io::Error| StoreError::Io {
+                path,
+                action,
+                source,
+            }
+        };
+        self.file
+            .seek(SeekFrom::Start(start))
+            .map_err(io_err("seek"))?;
+        self.file.read_exact(&mut buf).map_err(io_err("read run"))?;
+        self.stats.pages_read += count;
+        self.stats.page_misses += count;
+        self.stats.bytes_read += len as u64;
+        Ok(buf.chunks(pb as usize).map(<[u8]>::to_vec).collect())
+    }
+}
+
+impl FeatureStore for FileStore {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn label(&self, node: NodeId) -> usize {
+        community_of(node, self.num_classes)
+    }
+
+    fn gather_into(&mut self, nodes: &[NodeId], out: &mut [f32]) -> Result<(), StoreError> {
+        if out.len() != nodes.len() * self.dim {
+            return Err(StoreError::BadBuffer {
+                expected: nodes.len() * self.dim,
+                actual: out.len(),
+            });
+        }
+        let pb = self.opts.page_bytes;
+        // Plan: every page the batch touches, deduplicated and merged
+        // into contiguous runs. Row bounds are validated here, before
+        // any I/O.
+        let mut pages = Vec::with_capacity(nodes.len() * 2);
+        for &node in nodes {
+            let range = self.row_range(node)?;
+            if let Some((first, last)) = range.blocks(pb) {
+                pages.extend(first..=last);
+            }
+        }
+        let runs = merge_page_runs(&pages);
+        // Classify + fetch: resident pages are hits (promoted now);
+        // each maximal stretch of missing pages costs one read syscall.
+        // Fetched pages are staged so that assembly cannot be disturbed
+        // by evictions in an undersized cache.
+        let mut staged: HashMap<u64, Vec<u8>> = HashMap::new();
+        for run in &runs {
+            let mut p = run.first;
+            while p < run.end() {
+                if self.cache.touch(p) {
+                    self.stats.page_hits += 1;
+                    p += 1;
+                    continue;
+                }
+                let mut q = p + 1;
+                while q < run.end() && !self.cache.contains(q) {
+                    q += 1;
+                }
+                for (i, page_buf) in self.read_page_run(p, q - p)?.into_iter().enumerate() {
+                    staged.insert(p + i as u64, page_buf);
+                }
+                p = q;
+            }
+        }
+        // Resolve: assemble each row from staged + cached pages.
+        let mut row_buf = vec![0u8; self.dim * 4];
+        for (row, &node) in nodes.iter().enumerate() {
+            let range = self.row_range(node)?;
+            let (first, last) = range.blocks(pb).expect("rows are non-empty");
+            for page in first..=last {
+                let page_start = page * pb;
+                let src = staged
+                    .get(&page)
+                    .map(Vec::as_slice)
+                    .or_else(|| self.cache.get(page))
+                    .expect("planned page is staged or cached");
+                let lo = range.offset.max(page_start);
+                let hi = (range.offset + range.len).min(page_start + src.len() as u64);
+                row_buf[(lo - range.offset) as usize..(hi - range.offset) as usize]
+                    .copy_from_slice(&src[(lo - page_start) as usize..(hi - page_start) as usize]);
+            }
+            let out_row = &mut out[row * self.dim..(row + 1) * self.dim];
+            for (v, chunk) in out_row.iter_mut().zip(row_buf.chunks_exact(4)) {
+                *v = f32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+            }
+        }
+        // Commit fetched pages to the cache in ascending page order.
+        let mut fetched: Vec<(u64, Vec<u8>)> = staged.into_iter().collect();
+        fetched.sort_unstable_by_key(|(page, _)| *page);
+        for (page, buf) in fetched {
+            self.cache.insert(page, buf);
+        }
+        self.stats.gathers += 1;
+        self.stats.nodes_gathered += nodes.len() as u64;
+        self.stats.feature_bytes += nodes.len() as u64 * self.dim as u64 * 4;
+        Ok(())
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = StoreStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InMemoryStore, ScratchFile};
+
+    fn write_table(
+        tag: &str,
+        dim: usize,
+        classes: usize,
+        nodes: usize,
+    ) -> (ScratchFile, FeatureTable) {
+        let table = FeatureTable::new(dim, classes, 0xBEEF);
+        let path = ScratchFile::new(tag);
+        write_feature_file(path.path(), &table, nodes).unwrap();
+        (path, table)
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical_to_the_table() {
+        let (path, table) = write_table("roundtrip", 7, 3, 40);
+        let mut store = FileStore::open(path.path()).unwrap();
+        let nodes: Vec<NodeId> = [3u32, 0, 39, 3, 17].map(NodeId::new).to_vec();
+        let got = store.gather(&nodes).unwrap();
+        let want = InMemoryStore::new(table, 40).gather(&nodes).unwrap();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&got), bits(&want));
+        assert_eq!(store.num_nodes(), 40);
+        assert_eq!(store.num_classes(), 3);
+        assert_eq!(store.label(NodeId::new(5)), 5 % 3);
+    }
+
+    #[test]
+    fn repeat_gathers_hit_the_page_cache() {
+        let (path, _) = write_table("hits", 16, 2, 64);
+        let mut store = FileStore::open(path.path()).unwrap();
+        let nodes: Vec<NodeId> = (0..64u32).map(NodeId::new).collect();
+        store.gather(&nodes).unwrap();
+        let cold = store.stats();
+        assert!(cold.pages_read > 0);
+        assert!(cold.bytes_read >= cold.pages_read * 4096 - 4096);
+        store.gather(&nodes).unwrap();
+        let warm = store.stats();
+        assert_eq!(
+            warm.pages_read, cold.pages_read,
+            "second pass reads nothing"
+        );
+        assert!(warm.page_hits > cold.page_hits);
+        assert!(warm.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_cache_rereads_every_time() {
+        let (path, _) = write_table("nocache", 8, 2, 16);
+        let mut store = FileStore::open_with(
+            path.path(),
+            FileStoreOptions {
+                page_bytes: 4096,
+                cache_pages: 0,
+            },
+        )
+        .unwrap();
+        let nodes: Vec<NodeId> = (0..16u32).map(NodeId::new).collect();
+        store.gather(&nodes).unwrap();
+        let first = store.stats().pages_read;
+        store.gather(&nodes).unwrap();
+        assert_eq!(store.stats().pages_read, 2 * first);
+        assert_eq!(store.stats().page_hits, 0);
+    }
+
+    #[test]
+    fn odd_page_sizes_still_resolve_identically() {
+        let (path, table) = write_table("pagesizes", 5, 2, 33);
+        let nodes: Vec<NodeId> = [32u32, 1, 16, 8, 8, 0].map(NodeId::new).to_vec();
+        let want = InMemoryStore::new(table, 33).gather(&nodes).unwrap();
+        for page_bytes in [512u64, 1024, 4096, 16384, 1 << 20] {
+            let mut store = FileStore::open_with(
+                path.path(),
+                FileStoreOptions {
+                    page_bytes,
+                    cache_pages: 3,
+                },
+            )
+            .unwrap();
+            let got = store.gather(&nodes).unwrap();
+            assert_eq!(got, want, "page size {page_bytes} diverged");
+        }
+    }
+
+    #[test]
+    fn truncated_file_error_names_file_and_expected_length() {
+        let (path, _) = write_table("trunc", 8, 2, 20);
+        let full = std::fs::metadata(path.path()).unwrap().len();
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path.path())
+            .unwrap();
+        f.set_len(full - 13).unwrap();
+        drop(f);
+        let err = FileStore::open(path.path()).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, StoreError::Truncated { expected, actual, .. }
+            if expected == full && actual == full - 13));
+        assert!(
+            msg.contains(path.path().to_str().unwrap()),
+            "message must name the file: {msg}"
+        );
+        assert!(
+            msg.contains(&full.to_string()),
+            "message must name the expected length: {msg}"
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_short_header_are_typed() {
+        let path = ScratchFile::new("magic");
+        std::fs::write(path.path(), vec![0u8; HEADER_BYTES as usize]).unwrap();
+        assert!(matches!(
+            FileStore::open(path.path()).unwrap_err(),
+            StoreError::BadMagic { .. }
+        ));
+        std::fs::write(path.path(), b"short").unwrap();
+        assert!(matches!(
+            FileStore::open(path.path()).unwrap_err(),
+            StoreError::Truncated { expected, actual: 5, .. } if expected == HEADER_BYTES
+        ));
+        let err = FileStore::open(Path::new("/nonexistent/feat.fbin")).unwrap_err();
+        assert!(matches!(err, StoreError::Io { action: "open", .. }));
+    }
+
+    #[test]
+    fn corrupt_header_fields_are_rejected() {
+        let path = ScratchFile::new("header");
+        let mut bytes = vec![0u8; HEADER_BYTES as usize];
+        bytes[0..8].copy_from_slice(&FEATURE_FILE_MAGIC);
+        // dim = 0
+        std::fs::write(path.path(), &bytes).unwrap();
+        assert!(matches!(
+            FileStore::open(path.path()).unwrap_err(),
+            StoreError::BadHeader { .. }
+        ));
+        // classes = 0 with a valid dim
+        bytes[8..16].copy_from_slice(&4u64.to_le_bytes());
+        std::fs::write(path.path(), &bytes).unwrap();
+        assert!(matches!(
+            FileStore::open(path.path()).unwrap_err(),
+            StoreError::BadHeader { .. }
+        ));
+    }
+
+    #[test]
+    fn overflowing_header_size_is_rejected_not_wrapped() {
+        // dim and num_nodes individually pass the u32 bound but their
+        // product overflows u64: must fail typed, never wrap around the
+        // truncation check (release) or panic (debug).
+        let path = ScratchFile::new("overflow");
+        let mut bytes = vec![0u8; HEADER_BYTES as usize];
+        bytes[0..8].copy_from_slice(&FEATURE_FILE_MAGIC);
+        bytes[8..16].copy_from_slice(&(1u64 << 31).to_le_bytes()); // dim
+        bytes[16..24].copy_from_slice(&(1u64 << 31).to_le_bytes()); // nodes
+        bytes[24..32].copy_from_slice(&2u64.to_le_bytes()); // classes
+        std::fs::write(path.path(), &bytes).unwrap();
+        let err = FileStore::open(path.path()).unwrap_err();
+        assert!(matches!(err, StoreError::BadHeader { .. }), "{err}");
+        assert!(err.to_string().contains("impossible size"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_node_fails_before_io() {
+        let (path, _) = write_table("range", 4, 2, 5);
+        let mut store = FileStore::open(path.path()).unwrap();
+        let err = store.gather(&[NodeId::new(5)]).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::NodeOutOfRange { num_nodes: 5, .. }
+        ));
+        assert_eq!(store.stats().bytes_read, 0, "no I/O for invalid gathers");
+    }
+}

@@ -1,0 +1,203 @@
+//! Feature stores: where node feature vectors are read from during
+//! training.
+//!
+//! SmartSAGE's premise (§III–IV) is that GNN training becomes
+//! storage-bound once the dataset spills out of DRAM. The simulator
+//! models that for the *edge-list* array; this crate makes it real for
+//! the *feature table*: training can gather features through actual
+//! page-aligned storage I/O instead of an in-memory table.
+//!
+//! Three implementations of the [`FeatureStore`] trait:
+//!
+//! * [`InMemoryStore`] — wraps the synthetic
+//!   [`FeatureTable`](smartsage_graph::FeatureTable); features are
+//!   produced straight into the caller's buffer with no I/O.
+//! * [`FileStore`] — a real on-disk feature file ([`file`] documents the
+//!   layout) read with page-aligned I/O, an exact-LRU page cache
+//!   ([`smartsage_hostio::LruSet`] ordering), and batch gathers whose
+//!   page reads are coalesced into contiguous runs
+//!   ([`smartsage_hostio::merge_page_runs`]).
+//! * [`MeteredStore`] — wraps any store and keeps exact access counters
+//!   (gathers, nodes, payload bytes) on top of the inner store's I/O
+//!   stats, for reports.
+//!
+//! # The determinism contract
+//!
+//! Feature gathering follows the same plan/resolve discipline as
+//! neighbor sampling (`smartsage_gnn::sampler`): a gather is *planned*
+//! as a pure function of the node list (which rows, which pages, in
+//! which order) and then *resolved* against the backing bytes. Every
+//! store resolves the same plan to **byte-identical** results — the
+//! storage medium may change latency and I/O counts, never values. The
+//! conformance suite (`tests/feature_store_conformance.rs`) asserts
+//! this across random graphs, batch orders, and page sizes, and the
+//! training equivalence test asserts that a full `Trainer` run through
+//! [`FileStore`] produces a bit-identical loss trajectory to
+//! [`InMemoryStore`].
+
+pub mod error;
+pub mod file;
+pub mod mem;
+pub mod metered;
+pub mod scratch;
+
+pub use error::StoreError;
+pub use file::{write_feature_file, FileStore, FileStoreOptions};
+pub use mem::InMemoryStore;
+pub use metered::MeteredStore;
+pub use scratch::ScratchFile;
+
+use smartsage_graph::NodeId;
+
+/// Which feature-store implementation an experiment trains through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// In-memory feature table (the historical default).
+    Mem,
+    /// File-backed store: page-aligned reads + LRU page cache.
+    File,
+}
+
+impl StoreKind {
+    /// Parses a `--store` flag value.
+    pub fn parse(s: &str) -> Option<StoreKind> {
+        match s {
+            "mem" => Some(StoreKind::Mem),
+            "file" => Some(StoreKind::File),
+            _ => None,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StoreKind::Mem => "mem",
+            StoreKind::File => "file",
+        }
+    }
+}
+
+/// Exact access and I/O counters of a store.
+///
+/// Access-level counters (`gathers`, `nodes_gathered`, `feature_bytes`)
+/// describe what callers asked for; I/O-level counters (`pages_read`,
+/// `bytes_read`, `page_hits`, `page_misses`) describe what actually hit
+/// the disk. For [`InMemoryStore`] the I/O counters stay zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Number of `gather_into` calls.
+    pub gathers: u64,
+    /// Total node rows requested across gathers.
+    pub nodes_gathered: u64,
+    /// Useful payload bytes delivered (`nodes_gathered × dim × 4`).
+    pub feature_bytes: u64,
+    /// Pages fetched from the backing file.
+    pub pages_read: u64,
+    /// Bytes fetched from the backing file (page-aligned, so generally
+    /// larger than the payload the pages were fetched for).
+    pub bytes_read: u64,
+    /// Distinct page lookups served by the page cache.
+    pub page_hits: u64,
+    /// Distinct page lookups that had to go to disk.
+    pub page_misses: u64,
+}
+
+impl StoreStats {
+    /// Page-cache hit rate over all page lookups (0.0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.page_hits + self.page_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.page_hits as f64 / total as f64
+        }
+    }
+
+    /// Adds another stats record into this one.
+    pub fn accumulate(&mut self, other: &StoreStats) {
+        self.gathers += other.gathers;
+        self.nodes_gathered += other.nodes_gathered;
+        self.feature_bytes += other.feature_bytes;
+        self.pages_read += other.pages_read;
+        self.bytes_read += other.bytes_read;
+        self.page_hits += other.page_hits;
+        self.page_misses += other.page_misses;
+    }
+}
+
+/// A source of node feature vectors (and labels) for training.
+///
+/// Implementations must be deterministic: the same node list must
+/// always resolve to byte-identical feature rows, independent of cache
+/// state, gather batching, or page size (see the crate docs for the
+/// plan/resolve contract). `gather_into` takes `&mut self` because
+/// storage-backed stores update cache state and counters; the *values*
+/// returned are nevertheless pure functions of the node list.
+pub trait FeatureStore: std::fmt::Debug {
+    /// Feature dimensionality of every row.
+    fn dim(&self) -> usize;
+
+    /// Number of label classes.
+    fn num_classes(&self) -> usize;
+
+    /// Number of node rows the store holds.
+    fn num_nodes(&self) -> usize;
+
+    /// The label (class) of `node`.
+    fn label(&self, node: NodeId) -> usize;
+
+    /// Gathers the feature rows of `nodes` into `out` (row-major,
+    /// `nodes.len() × dim`).
+    fn gather_into(&mut self, nodes: &[NodeId], out: &mut [f32]) -> Result<(), StoreError>;
+
+    /// Counters so far.
+    fn stats(&self) -> StoreStats;
+
+    /// Resets all counters (and nothing else — cache contents survive).
+    fn reset_stats(&mut self);
+
+    /// Gathers the feature rows of `nodes` as a fresh matrix.
+    fn gather(&mut self, nodes: &[NodeId]) -> Result<Vec<f32>, StoreError> {
+        let mut out = vec![0.0; nodes.len() * self.dim()];
+        self.gather_into(nodes, &mut out)?;
+        Ok(out)
+    }
+
+    /// One node's feature vector as a fresh allocation.
+    fn features(&mut self, node: NodeId) -> Result<Vec<f32>, StoreError> {
+        self.gather(&[node])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_kind_parses() {
+        assert_eq!(StoreKind::parse("mem"), Some(StoreKind::Mem));
+        assert_eq!(StoreKind::parse("file"), Some(StoreKind::File));
+        assert_eq!(StoreKind::parse("disk"), None);
+        assert_eq!(StoreKind::File.label(), "file");
+    }
+
+    #[test]
+    fn stats_hit_rate_and_accumulate() {
+        let mut a = StoreStats {
+            gathers: 1,
+            nodes_gathered: 10,
+            feature_bytes: 400,
+            pages_read: 3,
+            bytes_read: 3 * 4096,
+            page_hits: 1,
+            page_misses: 3,
+        };
+        assert!((a.hit_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(StoreStats::default().hit_rate(), 0.0);
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.gathers, 2);
+        assert_eq!(a.page_hits, 2);
+        assert_eq!(a.bytes_read, 6 * 4096);
+    }
+}

@@ -1,0 +1,161 @@
+//! A metering wrapper: exact access counters around any store.
+
+use crate::error::StoreError;
+use crate::{FeatureStore, StoreStats};
+use smartsage_graph::NodeId;
+
+/// Wraps any [`FeatureStore`] and keeps its own exact access counters
+/// (gathers, node rows, payload bytes), merged over the inner store's
+/// I/O counters in [`MeteredStore::stats`].
+///
+/// The wrapper counts at the call boundary, so reports can compare
+/// "what training asked for" (wrapper) against "what the disk did"
+/// (inner). Only *successful* gathers advance the counters — a failed
+/// gather delivers nothing and counts nothing, keeping the wrapper
+/// consistent with the inner store's accounting.
+///
+/// # Example
+///
+/// ```
+/// use smartsage_graph::{FeatureTable, NodeId};
+/// use smartsage_store::{FeatureStore, InMemoryStore, MeteredStore};
+/// let inner = InMemoryStore::new(FeatureTable::new(4, 2, 0), 10);
+/// let mut store = MeteredStore::new(inner);
+/// store.gather(&[NodeId::new(1), NodeId::new(2)]).unwrap();
+/// let s = store.stats();
+/// assert_eq!((s.gathers, s.nodes_gathered, s.feature_bytes), (1, 2, 32));
+/// ```
+#[derive(Debug)]
+pub struct MeteredStore<S> {
+    inner: S,
+    gathers: u64,
+    nodes_gathered: u64,
+    feature_bytes: u64,
+}
+
+impl<S: FeatureStore> MeteredStore<S> {
+    /// Wraps `inner` with zeroed counters.
+    pub fn new(inner: S) -> MeteredStore<S> {
+        MeteredStore {
+            inner,
+            gathers: 0,
+            nodes_gathered: 0,
+            feature_bytes: 0,
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the inner store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: FeatureStore> FeatureStore for MeteredStore<S> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn label(&self, node: NodeId) -> usize {
+        self.inner.label(node)
+    }
+
+    fn gather_into(&mut self, nodes: &[NodeId], out: &mut [f32]) -> Result<(), StoreError> {
+        self.inner.gather_into(nodes, out)?;
+        self.gathers += 1;
+        self.nodes_gathered += nodes.len() as u64;
+        self.feature_bytes += nodes.len() as u64 * self.inner.dim() as u64 * 4;
+        Ok(())
+    }
+
+    /// Wrapper access counters over the inner store's I/O counters.
+    fn stats(&self) -> StoreStats {
+        let inner = self.inner.stats();
+        StoreStats {
+            gathers: self.gathers,
+            nodes_gathered: self.nodes_gathered,
+            feature_bytes: self.feature_bytes,
+            pages_read: inner.pages_read,
+            bytes_read: inner.bytes_read,
+            page_hits: inner.page_hits,
+            page_misses: inner.page_misses,
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.gathers = 0;
+        self.nodes_gathered = 0;
+        self.feature_bytes = 0;
+        self.inner.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InMemoryStore;
+    use smartsage_graph::FeatureTable;
+
+    fn store() -> MeteredStore<InMemoryStore> {
+        MeteredStore::new(InMemoryStore::new(FeatureTable::new(8, 4, 1), 100))
+    }
+
+    #[test]
+    fn counters_are_exact() {
+        let mut s = store();
+        s.gather(&[NodeId::new(0)]).unwrap();
+        s.gather(&(0..7u32).map(NodeId::new).collect::<Vec<_>>())
+            .unwrap();
+        s.gather(&[]).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.gathers, 3);
+        assert_eq!(stats.nodes_gathered, 8);
+        assert_eq!(stats.feature_bytes, 8 * 8 * 4);
+        // Wrapper counters agree with the inner store's own accounting.
+        let inner = s.inner().stats();
+        assert_eq!(stats.gathers, inner.gathers);
+        assert_eq!(stats.nodes_gathered, inner.nodes_gathered);
+        assert_eq!(stats.feature_bytes, inner.feature_bytes);
+    }
+
+    #[test]
+    fn failed_gathers_do_not_count() {
+        let mut s = store();
+        assert!(s.gather(&[NodeId::new(100)]).is_err());
+        assert_eq!(s.stats().gathers, 0);
+        assert_eq!(s.stats().nodes_gathered, 0);
+    }
+
+    #[test]
+    fn values_pass_through_unchanged() {
+        let table = FeatureTable::new(8, 4, 1);
+        let mut s = store();
+        let nodes = [NodeId::new(3), NodeId::new(9)];
+        assert_eq!(s.gather(&nodes).unwrap(), table.gather(&nodes));
+        assert_eq!(s.label(NodeId::new(9)), table.label(NodeId::new(9)));
+        assert_eq!(s.dim(), 8);
+        assert_eq!(s.num_classes(), 4);
+        assert_eq!(s.num_nodes(), 100);
+    }
+
+    #[test]
+    fn reset_clears_wrapper_and_inner() {
+        let mut s = store();
+        s.gather(&[NodeId::new(1)]).unwrap();
+        s.reset_stats();
+        assert_eq!(s.stats(), StoreStats::default());
+        assert_eq!(s.inner().stats(), StoreStats::default());
+    }
+}

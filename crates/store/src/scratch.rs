@@ -1,0 +1,53 @@
+//! Scratch-file support: unique temp paths removed on drop.
+//!
+//! Shared by the store's own tests, the workspace's integration suites,
+//! and any tool that needs a throwaway feature file — one definition,
+//! so naming and cleanup behavior cannot drift between copies.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique path in the OS temp directory, deleted on drop (including
+/// drops during a panicking test).
+#[derive(Debug)]
+pub struct ScratchFile(PathBuf);
+
+impl ScratchFile {
+    /// Creates a fresh path tagged `tag`; the file itself is not
+    /// created until something writes it.
+    pub fn new(tag: &str) -> ScratchFile {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        ScratchFile(std::env::temp_dir().join(format!(
+            "smartsage-scratch-{}-{}-{tag}.fbin",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+
+    /// The path.
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_are_unique_and_cleaned_up() {
+        let a = ScratchFile::new("x");
+        let b = ScratchFile::new("x");
+        assert_ne!(a.path(), b.path());
+        std::fs::write(a.path(), b"data").unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "drop must remove the file");
+    }
+}

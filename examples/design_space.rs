@@ -42,6 +42,7 @@ fn sampling_throughput(mut cfg: SystemConfig, workers: usize) -> f64 {
             seed: 5,
             sampler: SamplerKind::GraphSage,
             train: false,
+            store: None,
         },
     );
     report.sampling_throughput

@@ -71,6 +71,7 @@ fn main() {
                 seed: 17,
                 sampler: SamplerKind::SaintWalk { length: 4 },
                 train: true,
+                store: None,
             },
         );
         let b = *base.get_or_insert(report.makespan);

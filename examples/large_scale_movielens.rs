@@ -81,6 +81,7 @@ fn main() {
                 seed: 3,
                 sampler: SamplerKind::GraphSage,
                 train: true,
+                store: None,
             },
         );
         let b = *base.get_or_insert(report.makespan);

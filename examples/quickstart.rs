@@ -87,6 +87,7 @@ fn main() {
                 seed: 11,
                 sampler: SamplerKind::GraphSage,
                 train: true,
+                store: None,
             },
         );
         let base = *mmap_time.get_or_insert(report.makespan);

@@ -12,6 +12,10 @@
 //!   DRAM and PMEM device models.
 //! * [`hostio`] — OS page cache / mmap, direct I/O, command coalescing,
 //!   and the on-SSD graph file layout.
+//! * [`store`] — feature stores: the `FeatureStore` trait with
+//!   in-memory, file-backed (real page-aligned I/O + LRU page cache),
+//!   and metered implementations, so training can run through actual
+//!   storage.
 //! * [`memsim`] — LLC simulation and DRAM bandwidth accounting used by the
 //!   paper's characterization (Fig 5).
 //! * [`gnn`] — GraphSAGE/GraphSAINT samplers, dense layers, the functional
@@ -44,3 +48,4 @@ pub use smartsage_hostio as hostio;
 pub use smartsage_memsim as memsim;
 pub use smartsage_sim as sim;
 pub use smartsage_storage as storage;
+pub use smartsage_store as store;

@@ -1,0 +1,143 @@
+//! Cross-backend feature-store conformance: `FileStore` and
+//! `InMemoryStore` must return **byte-identical** gathers for random
+//! graphs, batch orders, and page sizes — the determinism contract the
+//! trainer relies on — and `MeteredStore` counters must be exact.
+
+use proptest::prelude::*;
+use smartsage::graph::{FeatureTable, NodeId};
+use smartsage::store::file::{write_feature_file, FileStore, FileStoreOptions};
+use smartsage::store::{FeatureStore, InMemoryStore, MeteredStore, ScratchFile, StoreError};
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+const PAGE_SIZES: [u64; 6] = [512, 1024, 2048, 4096, 8192, 16384];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn feature_store_file_gathers_match_mem_bit_for_bit(
+        num_nodes in 1usize..220,
+        dim in 1usize..48,
+        classes in 1usize..7,
+        seed in any::<u64>(),
+        page_pick in 0usize..6,
+        cache_pages in 0usize..48,
+        raw_batches in proptest::collection::vec(
+            proptest::collection::vec(0u32..100_000, 0..40),
+            1..5,
+        ),
+    ) {
+        let table = FeatureTable::new(dim, classes, seed);
+        let file = ScratchFile::new("gather");
+        write_feature_file(file.path(), &table, num_nodes).unwrap();
+        let opts = FileStoreOptions {
+            page_bytes: PAGE_SIZES[page_pick],
+            cache_pages,
+        };
+        let mut on_disk = MeteredStore::new(FileStore::open_with(file.path(), opts).unwrap());
+        let mut in_mem = MeteredStore::new(InMemoryStore::new(table, num_nodes));
+
+        let mut expect_gathers = 0u64;
+        let mut expect_nodes = 0u64;
+        for raw in &raw_batches {
+            // Arbitrary batch order, duplicates allowed, ids wrapped
+            // into range.
+            let nodes: Vec<NodeId> = raw
+                .iter()
+                .map(|&r| NodeId::new(r % num_nodes as u32))
+                .collect();
+            let from_disk = on_disk.gather(&nodes).unwrap();
+            let from_mem = in_mem.gather(&nodes).unwrap();
+            prop_assert_eq!(
+                bits(&from_disk),
+                bits(&from_mem),
+                "gather diverged (nodes={}, dim={}, page={}, cache={})",
+                num_nodes, dim, opts.page_bytes, cache_pages
+            );
+            expect_gathers += 1;
+            expect_nodes += nodes.len() as u64;
+        }
+
+        // MeteredStore counters are exact, on both wrappers.
+        for stats in [on_disk.stats(), in_mem.stats()] {
+            prop_assert_eq!(stats.gathers, expect_gathers);
+            prop_assert_eq!(stats.nodes_gathered, expect_nodes);
+            prop_assert_eq!(stats.feature_bytes, expect_nodes * dim as u64 * 4);
+        }
+        // Disk accounting is consistent: misses are exactly the pages
+        // read, every read is page-granular, memory does no I/O.
+        let disk = on_disk.stats();
+        prop_assert_eq!(disk.page_misses, disk.pages_read);
+        prop_assert!(disk.bytes_read <= disk.pages_read * opts.page_bytes);
+        if expect_nodes > 0 {
+            prop_assert!(disk.pages_read > 0);
+        }
+        let mem = in_mem.stats();
+        prop_assert_eq!(mem.pages_read + mem.bytes_read + mem.page_hits + mem.page_misses, 0);
+    }
+
+    #[test]
+    fn feature_store_labels_agree_across_backends(
+        num_nodes in 1usize..150,
+        dim in 1usize..16,
+        classes in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let table = FeatureTable::new(dim, classes, seed);
+        let file = ScratchFile::new("labels");
+        write_feature_file(file.path(), &table, num_nodes).unwrap();
+        let disk = FileStore::open(file.path()).unwrap();
+        let mem = InMemoryStore::new(table, num_nodes);
+        for i in 0..num_nodes {
+            let node = NodeId::new(i as u32);
+            prop_assert_eq!(disk.label(node), mem.label(node));
+        }
+        prop_assert_eq!(disk.dim(), mem.dim());
+        prop_assert_eq!(disk.num_classes(), mem.num_classes());
+        prop_assert_eq!(disk.num_nodes(), mem.num_nodes());
+    }
+}
+
+#[test]
+fn feature_store_gathers_are_independent_of_batch_split() {
+    // The same node set gathered as one batch, per-node, or in chunks
+    // must resolve identically — cache state cannot leak into values.
+    let table = FeatureTable::new(10, 4, 99);
+    let file = ScratchFile::new("split");
+    write_feature_file(file.path(), &table, 64).unwrap();
+    let opts = FileStoreOptions {
+        page_bytes: 512,
+        cache_pages: 4, // deliberately tiny: constant eviction pressure
+    };
+    let nodes: Vec<NodeId> = (0..64u32).rev().map(NodeId::new).collect();
+    let mut whole = FileStore::open_with(file.path(), opts).unwrap();
+    let want = whole.gather(&nodes).unwrap();
+    let mut chunked = FileStore::open_with(file.path(), opts).unwrap();
+    let mut got = Vec::new();
+    for chunk in nodes.chunks(7) {
+        got.extend(chunked.gather(chunk).unwrap());
+    }
+    assert_eq!(bits(&want), bits(&got));
+}
+
+#[test]
+fn feature_store_truncated_file_reports_path_and_expected_length() {
+    let table = FeatureTable::new(8, 2, 1);
+    let file = ScratchFile::new("truncated");
+    write_feature_file(file.path(), &table, 32).unwrap();
+    let expected = std::fs::metadata(file.path()).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(file.path())
+        .unwrap()
+        .set_len(expected - 100)
+        .unwrap();
+    let err = FileStore::open(file.path()).unwrap_err();
+    assert!(matches!(err, StoreError::Truncated { .. }));
+    let msg = err.to_string();
+    assert!(msg.contains(file.path().to_str().unwrap()), "{msg}");
+    assert!(msg.contains(&expected.to_string()), "{msg}");
+}

@@ -25,6 +25,7 @@ fn run(kind: SystemKind, workers: usize, train: bool, seed: u64) -> PipelineRepo
             seed,
             sampler: SamplerKind::GraphSage,
             train,
+            store: None,
         },
     )
 }
@@ -137,6 +138,7 @@ fn bounded_queue_blocks_producers_not_correctness() {
                 seed: 9,
                 sampler: SamplerKind::GraphSage,
                 train: true,
+                store: None,
             },
         )
     };
@@ -172,6 +174,7 @@ fn saint_walks_complete_on_ssd_systems() {
             seed: 3,
             sampler: SamplerKind::SaintWalk { length: 4 },
             train: true,
+            store: None,
         },
     );
     assert_eq!(report.batches, 4);
