@@ -27,6 +27,7 @@ fn pipe(kind: SystemKind, sampler: SamplerKind, fanouts: Fanouts) -> f64 {
             sampler,
             train: true,
             store: None,
+            readahead: false,
         },
     );
     report.makespan.as_secs_f64()

@@ -15,6 +15,7 @@ fn bench_scale() -> ExperimentScale {
         workers: 4,
         seed: 2022,
         store: None,
+        readahead: false,
     }
 }
 
@@ -125,6 +126,7 @@ fn fig15_coalescing(c: &mut Criterion) {
                             sampler: SamplerKind::GraphSage,
                             train: false,
                             store: None,
+                            readahead: false,
                         },
                     )
                 });

@@ -6,7 +6,7 @@
 //! ```text
 //! reproduce [EXPERIMENT...] [--list] [--filter SUBSTR]
 //!           [--scale tiny|default|paper] [--format text|csv|json]
-//!           [--jobs N] [--store mem|file]
+//!           [--jobs N] [--store mem|file] [--readahead] [--clean-store]
 //! ```
 //!
 //! With no experiment names, everything runs in paper (registry) order.
@@ -18,11 +18,19 @@
 //! name/filter resolution) without running anything.
 //!
 //! `--store mem|file` routes every pipeline run's feature gathers
-//! through a feature store — `file` trains through a real on-disk
-//! feature file with page-aligned I/O and an LRU page cache — and
-//! prints the sweep's aggregate I/O (bytes read, page-cache hit rate)
-//! to stderr at the end. Tables are byte-identical with and without a
-//! store (the determinism contract); only the I/O accounting changes.
+//! through a feature store. With `file`, all jobs of the sweep share
+//! **one** registry-opened store per content key (one open file, one
+//! sharded page cache), and the end-of-sweep stderr report carries the
+//! sweep's *exact* scoped I/O — bytes read, page-cache hit rate, and
+//! per-shard cache occupancy — never contaminated by earlier sweeps in
+//! the same process. `--readahead` adds background page read-ahead.
+//! Tables are byte-identical with and without a store, serial or
+//! parallel (the determinism contract); only the I/O accounting
+//! changes.
+//!
+//! `--clean-store` removes the content-keyed feature files
+//! (`smartsage-feat-*.fbin`) and any orphaned publish temporaries from
+//! the OS temp directory, then exits.
 //!
 //! All flags are validated (and unknown experiment names rejected with
 //! the list of valid names, exit code 2) before any experiment runs.
@@ -30,7 +38,8 @@
 use smartsage_bench::{scale_from_flag, store_from_flag};
 use smartsage_core::experiments::{registry, Experiment, ExperimentScale};
 use smartsage_core::runner::{OutputFormat, Runner};
-use smartsage_core::{store_metrics, StoreKind};
+use smartsage_core::StoreKind;
+use smartsage_store::remove_cached_feature_files;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::Mutex;
@@ -40,7 +49,7 @@ fn fail_usage(message: &str) -> ! {
     eprintln!(
         "usage: reproduce [EXPERIMENT...] [--list] [--filter SUBSTR] \
          [--scale tiny|default|paper] [--format text|csv|json] [--jobs N] \
-         [--store mem|file]"
+         [--store mem|file] [--readahead] [--clean-store]"
     );
     std::process::exit(2);
 }
@@ -80,6 +89,8 @@ struct Cli {
     jobs: usize,
     list: bool,
     store: Option<StoreKind>,
+    readahead: bool,
+    clean_store: bool,
 }
 
 fn parse_args(args: Vec<String>) -> Cli {
@@ -91,6 +102,8 @@ fn parse_args(args: Vec<String>) -> Cli {
         jobs: 1,
         list: false,
         store: None,
+        readahead: false,
+        clean_store: false,
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -125,6 +138,8 @@ fn parse_args(args: Vec<String>) -> Cli {
                         fail_usage(&format!("unknown store '{value}' (mem|file)"))
                     }));
             }
+            "--readahead" => cli.readahead = true,
+            "--clean-store" => cli.clean_store = true,
             "--filter" => cli.filter = Some(value_of("--filter")),
             flag if flag.starts_with("--") => fail_usage(&format!("unknown flag '{flag}'")),
             name => cli.names.push(name.to_string()),
@@ -135,6 +150,31 @@ fn parse_args(args: Vec<String>) -> Cli {
 
 fn main() {
     let cli = parse_args(std::env::args().skip(1).collect());
+
+    // Validate flag combinations up front, like everything else: a
+    // silent no-op would let a user read a plain run's numbers as a
+    // read-ahead measurement.
+    if cli.readahead && cli.store != Some(StoreKind::File) {
+        fail_usage("--readahead requires --store file (read-ahead warms the file store's shared page cache)");
+    }
+
+    if cli.clean_store {
+        // A standalone action: combining it with a selection would
+        // silently skip the sweep the user asked for.
+        if !cli.names.is_empty()
+            || cli.list
+            || cli.filter.is_some()
+            || cli.store.is_some()
+            || cli.readahead
+        {
+            fail_usage("--clean-store is a standalone action and cannot be combined with a sweep");
+        }
+        let removed = remove_cached_feature_files();
+        eprintln!(
+            "[clean-store: removed {removed} cached feature file(s) from the temp directory]"
+        );
+        return;
+    }
 
     // Resolve and validate the whole selection up front: a typo in the
     // last name must abort before the first experiment runs, and
@@ -170,6 +210,7 @@ fn main() {
     if let Some(kind) = cli.store {
         scale.store = Some(kind);
     }
+    scale.readahead = cli.readahead;
     let runner = Runner::builder()
         .scale(scale)
         .experiments(selection)
@@ -203,13 +244,15 @@ fn main() {
         ));
     }
     emit(format.prologue());
-    runner.run();
+    let sweep = runner.sweep();
     emit(format.epilogue());
 
-    // Report the sweep's aggregate feature-store I/O. Stderr, like the
-    // timing lines, so every --format stays machine-parseable.
+    // Report this sweep's exact, scoped feature-store I/O — never a
+    // process-lifetime aggregate, so back-to-back sweeps report
+    // independently. Stderr, like the timing lines, so every --format
+    // stays machine-parseable.
     if let Some(kind) = cli.store {
-        let s = store_metrics::snapshot();
+        let s = sweep.store_stats;
         eprintln!(
             "[store {}: {} gathers, {} feature bytes, {} bytes read from disk \
              ({} pages), page-cache hit rate {:.1}%]",
@@ -220,5 +263,17 @@ fn main() {
             s.pages_read,
             s.hit_rate() * 100.0
         );
+        for occ in &sweep.stores {
+            let shards: Vec<String> = occ.shard_pages.iter().map(usize::to_string).collect();
+            eprintln!(
+                "[store cache {}: {}/{} pages resident, shards [{}], \
+                 {} pages prefetched]",
+                occ.path.display(),
+                occ.resident_pages(),
+                occ.capacity_pages,
+                shards.join(" "),
+                occ.prefetch_pages
+            );
+        }
     }
 }

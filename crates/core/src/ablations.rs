@@ -57,6 +57,7 @@ fn run_mode(
             sampler: SamplerKind::GraphSage,
             train,
             store: scale.store,
+            readahead: scale.readahead,
         },
     );
     if train {

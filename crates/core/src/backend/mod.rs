@@ -25,17 +25,20 @@ use crate::context::{Devices, RunContext};
 use crate::metrics::{FinishedBatch, GatheredFeatures};
 use smartsage_gnn::SamplePlan;
 use smartsage_sim::SimTime;
-use smartsage_store::FeatureStore;
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::sync::Arc;
 
-/// A feature store shared by the producer workers of one pipeline run.
+/// The feature store the producer workers of one pipeline run gather
+/// through: the thread-safe [`smartsage_store::SharedDynStore`].
 ///
-/// Workers are simulated cursors inside one backend on one thread, so a
-/// plain `Rc<RefCell<…>>` suffices; cross-thread sweeps build one store
-/// per run.
-pub type SharedFeatureStore = Rc<RefCell<Box<dyn FeatureStore>>>;
+/// Workers are simulated cursors inside one backend on one thread, but
+/// the *store layer* underneath is a process-wide concurrent subsystem
+/// — runner jobs on different threads hold handles onto the same
+/// registry-shared [`SharedFileStore`](smartsage_store::SharedFileStore)
+/// — so the hand-off type is `Arc<Mutex<…>>`, not `Rc<RefCell<…>>`.
+/// Each run's mutex guards only its own handle (and that handle's
+/// scoped counters); cross-run sharing happens in the sharded page
+/// cache below it.
+pub type SharedFeatureStore = smartsage_store::SharedDynStore;
 
 /// Producer-side feature gather: resolves the feature rows of a
 /// finished batch's distinct nodes through `store` and attaches them to
@@ -50,7 +53,7 @@ pub(crate) fn gather_batch_features(
     result: &mut FinishedBatch,
 ) {
     let Some(store) = store else { return };
-    let mut store = store.borrow_mut();
+    let mut store = store.lock().expect("feature store poisoned");
     let nodes = result.batch.all_nodes();
     let data = store
         .gather(&nodes)

@@ -51,6 +51,11 @@ pub struct ExperimentScale {
     /// the timing-only mode; results are identical either way — only
     /// I/O counters are added).
     pub store: Option<StoreKind>,
+    /// Background page read-ahead for the file store (see
+    /// [`PipelineConfig::readahead`]). Results and simulated timing are
+    /// identical either way; only the hit/miss split of the I/O
+    /// counters shifts.
+    pub readahead: bool,
 }
 
 impl Default for ExperimentScale {
@@ -62,6 +67,7 @@ impl Default for ExperimentScale {
             workers: 12,
             seed: 2022,
             store: None,
+            readahead: false,
         }
     }
 }
@@ -75,7 +81,7 @@ impl ExperimentScale {
             batches: 6,
             workers: 3,
             seed: 7,
-            store: None,
+            ..ExperimentScale::default()
         }
     }
 
@@ -85,15 +91,19 @@ impl ExperimentScale {
             edge_budget: 600_000,
             batch_size: 192,
             batches: 36,
-            workers: 12,
-            seed: 2022,
-            store: None,
+            ..ExperimentScale::default()
         }
     }
 
     /// The same scale with feature gathers routed through `kind`.
     pub fn with_store(mut self, kind: StoreKind) -> Self {
         self.store = Some(kind);
+        self
+    }
+
+    /// The same scale with background read-ahead switched on or off.
+    pub fn with_readahead(mut self, on: bool) -> Self {
+        self.readahead = on;
         self
     }
 }
@@ -283,6 +293,7 @@ fn pipe_cfg(scale: &ExperimentScale, workers: usize, train: bool) -> PipelineCon
         sampler: SamplerKind::GraphSage,
         train,
         store: scale.store,
+        readahead: scale.readahead,
     }
 }
 

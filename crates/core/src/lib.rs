@@ -23,9 +23,11 @@
 //! * [`runner`] — the sweep API: select registered experiments, run
 //!   them serially or across a thread pool, observe typed outcomes.
 //! * [`report`] — typed-cell tables rendering to text, CSV, and JSON.
-//! * [`store_metrics`] — process-wide feature-store I/O aggregate, fed
-//!   by pipeline runs whose producers gather through a
-//!   [`smartsage_store::FeatureStore`] (`--store mem|file`).
+//! * [`store_metrics`] — *scoped* feature-store I/O accounting: sweeps
+//!   install a per-sweep accumulator + private store registry on their
+//!   worker threads, every pipeline run records its exact counters into
+//!   the innermost scope, and the old process-wide aggregate survives
+//!   only as a compatibility shim (`--store mem|file`).
 
 pub mod ablations;
 pub mod backend;
@@ -45,5 +47,5 @@ pub use context::RunContext;
 pub use experiments::{registry, Experiment, ExperimentScale};
 pub use pipeline::{PipelineConfig, PipelineReport};
 pub use report::{Cell, Table};
-pub use runner::{OutputFormat, RunOutcome, Runner, RunnerBuilder};
+pub use runner::{OutputFormat, RunOutcome, Runner, RunnerBuilder, SweepOutcome};
 pub use smartsage_store::{StoreKind, StoreStats};

@@ -18,16 +18,14 @@ use smartsage_gnn::gpu::BatchDims;
 use smartsage_gnn::saint::plan_random_walk;
 use smartsage_gnn::sampler::{epoch_targets, plan_sample};
 use smartsage_gnn::{Fanouts, SamplePlan};
+use smartsage_hostio::PrefetchQueue;
 use smartsage_sim::{EventQueue, SimDuration, SimTime, Xoshiro256};
 use smartsage_store::{
-    write_feature_file, FeatureStore, FileStore, FileStoreOptions, InMemoryStore, MeteredStore,
-    StoreKind, StoreStats,
+    share_store, FileStoreOptions, InMemoryStore, MeteredStore, SharedFileStore, StoreHandle,
+    StoreKind, StoreRegistry, StoreStats,
 };
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Which sampling algorithm drives the pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,14 +66,26 @@ pub struct PipelineConfig {
     /// Feature store the producers gather through. `None` (default)
     /// keeps the historical timing-only mode — no functional feature
     /// I/O. `Some(Mem)` gathers through an in-memory store,
-    /// `Some(File)` through a real on-disk feature file, content-keyed
-    /// and cached in the OS temp directory so identical tables are
-    /// serialized once, not once per run; both
-    /// record exact I/O counters in [`PipelineReport::store_stats`]
-    /// without perturbing simulated time — the store determinism
-    /// contract guarantees identical results, so only the report's I/O
-    /// section changes.
+    /// `Some(File)` through a **shared** on-disk feature store: the
+    /// content-keyed file is opened once per
+    /// [`StoreRegistry`] (the sweep's own, or the process-wide one) and
+    /// every run holds a scoped [`StoreHandle`] onto it — one file
+    /// descriptor, one sharded page cache, exact per-run counters in
+    /// [`PipelineReport::store_stats`]. Simulated time is never
+    /// perturbed — the store determinism contract guarantees identical
+    /// results, so only the report's I/O section changes.
     pub store: Option<StoreKind>,
+    /// With the file store, overlap storage with compute: each batch's
+    /// pages are resolved by a background read-ahead worker
+    /// ([`smartsage_hostio::PrefetchQueue`]) from the moment the batch
+    /// is planned, so they are warm by the time its gather runs.
+    /// Gathered *values* and simulated timing are unchanged (the
+    /// determinism contract); only the split of page lookups into hits
+    /// and misses — and therefore demand bytes read — shifts, with
+    /// prefetch I/O accounted separately in
+    /// [`SharedFileStore::prefetch_stats`]. Ignored without
+    /// `store: Some(File)`.
+    pub readahead: bool,
 }
 
 impl Default for PipelineConfig {
@@ -92,6 +102,7 @@ impl Default for PipelineConfig {
             sampler: SamplerKind::GraphSage,
             train: true,
             store: None,
+            readahead: false,
         }
     }
 }
@@ -123,8 +134,16 @@ pub struct PipelineReport {
 
 impl PipelineReport {
     /// Makespan ratio `other / self` (how much faster `self` is).
+    ///
+    /// Guarded for degenerate zero-time reports at tiny scales: both
+    /// makespans are floored at one nanosecond before dividing, so the
+    /// result is always finite (two empty runs compare as `1.0`, and a
+    /// zero-time `self` yields a large-but-finite speedup) — a
+    /// [`Cell::Speedup`](crate::report::Cell) can never receive NaN or
+    /// infinity from here.
     pub fn speedup_over(&self, other: &PipelineReport) -> f64 {
-        other.makespan.ratio(self.makespan)
+        let floor = SimDuration::from_nanos(1);
+        other.makespan.max(floor).ratio(self.makespan.max(floor))
     }
 }
 
@@ -141,68 +160,53 @@ const FILE_STORE_CACHE_PAGES: usize = 1024;
 
 /// Builds the configured feature store for one run.
 ///
-/// For [`StoreKind::File`] the feature file lives in the OS temp
-/// directory under a **content key** — feature bytes are a pure
-/// function of `(dim, num_classes, seed, num_nodes)` — so every run
-/// (and every process) wanting the same table reuses one file instead
-/// of re-serializing multi-MB identical bytes per run. An existing
-/// file is revalidated through [`FileStore::open_with`]'s header and
-/// length checks; anything stale or foreign is rewritten to a private
-/// name and atomically renamed into place.
+/// For [`StoreKind::File`] the run receives a scoped [`StoreHandle`]
+/// onto a [`SharedFileStore`] resolved through a [`StoreRegistry`]:
+/// the registry of the sweep this run belongs to (installed by
+/// [`Runner::sweep`](crate::runner::Runner::sweep) via
+/// [`store_metrics::install_scope`]), or the process-wide
+/// [`StoreRegistry::global`] for ad-hoc runs. The registry opens each
+/// content-keyed feature file exactly once — publishing it first if
+/// missing or stale — so every concurrent run of a sweep shares one
+/// file descriptor and one sharded page cache while keeping exact
+/// per-run counters in its own handle.
+///
+/// Also returns the shared store itself for [`StoreKind::File`], so
+/// the pipeline can attach a read-ahead worker to it.
 ///
 /// # Panics
 ///
 /// Panics if the feature file cannot be written or opened — a real I/O
 /// failure on the host filesystem.
-fn build_store(ctx: &Arc<RunContext>, kind: StoreKind) -> SharedFeatureStore {
+fn build_store(
+    ctx: &Arc<RunContext>,
+    kind: StoreKind,
+) -> (SharedFeatureStore, Option<Arc<SharedFileStore>>) {
     let features = ctx.data.features.clone();
     let num_nodes = ctx.graph().num_nodes();
-    let store: Box<dyn FeatureStore> = match kind {
-        StoreKind::Mem => Box::new(MeteredStore::new(InMemoryStore::new(features, num_nodes))),
+    match kind {
+        StoreKind::Mem => (
+            share_store(MeteredStore::new(InMemoryStore::new(features, num_nodes))),
+            None,
+        ),
         StoreKind::File => {
-            let path = std::env::temp_dir().join(format!(
-                "smartsage-feat-n{num_nodes}-d{}-c{}-s{:x}.fbin",
-                features.dim(),
-                features.num_classes(),
-                features.seed(),
-            ));
             let opts = FileStoreOptions {
                 cache_pages: FILE_STORE_CACHE_PAGES,
                 ..FileStoreOptions::default()
             };
-            // Serialize creation within the process: concurrent sweep
-            // threads almost always want the same file.
-            static CREATE: Mutex<()> = Mutex::new(());
-            let guard = CREATE.lock().expect("feature-file creation lock");
-            let reopened = FileStore::open_with(&path, opts);
-            let store = match reopened {
-                Ok(store)
-                    if store.dim() == features.dim()
-                        && store.num_nodes() == num_nodes
-                        && store.num_classes() == features.num_classes() =>
-                {
-                    store
-                }
-                _ => {
-                    static SEQ: AtomicU64 = AtomicU64::new(0);
-                    let tmp = path.with_extension(format!(
-                        "tmp-{}-{}",
-                        std::process::id(),
-                        SEQ.fetch_add(1, Ordering::Relaxed)
-                    ));
-                    write_feature_file(&tmp, &features, num_nodes)
-                        .unwrap_or_else(|e| panic!("writing feature file failed: {e}"));
-                    std::fs::rename(&tmp, &path)
-                        .unwrap_or_else(|e| panic!("publishing feature file failed: {e}"));
-                    FileStore::open_with(&path, opts)
-                        .unwrap_or_else(|e| panic!("opening feature file failed: {e}"))
-                }
-            };
-            drop(guard);
-            Box::new(MeteredStore::new(store))
+            let scope_registry = store_metrics::current_registry();
+            let registry: &StoreRegistry = scope_registry
+                .as_deref()
+                .unwrap_or_else(|| StoreRegistry::global());
+            let shared = registry
+                .open_feature_table(&features, num_nodes, opts)
+                .unwrap_or_else(|e| panic!("opening shared feature store failed: {e}"));
+            (
+                share_store(StoreHandle::new(Arc::clone(&shared))),
+                Some(shared),
+            )
         }
-    };
-    Rc::new(RefCell::new(store))
+    }
 }
 
 struct ReadyBatch {
@@ -222,12 +226,26 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
     let mut devices = Devices::new(&ctx.config);
     let mut backend = make_backend(ctx, cfg.workers);
     // Producer-side feature store: the backend gathers every finished
-    // batch's features through it (real I/O for StoreKind::File).
+    // batch's features through it (real I/O for StoreKind::File, via a
+    // scoped handle onto the registry-shared store).
+    let mut shared_file: Option<Arc<SharedFileStore>> = None;
     let store = cfg.store.map(|kind| {
-        let store = build_store(ctx, kind);
-        backend.attach_store(Rc::clone(&store));
+        let (store, shared) = build_store(ctx, kind);
+        shared_file = shared;
+        backend.attach_store(Arc::clone(&store));
         store
     });
+    // Read-ahead: a background worker resolves each planned batch's
+    // page runs and warms the shared cache while the simulation is
+    // still stepping that batch toward its gather.
+    let prefetcher: Option<PrefetchQueue<SamplePlan>> =
+        shared_file.filter(|_| cfg.readahead).map(|shared| {
+            let ctx = Arc::clone(ctx);
+            PrefetchQueue::spawn(move |plan: SamplePlan| {
+                let batch = plan.resolve(ctx.graph());
+                shared.prefetch_nodes(&batch.all_nodes());
+            })
+        });
     let gpu_params = ctx.config.devices.gpu.clone();
     let feat_dim = ctx.data.features.dim() as u64;
     let feat_bytes = ctx.data.features.bytes_per_node();
@@ -250,12 +268,19 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
         let graph = ctx.graph();
         let targets = epoch_targets(graph.num_nodes(), cfg.batch_size, index, cfg.seed);
         let mut rng = Xoshiro256::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9E37));
-        match &cfg.sampler {
+        let plan = match &cfg.sampler {
             SamplerKind::GraphSage => plan_sample(graph, &targets, &cfg.fanouts, &mut rng),
             SamplerKind::SaintWalk { length } => {
                 plan_random_walk(graph, &targets, *length, &mut rng)
             }
+        };
+        // The batch begins stepping (virtually) as soon as it is
+        // planned; hand the plan to the read-ahead worker so its pages
+        // are warm by the time the gather resolves.
+        if let Some(queue) = &prefetcher {
+            queue.enqueue(plan.clone());
         }
+        plan
     };
 
     // Seed each worker with its first batch.
@@ -399,7 +424,10 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
             batches as f64 / makespan.as_secs_f64()
         },
         store_stats: store.map(|s| {
-            let stats = s.borrow().stats();
+            // Quiesce background read-ahead before reading counters, so
+            // the report's prefetch/demand split is settled.
+            drop(prefetcher);
+            let stats = s.lock().expect("feature store poisoned").stats();
             store_metrics::record(&stats);
             stats
         }),
@@ -497,6 +525,30 @@ mod tests {
             four.sampling_throughput,
             one.sampling_throughput
         );
+    }
+
+    #[test]
+    fn speedup_over_is_always_finite() {
+        let ctx = ctx(SystemKind::Dram);
+        let real = run_pipeline(&ctx, &small_cfg(true));
+        let mut zero = real.clone();
+        zero.makespan = SimDuration::ZERO;
+        // Every combination of zero/nonzero makespans stays finite and
+        // positive — a Cell::Speedup can never receive NaN or infinity.
+        for (a, b) in [
+            (&real, &zero),
+            (&zero, &real),
+            (&zero, &zero),
+            (&real, &real),
+        ] {
+            let s = a.speedup_over(b);
+            assert!(s.is_finite() && s > 0.0, "speedup {s} not finite-positive");
+        }
+        assert_eq!(zero.speedup_over(&zero), 1.0, "two empty runs are equal");
+        assert!(zero.speedup_over(&real) > 1.0, "zero-time self is 'faster'");
+        assert!(real.speedup_over(&zero) < 1.0);
+        let round_trip = real.speedup_over(&zero) * zero.speedup_over(&real);
+        assert!((round_trip - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -29,8 +29,10 @@
 
 use crate::experiments::{registry, Experiment, ExperimentScale};
 use crate::report::{json_string, Table};
+use crate::store_metrics::{self, SweepScope};
+use smartsage_store::{AtomicStoreStats, StoreOccupancy, StoreRegistry, StoreStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The result of one experiment run.
@@ -45,6 +47,22 @@ pub struct RunOutcome {
     pub table: Table,
     /// Wall-clock duration of the driver call.
     pub wall: Duration,
+}
+
+/// Everything a completed sweep produced: the per-experiment outcomes
+/// plus the sweep's own, exactly scoped feature-store accounting.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per-experiment results, in selection order.
+    pub outcomes: Vec<RunOutcome>,
+    /// Exact feature-store counters of *this sweep only*: the sum of
+    /// every run's scoped [`StoreStats`], accumulated through the
+    /// sweep's private scope — a second sweep in the same process
+    /// reports exactly what its solo run would.
+    pub store_stats: StoreStats,
+    /// Final page-cache occupancy of each store the sweep's private
+    /// registry opened (empty without `--store file`).
+    pub stores: Vec<StoreOccupancy>,
 }
 
 type Observer = Box<dyn Fn(&RunOutcome) + Send + Sync>;
@@ -78,9 +96,10 @@ impl RunnerBuilder {
 
     /// Routes every run's feature gathers through `kind`
     /// (`--store mem|file`): pipeline producers gather features through
-    /// the selected [`FeatureStore`](smartsage_store::FeatureStore) and
-    /// the sweep's I/O totals accumulate in
-    /// [`store_metrics`](crate::store_metrics). Tables are unchanged by
+    /// the selected [`FeatureStore`](smartsage_store::FeatureStore);
+    /// with `file`, all of the sweep's jobs share one registry-opened
+    /// store and the sweep's exact I/O totals come back in
+    /// [`SweepOutcome::store_stats`]. Tables are unchanged by
     /// construction (the store determinism contract). Kept separately
     /// from the scale until [`RunnerBuilder::build`], so `.store(..)`
     /// and `.scale(..)` compose in either order.
@@ -172,39 +191,79 @@ impl Runner {
     }
 
     /// Runs the selection and returns outcomes in selection order.
+    /// Shorthand for [`Runner::sweep`] when the sweep-level store
+    /// accounting is not needed.
     pub fn run(&self) -> Vec<RunOutcome> {
+        self.sweep().outcomes
+    }
+
+    /// Runs the selection and returns outcomes in selection order,
+    /// together with the sweep's exactly scoped feature-store
+    /// accounting.
+    ///
+    /// Each sweep owns a **private** [`StoreRegistry`] and a fresh
+    /// [`AtomicStoreStats`] accumulator; both are installed as a
+    /// [`SweepScope`] on every worker thread for the duration of its
+    /// runs. Consequences, by design:
+    ///
+    /// * all of a sweep's jobs share one open store and one sharded
+    ///   page cache per content key (`--jobs 4` keeps a single
+    ///   registry entry);
+    /// * the sweep's report is the exact sum of its own runs' scoped
+    ///   counters — never contaminated by earlier sweeps, concurrent
+    ///   sweeps, or ad-hoc runs in the same process;
+    /// * every sweep starts with a cold cache, so back-to-back sweeps
+    ///   of the same selection report identical stats.
+    pub fn sweep(&self) -> SweepOutcome {
+        let scope = SweepScope {
+            stats: Arc::new(AtomicStoreStats::default()),
+            registry: Arc::new(StoreRegistry::new()),
+        };
         let total = self.selection.len();
         let workers = self.jobs.clamp(1, total.max(1));
-        if workers <= 1 {
-            return self
-                .selection
+        let outcomes = if workers <= 1 {
+            let _guard = store_metrics::install_scope(scope.clone());
+            self.selection
                 .iter()
                 .enumerate()
                 .map(|(i, exp)| self.run_one(i, exp))
-                .collect();
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<RunOutcome>>> =
+                (0..total).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|thread_scope| {
+                let next = &next;
+                let slots = &slots;
+                for _ in 0..workers {
+                    let sweep_scope = scope.clone();
+                    thread_scope.spawn(move || {
+                        let _guard = store_metrics::install_scope(sweep_scope);
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= total {
+                                break;
+                            }
+                            let outcome = self.run_one(i, self.selection[i]);
+                            *slots[i].lock().expect("result slot") = Some(outcome);
+                        }
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("result slot")
+                        .expect("worker filled every claimed slot")
+                })
+                .collect()
+        };
+        SweepOutcome {
+            outcomes,
+            store_stats: scope.stats.snapshot(),
+            stores: scope.registry.occupancy(),
         }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunOutcome>>> = (0..total).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
-                    }
-                    let outcome = self.run_one(i, self.selection[i]);
-                    *slots[i].lock().expect("result slot") = Some(outcome);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot")
-                    .expect("worker filled every claimed slot")
-            })
-            .collect()
     }
 
     fn run_one(&self, index: usize, exp: &'static Experiment) -> RunOutcome {

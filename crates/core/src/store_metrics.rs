@@ -1,62 +1,101 @@
-//! Process-wide feature-store I/O accounting.
+//! Scoped feature-store I/O accounting (plus a process-wide
+//! compatibility aggregate).
 //!
 //! Experiment drivers return typed tables, not pipeline reports, so
-//! per-run [`StoreStats`] would be invisible to sweep consumers (the
-//! `reproduce` CLI). Every pipeline run with a configured store
-//! [`record`]s its counters here; a sweep [`snapshot`]s the aggregate
-//! at the end to report total bytes read and the page-cache hit rate.
-//! Counters are monotonic atomics, so recording from the runner's
-//! worker threads is safe and the aggregate is deterministic for a
-//! given selection.
+//! per-run [`StoreStats`] need a side channel to reach sweep consumers
+//! (the `reproduce` CLI). Historically that channel was a set of
+//! process-global atomics that were **never reset**: a second sweep in
+//! the same process reported the first sweep's bytes on top of its own,
+//! and concurrent sweeps contaminated each other. The design-level fix
+//! is *scoped* accounting:
+//!
+//! * A sweep installs a [`SweepScope`] on each of its worker threads
+//!   (see [`Runner::sweep`](crate::runner::Runner::sweep)): an
+//!   [`AtomicStoreStats`] accumulator plus the sweep's private
+//!   [`StoreRegistry`]. Every pipeline run [`record`]s its exact
+//!   per-run counters into the innermost scope on its thread, and
+//!   [`current_registry`] routes the run's store opens through the
+//!   sweep's registry — one shared store and one page cache per sweep,
+//!   zero leakage between sweeps.
+//! * The process-wide aggregate survives as a thin compatibility shim:
+//!   [`record`] still feeds it, [`snapshot`]/[`reset`] still read and
+//!   zero it. New code should consume
+//!   [`SweepOutcome::store_stats`](crate::runner::SweepOutcome) instead.
 
-use smartsage_store::StoreStats;
-use std::sync::atomic::{AtomicU64, Ordering};
+use smartsage_store::{AtomicStoreStats, StoreRegistry, StoreStats};
+use std::cell::RefCell;
+use std::sync::Arc;
 
-static GATHERS: AtomicU64 = AtomicU64::new(0);
-static NODES: AtomicU64 = AtomicU64::new(0);
-static FEATURE_BYTES: AtomicU64 = AtomicU64::new(0);
-static PAGES_READ: AtomicU64 = AtomicU64::new(0);
-static BYTES_READ: AtomicU64 = AtomicU64::new(0);
-static PAGE_HITS: AtomicU64 = AtomicU64::new(0);
-static PAGE_MISSES: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    /// Innermost-last stack of scopes installed on this thread.
+    static SCOPES: RefCell<Vec<SweepScope>> = const { RefCell::new(Vec::new()) };
+}
 
-/// Adds one run's counters to the process-wide aggregate.
+/// The per-sweep accounting context a [`Runner`](crate::runner::Runner)
+/// installs on its worker threads.
+#[derive(Debug, Clone)]
+pub struct SweepScope {
+    /// Where this sweep's per-run stats accumulate.
+    pub stats: Arc<AtomicStoreStats>,
+    /// The sweep's private store registry: every job of the sweep
+    /// shares one open store and one page cache through it.
+    pub registry: Arc<StoreRegistry>,
+}
+
+/// Pops the scope on drop, restoring whatever was installed before.
+#[derive(Debug)]
+pub struct ScopeGuard(());
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPES.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Installs `scope` as this thread's innermost accounting scope until
+/// the returned guard drops. Scopes nest; [`record`] feeds every
+/// active scope on the thread, [`current_registry`] answers with the
+/// innermost one.
+pub fn install_scope(scope: SweepScope) -> ScopeGuard {
+    SCOPES.with(|s| s.borrow_mut().push(scope));
+    ScopeGuard(())
+}
+
+/// The store registry pipeline runs on this thread should open stores
+/// through: the innermost scope's, or the process-wide
+/// [`StoreRegistry::global`] when no sweep is active.
+pub fn current_registry() -> Option<Arc<StoreRegistry>> {
+    SCOPES.with(|s| s.borrow().last().map(|scope| Arc::clone(&scope.registry)))
+}
+
+/// Process-wide aggregate (compatibility shim; see the module docs).
+fn global() -> &'static AtomicStoreStats {
+    static GLOBAL: std::sync::OnceLock<AtomicStoreStats> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(AtomicStoreStats::default)
+}
+
+/// Adds one run's exact counters to every active scope on this thread
+/// and to the process-wide aggregate.
 pub fn record(stats: &StoreStats) {
-    GATHERS.fetch_add(stats.gathers, Ordering::Relaxed);
-    NODES.fetch_add(stats.nodes_gathered, Ordering::Relaxed);
-    FEATURE_BYTES.fetch_add(stats.feature_bytes, Ordering::Relaxed);
-    PAGES_READ.fetch_add(stats.pages_read, Ordering::Relaxed);
-    BYTES_READ.fetch_add(stats.bytes_read, Ordering::Relaxed);
-    PAGE_HITS.fetch_add(stats.page_hits, Ordering::Relaxed);
-    PAGE_MISSES.fetch_add(stats.page_misses, Ordering::Relaxed);
+    SCOPES.with(|s| {
+        for scope in s.borrow().iter() {
+            scope.stats.add(stats);
+        }
+    });
+    global().add(stats);
 }
 
-/// The aggregate recorded so far.
+/// The process-wide aggregate recorded so far (compatibility shim —
+/// prefer a sweep's own [`SweepOutcome::store_stats`](crate::runner::SweepOutcome)).
 pub fn snapshot() -> StoreStats {
-    StoreStats {
-        gathers: GATHERS.load(Ordering::Relaxed),
-        nodes_gathered: NODES.load(Ordering::Relaxed),
-        feature_bytes: FEATURE_BYTES.load(Ordering::Relaxed),
-        pages_read: PAGES_READ.load(Ordering::Relaxed),
-        bytes_read: BYTES_READ.load(Ordering::Relaxed),
-        page_hits: PAGE_HITS.load(Ordering::Relaxed),
-        page_misses: PAGE_MISSES.load(Ordering::Relaxed),
-    }
+    global().snapshot()
 }
 
-/// Zeroes the aggregate (test isolation).
+/// Zeroes the process-wide aggregate (test isolation).
 pub fn reset() {
-    for c in [
-        &GATHERS,
-        &NODES,
-        &FEATURE_BYTES,
-        &PAGES_READ,
-        &BYTES_READ,
-        &PAGE_HITS,
-        &PAGE_MISSES,
-    ] {
-        c.store(0, Ordering::Relaxed);
-    }
+    global().reset()
 }
 
 #[cfg(test)]
@@ -82,5 +121,67 @@ mod tests {
         assert!(after.gathers > before.gathers);
         assert!(after.bytes_read >= before.bytes_read + 5);
         assert!(after.page_misses >= before.page_misses + 7);
+    }
+
+    #[test]
+    fn scopes_capture_only_their_own_records() {
+        let one = StoreStats {
+            gathers: 1,
+            bytes_read: 10,
+            ..StoreStats::default()
+        };
+        let outer = SweepScope {
+            stats: Arc::new(AtomicStoreStats::default()),
+            registry: Arc::new(StoreRegistry::new()),
+        };
+        let inner = SweepScope {
+            stats: Arc::new(AtomicStoreStats::default()),
+            registry: Arc::new(StoreRegistry::new()),
+        };
+        {
+            let _g1 = install_scope(outer.clone());
+            record(&one);
+            {
+                let _g2 = install_scope(inner.clone());
+                record(&one);
+                assert!(Arc::ptr_eq(&current_registry().unwrap(), &inner.registry));
+            }
+            record(&one);
+            assert!(Arc::ptr_eq(&current_registry().unwrap(), &outer.registry));
+        }
+        record(&one); // outside any scope: only the global shim sees it
+        assert_eq!(outer.stats.snapshot().gathers, 3);
+        assert_eq!(
+            inner.stats.snapshot().gathers,
+            1,
+            "nested records feed both"
+        );
+        assert!(current_registry().is_none());
+    }
+
+    #[test]
+    fn scopes_are_thread_local() {
+        let scope = SweepScope {
+            stats: Arc::new(AtomicStoreStats::default()),
+            registry: Arc::new(StoreRegistry::new()),
+        };
+        let _g = install_scope(scope.clone());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert!(
+                    current_registry().is_none(),
+                    "a scope never leaks onto other threads"
+                );
+                record(&StoreStats {
+                    gathers: 5,
+                    ..StoreStats::default()
+                });
+            });
+        });
+        assert_eq!(
+            scope.stats.snapshot().gathers,
+            0,
+            "other threads' records don't reach this scope"
+        );
     }
 }

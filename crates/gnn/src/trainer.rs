@@ -8,18 +8,22 @@
 //!
 //! The gather stage goes through a
 //! [`FeatureStore`](smartsage_store::FeatureStore): the `*_on` methods
-//! accept any store (in-memory, file-backed, metered), and the
-//! historical [`FeatureTable`]-based methods are thin shims over an
-//! [`InMemoryStore`](smartsage_store::InMemoryStore). Because stores
-//! resolve gathers to byte-identical values, the loss trajectory of a
-//! run is independent of the store backing it — asserted end-to-end in
-//! `tests/feature_store_training.rs`.
+//! accept any store (in-memory, file-backed, metered),
+//! [`Trainer::train_step_shared`] gathers through a thread-shared
+//! [`SharedDynStore`] (the hand-off type concurrent training workers
+//! use), and the historical [`FeatureTable`]-based methods are thin
+//! shims over an [`InMemoryStore`](smartsage_store::InMemoryStore).
+//! Because stores resolve gathers to byte-identical values, the loss
+//! trajectory of a run is independent of the store backing it — and of
+//! how many workers share it — asserted end-to-end in
+//! `tests/feature_store_training.rs` and
+//! `tests/shared_store_concurrency.rs`.
 
 use crate::model::{GraphSageModel, ModelDims};
 use crate::sampler::{epoch_targets, plan_sample, Fanouts};
 use smartsage_graph::{CsrGraph, FeatureTable, NodeId};
 use smartsage_sim::Xoshiro256;
-use smartsage_store::{FeatureStore, InMemoryStore, StoreError};
+use smartsage_store::{FeatureStore, InMemoryStore, SharedDynStore, StoreError};
 
 /// Training configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -136,6 +140,35 @@ impl Trainer {
         Ok(correct as f64 / targets.len().max(1) as f64)
     }
 
+    /// Runs one training step through a thread-shared store
+    /// ([`SharedDynStore`]) — the gather path concurrent training
+    /// workers use: the store mutex is held only for the gather and the
+    /// label lookups of this one step, never across the forward or
+    /// backward pass, so N workers sharing one file-backed store
+    /// overlap their compute while the shared page cache below them
+    /// deduplicates the I/O.
+    pub fn train_step_shared(
+        &mut self,
+        graph: &CsrGraph,
+        store: &SharedDynStore,
+        targets: &[NodeId],
+        rng: &mut Xoshiro256,
+    ) -> Result<f32, StoreError> {
+        let plan = plan_sample(graph, targets, &self.config.fanouts, rng);
+        let batch = plan.resolve(graph);
+        let (x0, x1, x2, labels) = {
+            let mut store = store.lock().expect("feature store poisoned");
+            let (x0, x1, x2) = self.gather(&batch, store.as_mut())?;
+            let labels: Vec<usize> = batch.targets.iter().map(|&t| store.label(t)).collect();
+            (x0, x1, x2, labels)
+        };
+        let cache = self.model.forward(&batch, x0, x1, x2);
+        let (loss, grads) = self.model.loss_and_gradients(&cache, &labels);
+        self.model
+            .apply_gradients(&grads, self.config.learning_rate);
+        Ok(loss)
+    }
+
     /// Runs one training step on `targets`; returns the batch loss.
     /// Shim over [`Trainer::train_step_on`] with an in-memory store.
     pub fn train_step(
@@ -245,6 +278,32 @@ mod tests {
         let targets: Vec<NodeId> = (0..200u32).map(NodeId::new).collect();
         let acc = trainer.accuracy(&g, &t, &targets, &mut rng);
         assert!(acc > 0.5, "accuracy {acc} should beat 0.25 chance easily");
+    }
+
+    #[test]
+    fn shared_step_is_bit_identical_to_exclusive_step() {
+        let (g, t) = setup();
+        let dims = ModelDims {
+            features: 12,
+            hidden1: 8,
+            hidden2: 8,
+            classes: 4,
+        };
+        let targets: Vec<NodeId> = (0..32u32).map(NodeId::new).collect();
+        let mut rng_a = Xoshiro256::seed_from_u64(9);
+        let mut trainer_a = Trainer::new(dims, config(), &mut rng_a);
+        let mut store_a = InMemoryStore::unbounded(t.clone());
+        let loss_a = trainer_a
+            .train_step_on(&g, &mut store_a, &targets, &mut rng_a)
+            .unwrap();
+        let mut rng_b = Xoshiro256::seed_from_u64(9);
+        let mut trainer_b = Trainer::new(dims, config(), &mut rng_b);
+        let store_b = smartsage_store::share_store(InMemoryStore::unbounded(t));
+        let loss_b = trainer_b
+            .train_step_shared(&g, &store_b, &targets, &mut rng_b)
+            .unwrap();
+        assert_eq!(loss_a.to_bits(), loss_b.to_bits());
+        assert_eq!(store_b.lock().unwrap().stats().gathers, 3);
     }
 
     #[test]

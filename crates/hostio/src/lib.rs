@@ -18,6 +18,12 @@
 //! * [`mmap::MmapReader`] — the baseline `SSD (mmap)` read path.
 //! * [`direct_io::DirectIoReader`] — SmartSAGE(SW)'s `O_DIRECT` path with
 //!   a user-space scratchpad buffer.
+//! * [`sharded_cache::ShardedPageCache`] — a lock-striped payload page
+//!   cache (N exact-LRU shards) for the *shared* feature store, so
+//!   parallel gathers don't serialize on one cache lock.
+//! * [`prefetch::PrefetchQueue`] — a background read-ahead worker with a
+//!   drain barrier, used by the pipeline to warm the shared cache with
+//!   the next batch's pages while the current batch computes.
 //! * [`coalesce`] — NVMe command coalescing cost model (Fig 15).
 //! * [`locality`] — Che's approximation for LRU hit rates at *full-scale*
 //!   capacities. Scaled-down materializations would otherwise overstate
@@ -33,6 +39,8 @@ pub mod lru;
 pub mod mmap;
 pub mod page_cache;
 pub mod params;
+pub mod prefetch;
+pub mod sharded_cache;
 
 pub use coalesce::{merge_page_runs, PageRun};
 pub use direct_io::DirectIoReader;
@@ -42,3 +50,5 @@ pub use lru::LruSet;
 pub use mmap::MmapReader;
 pub use page_cache::PageCache;
 pub use params::HostIoParams;
+pub use prefetch::PrefetchQueue;
+pub use sharded_cache::ShardedPageCache;

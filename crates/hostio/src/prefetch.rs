@@ -1,0 +1,204 @@
+//! Background read-ahead queue.
+//!
+//! The training pipeline knows the *next* mini-batch's plan while the
+//! current batch is still computing; a [`PrefetchQueue`] lets it hand
+//! that plan to a background worker thread which resolves the page runs
+//! and warms the shared page cache, overlapping storage reads with
+//! compute exactly the way a production loader would.
+//!
+//! The queue is deliberately generic: it moves opaque work items to one
+//! worker closure. Ordering is FIFO, the worker owns its closure state,
+//! and [`PrefetchQueue::drain`] is a barrier — it blocks until every
+//! enqueued item has been fully processed, which is how callers
+//! quiesce background I/O before reading exact per-run counters.
+//!
+//! Dropping the queue closes the channel, drains the remaining items,
+//! and joins the worker, so background reads can never leak past the
+//! pipeline run that issued them.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Count of enqueued-but-unfinished items, with a condvar for `drain`.
+#[derive(Debug, Default)]
+struct Inflight {
+    count: Mutex<usize>,
+    idle: Condvar,
+}
+
+/// A FIFO background work queue with a drain barrier.
+///
+/// # Example
+///
+/// ```
+/// use smartsage_hostio::PrefetchQueue;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+/// let sum = Arc::new(AtomicU64::new(0));
+/// let seen = Arc::clone(&sum);
+/// let queue = PrefetchQueue::spawn(move |n: u64| {
+///     seen.fetch_add(n, Ordering::Relaxed);
+/// });
+/// queue.enqueue(2);
+/// queue.enqueue(40);
+/// queue.drain();
+/// assert_eq!(sum.load(Ordering::Relaxed), 42);
+/// ```
+#[derive(Debug)]
+pub struct PrefetchQueue<T: Send + 'static> {
+    tx: Option<mpsc::Sender<T>>,
+    worker: Option<JoinHandle<()>>,
+    inflight: Arc<Inflight>,
+}
+
+/// Decrements the inflight count when dropped — including during an
+/// unwind out of the work closure — so `drain` can never wait on an
+/// item that will no longer be accounted for.
+struct InflightGuard<'a>(&'a Inflight);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let mut count = self.0.count.lock().expect("inflight count");
+        *count -= 1;
+        if *count == 0 {
+            self.0.idle.notify_all();
+        }
+    }
+}
+
+impl<T: Send + 'static> PrefetchQueue<T> {
+    /// Spawns the worker thread; `work` runs once per enqueued item, in
+    /// FIFO order. A panic in `work` is contained: the item is counted
+    /// as processed, the worker keeps serving the queue, and `drain`
+    /// still terminates — prefetching is advisory, so a failed item
+    /// must never wedge the pipeline that queued it.
+    pub fn spawn(mut work: impl FnMut(T) + Send + 'static) -> PrefetchQueue<T> {
+        let (tx, rx) = mpsc::channel::<T>();
+        let inflight = Arc::new(Inflight::default());
+        let counter = Arc::clone(&inflight);
+        let worker = std::thread::Builder::new()
+            .name("smartsage-prefetch".into())
+            .spawn(move || {
+                while let Ok(item) = rx.recv() {
+                    let _guard = InflightGuard(&counter);
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(item)));
+                }
+            })
+            .expect("spawn prefetch worker");
+        PrefetchQueue {
+            tx: Some(tx),
+            worker: Some(worker),
+            inflight,
+        }
+    }
+
+    /// Queues `item` for the background worker and returns immediately.
+    pub fn enqueue(&self, item: T) {
+        {
+            let mut count = self.inflight.count.lock().expect("inflight count");
+            *count += 1;
+        }
+        self.tx
+            .as_ref()
+            .expect("queue open while owned")
+            .send(item)
+            .expect("prefetch worker alive while owned");
+    }
+
+    /// Items enqueued but not yet fully processed.
+    pub fn pending(&self) -> usize {
+        *self.inflight.count.lock().expect("inflight count")
+    }
+
+    /// Blocks until every item enqueued so far has been processed.
+    pub fn drain(&self) {
+        let mut count = self.inflight.count.lock().expect("inflight count");
+        while *count > 0 {
+            count = self.inflight.idle.wait(count).expect("inflight count");
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for PrefetchQueue<T> {
+    fn drop(&mut self) {
+        // Closing the sender ends the worker's recv loop after it
+        // finishes whatever is already queued.
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn processes_items_in_fifo_order() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&log);
+        let q = PrefetchQueue::spawn(move |n: usize| {
+            sink.lock().unwrap().push(n);
+        });
+        for n in 0..100 {
+            q.enqueue(n);
+        }
+        q.drain();
+        assert_eq!(*log.lock().unwrap(), (0..100).collect::<Vec<_>>());
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn drop_completes_queued_work() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&done);
+        let q = PrefetchQueue::spawn(move |_: ()| {
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        for _ in 0..32 {
+            q.enqueue(());
+        }
+        drop(q); // must drain, not abandon
+        assert_eq!(done.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn panicking_work_items_cannot_wedge_drain() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&done);
+        let q = PrefetchQueue::spawn(move |n: usize| {
+            assert!(n.is_multiple_of(2), "odd items blow up");
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        for n in 0..10 {
+            q.enqueue(n);
+        }
+        // Half the items panic inside the worker; drain must still
+        // terminate, the survivors must all have run, and the queue
+        // must still accept and process new work afterwards.
+        q.drain();
+        assert_eq!(q.pending(), 0);
+        assert_eq!(done.load(Ordering::Relaxed), 5);
+        q.enqueue(42);
+        q.drain();
+        assert_eq!(done.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn drain_is_a_barrier_under_slow_work() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&done);
+        let q = PrefetchQueue::spawn(move |_: ()| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        for _ in 0..8 {
+            q.enqueue(());
+        }
+        q.drain();
+        assert_eq!(done.load(Ordering::Relaxed), 8);
+    }
+}

@@ -43,6 +43,19 @@ pub enum StoreError {
         /// The length found on disk.
         actual: u64,
     },
+    /// A registry open requested different store options than the
+    /// already-open shared store for the same content key: handing out
+    /// the existing store would silently run the caller's I/O
+    /// accounting against a geometry (page size, cache capacity) it
+    /// did not configure.
+    OptionsConflict {
+        /// The feature file both callers want.
+        path: PathBuf,
+        /// The options this open requested.
+        requested: crate::file::FileStoreOptions,
+        /// The options the store is already open with.
+        open: crate::file::FileStoreOptions,
+    },
     /// A gather requested a node the store does not hold.
     NodeOutOfRange {
         /// The offending node.
@@ -93,6 +106,18 @@ impl fmt::Display for StoreError {
                  {expected} bytes, found {actual}",
                 path.display()
             ),
+            StoreError::OptionsConflict {
+                path,
+                requested,
+                open,
+            } => {
+                write!(
+                    f,
+                    "feature file '{}' is already open with {open:?}; refusing to hand it \
+                     out for a request with {requested:?}",
+                    path.display()
+                )
+            }
             StoreError::NodeOutOfRange { node, num_nodes } => {
                 write!(f, "node {node:?} out of range for a {num_nodes}-node store")
             }

@@ -41,11 +41,12 @@ use crate::error::StoreError;
 use crate::{FeatureStore, StoreStats};
 use smartsage_graph::generate::community_of;
 use smartsage_graph::{FeatureTable, NodeId};
-use smartsage_hostio::{merge_page_runs, ByteRange, LruSet};
+use smartsage_hostio::{merge_page_runs, ByteRange, ShardedPageCache};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Magic bytes identifying a feature file (versioned).
 pub const FEATURE_FILE_MAGIC: [u8; 8] = *b"SSFEAT01";
@@ -108,71 +109,24 @@ pub fn write_feature_file(
     Ok(())
 }
 
-/// Exact-LRU page cache with payloads: `LruSet` supplies the recency
-/// bookkeeping, the map holds the page bytes.
+/// An opened, fully validated feature file: the raw handle plus its
+/// header fields. Shared by [`FileStore`] and the concurrent
+/// [`SharedFileStore`](crate::SharedFileStore) so the two open paths
+/// can never drift in what they accept.
 #[derive(Debug)]
-struct PageCacheData {
-    order: LruSet<u64>,
-    data: HashMap<u64, Vec<u8>>,
+pub(crate) struct RawFeatureFile {
+    pub file: File,
+    pub path: PathBuf,
+    pub dim: usize,
+    pub num_nodes: usize,
+    pub num_classes: usize,
+    pub file_len: u64,
 }
 
-impl PageCacheData {
-    fn new(capacity: usize) -> PageCacheData {
-        PageCacheData {
-            order: LruSet::new(capacity),
-            data: HashMap::new(),
-        }
-    }
-
-    /// Residency probe with recency promotion.
-    fn touch(&mut self, page: u64) -> bool {
-        self.order.touch(&page)
-    }
-
-    /// Residency probe without recency side effects.
-    fn contains(&self, page: u64) -> bool {
-        self.order.contains(&page)
-    }
-
-    fn get(&self, page: u64) -> Option<&[u8]> {
-        self.data.get(&page).map(Vec::as_slice)
-    }
-
-    fn insert(&mut self, page: u64, buf: Vec<u8>) {
-        if self.order.capacity() == 0 {
-            return;
-        }
-        if let Some(evicted) = self.order.insert(page) {
-            self.data.remove(&evicted);
-        }
-        self.data.insert(page, buf);
-    }
-}
-
-/// A [`FeatureStore`] over an on-disk feature file.
-#[derive(Debug)]
-pub struct FileStore {
-    file: File,
-    path: PathBuf,
-    dim: usize,
-    num_nodes: usize,
-    num_classes: usize,
-    file_len: u64,
-    opts: FileStoreOptions,
-    cache: PageCacheData,
-    stats: StoreStats,
-}
-
-impl FileStore {
-    /// Opens `path` with default options (4 KiB pages, 4 MiB cache).
-    pub fn open(path: &Path) -> Result<FileStore, StoreError> {
-        FileStore::open_with(path, FileStoreOptions::default())
-    }
-
+impl RawFeatureFile {
     /// Opens `path`, validating magic, header consistency, and the
     /// exact file length before any row can be read.
-    pub fn open_with(path: &Path, opts: FileStoreOptions) -> Result<FileStore, StoreError> {
-        assert!(opts.page_bytes > 0, "page size must be positive");
+    pub fn open(path: &Path) -> Result<RawFeatureFile, StoreError> {
         let io_err = |action: &'static str| {
             move |source: std::io::Error| StoreError::Io {
                 path: path.to_path_buf(),
@@ -232,15 +186,53 @@ impl FileStore {
                 actual: file_len,
             });
         }
-        Ok(FileStore {
+        Ok(RawFeatureFile {
             file,
             path: path.to_path_buf(),
             dim: dim as usize,
             num_nodes: num_nodes as usize,
             num_classes: num_classes as usize,
             file_len,
+        })
+    }
+}
+
+/// A [`FeatureStore`] over an on-disk feature file.
+#[derive(Debug)]
+pub struct FileStore {
+    file: File,
+    path: PathBuf,
+    dim: usize,
+    num_nodes: usize,
+    num_classes: usize,
+    file_len: u64,
+    opts: FileStoreOptions,
+    // The same exact-LRU payload cache the shared store stripes over N
+    // shards — a single shard here, since FileStore is single-owner.
+    cache: ShardedPageCache,
+    stats: StoreStats,
+}
+
+impl FileStore {
+    /// Opens `path` with default options (4 KiB pages, 4 MiB cache).
+    pub fn open(path: &Path) -> Result<FileStore, StoreError> {
+        FileStore::open_with(path, FileStoreOptions::default())
+    }
+
+    /// Opens `path`, validating magic, header consistency, and the
+    /// exact file length before any row can be read.
+    pub fn open_with(path: &Path, opts: FileStoreOptions) -> Result<FileStore, StoreError> {
+        assert!(opts.page_bytes > 0, "page size must be positive");
+        let raw = RawFeatureFile::open(path)?;
+        Ok(FileStore {
+            file: raw.file,
+            path: raw.path,
+            dim: raw.dim,
+            num_nodes: raw.num_nodes,
+            num_classes: raw.num_classes,
+            file_len: raw.file_len,
             opts,
-            cache: PageCacheData::new(opts.cache_pages),
+            cache: ShardedPageCache::new(opts.cache_pages, 1),
             stats: StoreStats::default(),
         })
     }
@@ -272,7 +264,7 @@ impl FileStore {
 
     /// Reads pages `[first, first + count)` with one syscall; returns
     /// one buffer per page (the final page of the file may be short).
-    fn read_page_run(&mut self, first: u64, count: u64) -> Result<Vec<Vec<u8>>, StoreError> {
+    fn read_page_run(&mut self, first: u64, count: u64) -> Result<Vec<Arc<[u8]>>, StoreError> {
         let pb = self.opts.page_bytes;
         let start = first * pb;
         let len = (count * pb).min(self.file_len - start) as usize;
@@ -292,7 +284,7 @@ impl FileStore {
         self.stats.pages_read += count;
         self.stats.page_misses += count;
         self.stats.bytes_read += len as u64;
-        Ok(buf.chunks(pb as usize).map(<[u8]>::to_vec).collect())
+        Ok(buf.chunks(pb as usize).map(Arc::from).collect())
     }
 }
 
@@ -332,16 +324,18 @@ impl FeatureStore for FileStore {
             }
         }
         let runs = merge_page_runs(&pages);
-        // Classify + fetch: resident pages are hits (promoted now);
-        // each maximal stretch of missing pages costs one read syscall.
-        // Fetched pages are staged so that assembly cannot be disturbed
-        // by evictions in an undersized cache.
-        let mut staged: HashMap<u64, Vec<u8>> = HashMap::new();
+        // Classify + fetch: resident pages are hits (promoted now, and
+        // staged as cheap Arc clones so eviction in an undersized cache
+        // cannot disturb assembly); each maximal stretch of missing
+        // pages costs one read syscall.
+        let mut staged: HashMap<u64, Arc<[u8]>> = HashMap::new();
+        let mut fetched: Vec<(u64, Arc<[u8]>)> = Vec::new();
         for run in &runs {
             let mut p = run.first;
             while p < run.end() {
-                if self.cache.touch(p) {
+                if let Some(buf) = self.cache.get(p) {
                     self.stats.page_hits += 1;
+                    staged.insert(p, buf);
                     p += 1;
                     continue;
                 }
@@ -350,23 +344,20 @@ impl FeatureStore for FileStore {
                     q += 1;
                 }
                 for (i, page_buf) in self.read_page_run(p, q - p)?.into_iter().enumerate() {
-                    staged.insert(p + i as u64, page_buf);
+                    staged.insert(p + i as u64, Arc::clone(&page_buf));
+                    fetched.push((p + i as u64, page_buf));
                 }
                 p = q;
             }
         }
-        // Resolve: assemble each row from staged + cached pages.
+        // Resolve: assemble each row from the staged pages.
         let mut row_buf = vec![0u8; self.dim * 4];
         for (row, &node) in nodes.iter().enumerate() {
             let range = self.row_range(node)?;
             let (first, last) = range.blocks(pb).expect("rows are non-empty");
             for page in first..=last {
                 let page_start = page * pb;
-                let src = staged
-                    .get(&page)
-                    .map(Vec::as_slice)
-                    .or_else(|| self.cache.get(page))
-                    .expect("planned page is staged or cached");
+                let src = staged.get(&page).expect("planned page is staged");
                 let lo = range.offset.max(page_start);
                 let hi = (range.offset + range.len).min(page_start + src.len() as u64);
                 row_buf[(lo - range.offset) as usize..(hi - range.offset) as usize]
@@ -377,9 +368,8 @@ impl FeatureStore for FileStore {
                 *v = f32::from_le_bytes(chunk.try_into().expect("4 bytes"));
             }
         }
-        // Commit fetched pages to the cache in ascending page order.
-        let mut fetched: Vec<(u64, Vec<u8>)> = staged.into_iter().collect();
-        fetched.sort_unstable_by_key(|(page, _)| *page);
+        // Commit fetched pages to the cache in ascending page order
+        // (collected run by run, so they already are).
         for (page, buf) in fetched {
             self.cache.insert(page, buf);
         }

@@ -1,0 +1,117 @@
+//! Per-caller handles onto a [`SharedFileStore`].
+//!
+//! A handle is where *scoped accounting* lives: the shared store
+//! returns exact per-call deltas and keeps no per-caller state, so two
+//! runs (or two sweeps, or two tests) sharing one store can never
+//! contaminate each other's counters — each reads its own handle.
+
+use crate::error::StoreError;
+use crate::shared::SharedFileStore;
+use crate::{FeatureStore, StoreStats};
+use smartsage_graph::NodeId;
+use std::sync::Arc;
+
+/// A [`FeatureStore`] view of a [`SharedFileStore`] with private,
+/// scoped counters.
+///
+/// Cheap to create (an `Arc` clone plus zeroed counters): make one per
+/// run, per worker, or per test — wherever an exact, isolated
+/// [`StoreStats`] is wanted. All handles of one store share its page
+/// cache and file descriptor.
+#[derive(Debug)]
+pub struct StoreHandle {
+    shared: Arc<SharedFileStore>,
+    stats: StoreStats,
+}
+
+impl StoreHandle {
+    /// A fresh handle with zeroed counters.
+    pub fn new(shared: Arc<SharedFileStore>) -> StoreHandle {
+        StoreHandle {
+            shared,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// The shared store behind this handle.
+    pub fn shared(&self) -> &Arc<SharedFileStore> {
+        &self.shared
+    }
+}
+
+impl FeatureStore for StoreHandle {
+    fn dim(&self) -> usize {
+        self.shared.dim()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.shared.num_classes()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.shared.num_nodes()
+    }
+
+    fn label(&self, node: NodeId) -> usize {
+        self.shared.label(node)
+    }
+
+    fn gather_into(&mut self, nodes: &[NodeId], out: &mut [f32]) -> Result<(), StoreError> {
+        let io = self.shared.gather_into(nodes, out)?;
+        self.stats.accumulate(&io);
+        Ok(())
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = StoreStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{write_feature_file, ScratchFile};
+    use smartsage_graph::FeatureTable;
+
+    #[test]
+    fn handles_share_the_cache_but_not_the_counters() {
+        let table = FeatureTable::new(6, 2, 42);
+        let file = ScratchFile::new("handle");
+        write_feature_file(file.path(), &table, 20).unwrap();
+        let shared = Arc::new(SharedFileStore::open(file.path()).unwrap());
+        let mut a = StoreHandle::new(Arc::clone(&shared));
+        let mut b = StoreHandle::new(Arc::clone(&shared));
+        let nodes: Vec<NodeId> = (0..20u32).map(NodeId::new).collect();
+        a.gather(&nodes).unwrap();
+        // Handle B sees a warm shared cache...
+        b.gather(&nodes).unwrap();
+        assert!(a.stats().page_misses > 0);
+        assert_eq!(b.stats().page_misses, 0, "B rides A's cached pages");
+        assert!(b.stats().page_hits > 0);
+        // ...but scoped counters never bleed between handles.
+        assert_eq!(a.stats().gathers, 1);
+        assert_eq!(b.stats().gathers, 1);
+        b.reset_stats();
+        assert_eq!(b.stats(), StoreStats::default());
+        assert_eq!(a.stats().gathers, 1, "resetting B cannot touch A");
+        assert_eq!(a.dim(), 6);
+        assert_eq!(a.num_classes(), 2);
+        assert_eq!(a.num_nodes(), 20);
+        assert_eq!(a.label(NodeId::new(3)), 3 % 2);
+    }
+
+    #[test]
+    fn failed_gathers_count_nothing() {
+        let table = FeatureTable::new(4, 2, 1);
+        let file = ScratchFile::new("handle-err");
+        write_feature_file(file.path(), &table, 5).unwrap();
+        let shared = Arc::new(SharedFileStore::open(file.path()).unwrap());
+        let mut h = StoreHandle::new(shared);
+        assert!(h.gather(&[NodeId::new(5)]).is_err());
+        assert_eq!(h.stats(), StoreStats::default());
+    }
+}

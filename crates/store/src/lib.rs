@@ -7,16 +7,23 @@
 //! the *feature table*: training can gather features through actual
 //! page-aligned storage I/O instead of an in-memory table.
 //!
-//! Three implementations of the [`FeatureStore`] trait:
+//! Implementations of the [`FeatureStore`] trait:
 //!
 //! * [`InMemoryStore`] — wraps the synthetic
 //!   [`FeatureTable`](smartsage_graph::FeatureTable); features are
 //!   produced straight into the caller's buffer with no I/O.
-//! * [`FileStore`] — a real on-disk feature file ([`file`] documents the
-//!   layout) read with page-aligned I/O, an exact-LRU page cache
-//!   ([`smartsage_hostio::LruSet`] ordering), and batch gathers whose
-//!   page reads are coalesced into contiguous runs
+//! * [`FileStore`] — a single-owner on-disk feature file ([`file`]
+//!   documents the layout) read with page-aligned I/O, an exact-LRU
+//!   page cache ([`smartsage_hostio::LruSet`] ordering), and batch
+//!   gathers whose page reads are coalesced into contiguous runs
 //!   ([`smartsage_hostio::merge_page_runs`]).
+//! * [`SharedFileStore`] + [`StoreHandle`] — the concurrent store
+//!   layer: one open file and one lock-striped
+//!   [`ShardedPageCache`](smartsage_hostio::ShardedPageCache) shared by
+//!   every thread, with exact per-call I/O deltas accumulated in
+//!   per-handle *scoped* counters. A [`StoreRegistry`] deduplicates
+//!   opens by content key, so a whole sweep of parallel jobs shares one
+//!   store.
 //! * [`MeteredStore`] — wraps any store and keeps exact access counters
 //!   (gathers, nodes, payload bytes) on top of the inner store's I/O
 //!   stats, for reports.
@@ -37,17 +44,43 @@
 
 pub mod error;
 pub mod file;
+pub mod handle;
 pub mod mem;
 pub mod metered;
+pub mod registry;
 pub mod scratch;
+pub mod shared;
+pub mod stats;
 
 pub use error::StoreError;
 pub use file::{write_feature_file, FileStore, FileStoreOptions};
+pub use handle::StoreHandle;
 pub use mem::InMemoryStore;
 pub use metered::MeteredStore;
+pub use registry::{
+    remove_cached_feature_files, sweep_stale_tmp_files, StoreOccupancy, StoreRegistry,
+};
 pub use scratch::ScratchFile;
+pub use shared::SharedFileStore;
+pub use stats::AtomicStoreStats;
 
 use smartsage_graph::NodeId;
+use std::sync::{Arc, Mutex};
+
+/// A dynamically typed feature store shared across threads.
+///
+/// This is the hand-off type between subsystems: the pipeline builds
+/// one per run (an [`InMemoryStore`] or a scoped [`StoreHandle`] onto a
+/// registry-shared [`SharedFileStore`]) and every producer worker —
+/// and any concurrent trainer — gathers through it. The mutex guards
+/// the *handle* (its scoped counters); file-backed I/O underneath is
+/// already concurrent via the shared store's sharded cache.
+pub type SharedDynStore = Arc<Mutex<Box<dyn FeatureStore + Send>>>;
+
+/// Wraps a concrete store in the shared dynamic hand-off type.
+pub fn share_store(store: impl FeatureStore + Send + 'static) -> SharedDynStore {
+    Arc::new(Mutex::new(Box::new(store)))
+}
 
 /// Which feature-store implementation an experiment trains through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,0 +1,510 @@
+//! The store registry: each content-keyed feature file is opened once
+//! per registry and shared by every caller.
+//!
+//! Feature bytes are a pure function of `(dim, num_classes, seed,
+//! num_nodes)`, so the registry names files by that **content key** in
+//! the OS temp directory and deduplicates opens: the first caller
+//! publishes (write to a private temp name, then an atomic rename) and
+//! opens; everyone else gets an `Arc` clone of the same
+//! [`SharedFileStore`] — one file descriptor, one sharded page cache.
+//!
+//! There are two kinds of registry:
+//!
+//! * [`StoreRegistry::global`] — the process-wide instance used by
+//!   ad-hoc pipeline runs; its caches persist for the process lifetime.
+//! * Private instances (`StoreRegistry::new`) — a
+//!   [`Runner`](../../smartsage_core/runner/index.html) sweep creates
+//!   its own, so each sweep starts cold, concurrent sweeps cannot
+//!   perturb each other's hit rates, and a second sweep in the same
+//!   process reports exactly what its solo run would.
+//!
+//! # Feature-file lifecycle
+//!
+//! Published files (`smartsage-feat-*.fbin`) are content-keyed and
+//! immutable: they are *meant* to outlive the process so later runs
+//! skip re-serialization. They are reclaimed by
+//! [`remove_cached_feature_files`] (exposed as `reproduce
+//! --clean-store`). Orphaned publish temporaries
+//! (`smartsage-feat-*.tmp-<pid>-<seq>`, left by a crash between write
+//! and rename) are swept automatically on every publish and by the same
+//! cleanup call; a temporary is stale when its embedded pid is no
+//! longer alive (falling back to a 24-hour age cutoff where liveness
+//! cannot be checked).
+
+use crate::error::StoreError;
+use crate::file::{write_feature_file, FileStoreOptions};
+use crate::shared::{SharedFileStore, DEFAULT_CACHE_SHARDS};
+use smartsage_graph::FeatureTable;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Prefix of every file the registry manages in the temp directory.
+const FILE_PREFIX: &str = "smartsage-feat-";
+
+/// Marker separating a publish temporary's name from its `<pid>-<seq>`
+/// suffix.
+const TMP_MARKER: &str = ".tmp-";
+
+/// Occupancy snapshot of one registered store, for reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreOccupancy {
+    /// The backing feature file.
+    pub path: PathBuf,
+    /// Resident pages per cache shard, in shard order.
+    pub shard_pages: Vec<usize>,
+    /// Total page capacity of the cache.
+    pub capacity_pages: usize,
+    /// Pages loaded by background read-ahead (demand I/O lives in the
+    /// handles' scoped stats, prefetch I/O here).
+    pub prefetch_pages: u64,
+    /// Bytes loaded by background read-ahead.
+    pub prefetch_bytes: u64,
+}
+
+impl StoreOccupancy {
+    /// Total resident pages across shards.
+    pub fn resident_pages(&self) -> usize {
+        self.shard_pages.iter().sum()
+    }
+}
+
+/// One content key's slot: the per-key lock serializes publication of
+/// *this* file only, so a multi-MB serialize of one key never blocks
+/// opens of already-published keys on other sweep threads.
+type Slot = Arc<Mutex<Option<Arc<SharedFileStore>>>>;
+
+/// Deduplicates [`SharedFileStore`] opens by content-keyed path.
+#[derive(Debug, Default)]
+pub struct StoreRegistry {
+    entries: Mutex<HashMap<PathBuf, Slot>>,
+}
+
+impl StoreRegistry {
+    /// An empty registry with no open stores.
+    pub fn new() -> StoreRegistry {
+        StoreRegistry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static StoreRegistry {
+        static GLOBAL: OnceLock<StoreRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(StoreRegistry::new)
+    }
+
+    /// The content-keyed path for `table`'s first `num_nodes` rows.
+    pub fn content_key_path(table: &FeatureTable, num_nodes: usize) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "{FILE_PREFIX}n{num_nodes}-d{}-c{}-s{:x}.fbin",
+            table.dim(),
+            table.num_classes(),
+            table.seed(),
+        ))
+    }
+
+    /// Opens (publishing first if needed) the shared store for
+    /// `table`'s first `num_nodes` rows. The first call for a content
+    /// key does the work; every later call returns the same `Arc`.
+    ///
+    /// An existing on-disk file is revalidated through the usual
+    /// magic/header/length checks; anything stale or foreign is
+    /// replaced via write-to-temporary + atomic rename (sweeping any
+    /// orphaned temporaries it finds next to it). Requesting a key
+    /// that is already open with *different* options fails with
+    /// [`StoreError::OptionsConflict`] rather than silently serving
+    /// someone else's geometry.
+    pub fn open_feature_table(
+        &self,
+        table: &FeatureTable,
+        num_nodes: usize,
+        opts: FileStoreOptions,
+    ) -> Result<Arc<SharedFileStore>, StoreError> {
+        let path = StoreRegistry::content_key_path(table, num_nodes);
+        // Two-level locking: the map lock is held only long enough to
+        // fetch/create this key's slot; serialization (a multi-MB
+        // write) happens under the per-key slot lock, so opens of
+        // other keys proceed concurrently.
+        let slot: Slot = {
+            let mut entries = self.entries.lock().expect("store registry");
+            Arc::clone(entries.entry(path.clone()).or_default())
+        };
+        let mut guard = slot.lock().expect("store registry slot");
+        if let Some(existing) = guard.as_ref() {
+            // Never hand a caller a store with a different geometry
+            // than it asked for — its I/O accounting would silently be
+            // computed against someone else's page size and capacity.
+            if existing.options() != opts {
+                return Err(StoreError::OptionsConflict {
+                    path,
+                    requested: opts,
+                    open: existing.options(),
+                });
+            }
+            return Ok(Arc::clone(existing));
+        }
+        // First open of this key in this registry. The slot lock
+        // serializes publication, so concurrent sweep threads wanting
+        // the same table cannot both serialize it.
+        let matches = |s: &SharedFileStore| {
+            s.dim() == table.dim()
+                && s.num_nodes() == num_nodes
+                && s.num_classes() == table.num_classes()
+        };
+        let store = match SharedFileStore::open_with(&path, opts, DEFAULT_CACHE_SHARDS) {
+            Ok(store) if matches(&store) => store,
+            _ => {
+                static SEQ: AtomicU64 = AtomicU64::new(0);
+                let dir = path.parent().expect("temp files have a parent");
+                sweep_stale_tmp_files(dir);
+                let tmp = path.with_extension(format!(
+                    "tmp-{}-{}",
+                    std::process::id(),
+                    SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                write_feature_file(&tmp, table, num_nodes)?;
+                std::fs::rename(&tmp, &path).map_err(|source| StoreError::Io {
+                    path: path.clone(),
+                    action: "publish",
+                    source,
+                })?;
+                SharedFileStore::open_with(&path, opts, DEFAULT_CACHE_SHARDS)?
+            }
+        };
+        let store = Arc::new(store);
+        *guard = Some(Arc::clone(&store));
+        Ok(store)
+    }
+
+    /// Every store currently open in this registry (empty slots from
+    /// failed opens are skipped).
+    fn open_stores(&self) -> Vec<Arc<SharedFileStore>> {
+        let slots: Vec<Slot> = {
+            let entries = self.entries.lock().expect("store registry");
+            entries.values().cloned().collect()
+        };
+        slots
+            .iter()
+            .filter_map(|slot| slot.lock().expect("store registry slot").clone())
+            .collect()
+    }
+
+    /// Number of distinct stores this registry has open.
+    pub fn len(&self) -> usize {
+        self.open_stores().len()
+    }
+
+    /// `true` when no store is open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-store cache occupancy, sorted by path for stable output.
+    pub fn occupancy(&self) -> Vec<StoreOccupancy> {
+        let mut out: Vec<StoreOccupancy> = self
+            .open_stores()
+            .iter()
+            .map(|s| {
+                let prefetch = s.prefetch_stats();
+                StoreOccupancy {
+                    path: s.path().to_path_buf(),
+                    shard_pages: s.cache_occupancy(),
+                    capacity_pages: s.cache_capacity(),
+                    prefetch_pages: prefetch.pages_read,
+                    prefetch_bytes: prefetch.bytes_read,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        out
+    }
+
+    /// Drops every cached page of every open store (the files stay
+    /// open and published). A sweep calls this on its own registry —
+    /// a no-op there, but it is also how tests cold-start the global
+    /// one.
+    pub fn clear_caches(&self) {
+        for store in self.open_stores() {
+            store.clear_cache();
+        }
+    }
+
+    /// Closes every open store. Outstanding handles keep their `Arc`s
+    /// alive; the registry just forgets them, so the next open is
+    /// fresh.
+    pub fn close_all(&self) {
+        self.entries.lock().expect("store registry").clear();
+    }
+}
+
+/// Parses the pid out of a publish-temporary file name
+/// (`...fbin` replaced by `tmp-<pid>-<seq>`).
+fn tmp_file_pid(name: &str) -> Option<u32> {
+    let rest = &name[name.find(TMP_MARKER)? + TMP_MARKER.len()..];
+    rest.split('-').next()?.parse().ok()
+}
+
+/// Whether the process that created a temporary is still alive (when
+/// that can be determined on this platform).
+fn pid_alive(pid: u32) -> Option<bool> {
+    if cfg!(target_os = "linux") {
+        Some(Path::new(&format!("/proc/{pid}")).exists())
+    } else {
+        None
+    }
+}
+
+fn is_stale_tmp(path: &Path) -> bool {
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return false;
+    };
+    if !name.starts_with(FILE_PREFIX) || !name.contains(TMP_MARKER) {
+        return false;
+    }
+    let Some(pid) = tmp_file_pid(name) else {
+        return false;
+    };
+    if pid == std::process::id() {
+        // Possibly mid-publish in this very process; never touch it.
+        return false;
+    }
+    match pid_alive(pid) {
+        Some(alive) => !alive,
+        None => {
+            // Liveness unknown: only reclaim clearly abandoned files.
+            let day = std::time::Duration::from_secs(24 * 60 * 60);
+            std::fs::metadata(path)
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .is_some_and(|age| age > day)
+        }
+    }
+}
+
+/// Removes orphaned publish temporaries from `dir` (see the module docs
+/// for what counts as stale); returns how many were removed. Called
+/// automatically before every publish; safe to call any time.
+pub fn sweep_stale_tmp_files(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if is_stale_tmp(&path) && std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Removes every published feature file (`smartsage-feat-*.fbin`) and
+/// every stale publish temporary from the OS temp directory; returns
+/// how many files were removed. The global registry's entries are
+/// closed first so no deleted file is still being served — later opens
+/// simply re-publish. This is the cleanup path behind `reproduce
+/// --clean-store`.
+pub fn remove_cached_feature_files() -> usize {
+    StoreRegistry::global().close_all();
+    let dir = std::env::temp_dir();
+    let mut removed = sweep_stale_tmp_files(&dir);
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return removed;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let is_published = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with(FILE_PREFIX) && n.ends_with(".fbin"));
+        if is_published && std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeatureStore;
+    use crate::StoreHandle;
+    use smartsage_graph::NodeId;
+
+    fn table(seed: u64) -> FeatureTable {
+        FeatureTable::new(5, 3, seed)
+    }
+
+    #[test]
+    fn same_key_is_opened_exactly_once() {
+        let reg = StoreRegistry::new();
+        let opts = FileStoreOptions::default();
+        let a = reg.open_feature_table(&table(0xA11CE), 30, opts).unwrap();
+        let b = reg.open_feature_table(&table(0xA11CE), 30, opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "one registry entry per content key");
+        assert_eq!(reg.len(), 1);
+        let c = reg.open_feature_table(&table(0xA11CE), 31, opts).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "node count is part of the key");
+        assert_eq!(reg.len(), 2);
+        let _ = std::fs::remove_file(a.path());
+        let _ = std::fs::remove_file(c.path());
+    }
+
+    #[test]
+    fn concurrent_opens_dedup_per_key_without_cross_key_blocking() {
+        let reg = StoreRegistry::new();
+        let opts = FileStoreOptions::default();
+        // 3 distinct keys × several threads racing on each: every
+        // thread of a key must get the same Arc (one open per key),
+        // and all keys publish concurrently under per-key locks.
+        let stores: Vec<Vec<Arc<SharedFileStore>>> = std::thread::scope(|s| {
+            let reg = &reg;
+            (0..3u64)
+                .map(|k| {
+                    let handles: Vec<_> = (0..4)
+                        .map(move |_| {
+                            s.spawn(move || {
+                                reg.open_feature_table(&table(0xCC00 + k), 25 + k as usize, opts)
+                                    .unwrap()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+                .collect()
+        });
+        assert_eq!(reg.len(), 3);
+        for per_key in &stores {
+            for other in &per_key[1..] {
+                assert!(Arc::ptr_eq(&per_key[0], other), "same key, same store");
+            }
+        }
+        assert!(!Arc::ptr_eq(&stores[0][0], &stores[1][0]));
+        for per_key in &stores {
+            let _ = std::fs::remove_file(per_key[0].path());
+        }
+    }
+
+    #[test]
+    fn conflicting_options_for_an_open_key_are_rejected() {
+        let reg = StoreRegistry::new();
+        let t = table(0xBADA);
+        let opts = FileStoreOptions::default();
+        let store = reg.open_feature_table(&t, 12, opts).unwrap();
+        let err = reg
+            .open_feature_table(
+                &t,
+                12,
+                FileStoreOptions {
+                    page_bytes: 512,
+                    ..opts
+                },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::StoreError::OptionsConflict { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("already open"), "{err}");
+        // Same options still dedup to the same Arc.
+        let again = reg.open_feature_table(&t, 12, opts).unwrap();
+        assert!(Arc::ptr_eq(&store, &again));
+        let _ = std::fs::remove_file(store.path());
+    }
+
+    #[test]
+    fn registries_share_files_but_not_caches() {
+        let t = table(0xB0B);
+        let opts = FileStoreOptions::default();
+        let reg1 = StoreRegistry::new();
+        let reg2 = StoreRegistry::new();
+        let a = reg1.open_feature_table(&t, 20, opts).unwrap();
+        let b = reg2.open_feature_table(&t, 20, opts).unwrap();
+        assert_eq!(a.path(), b.path(), "same content key, same file");
+        let nodes: Vec<NodeId> = (0..20u32).map(NodeId::new).collect();
+        let mut h = StoreHandle::new(Arc::clone(&a));
+        h.gather(&nodes).unwrap();
+        assert!(a.cache_occupancy().iter().sum::<usize>() > 0);
+        assert_eq!(
+            b.cache_occupancy().iter().sum::<usize>(),
+            0,
+            "a sweep-private registry starts cold"
+        );
+        let _ = std::fs::remove_file(a.path());
+    }
+
+    #[test]
+    fn occupancy_and_clear_caches() {
+        let reg = StoreRegistry::new();
+        let t = table(0xCAFE);
+        let store = reg
+            .open_feature_table(&t, 40, FileStoreOptions::default())
+            .unwrap();
+        let mut h = StoreHandle::new(Arc::clone(&store));
+        h.gather(&(0..40u32).map(NodeId::new).collect::<Vec<_>>())
+            .unwrap();
+        let occ = reg.occupancy();
+        assert_eq!(occ.len(), 1);
+        assert!(occ[0].resident_pages() > 0);
+        assert_eq!(occ[0].capacity_pages, store.cache_capacity());
+        assert_eq!(occ[0].path, store.path());
+        reg.clear_caches();
+        assert_eq!(reg.occupancy()[0].resident_pages(), 0);
+        reg.close_all();
+        assert!(reg.is_empty());
+        // Outstanding Arcs still work after close_all.
+        h.gather(&[NodeId::new(1)]).unwrap();
+        let _ = std::fs::remove_file(store.path());
+    }
+
+    #[test]
+    fn stale_foreign_file_is_republished() {
+        let reg = StoreRegistry::new();
+        let t = table(0xD00D);
+        let path = StoreRegistry::content_key_path(&t, 10);
+        std::fs::write(&path, b"not a feature file").unwrap();
+        let store = reg
+            .open_feature_table(&t, 10, FileStoreOptions::default())
+            .unwrap();
+        assert_eq!(store.num_nodes(), 10);
+        let mut h = StoreHandle::new(Arc::clone(&store));
+        h.gather(&[NodeId::new(0)]).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_and_live_ones_kept() {
+        let dir =
+            std::env::temp_dir().join(format!("smartsage-tmp-sweep-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A dead pid (u32::MAX is never a live pid) → stale.
+        let dead = dir.join(format!("{FILE_PREFIX}n1-d1-c1-s0.tmp-{}-0", u32::MAX));
+        // Our own pid → possibly mid-publish, must be kept.
+        let ours = dir.join(format!(
+            "{FILE_PREFIX}n1-d1-c1-s0.tmp-{}-0",
+            std::process::id()
+        ));
+        // Unrelated files are never touched.
+        let other = dir.join("some-other-file.tmp-1-0");
+        for f in [&dead, &ours, &other] {
+            std::fs::write(f, b"x").unwrap();
+        }
+        let removed = sweep_stale_tmp_files(&dir);
+        assert_eq!(removed, 1, "exactly the dead-pid temporary goes");
+        assert!(!dead.exists());
+        assert!(ours.exists());
+        assert!(other.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tmp_pid_parsing() {
+        assert_eq!(
+            tmp_file_pid("smartsage-feat-n1-d1-c1-s0.tmp-123-4"),
+            Some(123)
+        );
+        assert_eq!(tmp_file_pid("smartsage-feat-n1.tmp-abc-4"), None);
+        assert_eq!(tmp_file_pid("smartsage-feat-n1.fbin"), None);
+    }
+}

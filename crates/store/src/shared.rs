@@ -1,0 +1,463 @@
+//! The shared, thread-safe file store: one open feature file serving
+//! every concurrent training job in the process.
+//!
+//! [`crate::FileStore`] is a single-owner store — private file handle,
+//! private page cache, `&mut self` everywhere. SmartSAGE's premise is
+//! the opposite: *many* training workers contending for *one* storage
+//! device. [`SharedFileStore`] models that as a real concurrent
+//! subsystem:
+//!
+//! * the file is opened once and read with **positioned reads** (no
+//!   shared seek cursor to race on);
+//! * the page cache is a lock-striped
+//!   [`ShardedPageCache`](smartsage_hostio::ShardedPageCache) of
+//!   immutable `Arc<[u8]>` pages, so parallel gathers only contend on
+//!   the shards they actually touch;
+//! * every operation takes `&self` and returns its **exact per-call
+//!   I/O deltas**, which the caller's [`StoreHandle`](crate::StoreHandle)
+//!   accumulates into *scoped* counters — no process-global state, no
+//!   contamination between runs or sweeps;
+//! * an advisory [`SharedFileStore::prefetch_nodes`] warms the cache in
+//!   the background (accounted separately, never in a handle's stats).
+//!
+//! The determinism contract holds under any interleaving: page bytes
+//! come from an immutable file, so gathers are bit-identical to
+//! [`InMemoryStore`](crate::InMemoryStore) no matter which thread read
+//! which page first. Only the *split* of lookups into hits and misses
+//! (and hence bytes read) depends on scheduling; the totals remain
+//! exact counts of what actually happened.
+
+use crate::error::StoreError;
+use crate::file::{FileStoreOptions, RawFeatureFile};
+use crate::StoreStats;
+use smartsage_graph::generate::community_of;
+use smartsage_graph::NodeId;
+use smartsage_hostio::{merge_page_runs, ShardedPageCache};
+use std::collections::HashMap;
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::stats::AtomicStoreStats;
+
+/// Default lock-stripe count of the shared page cache.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+/// A feature file opened once, shared by any number of threads.
+///
+/// Constructed directly with [`SharedFileStore::open_with`] or — the
+/// usual path — deduplicated through a
+/// [`StoreRegistry`](crate::StoreRegistry). Per-caller access goes
+/// through [`StoreHandle`](crate::StoreHandle)s, which own the scoped
+/// counters; this type itself only counts its background prefetch I/O.
+#[derive(Debug)]
+pub struct SharedFileStore {
+    file: File,
+    path: PathBuf,
+    dim: usize,
+    num_nodes: usize,
+    num_classes: usize,
+    file_len: u64,
+    opts: FileStoreOptions,
+    cache: ShardedPageCache,
+    prefetch: AtomicStoreStats,
+}
+
+impl SharedFileStore {
+    /// Opens `path` with default options and shard count.
+    pub fn open(path: &Path) -> Result<SharedFileStore, StoreError> {
+        SharedFileStore::open_with(path, FileStoreOptions::default(), DEFAULT_CACHE_SHARDS)
+    }
+
+    /// Opens `path` through the same magic/header/length validation as
+    /// [`crate::FileStore`], striping the page cache over `shards`
+    /// locks (rounded up to a power of two).
+    pub fn open_with(
+        path: &Path,
+        opts: FileStoreOptions,
+        shards: usize,
+    ) -> Result<SharedFileStore, StoreError> {
+        assert!(opts.page_bytes > 0, "page size must be positive");
+        let raw = RawFeatureFile::open(path)?;
+        Ok(SharedFileStore {
+            file: raw.file,
+            path: raw.path,
+            dim: raw.dim,
+            num_nodes: raw.num_nodes,
+            num_classes: raw.num_classes,
+            file_len: raw.file_len,
+            opts,
+            cache: ShardedPageCache::new(opts.cache_pages, shards),
+            prefetch: AtomicStoreStats::default(),
+        })
+    }
+
+    /// The file this store reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> FileStoreOptions {
+        self.opts
+    }
+
+    /// Feature dimensionality of every row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of label classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of node rows the store holds.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The label (class) of `node`.
+    pub fn label(&self, node: NodeId) -> usize {
+        community_of(node, self.num_classes)
+    }
+
+    /// Resident pages per cache shard (`reproduce`'s occupancy report).
+    pub fn cache_occupancy(&self) -> Vec<usize> {
+        self.cache.occupancy()
+    }
+
+    /// Total page capacity of the cache.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Drops every cached page; the next gather starts cold. Counters
+    /// are unaffected (they belong to handles, not the store).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// I/O performed by background prefetches so far (never part of any
+    /// handle's scoped stats).
+    pub fn prefetch_stats(&self) -> StoreStats {
+        self.prefetch.snapshot()
+    }
+
+    fn row_range(&self, node: NodeId) -> Result<smartsage_hostio::ByteRange, StoreError> {
+        if node.index() >= self.num_nodes {
+            return Err(StoreError::NodeOutOfRange {
+                node,
+                num_nodes: self.num_nodes,
+            });
+        }
+        let row_bytes = self.dim as u64 * 4;
+        Ok(smartsage_hostio::ByteRange {
+            offset: crate::file::HEADER_BYTES + node.index() as u64 * row_bytes,
+            len: row_bytes,
+        })
+    }
+
+    /// Positioned read: no shared cursor, safe from any thread.
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<(), StoreError> {
+        let io_err = |source: std::io::Error| StoreError::Io {
+            path: self.path.clone(),
+            action: "read run",
+            source,
+        };
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, offset).map_err(io_err)
+        }
+        #[cfg(not(unix))]
+        {
+            // Portable fallback: a private handle per read keeps the
+            // shared store cursor-free at the cost of an extra open.
+            use std::io::{Read, Seek, SeekFrom};
+            let mut file = File::open(&self.path).map_err(io_err)?;
+            file.seek(SeekFrom::Start(offset)).map_err(io_err)?;
+            file.read_exact(buf).map_err(io_err)
+        }
+    }
+
+    /// Reads pages `[first, first + count)` with one positioned read;
+    /// returns one immutable buffer per page (the file's final page may
+    /// be short). Counts into `io`.
+    fn read_page_run(
+        &self,
+        first: u64,
+        count: u64,
+        io: &mut StoreStats,
+    ) -> Result<Vec<Arc<[u8]>>, StoreError> {
+        let pb = self.opts.page_bytes;
+        let start = first * pb;
+        let len = (count * pb).min(self.file_len - start) as usize;
+        let mut buf = vec![0u8; len];
+        self.read_at(&mut buf, start)?;
+        io.pages_read += count;
+        io.page_misses += count;
+        io.bytes_read += len as u64;
+        Ok(buf.chunks(pb as usize).map(Arc::from).collect())
+    }
+
+    /// Gathers the feature rows of `nodes` into `out` (row-major,
+    /// `nodes.len() × dim`), returning this call's **exact** counter
+    /// deltas — access counts and the I/O it caused. The caller (a
+    /// [`StoreHandle`](crate::StoreHandle)) owns where those deltas
+    /// accumulate; the shared store keeps no per-caller state.
+    pub fn gather_into(&self, nodes: &[NodeId], out: &mut [f32]) -> Result<StoreStats, StoreError> {
+        if out.len() != nodes.len() * self.dim {
+            return Err(StoreError::BadBuffer {
+                expected: nodes.len() * self.dim,
+                actual: out.len(),
+            });
+        }
+        let pb = self.opts.page_bytes;
+        let mut io = StoreStats::default();
+        // Plan: every page the batch touches, deduplicated and merged
+        // into contiguous runs. Row bounds are validated here, before
+        // any I/O.
+        let mut pages = Vec::with_capacity(nodes.len() * 2);
+        for &node in nodes {
+            let range = self.row_range(node)?;
+            if let Some((first, last)) = range.blocks(pb) {
+                pages.extend(first..=last);
+            }
+        }
+        let runs = merge_page_runs(&pages);
+        // Classify + fetch. A cache probe atomically hands back the
+        // page payload on a hit (promoting it), so a concurrent
+        // eviction can never invalidate bytes mid-assembly; each
+        // maximal stretch of missing pages costs one positioned read.
+        let mut staged: HashMap<u64, Arc<[u8]>> = HashMap::new();
+        let mut fetched: Vec<(u64, Arc<[u8]>)> = Vec::new();
+        for run in &runs {
+            let mut p = run.first;
+            while p < run.end() {
+                if let Some(buf) = self.cache.get(p) {
+                    io.page_hits += 1;
+                    staged.insert(p, buf);
+                    p += 1;
+                    continue;
+                }
+                let mut q = p + 1;
+                while q < run.end() && !self.cache.contains(q) {
+                    q += 1;
+                }
+                for (i, page_buf) in self
+                    .read_page_run(p, q - p, &mut io)?
+                    .into_iter()
+                    .enumerate()
+                {
+                    staged.insert(p + i as u64, Arc::clone(&page_buf));
+                    fetched.push((p + i as u64, page_buf));
+                }
+                p = q;
+            }
+        }
+        // Resolve: assemble each row from the staged pages.
+        let mut row_buf = vec![0u8; self.dim * 4];
+        for (row, &node) in nodes.iter().enumerate() {
+            let range = self.row_range(node)?;
+            let (first, last) = range.blocks(pb).expect("rows are non-empty");
+            for page in first..=last {
+                let page_start = page * pb;
+                let src = staged.get(&page).expect("planned page is staged");
+                let lo = range.offset.max(page_start);
+                let hi = (range.offset + range.len).min(page_start + src.len() as u64);
+                row_buf[(lo - range.offset) as usize..(hi - range.offset) as usize]
+                    .copy_from_slice(&src[(lo - page_start) as usize..(hi - page_start) as usize]);
+            }
+            let out_row = &mut out[row * self.dim..(row + 1) * self.dim];
+            for (v, chunk) in out_row.iter_mut().zip(row_buf.chunks_exact(4)) {
+                *v = f32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+            }
+        }
+        // Commit fetched pages to the cache in ascending page order
+        // (fetches were collected run by run, so they already are).
+        for (page, buf) in fetched {
+            self.cache.insert(page, buf);
+        }
+        io.gathers = 1;
+        io.nodes_gathered = nodes.len() as u64;
+        io.feature_bytes = nodes.len() as u64 * self.dim as u64 * 4;
+        Ok(io)
+    }
+
+    /// Advisory read-ahead: loads the pages backing `nodes` that are
+    /// not yet resident, without promoting pages that are (a prefetch
+    /// must not distort recency). I/O is counted in
+    /// [`SharedFileStore::prefetch_stats`], never in a handle's scoped
+    /// stats. Errors (including out-of-range nodes) are swallowed —
+    /// prefetching is a hint, and the demand path will surface any real
+    /// failure with full context.
+    pub fn prefetch_nodes(&self, nodes: &[NodeId]) {
+        let pb = self.opts.page_bytes;
+        let mut pages = Vec::with_capacity(nodes.len() * 2);
+        for &node in nodes {
+            let Ok(range) = self.row_range(node) else {
+                continue;
+            };
+            if let Some((first, last)) = range.blocks(pb) {
+                pages.extend(first..=last);
+            }
+        }
+        let mut io = StoreStats::default();
+        for run in merge_page_runs(&pages) {
+            let mut p = run.first;
+            while p < run.end() {
+                if self.cache.contains(p) {
+                    p += 1;
+                    continue;
+                }
+                let mut q = p + 1;
+                while q < run.end() && !self.cache.contains(q) {
+                    q += 1;
+                }
+                let Ok(bufs) = self.read_page_run(p, q - p, &mut io) else {
+                    // Earlier runs of this call may already have read
+                    // and cached pages: commit their exact counts
+                    // before giving up, so prefetch_stats always
+                    // explains every resident page.
+                    self.prefetch.add(&io);
+                    return;
+                };
+                for (i, buf) in bufs.into_iter().enumerate() {
+                    self.cache.insert(p + i as u64, buf);
+                }
+                p = q;
+            }
+        }
+        self.prefetch.add(&io);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{write_feature_file, FeatureStore, InMemoryStore, ScratchFile};
+    use smartsage_graph::FeatureTable;
+
+    fn write_table(tag: &str, dim: usize, nodes: usize) -> (ScratchFile, FeatureTable) {
+        let table = FeatureTable::new(dim, 3, 0xFEED);
+        let path = ScratchFile::new(tag);
+        write_feature_file(path.path(), &table, nodes).unwrap();
+        (path, table)
+    }
+
+    #[test]
+    fn shared_gathers_match_memory_bit_for_bit() {
+        let (path, table) = write_table("shared-equiv", 7, 40);
+        let store = SharedFileStore::open(path.path()).unwrap();
+        let nodes: Vec<NodeId> = [3u32, 0, 39, 3, 17].map(NodeId::new).to_vec();
+        let mut got = vec![0.0; nodes.len() * 7];
+        let io = store.gather_into(&nodes, &mut got).unwrap();
+        let want = InMemoryStore::new(table, 40).gather(&nodes).unwrap();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&got), bits(&want));
+        assert_eq!(io.gathers, 1);
+        assert_eq!(io.nodes_gathered, 5);
+        assert!(io.bytes_read > 0);
+        assert_eq!(store.label(NodeId::new(5)), 5 % 3);
+    }
+
+    #[test]
+    fn per_call_deltas_are_exact_and_cache_is_shared() {
+        let (path, _) = write_table("shared-deltas", 16, 64);
+        let store = SharedFileStore::open(path.path()).unwrap();
+        let nodes: Vec<NodeId> = (0..64u32).map(NodeId::new).collect();
+        let mut buf = vec![0.0; 64 * 16];
+        let cold = store.gather_into(&nodes, &mut buf).unwrap();
+        assert!(cold.pages_read > 0);
+        assert_eq!(cold.page_hits, 0);
+        let warm = store.gather_into(&nodes, &mut buf).unwrap();
+        assert_eq!(warm.pages_read, 0, "second pass reads nothing");
+        assert_eq!(warm.page_hits + warm.page_misses, cold.page_misses);
+        assert_eq!(
+            store.cache_occupancy().iter().sum::<usize>() as u64,
+            cold.pages_read
+        );
+    }
+
+    #[test]
+    fn prefetch_warms_the_cache_without_touching_gather_stats() {
+        let (path, _) = write_table("shared-prefetch", 8, 32);
+        let store = SharedFileStore::open(path.path()).unwrap();
+        let nodes: Vec<NodeId> = (0..32u32).map(NodeId::new).collect();
+        store.prefetch_nodes(&nodes);
+        let pf = store.prefetch_stats();
+        assert!(pf.pages_read > 0 && pf.bytes_read > 0);
+        let mut buf = vec![0.0; 32 * 8];
+        let io = store.gather_into(&nodes, &mut buf).unwrap();
+        assert_eq!(io.page_misses, 0, "everything was prefetched");
+        assert_eq!(io.pages_read, 0);
+        assert!(io.page_hits > 0);
+        // Prefetching resident pages again is a no-op.
+        store.prefetch_nodes(&nodes);
+        assert_eq!(store.prefetch_stats().pages_read, pf.pages_read);
+        // Out-of-range nodes are ignored, not fatal.
+        store.prefetch_nodes(&[NodeId::new(1000)]);
+    }
+
+    #[test]
+    fn concurrent_gathers_are_bit_identical_and_counters_sum() {
+        let (path, table) = write_table("shared-conc", 5, 50);
+        let store = Arc::new(
+            SharedFileStore::open_with(
+                path.path(),
+                FileStoreOptions {
+                    page_bytes: 512,
+                    cache_pages: 8, // smaller than the file: real eviction churn
+                },
+                4,
+            )
+            .unwrap(),
+        );
+        let nodes: Vec<NodeId> = (0..50u32).map(NodeId::new).collect();
+        let want = InMemoryStore::new(table, 50).gather(&nodes).unwrap();
+        let totals: Vec<StoreStats> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let store = Arc::clone(&store);
+                    let nodes = nodes.clone();
+                    let want = want.clone();
+                    s.spawn(move || {
+                        let mut sum = StoreStats::default();
+                        let mut buf = vec![0.0; nodes.len() * 5];
+                        for _ in 0..20 {
+                            let io = store.gather_into(&nodes, &mut buf).unwrap();
+                            assert_eq!(buf, want, "gather diverged under contention");
+                            sum.accumulate(&io);
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all = StoreStats::default();
+        for t in &totals {
+            all.accumulate(t);
+        }
+        assert_eq!(all.gathers, 160);
+        assert_eq!(all.nodes_gathered, 160 * 50);
+        // Every planned page lookup is classified exactly once.
+        let lookups_per_gather = {
+            let range_pages = |n: u32| {
+                let r = store.row_range(NodeId::new(n)).unwrap();
+                let (f, l) = r.blocks(512).unwrap();
+                f..=l
+            };
+            let mut pages: Vec<u64> = Vec::new();
+            for n in 0..50u32 {
+                pages.extend(range_pages(n));
+            }
+            pages.sort_unstable();
+            pages.dedup();
+            pages.len() as u64
+        };
+        assert_eq!(all.page_hits + all.page_misses, 160 * lookups_per_gather);
+        assert_eq!(all.pages_read, all.page_misses);
+    }
+}

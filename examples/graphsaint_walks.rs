@@ -72,6 +72,7 @@ fn main() {
                 sampler: SamplerKind::SaintWalk { length: 4 },
                 train: true,
                 store: None,
+                readahead: false,
             },
         );
         let b = *base.get_or_insert(report.makespan);

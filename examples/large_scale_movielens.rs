@@ -82,6 +82,7 @@ fn main() {
                 sampler: SamplerKind::GraphSage,
                 train: true,
                 store: None,
+                readahead: false,
             },
         );
         let b = *base.get_or_insert(report.makespan);

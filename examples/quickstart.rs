@@ -88,6 +88,7 @@ fn main() {
                 sampler: SamplerKind::GraphSage,
                 train: true,
                 store: None,
+                readahead: false,
             },
         );
         let base = *mmap_time.get_or_insert(report.makespan);

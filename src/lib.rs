@@ -14,8 +14,11 @@
 //!   and the on-SSD graph file layout.
 //! * [`store`] — feature stores: the `FeatureStore` trait with
 //!   in-memory, file-backed (real page-aligned I/O + LRU page cache),
-//!   and metered implementations, so training can run through actual
-//!   storage.
+//!   metered, and *shared concurrent* implementations — a
+//!   content-keyed `StoreRegistry` opens each feature file once and
+//!   every training job holds a scoped `StoreHandle` onto its
+//!   lock-striped sharded page cache — so training can run through
+//!   actual storage, in parallel.
 //! * [`memsim`] — LLC simulation and DRAM bandwidth accounting used by the
 //!   paper's characterization (Fig 5).
 //! * [`gnn`] — GraphSAGE/GraphSAINT samplers, dense layers, the functional

@@ -1,12 +1,18 @@
-//! Cross-backend feature-store conformance: `FileStore` and
+//! Cross-backend feature-store conformance: `FileStore`, the
+//! concurrent `SharedFileStore` (via a scoped `StoreHandle`), and
 //! `InMemoryStore` must return **byte-identical** gathers for random
 //! graphs, batch orders, and page sizes — the determinism contract the
-//! trainer relies on — and `MeteredStore` counters must be exact.
+//! trainer relies on — and `MeteredStore`/handle counters must be
+//! exact.
 
 use proptest::prelude::*;
 use smartsage::graph::{FeatureTable, NodeId};
 use smartsage::store::file::{write_feature_file, FileStore, FileStoreOptions};
-use smartsage::store::{FeatureStore, InMemoryStore, MeteredStore, ScratchFile, StoreError};
+use smartsage::store::{
+    FeatureStore, InMemoryStore, MeteredStore, ScratchFile, SharedFileStore, StoreError,
+    StoreHandle,
+};
+use std::sync::Arc;
 
 fn bits(v: &[f32]) -> Vec<u32> {
     v.iter().map(|x| x.to_bits()).collect()
@@ -38,6 +44,9 @@ proptest! {
             cache_pages,
         };
         let mut on_disk = MeteredStore::new(FileStore::open_with(file.path(), opts).unwrap());
+        let mut shared = StoreHandle::new(Arc::new(
+            SharedFileStore::open_with(file.path(), opts, 4).unwrap(),
+        ));
         let mut in_mem = MeteredStore::new(InMemoryStore::new(table, num_nodes));
 
         let mut expect_gathers = 0u64;
@@ -50,6 +59,7 @@ proptest! {
                 .map(|&r| NodeId::new(r % num_nodes as u32))
                 .collect();
             let from_disk = on_disk.gather(&nodes).unwrap();
+            let from_shared = shared.gather(&nodes).unwrap();
             let from_mem = in_mem.gather(&nodes).unwrap();
             prop_assert_eq!(
                 bits(&from_disk),
@@ -57,24 +67,37 @@ proptest! {
                 "gather diverged (nodes={}, dim={}, page={}, cache={})",
                 num_nodes, dim, opts.page_bytes, cache_pages
             );
+            prop_assert_eq!(
+                bits(&from_shared),
+                bits(&from_mem),
+                "shared gather diverged (nodes={}, dim={}, page={}, cache={})",
+                num_nodes, dim, opts.page_bytes, cache_pages
+            );
             expect_gathers += 1;
             expect_nodes += nodes.len() as u64;
         }
 
-        // MeteredStore counters are exact, on both wrappers.
-        for stats in [on_disk.stats(), in_mem.stats()] {
+        // Counters are exact on every store.
+        for stats in [on_disk.stats(), shared.stats(), in_mem.stats()] {
             prop_assert_eq!(stats.gathers, expect_gathers);
             prop_assert_eq!(stats.nodes_gathered, expect_nodes);
             prop_assert_eq!(stats.feature_bytes, expect_nodes * dim as u64 * 4);
         }
         // Disk accounting is consistent: misses are exactly the pages
-        // read, every read is page-granular, memory does no I/O.
-        let disk = on_disk.stats();
-        prop_assert_eq!(disk.page_misses, disk.pages_read);
-        prop_assert!(disk.bytes_read <= disk.pages_read * opts.page_bytes);
-        if expect_nodes > 0 {
-            prop_assert!(disk.pages_read > 0);
+        // read, every read is page-granular, memory does no I/O. The
+        // single-owner and shared stores agree exactly when driven
+        // serially (same plan, same exact-LRU discipline per page).
+        for disk in [on_disk.stats(), shared.stats()] {
+            prop_assert_eq!(disk.page_misses, disk.pages_read);
+            prop_assert!(disk.bytes_read <= disk.pages_read * opts.page_bytes);
+            if expect_nodes > 0 {
+                prop_assert!(disk.pages_read > 0);
+            }
         }
+        prop_assert_eq!(
+            on_disk.stats().page_hits + on_disk.stats().page_misses,
+            shared.stats().page_hits + shared.stats().page_misses
+        );
         let mem = in_mem.stats();
         prop_assert_eq!(mem.pages_read + mem.bytes_read + mem.page_hits + mem.page_misses, 0);
     }

@@ -117,6 +117,7 @@ fn feature_store_pipeline_run_reports_nonzero_io_without_timing_drift() {
         workers: 2,
         seed: 11,
         store: None,
+        readahead: false,
     };
     let plain = run_system(Dataset::Amazon, SystemKind::Dram, &scale, 2, true);
     assert!(plain.store_stats.is_none());
@@ -162,8 +163,10 @@ fn feature_store_works_behind_every_backend() {
         workers: 1,
         seed: 3,
         store: Some(StoreKind::File),
+        readahead: false,
     };
     let mut reference = None;
+    let mut total = smartsage::store::StoreStats::default();
     for kind in [
         SystemKind::Dram,
         SystemKind::SsdMmap,
@@ -173,8 +176,15 @@ fn feature_store_works_behind_every_backend() {
     ] {
         let report = run_system(Dataset::ProteinPi, kind, &scale, 1, true);
         let stats = report.store_stats.expect("store stats");
-        assert!(stats.bytes_read > 0, "{kind}: no disk reads");
+        // Ad-hoc runs share the process-wide registry store: the first
+        // system pays the disk reads, later ones may ride its warm
+        // shared page cache — but every run resolves its pages.
+        assert!(
+            stats.page_hits + stats.page_misses > 0,
+            "{kind}: no page lookups"
+        );
         assert_eq!(stats.gathers, 2, "{kind}: one gather per batch");
+        total.accumulate(&stats);
         match &reference {
             None => reference = Some(stats.nodes_gathered),
             Some(want) => assert_eq!(
@@ -183,4 +193,9 @@ fn feature_store_works_behind_every_backend() {
             ),
         }
     }
+    assert!(total.bytes_read > 0, "someone must have read from disk");
+    assert!(
+        total.page_hits > 0,
+        "the shared cache must serve repeat gathers"
+    );
 }

@@ -26,6 +26,7 @@ fn run(kind: SystemKind, workers: usize, train: bool, seed: u64) -> PipelineRepo
             sampler: SamplerKind::GraphSage,
             train,
             store: None,
+            readahead: false,
         },
     )
 }
@@ -139,6 +140,7 @@ fn bounded_queue_blocks_producers_not_correctness() {
                 sampler: SamplerKind::GraphSage,
                 train: true,
                 store: None,
+                readahead: false,
             },
         )
     };
@@ -175,6 +177,7 @@ fn saint_walks_complete_on_ssd_systems() {
             sampler: SamplerKind::SaintWalk { length: 4 },
             train: true,
             store: None,
+            readahead: false,
         },
     );
     assert_eq!(report.batches, 4);
