@@ -6,7 +6,7 @@
 //! ```text
 //! reproduce [EXPERIMENT...] [--list] [--filter SUBSTR]
 //!           [--scale tiny|default|paper] [--format text|csv|json]
-//!           [--jobs N] [--store mem|file] [--readahead] [--clean-store]
+//!           [--jobs N] [--store mem|file|isp] [--readahead] [--clean-store]
 //! ```
 //!
 //! With no experiment names, everything runs in paper (registry) order.
@@ -17,16 +17,20 @@
 //! Timing lines go to stderr. `--list` prints the selection (after
 //! name/filter resolution) without running anything.
 //!
-//! `--store mem|file` routes every pipeline run's feature gathers
-//! through a feature store. With `file`, all jobs of the sweep share
-//! **one** registry-opened store per content key (one open file, one
-//! sharded page cache), and the end-of-sweep stderr report carries the
-//! sweep's *exact* scoped I/O — bytes read, page-cache hit rate, and
-//! per-shard cache occupancy — never contaminated by earlier sweeps in
-//! the same process. `--readahead` adds background page read-ahead.
-//! Tables are byte-identical with and without a store, serial or
-//! parallel (the determinism contract); only the I/O accounting
-//! changes.
+//! `--store mem|file|isp` routes every pipeline run's feature gathers
+//! through a feature store. With `file` or `isp`, all jobs of the
+//! sweep share **one** registry-opened feature file per content key
+//! (one open file, one sharded page cache), and the end-of-sweep
+//! stderr report carries the sweep's *exact* scoped I/O — the
+//! device-vs-host byte split, page-cache hit rate, modeled device
+//! time, and per-shard cache occupancy — never contaminated by earlier
+//! sweeps in the same process. `file` ships every fetched page to the
+//! host whole (the Fig 10(a) baseline); `isp` gathers device-side and
+//! ships only the packed feature rows (Fig 10(b)), so its host bytes
+//! undercut `file`'s for the same sweep. `--readahead` adds background
+//! page read-ahead to the file store. Tables are byte-identical with
+//! and without a store, serial or parallel (the determinism contract);
+//! only the I/O accounting changes.
 //!
 //! `--clean-store` removes the content-keyed feature files
 //! (`smartsage-feat-*.fbin`) and any orphaned publish temporaries from
@@ -49,7 +53,7 @@ fn fail_usage(message: &str) -> ! {
     eprintln!(
         "usage: reproduce [EXPERIMENT...] [--list] [--filter SUBSTR] \
          [--scale tiny|default|paper] [--format text|csv|json] [--jobs N] \
-         [--store mem|file] [--readahead] [--clean-store]"
+         [--store mem|file|isp] [--readahead] [--clean-store]"
     );
     std::process::exit(2);
 }
@@ -133,10 +137,9 @@ fn parse_args(args: Vec<String>) -> Cli {
             }
             "--store" => {
                 let value = value_of("--store");
-                cli.store =
-                    Some(store_from_flag(&value).unwrap_or_else(|| {
-                        fail_usage(&format!("unknown store '{value}' (mem|file)"))
-                    }));
+                cli.store = Some(store_from_flag(&value).unwrap_or_else(|| {
+                    fail_usage(&format!("unknown store '{value}' (mem|file|isp)"))
+                }));
             }
             "--readahead" => cli.readahead = true,
             "--clean-store" => cli.clean_store = true,
@@ -263,6 +266,16 @@ fn main() {
             s.pages_read,
             s.hit_rate() * 100.0
         );
+        eprintln!(
+            "[store {}: device {} bytes read, host {} bytes transferred, \
+             transfer reduction {:.2}x, modeled device time {:.3} ms]",
+            kind.label(),
+            s.device_bytes_read,
+            s.host_bytes_transferred,
+            s.transfer_reduction(),
+            s.device_ns as f64 / 1e6
+        );
+        eprint!("{}", sweep.store_table(kind));
         for occ in &sweep.stores {
             let shards: Vec<String> = occ.shard_pages.iter().map(usize::to_string).collect();
             eprintln!(

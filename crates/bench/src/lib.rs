@@ -30,7 +30,7 @@ pub fn scale_from_flag(flag: &str) -> Option<ExperimentScale> {
 
 /// Parses a feature-store selection from a CLI flag value.
 ///
-/// Accepts `mem` or `file`.
+/// Accepts `mem`, `file`, or `isp`.
 pub fn store_from_flag(flag: &str) -> Option<StoreKind> {
     StoreKind::parse(flag)
 }
@@ -57,6 +57,7 @@ mod tests {
     fn store_flags_parse() {
         assert_eq!(store_from_flag("mem"), Some(StoreKind::Mem));
         assert_eq!(store_from_flag("file"), Some(StoreKind::File));
+        assert_eq!(store_from_flag("isp"), Some(StoreKind::Isp));
         assert_eq!(store_from_flag("ramdisk"), None);
     }
 

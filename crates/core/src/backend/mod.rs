@@ -109,7 +109,7 @@ pub trait SamplingBackend {
 
     /// Installs the feature store the producer workers gather through.
     /// Subsequent finished batches carry
-    /// [`GatheredFeatures`](crate::metrics::GatheredFeatures); the
+    /// [`GatheredFeatures`]; the
     /// store's counters record the resulting I/O.
     fn attach_store(&mut self, store: SharedFeatureStore);
 }

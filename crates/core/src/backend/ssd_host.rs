@@ -128,7 +128,7 @@ impl HostBackend {
 pub struct DirectIoHostBackend;
 
 impl DirectIoHostBackend {
-    /// Builds the `SmartSAGE (SW)` backend (see [`HostBackend::new_direct_io`]).
+    /// Builds the `SmartSAGE (SW)` backend (`HostBackend::new_direct_io`).
     #[allow(clippy::new_ret_no_self)] // intentionally an alias constructor
     pub fn new(ctx: Arc<RunContext>, workers: usize) -> HostBackend {
         HostBackend::new_direct_io(ctx, workers)

@@ -21,8 +21,8 @@ use smartsage_gnn::{Fanouts, SamplePlan};
 use smartsage_hostio::PrefetchQueue;
 use smartsage_sim::{EventQueue, SimDuration, SimTime, Xoshiro256};
 use smartsage_store::{
-    share_store, FileStoreOptions, InMemoryStore, MeteredStore, SharedFileStore, StoreHandle,
-    StoreKind, StoreRegistry, StoreStats,
+    share_store, FileStoreOptions, InMemoryStore, IspGatherOptions, IspGatherStore, MeteredStore,
+    SharedFileStore, StoreHandle, StoreKind, StoreRegistry, StoreStats,
 };
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -71,9 +71,15 @@ pub struct PipelineConfig {
     /// [`StoreRegistry`] (the sweep's own, or the process-wide one) and
     /// every run holds a scoped [`StoreHandle`] onto it — one file
     /// descriptor, one sharded page cache, exact per-run counters in
-    /// [`PipelineReport::store_stats`]. Simulated time is never
-    /// perturbed — the store determinism contract guarantees identical
-    /// results, so only the report's I/O section changes.
+    /// [`PipelineReport::store_stats`]. `Some(Isp)` layers the run's
+    /// own [`IspGatherStore`] over that same registry-shared file:
+    /// page reads resolve device-side against an SSD timing model and
+    /// only packed feature rows cross the modeled host link, so the
+    /// report's stats split `device_bytes_read` from
+    /// `host_bytes_transferred`. Simulated pipeline time is never
+    /// perturbed by any store — the store determinism contract
+    /// guarantees identical results, so only the report's I/O section
+    /// changes.
     pub store: Option<StoreKind>,
     /// With the file store, overlap storage with compute: each batch's
     /// pages are resolved by a background read-ahead worker
@@ -184,28 +190,40 @@ fn build_store(
 ) -> (SharedFeatureStore, Option<Arc<SharedFileStore>>) {
     let features = ctx.data.features.clone();
     let num_nodes = ctx.graph().num_nodes();
-    match kind {
-        StoreKind::Mem => (
+    if kind == StoreKind::Mem {
+        return (
             share_store(MeteredStore::new(InMemoryStore::new(features, num_nodes))),
             None,
+        );
+    }
+    let opts = FileStoreOptions {
+        cache_pages: FILE_STORE_CACHE_PAGES,
+        ..FileStoreOptions::default()
+    };
+    let scope_registry = store_metrics::current_registry();
+    let registry: &StoreRegistry = scope_registry
+        .as_deref()
+        .unwrap_or_else(|| StoreRegistry::global());
+    let shared = registry
+        .open_feature_table(&features, num_nodes, opts)
+        .unwrap_or_else(|e| panic!("opening shared feature store failed: {e}"));
+    match kind {
+        StoreKind::Mem => unreachable!("handled above"),
+        StoreKind::File => (
+            share_store(StoreHandle::new(Arc::clone(&shared))),
+            Some(shared),
         ),
-        StoreKind::File => {
-            let opts = FileStoreOptions {
-                cache_pages: FILE_STORE_CACHE_PAGES,
-                ..FileStoreOptions::default()
-            };
-            let scope_registry = store_metrics::current_registry();
-            let registry: &StoreRegistry = scope_registry
-                .as_deref()
-                .unwrap_or_else(|| StoreRegistry::global());
-            let shared = registry
-                .open_feature_table(&features, num_nodes, opts)
-                .unwrap_or_else(|e| panic!("opening shared feature store failed: {e}"));
-            (
-                share_store(StoreHandle::new(Arc::clone(&shared))),
-                Some(shared),
-            )
-        }
+        // The ISP tier keeps a run-private device model (its virtual
+        // clock belongs to this run) over the registry-shared file and
+        // payload cache, so a sweep still opens each key exactly once.
+        // No prefetch target is returned: host-path read-ahead would
+        // warm the payload cache through the host block path and
+        // corrupt the tier's device-vs-host transfer split (readahead
+        // is documented as file-store-only).
+        StoreKind::Isp => (
+            share_store(IspGatherStore::over(shared, IspGatherOptions::default())),
+            None,
+        ),
     }
 }
 

@@ -28,9 +28,9 @@
 //! fan-out safe.
 
 use crate::experiments::{registry, Experiment, ExperimentScale};
-use crate::report::{json_string, Table};
+use crate::report::{json_string, num, pct, speedup, Table};
 use crate::store_metrics::{self, SweepScope};
-use smartsage_store::{AtomicStoreStats, StoreOccupancy, StoreRegistry, StoreStats};
+use smartsage_store::{AtomicStoreStats, StoreKind, StoreOccupancy, StoreRegistry, StoreStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -61,8 +61,48 @@ pub struct SweepOutcome {
     /// reports exactly what its solo run would.
     pub store_stats: StoreStats,
     /// Final page-cache occupancy of each store the sweep's private
-    /// registry opened (empty without `--store file`).
+    /// registry opened (empty unless a file-backed store tier ran).
     pub stores: Vec<StoreOccupancy>,
+}
+
+impl SweepOutcome {
+    /// Renders the sweep's scoped store accounting as a typed
+    /// [`Table`]: one row of exact totals — gathers, payload bytes,
+    /// the device-vs-host byte split, page-cache hit rate, modeled
+    /// device time — ending in a [`Cell::Speedup`]-typed
+    /// transfer-reduction column
+    /// ([`StoreStats::transfer_reduction`]). `kind` labels which tier
+    /// produced the numbers; the table renders through the usual
+    /// text/CSV/JSON surfaces like any experiment table.
+    ///
+    /// [`Cell::Speedup`]: crate::report::Cell
+    pub fn store_table(&self, kind: StoreKind) -> Table {
+        let s = &self.store_stats;
+        let mut t = Table::new(
+            "Sweep feature-store I/O",
+            &[
+                "Store",
+                "Gathers",
+                "Feature bytes",
+                "Device bytes read",
+                "Host bytes transferred",
+                "Page hit rate",
+                "Device time (ms)",
+                "Transfer reduction",
+            ],
+        );
+        t.row(vec![
+            kind.label().into(),
+            s.gathers.into(),
+            s.feature_bytes.into(),
+            s.device_bytes_read.into(),
+            s.host_bytes_transferred.into(),
+            pct(s.hit_rate()),
+            num(s.device_ns as f64 / 1e6, 3),
+            speedup(s.transfer_reduction()),
+        ]);
+        t
+    }
 }
 
 type Observer = Box<dyn Fn(&RunOutcome) + Send + Sync>;
@@ -95,14 +135,17 @@ impl RunnerBuilder {
     }
 
     /// Routes every run's feature gathers through `kind`
-    /// (`--store mem|file`): pipeline producers gather features through
-    /// the selected [`FeatureStore`](smartsage_store::FeatureStore);
-    /// with `file`, all of the sweep's jobs share one registry-opened
-    /// store and the sweep's exact I/O totals come back in
-    /// [`SweepOutcome::store_stats`]. Tables are unchanged by
-    /// construction (the store determinism contract). Kept separately
-    /// from the scale until [`RunnerBuilder::build`], so `.store(..)`
-    /// and `.scale(..)` compose in either order.
+    /// (`--store mem|file|isp`): pipeline producers gather features
+    /// through the selected
+    /// [`FeatureStore`](smartsage_store::FeatureStore); with `file` or
+    /// `isp`, all of the sweep's jobs share one registry-opened feature
+    /// file and the sweep's exact I/O totals come back in
+    /// [`SweepOutcome::store_stats`] — for `isp`, with the
+    /// device-vs-host byte split and modeled device time filled in.
+    /// Tables are unchanged by construction (the store determinism
+    /// contract). Kept separately from the scale until
+    /// [`RunnerBuilder::build`], so `.store(..)` and `.scale(..)`
+    /// compose in either order.
     pub fn store(mut self, kind: smartsage_store::StoreKind) -> RunnerBuilder {
         self.store = Some(kind);
         self
@@ -435,6 +478,34 @@ mod tests {
             .run();
         assert_eq!(outcomes.len(), 2);
         assert_eq!(SEEN.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn store_table_carries_the_transfer_reduction_column() {
+        use crate::report::Cell;
+        let sweep = Runner::builder()
+            .scale(ExperimentScale::tiny())
+            .store(StoreKind::Isp)
+            .filter(|e| e.name == "fig7")
+            .build()
+            .sweep();
+        let s = sweep.store_stats;
+        assert!(s.gathers > 0, "fig7 trains, so producers gathered");
+        assert!(s.device_bytes_read > 0, "isp reads pages device-side");
+        assert!(
+            s.host_bytes_transferred > 0 && s.host_bytes_transferred <= s.feature_bytes,
+            "isp ships at most the packed payload (scratchpad dedups repeats)"
+        );
+        assert!(s.device_ns > 0, "modeled device time accumulates");
+        let t = sweep.store_table(StoreKind::Isp);
+        assert_eq!(t.len(), 1);
+        let row = &t.rows()[0];
+        assert_eq!(row[0].as_str(), Some("isp"));
+        assert!(
+            matches!(row[7], Cell::Speedup(r) if r == s.transfer_reduction()),
+            "last column is the Cell-typed transfer reduction"
+        );
+        assert!(t.headers().iter().any(|h| h == "Transfer reduction"));
     }
 
     #[test]

@@ -115,6 +115,7 @@ mod tests {
             bytes_read: 5,
             page_hits: 6,
             page_misses: 7,
+            ..StoreStats::default()
         };
         record(&one);
         let after = snapshot();

@@ -7,12 +7,13 @@
 //! independent of which storage backend produced the subgraphs.
 //!
 //! The gather stage goes through a
-//! [`FeatureStore`](smartsage_store::FeatureStore): the `*_on` methods
-//! accept any store (in-memory, file-backed, metered),
+//! [`FeatureStore`]: the `*_on` methods
+//! accept any store (in-memory, file-backed, the in-storage-processing
+//! [`IspGatherStore`](smartsage_store::IspGatherStore), metered),
 //! [`Trainer::train_step_shared`] gathers through a thread-shared
 //! [`SharedDynStore`] (the hand-off type concurrent training workers
 //! use), and the historical [`FeatureTable`]-based methods are thin
-//! shims over an [`InMemoryStore`](smartsage_store::InMemoryStore).
+//! shims over an [`InMemoryStore`].
 //! Because stores resolve gathers to byte-identical values, the loss
 //! trajectory of a run is independent of the store backing it — and of
 //! how many workers share it — asserted end-to-end in

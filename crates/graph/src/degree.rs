@@ -79,7 +79,7 @@ impl DegreeStats {
 
 /// Verifies the densification relation between two graphs: the larger
 /// graph should have a strictly higher average degree (Leskovec et al.
-/// [53], reproduced by Kronecker expansion). Returns the degree ratio.
+/// \[53\], reproduced by Kronecker expansion). Returns the degree ratio.
 pub fn densification_ratio(small: &CsrGraph, large: &CsrGraph) -> f64 {
     if small.avg_degree() == 0.0 {
         return 0.0;

@@ -1,4 +1,4 @@
-//! Kronecker fractal expansion (paper §V, reference [7]).
+//! Kronecker fractal expansion (paper §V, reference \[7\]).
 //!
 //! The paper's large-scale datasets are synthesized from the public
 //! in-memory datasets via Kronecker fractal expansion, which multiplies a
@@ -13,7 +13,7 @@
 //!   power laws), and
 //! * the **densification power law** holds: since edges scale by `|E_K|`
 //!   while nodes scale by `|V_K|`, average degree grows by
-//!   `avg_deg(K) > 1`, matching the observation [53] that larger
+//!   `avg_deg(K) > 1`, matching the observation \[53\] that larger
 //!   real-world graphs are denser.
 
 use crate::csr::{CsrGraph, NodeId};

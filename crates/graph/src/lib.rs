@@ -15,7 +15,7 @@
 //!   byte-level layout used by the simulated on-SSD graph file,
 //! * [`generate`] — power-law graph synthesis matched to each dataset's
 //!   published statistics,
-//! * [`kronecker`] — Kronecker fractal expansion (paper §V, ref [7]) used to
+//! * [`kronecker`] — Kronecker fractal expansion (paper §V, ref \[7\]) used to
 //!   scale the in-memory datasets to "large-scale" variants while
 //!   preserving the degree distribution (Fig 13) and the densification
 //!   power law,

@@ -31,6 +31,8 @@
 //!   instead impose the hit probability the cache would achieve at the
 //!   dataset's true size.
 
+#![warn(missing_docs)]
+
 pub mod coalesce;
 pub mod direct_io;
 pub mod layout;

@@ -26,7 +26,7 @@ pub struct FlashParams {
 
 impl Default for FlashParams {
     /// OpenSSD-class defaults with modern low-latency NAND (the paper's
-    /// platform cites 15 us-class ultra-low-latency flash [8]):
+    /// platform cites 15 us-class ultra-low-latency flash \[8\]):
     /// 16 channels x 2 dies, 16 KiB pages, 25 us `tR`, 800 MB/s bus.
     fn default() -> Self {
         FlashParams {

@@ -34,8 +34,9 @@
 //!    exact-LRU cache hits ([`smartsage_hostio::LruSet`] ordering).
 //! 3. **Resolve** — one `read` syscall per contiguous missing run,
 //!    page-aligned; rows are then assembled from cached + fetched
-//!    pages. Values are byte-identical to [`InMemoryStore`]
-//!    (`crate::InMemoryStore`) by the determinism contract.
+//!    pages. Values are byte-identical to
+//!    [`InMemoryStore`](crate::InMemoryStore) by the determinism
+//!    contract.
 
 use crate::error::StoreError;
 use crate::{FeatureStore, StoreStats};
@@ -284,6 +285,10 @@ impl FileStore {
         self.stats.pages_read += count;
         self.stats.page_misses += count;
         self.stats.bytes_read += len as u64;
+        // Host path (Fig 10(a)): every page read from media crosses the
+        // host link whole.
+        self.stats.device_bytes_read += len as u64;
+        self.stats.host_bytes_transferred += len as u64;
         Ok(buf.chunks(pb as usize).map(Arc::from).collect())
     }
 }

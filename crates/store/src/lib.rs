@@ -12,7 +12,7 @@
 //! * [`InMemoryStore`] — wraps the synthetic
 //!   [`FeatureTable`](smartsage_graph::FeatureTable); features are
 //!   produced straight into the caller's buffer with no I/O.
-//! * [`FileStore`] — a single-owner on-disk feature file ([`file`]
+//! * [`FileStore`] — a single-owner on-disk feature file ([`mod@file`]
 //!   documents the layout) read with page-aligned I/O, an exact-LRU
 //!   page cache ([`smartsage_hostio::LruSet`] ordering), and batch
 //!   gathers whose page reads are coalesced into contiguous runs
@@ -24,6 +24,13 @@
 //!   per-handle *scoped* counters. A [`StoreRegistry`] deduplicates
 //!   opens by content key, so a whole sweep of parallel jobs shares one
 //!   store.
+//! * [`IspGatherStore`] — the in-storage-processing tier: the same
+//!   on-disk file, but batch gathers resolve *device-side* against an
+//!   [`smartsage_storage::Ssd`] timing model (FTL lookups, flash
+//!   channel parallelism at a bounded queue depth, page-buffer hits)
+//!   and only the packed feature rows cross the modeled PCIe link —
+//!   the paper's Fig 10(b) transfer-reduction mechanism on the real
+//!   feature path.
 //! * [`MeteredStore`] — wraps any store and keeps exact access counters
 //!   (gathers, nodes, payload bytes) on top of the inner store's I/O
 //!   stats, for reports.
@@ -42,9 +49,12 @@
 //! [`FileStore`] produces a bit-identical loss trajectory to
 //! [`InMemoryStore`].
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod file;
 pub mod handle;
+pub mod isp;
 pub mod mem;
 pub mod metered;
 pub mod registry;
@@ -55,6 +65,7 @@ pub mod stats;
 pub use error::StoreError;
 pub use file::{write_feature_file, FileStore, FileStoreOptions};
 pub use handle::StoreHandle;
+pub use isp::{IspGatherOptions, IspGatherStore};
 pub use mem::InMemoryStore;
 pub use metered::MeteredStore;
 pub use registry::{
@@ -87,8 +98,14 @@ pub fn share_store(store: impl FeatureStore + Send + 'static) -> SharedDynStore 
 pub enum StoreKind {
     /// In-memory feature table (the historical default).
     Mem,
-    /// File-backed store: page-aligned reads + LRU page cache.
+    /// File-backed store: page-aligned reads + LRU page cache. Every
+    /// fetched page crosses the (modeled) host link whole, like the
+    /// paper's Fig 10(a) baseline.
     File,
+    /// In-storage-processing gather ([`IspGatherStore`]): page reads
+    /// happen device-side against an SSD timing model and only the
+    /// packed feature rows cross the host link (Fig 10(b)).
+    Isp,
 }
 
 impl StoreKind {
@@ -97,6 +114,7 @@ impl StoreKind {
         match s {
             "mem" => Some(StoreKind::Mem),
             "file" => Some(StoreKind::File),
+            "isp" => Some(StoreKind::Isp),
             _ => None,
         }
     }
@@ -106,6 +124,7 @@ impl StoreKind {
         match self {
             StoreKind::Mem => "mem",
             StoreKind::File => "file",
+            StoreKind::Isp => "isp",
         }
     }
 }
@@ -116,6 +135,20 @@ impl StoreKind {
 /// describe what callers asked for; I/O-level counters (`pages_read`,
 /// `bytes_read`, `page_hits`, `page_misses`) describe what actually hit
 /// the disk. For [`InMemoryStore`] the I/O counters stay zero.
+///
+/// The transfer-path counters split *where* bytes moved:
+///
+/// * `device_bytes_read` — bytes the storage device read from its
+///   medium (page-aligned). For [`FileStore`] and [`SharedFileStore`]
+///   this equals `bytes_read`.
+/// * `host_bytes_transferred` — bytes that crossed the SSD→host link.
+///   The host-path stores ship every fetched page whole (Fig 10(a)), so
+///   this again equals `bytes_read`; the [`IspGatherStore`] gathers
+///   device-side and ships only the packed feature rows (Fig 10(b)), so
+///   it equals `feature_bytes` instead.
+/// * `device_ns` — modeled device-side busy time in nanoseconds
+///   (nonzero only for [`IspGatherStore`], whose gathers run against an
+///   [`smartsage_storage::Ssd`] timing model).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StoreStats {
     /// Number of `gather_into` calls.
@@ -133,6 +166,12 @@ pub struct StoreStats {
     pub page_hits: u64,
     /// Distinct page lookups that had to go to disk.
     pub page_misses: u64,
+    /// Bytes the device read from its storage medium.
+    pub device_bytes_read: u64,
+    /// Bytes shipped over the SSD→host link.
+    pub host_bytes_transferred: u64,
+    /// Modeled device-side time in nanoseconds (ISP store only).
+    pub device_ns: u64,
 }
 
 impl StoreStats {
@@ -146,6 +185,18 @@ impl StoreStats {
         }
     }
 
+    /// Modeled SSD→host transfer reduction: device-side bytes read per
+    /// byte actually shipped to the host. The host block path ships
+    /// every page it reads, so it sits at `1.0` by construction; the
+    /// ISP gather path rises above it whenever page-aligned device
+    /// reads exceed the packed payload that crossed the link (the
+    /// paper's Fig 10(b) claim). Both sides are floored at one byte so
+    /// a no-I/O record (e.g. [`InMemoryStore`]) reports a neutral
+    /// `1.0`, never NaN.
+    pub fn transfer_reduction(&self) -> f64 {
+        self.device_bytes_read.max(1) as f64 / self.host_bytes_transferred.max(1) as f64
+    }
+
     /// Adds another stats record into this one.
     pub fn accumulate(&mut self, other: &StoreStats) {
         self.gathers += other.gathers;
@@ -155,6 +206,9 @@ impl StoreStats {
         self.bytes_read += other.bytes_read;
         self.page_hits += other.page_hits;
         self.page_misses += other.page_misses;
+        self.device_bytes_read += other.device_bytes_read;
+        self.host_bytes_transferred += other.host_bytes_transferred;
+        self.device_ns += other.device_ns;
     }
 }
 
@@ -210,8 +264,10 @@ mod tests {
     fn store_kind_parses() {
         assert_eq!(StoreKind::parse("mem"), Some(StoreKind::Mem));
         assert_eq!(StoreKind::parse("file"), Some(StoreKind::File));
+        assert_eq!(StoreKind::parse("isp"), Some(StoreKind::Isp));
         assert_eq!(StoreKind::parse("disk"), None);
         assert_eq!(StoreKind::File.label(), "file");
+        assert_eq!(StoreKind::Isp.label(), "isp");
     }
 
     #[test]
@@ -224,6 +280,9 @@ mod tests {
             bytes_read: 3 * 4096,
             page_hits: 1,
             page_misses: 3,
+            device_bytes_read: 3 * 4096,
+            host_bytes_transferred: 400,
+            device_ns: 1_000,
         };
         assert!((a.hit_rate() - 0.25).abs() < 1e-12);
         assert_eq!(StoreStats::default().hit_rate(), 0.0);
@@ -232,5 +291,25 @@ mod tests {
         assert_eq!(a.gathers, 2);
         assert_eq!(a.page_hits, 2);
         assert_eq!(a.bytes_read, 6 * 4096);
+        assert_eq!(a.device_bytes_read, 6 * 4096);
+        assert_eq!(a.host_bytes_transferred, 800);
+        assert_eq!(a.device_ns, 2_000);
+    }
+
+    #[test]
+    fn transfer_reduction_is_finite_and_directional() {
+        assert_eq!(StoreStats::default().transfer_reduction(), 1.0);
+        let host_path = StoreStats {
+            device_bytes_read: 8192,
+            host_bytes_transferred: 8192,
+            ..StoreStats::default()
+        };
+        assert_eq!(host_path.transfer_reduction(), 1.0);
+        let isp = StoreStats {
+            device_bytes_read: 8192,
+            host_bytes_transferred: 512,
+            ..StoreStats::default()
+        };
+        assert_eq!(isp.transfer_reduction(), 16.0);
     }
 }

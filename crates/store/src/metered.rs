@@ -87,10 +87,7 @@ impl<S: FeatureStore> FeatureStore for MeteredStore<S> {
             gathers: self.gathers,
             nodes_gathered: self.nodes_gathered,
             feature_bytes: self.feature_bytes,
-            pages_read: inner.pages_read,
-            bytes_read: inner.bytes_read,
-            page_hits: inner.page_hits,
-            page_misses: inner.page_misses,
+            ..inner
         }
     }
 

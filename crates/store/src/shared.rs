@@ -9,8 +9,7 @@
 //!
 //! * the file is opened once and read with **positioned reads** (no
 //!   shared seek cursor to race on);
-//! * the page cache is a lock-striped
-//!   [`ShardedPageCache`](smartsage_hostio::ShardedPageCache) of
+//! * the page cache is a lock-striped [`ShardedPageCache`] of
 //!   immutable `Arc<[u8]>` pages, so parallel gathers only contend on
 //!   the shards they actually touch;
 //! * every operation takes `&self` and returns its **exact per-call
@@ -29,6 +28,7 @@
 
 use crate::error::StoreError;
 use crate::file::{FileStoreOptions, RawFeatureFile};
+use crate::isp::RowScratchpad;
 use crate::StoreStats;
 use smartsage_graph::generate::community_of;
 use smartsage_graph::NodeId;
@@ -36,7 +36,7 @@ use smartsage_hostio::{merge_page_runs, ShardedPageCache};
 use std::collections::HashMap;
 use std::fs::File;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::stats::AtomicStoreStats;
 
@@ -61,6 +61,7 @@ pub struct SharedFileStore {
     opts: FileStoreOptions,
     cache: ShardedPageCache,
     prefetch: AtomicStoreStats,
+    scratchpad: OnceLock<Arc<RowScratchpad>>,
 }
 
 impl SharedFileStore {
@@ -89,7 +90,22 @@ impl SharedFileStore {
             opts,
             cache: ShardedPageCache::new(opts.cache_pages, shards),
             prefetch: AtomicStoreStats::default(),
+            scratchpad: OnceLock::new(),
         })
+    }
+
+    /// The host row scratchpad shared by every
+    /// [`IspGatherStore`](crate::IspGatherStore) over this file,
+    /// created on first use with the same byte budget as this store's
+    /// page cache (`cache_pages × page_bytes`). File-tier callers never
+    /// touch it, so it costs nothing unless the ISP tier runs.
+    pub fn isp_scratchpad(&self) -> Arc<RowScratchpad> {
+        Arc::clone(self.scratchpad.get_or_init(|| {
+            Arc::new(RowScratchpad::new(
+                self.opts.cache_pages as u64 * self.opts.page_bytes,
+                self.dim as u64 * 4,
+            ))
+        }))
     }
 
     /// The file this store reads from.
@@ -122,6 +138,11 @@ impl SharedFileStore {
         community_of(node, self.num_classes)
     }
 
+    /// Exact length of the backing file in bytes (header + matrix).
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
     /// Resident pages per cache shard (`reproduce`'s occupancy report).
     pub fn cache_occupancy(&self) -> Vec<usize> {
         self.cache.occupancy()
@@ -144,7 +165,30 @@ impl SharedFileStore {
         self.prefetch.snapshot()
     }
 
-    fn row_range(&self, node: NodeId) -> Result<smartsage_hostio::ByteRange, StoreError> {
+    /// The distinct pages backing `nodes`' rows, ascending with runs
+    /// merged — the same plan `gather_into` resolves, exposed for the
+    /// ISP tier's timing model. Pure address arithmetic; validates row
+    /// bounds before returning anything.
+    pub(crate) fn plan_pages(&self, nodes: &[NodeId]) -> Result<Vec<u64>, StoreError> {
+        let pb = self.opts.page_bytes;
+        let mut pages = Vec::with_capacity(nodes.len() * 2);
+        for &node in nodes {
+            let range = self.row_range(node)?;
+            if let Some((first, last)) = range.blocks(pb) {
+                pages.extend(first..=last);
+            }
+        }
+        let mut plan = Vec::with_capacity(pages.len());
+        for run in merge_page_runs(&pages) {
+            plan.extend(run.first..run.end());
+        }
+        Ok(plan)
+    }
+
+    pub(crate) fn row_range(
+        &self,
+        node: NodeId,
+    ) -> Result<smartsage_hostio::ByteRange, StoreError> {
         if node.index() >= self.num_nodes {
             return Err(StoreError::NodeOutOfRange {
                 node,
@@ -198,6 +242,11 @@ impl SharedFileStore {
         io.pages_read += count;
         io.page_misses += count;
         io.bytes_read += len as u64;
+        // Host-path split: the device read these pages from media and
+        // shipped them to the host whole (Fig 10(a)). The ISP tier
+        // re-scopes the host side of this split after the fact.
+        io.device_bytes_read += len as u64;
+        io.host_bytes_transferred += len as u64;
         Ok(buf.chunks(pb as usize).map(Arc::from).collect())
     }
 

@@ -31,6 +31,9 @@ pub struct AtomicStoreStats {
     bytes_read: AtomicU64,
     page_hits: AtomicU64,
     page_misses: AtomicU64,
+    device_bytes_read: AtomicU64,
+    host_bytes_transferred: AtomicU64,
+    device_ns: AtomicU64,
 }
 
 impl AtomicStoreStats {
@@ -48,6 +51,11 @@ impl AtomicStoreStats {
         self.page_hits.fetch_add(stats.page_hits, Ordering::Relaxed);
         self.page_misses
             .fetch_add(stats.page_misses, Ordering::Relaxed);
+        self.device_bytes_read
+            .fetch_add(stats.device_bytes_read, Ordering::Relaxed);
+        self.host_bytes_transferred
+            .fetch_add(stats.host_bytes_transferred, Ordering::Relaxed);
+        self.device_ns.fetch_add(stats.device_ns, Ordering::Relaxed);
     }
 
     /// The accumulated totals.
@@ -60,6 +68,9 @@ impl AtomicStoreStats {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             page_hits: self.page_hits.load(Ordering::Relaxed),
             page_misses: self.page_misses.load(Ordering::Relaxed),
+            device_bytes_read: self.device_bytes_read.load(Ordering::Relaxed),
+            host_bytes_transferred: self.host_bytes_transferred.load(Ordering::Relaxed),
+            device_ns: self.device_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -73,6 +84,9 @@ impl AtomicStoreStats {
             &self.bytes_read,
             &self.page_hits,
             &self.page_misses,
+            &self.device_bytes_read,
+            &self.host_bytes_transferred,
+            &self.device_ns,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -94,6 +108,9 @@ mod tests {
             bytes_read: 5,
             page_hits: 6,
             page_misses: 7,
+            device_bytes_read: 8,
+            host_bytes_transferred: 9,
+            device_ns: 10,
         };
         std::thread::scope(|s| {
             for _ in 0..8 {

@@ -14,11 +14,13 @@
 //!   and the on-SSD graph file layout.
 //! * [`store`] — feature stores: the `FeatureStore` trait with
 //!   in-memory, file-backed (real page-aligned I/O + LRU page cache),
-//!   metered, and *shared concurrent* implementations — a
-//!   content-keyed `StoreRegistry` opens each feature file once and
-//!   every training job holds a scoped `StoreHandle` onto its
-//!   lock-striped sharded page cache — so training can run through
-//!   actual storage, in parallel.
+//!   in-storage-processing (`IspGatherStore`: gathers resolve
+//!   device-side against an SSD timing model, only packed rows cross
+//!   the modeled host link), metered, and *shared concurrent*
+//!   implementations — a content-keyed `StoreRegistry` opens each
+//!   feature file once and every training job holds a scoped
+//!   `StoreHandle` onto its lock-striped sharded page cache — so
+//!   training can run through actual storage, in parallel.
 //! * [`memsim`] — LLC simulation and DRAM bandwidth accounting used by the
 //!   paper's characterization (Fig 5).
 //! * [`gnn`] — GraphSAGE/GraphSAINT samplers, dense layers, the functional
@@ -42,6 +44,47 @@
 //! let cfg = SystemConfig::new(SystemKind::SmartSageHwSw);
 //! assert_eq!(cfg.kind, SystemKind::SmartSageHwSw);
 //! let _ = ExperimentScale::default();
+//! ```
+//!
+//! # Store tiers
+//!
+//! The same feature bytes can be served three ways — host DRAM, a real
+//! on-disk file shipped page-by-page (Fig 10(a)), or an in-storage
+//! gather that ships only packed rows (Fig 10(b)). Values are
+//! bit-identical across all three; only the I/O accounting differs
+//! (this example is the README's "Store tiers" snippet, kept honest by
+//! `cargo test`):
+//!
+//! ```
+//! use smartsage::graph::{FeatureTable, NodeId};
+//! use smartsage::store::{
+//!     write_feature_file, FeatureStore, FileStore, InMemoryStore, IspGatherStore, ScratchFile,
+//! };
+//!
+//! // Publish 2048 nodes of 8-dim features (32-byte rows) to disk.
+//! let table = FeatureTable::new(8, 4, 7);
+//! let file = ScratchFile::new("readme-store-tiers");
+//! write_feature_file(file.path(), &table, 2048).unwrap();
+//!
+//! // A scattered gather: one requested row per 4 KiB page.
+//! let nodes: Vec<NodeId> = (0..16u32).map(|i| NodeId::new(i * 128)).collect();
+//! let mut mem = InMemoryStore::new(table, 2048);
+//! let mut disk = FileStore::open(file.path()).unwrap();
+//! let mut isp = IspGatherStore::open(file.path()).unwrap();
+//!
+//! let want = mem.gather(&nodes).unwrap();
+//! assert_eq!(disk.gather(&nodes).unwrap(), want); // same bytes off the page path
+//! assert_eq!(isp.gather(&nodes).unwrap(), want); // same bytes off the ISP path
+//!
+//! // The file tier ships every touched page whole; the ISP tier reads
+//! // the same pages *inside* the device and ships only packed rows.
+//! let (d, i) = (disk.stats(), isp.stats());
+//! assert_eq!(d.host_bytes_transferred, d.bytes_read);
+//! assert_eq!(i.host_bytes_transferred, 16 * 8 * 4);
+//! assert!(i.host_bytes_transferred < d.host_bytes_transferred);
+//! assert_eq!(i.device_bytes_read, d.device_bytes_read);
+//! assert!(i.transfer_reduction() > 100.0); // one 32-byte row per 4 KiB page
+//! assert!(!isp.device_time().is_zero()); // modeled FTL + flash + PCIe time
 //! ```
 
 pub use smartsage_core as core;

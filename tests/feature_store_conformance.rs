@@ -1,16 +1,20 @@
 //! Cross-backend feature-store conformance: `FileStore`, the
-//! concurrent `SharedFileStore` (via a scoped `StoreHandle`), and
-//! `InMemoryStore` must return **byte-identical** gathers for random
-//! graphs, batch orders, and page sizes — the determinism contract the
-//! trainer relies on — and `MeteredStore`/handle counters must be
-//! exact.
+//! concurrent `SharedFileStore` (via a scoped `StoreHandle`), the
+//! in-storage-processing `IspGatherStore`, and `InMemoryStore` must
+//! return **byte-identical** gathers for random graphs, batch orders,
+//! and page sizes — the determinism contract the trainer relies on —
+//! and `MeteredStore`/handle counters must be exact. The ISP tier must
+//! additionally keep its transfer split honest: device bytes are its
+//! page reads, host bytes are only the packed rows that crossed the
+//! modeled link, strictly below the file store's page traffic for
+//! scattered multi-node gathers.
 
 use proptest::prelude::*;
 use smartsage::graph::{FeatureTable, NodeId};
 use smartsage::store::file::{write_feature_file, FileStore, FileStoreOptions};
 use smartsage::store::{
-    FeatureStore, InMemoryStore, MeteredStore, ScratchFile, SharedFileStore, StoreError,
-    StoreHandle,
+    FeatureStore, InMemoryStore, IspGatherOptions, IspGatherStore, MeteredStore, ScratchFile,
+    SharedFileStore, StoreError, StoreHandle,
 };
 use std::sync::Arc;
 
@@ -47,6 +51,8 @@ proptest! {
         let mut shared = StoreHandle::new(Arc::new(
             SharedFileStore::open_with(file.path(), opts, 4).unwrap(),
         ));
+        let mut isp =
+            IspGatherStore::open_with(file.path(), opts, IspGatherOptions::default()).unwrap();
         let mut in_mem = MeteredStore::new(InMemoryStore::new(table, num_nodes));
 
         let mut expect_gathers = 0u64;
@@ -60,6 +66,7 @@ proptest! {
                 .collect();
             let from_disk = on_disk.gather(&nodes).unwrap();
             let from_shared = shared.gather(&nodes).unwrap();
+            let from_isp = isp.gather(&nodes).unwrap();
             let from_mem = in_mem.gather(&nodes).unwrap();
             prop_assert_eq!(
                 bits(&from_disk),
@@ -73,15 +80,42 @@ proptest! {
                 "shared gather diverged (nodes={}, dim={}, page={}, cache={})",
                 num_nodes, dim, opts.page_bytes, cache_pages
             );
+            prop_assert_eq!(
+                bits(&from_isp),
+                bits(&from_mem),
+                "isp gather diverged (nodes={}, dim={}, page={}, cache={})",
+                num_nodes, dim, opts.page_bytes, cache_pages
+            );
             expect_gathers += 1;
             expect_nodes += nodes.len() as u64;
         }
 
         // Counters are exact on every store.
-        for stats in [on_disk.stats(), shared.stats(), in_mem.stats()] {
+        for stats in [on_disk.stats(), shared.stats(), isp.stats(), in_mem.stats()] {
             prop_assert_eq!(stats.gathers, expect_gathers);
             prop_assert_eq!(stats.nodes_gathered, expect_nodes);
             prop_assert_eq!(stats.feature_bytes, expect_nodes * dim as u64 * 4);
+        }
+
+        // The ISP transfer split stays honest under any parameters:
+        // device bytes are exactly its page reads, host bytes are only
+        // packed rows (never page-amplified above the payload), and
+        // device time moves iff media was read.
+        let isp_stats = isp.stats();
+        prop_assert_eq!(isp_stats.device_bytes_read, isp_stats.bytes_read);
+        prop_assert!(isp_stats.host_bytes_transferred <= isp_stats.feature_bytes);
+        prop_assert_eq!(isp_stats.host_bytes_transferred % (dim as u64 * 4), 0);
+        // Device time moves exactly when something crossed the link (a
+        // scratchpad-resident gather issues no device command at all).
+        prop_assert_eq!(
+            isp_stats.device_ns > 0,
+            isp_stats.host_bytes_transferred > 0
+        );
+        // The host-path stores ship exactly what they read.
+        for host in [on_disk.stats(), shared.stats()] {
+            prop_assert_eq!(host.host_bytes_transferred, host.bytes_read);
+            prop_assert_eq!(host.device_bytes_read, host.bytes_read);
+            prop_assert_eq!(host.device_ns, 0);
         }
         // Disk accounting is consistent: misses are exactly the pages
         // read, every read is page-granular, memory does no I/O. The
@@ -144,6 +178,46 @@ fn feature_store_gathers_are_independent_of_batch_split() {
         got.extend(chunked.gather(chunk).unwrap());
     }
     assert_eq!(bits(&want), bits(&got));
+}
+
+#[test]
+fn feature_store_isp_host_bytes_strictly_undercut_the_file_store() {
+    // Scattered multi-node gathers: 32-byte rows, 128 per 4 KiB page,
+    // one requested row per page. The file store ships every touched
+    // page whole; the ISP tier ships only the packed rows — the
+    // Fig 10(a)-vs-10(b) split, measured on identical bytes.
+    let table = FeatureTable::new(8, 4, 0x10B);
+    let file = ScratchFile::new("isp-reduction");
+    write_feature_file(file.path(), &table, 2048).unwrap();
+    let nodes: Vec<NodeId> = (0..16u32).map(|i| NodeId::new(i * 128)).collect();
+    let mut disk = FileStore::open(file.path()).unwrap();
+    let mut isp = IspGatherStore::open(file.path()).unwrap();
+    let want = disk.gather(&nodes).unwrap();
+    assert_eq!(bits(&isp.gather(&nodes).unwrap()), bits(&want));
+    let (d, i) = (disk.stats(), isp.stats());
+    assert_eq!(d.host_bytes_transferred, d.bytes_read, "file ships pages");
+    assert_eq!(
+        i.host_bytes_transferred,
+        16 * 8 * 4,
+        "isp ships packed rows"
+    );
+    assert!(
+        i.host_bytes_transferred < d.host_bytes_transferred,
+        "isp host bytes {} must be strictly below the file store's {}",
+        i.host_bytes_transferred,
+        d.host_bytes_transferred
+    );
+    assert_eq!(
+        i.device_bytes_read, d.device_bytes_read,
+        "both tiers read the same pages from media"
+    );
+    assert!(i.transfer_reduction() > 100.0, "one row per 4 KiB page");
+    assert!(i.device_ns > 0, "the isp gather costs modeled device time");
+    // Re-gathering the same rows is free on the ISP host path (the
+    // scratchpad holds them) while the file store re-ships nothing
+    // either (page cache) — the split stays consistent.
+    isp.gather(&nodes).unwrap();
+    assert_eq!(isp.stats().host_bytes_transferred, i.host_bytes_transferred);
 }
 
 #[test]

@@ -15,7 +15,7 @@ use smartsage::graph::generate::{generate_power_law, PowerLawConfig};
 use smartsage::graph::{CsrGraph, Dataset, FeatureTable, NodeId};
 use smartsage::sim::Xoshiro256;
 use smartsage::store::file::{write_feature_file, FileStore, FileStoreOptions};
-use smartsage::store::{FeatureStore, InMemoryStore, MeteredStore, ScratchFile};
+use smartsage::store::{FeatureStore, InMemoryStore, IspGatherStore, MeteredStore, ScratchFile};
 
 fn graph() -> CsrGraph {
     generate_power_law(&PowerLawConfig {
@@ -109,6 +109,35 @@ fn feature_store_training_through_disk_is_bit_identical_to_memory() {
 }
 
 #[test]
+fn feature_store_training_through_isp_is_bit_identical_to_memory() {
+    // The in-storage-processing tier sits under the same Trainer: the
+    // loss trajectory cannot know that gathers resolved device-side.
+    let table = FeatureTable::new(12, 4, 7);
+    let file = ScratchFile::new("isp-equiv");
+    write_feature_file(file.path(), &table, 500).unwrap();
+    let mut isp = IspGatherStore::open(file.path()).unwrap();
+    let mut mem = MeteredStore::new(InMemoryStore::new(table, 500));
+
+    let (isp_losses, isp_acc) = run_training(&mut isp, 4);
+    let (mem_losses, mem_acc) = run_training(&mut mem, 4);
+    assert_eq!(
+        isp_losses, mem_losses,
+        "loss trajectory must be bit-identical through the ISP tier"
+    );
+    assert_eq!(isp_acc.to_bits(), mem_acc.to_bits());
+
+    let s = isp.stats();
+    assert_eq!(s.gathers, mem.stats().gathers);
+    assert!(s.device_bytes_read > 0, "training read pages device-side");
+    assert!(
+        s.host_bytes_transferred < s.feature_bytes,
+        "the scratchpad must absorb repeat rows across epochs"
+    );
+    assert!(s.device_ns > 0, "device time accumulates across the run");
+    assert!(!isp.device_time().is_zero());
+}
+
+#[test]
 fn feature_store_pipeline_run_reports_nonzero_io_without_timing_drift() {
     let scale = ExperimentScale {
         edge_budget: 25_000,
@@ -135,21 +164,43 @@ fn feature_store_pipeline_run_reports_nonzero_io_without_timing_drift() {
         2,
         true,
     );
+    let isp = run_system(
+        Dataset::Amazon,
+        SystemKind::Dram,
+        &scale.with_store(StoreKind::Isp),
+        2,
+        true,
+    );
 
     // The determinism contract: the store changes reporting, never
     // simulated time.
     assert_eq!(plain.makespan, mem.makespan);
     assert_eq!(plain.makespan, file.makespan);
+    assert_eq!(plain.makespan, isp.makespan);
 
     let ms = mem.store_stats.expect("mem store stats");
     let fs = file.store_stats.expect("file store stats");
+    let is = isp.store_stats.expect("isp store stats");
     assert_eq!(ms.gathers, 4, "one gather per produced batch");
     assert_eq!(fs.gathers, 4);
+    assert_eq!(is.gathers, 4);
     assert_eq!(ms.nodes_gathered, fs.nodes_gathered);
+    assert_eq!(ms.nodes_gathered, is.nodes_gathered);
     assert_eq!(ms.bytes_read, 0);
     assert!(fs.bytes_read > 0, "file store must read from disk");
     assert!(fs.hit_rate() > 0.0, "page-cache hit rate must be nonzero");
     assert!(fs.page_misses > 0);
+    // The transfer split: the file tier ships what it reads; the ISP
+    // tier reads device-side and ships only packed rows. (These ad-hoc
+    // runs share the global registry, so the ISP run may ride the file
+    // run's warm payload cache — its media reads can legitimately be
+    // zero, its shipped rows cannot.)
+    assert_eq!(fs.host_bytes_transferred, fs.bytes_read);
+    assert_eq!(is.device_bytes_read, is.bytes_read);
+    assert!(is.host_bytes_transferred > 0);
+    assert!(is.host_bytes_transferred <= is.feature_bytes);
+    assert!(is.device_ns > 0, "isp reports modeled device time");
+    assert_eq!(fs.device_ns, 0, "the host path has no device model");
 }
 
 #[test]

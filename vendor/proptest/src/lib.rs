@@ -153,7 +153,7 @@ pub mod arbitrary {
         }
     }
 
-    /// Strategy produced by [`any`].
+    /// Strategy produced by `any`.
     pub struct Any<T>(pub(crate) PhantomData<T>);
 
     impl<T: Arbitrary> Strategy for Any<T> {
