@@ -27,6 +27,7 @@ fn pipe(kind: SystemKind, sampler: SamplerKind, fanouts: Fanouts) -> f64 {
             sampler,
             train: true,
             store: None,
+            topology: None,
             readahead: false,
         },
     );

@@ -15,6 +15,7 @@ fn bench_scale() -> ExperimentScale {
         workers: 4,
         seed: 2022,
         store: None,
+        topology: None,
         readahead: false,
     }
 }
@@ -126,6 +127,7 @@ fn fig15_coalescing(c: &mut Criterion) {
                             sampler: SamplerKind::GraphSage,
                             train: false,
                             store: None,
+                            topology: None,
                             readahead: false,
                         },
                     )

@@ -6,7 +6,8 @@
 //! ```text
 //! reproduce [EXPERIMENT...] [--list] [--filter SUBSTR]
 //!           [--scale tiny|default|paper] [--format text|csv|json]
-//!           [--jobs N] [--store mem|file|isp] [--readahead] [--clean-store]
+//!           [--jobs N] [--store mem|file|isp] [--graph mem|file|isp]
+//!           [--readahead] [--clean-store]
 //! ```
 //!
 //! With no experiment names, everything runs in paper (registry) order.
@@ -32,17 +33,29 @@
 //! and without a store, serial or parallel (the determinism contract);
 //! only the I/O accounting changes.
 //!
+//! `--graph mem|file|isp` does for the *topology* half of the dataset
+//! what `--store` does for features: neighbor sampling reads degrees
+//! and edge slices through a topology store. With `file`, the
+//! content-keyed `SSGRPH01` graph file is shared across the sweep's
+//! jobs and every fetched page crosses the modeled host link whole;
+//! with `isp`, hop expansion resolves device-side and only packed
+//! degrees and sampled neighbor ids cross, so isp host bytes undercut
+//! `file`'s for the same sweep. The end-of-sweep stderr report adds
+//! the sweep's exact, scoped topology I/O. Tables stay byte-identical
+//! across `--graph` tiers (the determinism contract).
+//!
 //! `--clean-store` removes the content-keyed feature files
-//! (`smartsage-feat-*.fbin`) and any orphaned publish temporaries from
-//! the OS temp directory, then exits.
+//! (`smartsage-feat-*.fbin`), graph files (`smartsage-graph-*.gbin`),
+//! and any orphaned publish temporaries from the OS temp directory,
+//! then exits.
 //!
 //! All flags are validated (and unknown experiment names rejected with
 //! the list of valid names, exit code 2) before any experiment runs.
 
-use smartsage_bench::{scale_from_flag, store_from_flag};
+use smartsage_bench::{graph_from_flag, scale_from_flag, store_from_flag};
 use smartsage_core::experiments::{registry, Experiment, ExperimentScale};
 use smartsage_core::runner::{OutputFormat, Runner};
-use smartsage_core::StoreKind;
+use smartsage_core::{StoreKind, TopologyKind};
 use smartsage_store::remove_cached_feature_files;
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -53,7 +66,7 @@ fn fail_usage(message: &str) -> ! {
     eprintln!(
         "usage: reproduce [EXPERIMENT...] [--list] [--filter SUBSTR] \
          [--scale tiny|default|paper] [--format text|csv|json] [--jobs N] \
-         [--store mem|file|isp] [--readahead] [--clean-store]"
+         [--store mem|file|isp] [--graph mem|file|isp] [--readahead] [--clean-store]"
     );
     std::process::exit(2);
 }
@@ -93,6 +106,7 @@ struct Cli {
     jobs: usize,
     list: bool,
     store: Option<StoreKind>,
+    graph: Option<TopologyKind>,
     readahead: bool,
     clean_store: bool,
 }
@@ -106,6 +120,7 @@ fn parse_args(args: Vec<String>) -> Cli {
         jobs: 1,
         list: false,
         store: None,
+        graph: None,
         readahead: false,
         clean_store: false,
     };
@@ -141,6 +156,12 @@ fn parse_args(args: Vec<String>) -> Cli {
                     fail_usage(&format!("unknown store '{value}' (mem|file|isp)"))
                 }));
             }
+            "--graph" => {
+                let value = value_of("--graph");
+                cli.graph = Some(graph_from_flag(&value).unwrap_or_else(|| {
+                    fail_usage(&format!("unknown graph tier '{value}' (mem|file|isp)"))
+                }));
+            }
             "--readahead" => cli.readahead = true,
             "--clean-store" => cli.clean_store = true,
             "--filter" => cli.filter = Some(value_of("--filter")),
@@ -168,6 +189,7 @@ fn main() {
             || cli.list
             || cli.filter.is_some()
             || cli.store.is_some()
+            || cli.graph.is_some()
             || cli.readahead
         {
             fail_usage("--clean-store is a standalone action and cannot be combined with a sweep");
@@ -212,6 +234,9 @@ fn main() {
     let mut scale = cli.scale;
     if let Some(kind) = cli.store {
         scale.store = Some(kind);
+    }
+    if let Some(kind) = cli.graph {
+        scale.topology = Some(kind);
     }
     scale.readahead = cli.readahead;
     let runner = Runner::builder()
@@ -276,6 +301,32 @@ fn main() {
             s.device_ns as f64 / 1e6
         );
         eprint!("{}", sweep.store_table(kind));
+    }
+    // The topology half gets the same exact, scoped per-sweep report.
+    if let Some(kind) = cli.graph {
+        let t = sweep.topology_stats;
+        eprintln!(
+            "[graph {}: {} reads, {} topology bytes, {} bytes read from disk \
+             ({} pages), page-cache hit rate {:.1}%]",
+            kind.label(),
+            t.gathers,
+            t.feature_bytes,
+            t.bytes_read,
+            t.pages_read,
+            t.hit_rate() * 100.0
+        );
+        eprintln!(
+            "[graph {}: device {} bytes read, host {} bytes transferred, \
+             transfer reduction {:.2}x, modeled device time {:.3} ms]",
+            kind.label(),
+            t.device_bytes_read,
+            t.host_bytes_transferred,
+            t.transfer_reduction(),
+            t.device_ns as f64 / 1e6
+        );
+        eprint!("{}", sweep.topology_table(kind));
+    }
+    if cli.store.is_some() || cli.graph.is_some() {
         for occ in &sweep.stores {
             let shards: Vec<String> = occ.shard_pages.iter().map(usize::to_string).collect();
             eprintln!(

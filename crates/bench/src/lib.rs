@@ -14,7 +14,7 @@
 //! views of it and parses CLI flag values.
 
 use smartsage_core::experiments::{registry, ExperimentScale};
-use smartsage_core::StoreKind;
+use smartsage_core::{StoreKind, TopologyKind};
 
 /// Parses an experiment scale from a CLI flag value.
 ///
@@ -33,6 +33,13 @@ pub fn scale_from_flag(flag: &str) -> Option<ExperimentScale> {
 /// Accepts `mem`, `file`, or `isp`.
 pub fn store_from_flag(flag: &str) -> Option<StoreKind> {
     StoreKind::parse(flag)
+}
+
+/// Parses a graph-topology selection from a CLI flag value (`--graph`).
+///
+/// Accepts `mem`, `file`, or `isp`.
+pub fn graph_from_flag(flag: &str) -> Option<TopologyKind> {
+    TopologyKind::parse(flag)
 }
 
 /// The experiment names the `reproduce` binary understands, derived
@@ -59,6 +66,14 @@ mod tests {
         assert_eq!(store_from_flag("file"), Some(StoreKind::File));
         assert_eq!(store_from_flag("isp"), Some(StoreKind::Isp));
         assert_eq!(store_from_flag("ramdisk"), None);
+    }
+
+    #[test]
+    fn graph_flags_parse() {
+        assert_eq!(graph_from_flag("mem"), Some(TopologyKind::Mem));
+        assert_eq!(graph_from_flag("file"), Some(TopologyKind::File));
+        assert_eq!(graph_from_flag("isp"), Some(TopologyKind::Isp));
+        assert_eq!(graph_from_flag("csr"), None);
     }
 
     #[test]

@@ -57,6 +57,7 @@ fn run_mode(
             sampler: SamplerKind::GraphSage,
             train,
             store: scale.store,
+            topology: scale.topology,
             readahead: scale.readahead,
         },
     );

@@ -9,7 +9,7 @@
 //! over-fetch the firmware ISP eliminates, so the FPGA CSD fails to beat
 //! even the software-only direct-I/O design.
 
-use super::{SamplingBackend, SharedFeatureStore, StepOutcome};
+use super::{SamplingBackend, SharedFeatureStore, SharedGraphTopology, StepOutcome};
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
 use crate::metrics::{FinishedBatch, FpgaPhases, TransferStats};
@@ -39,6 +39,7 @@ pub struct FpgaBackend {
     cursors: Vec<Option<Cursor>>,
     finished: Vec<Option<FinishedBatch>>,
     store: Option<SharedFeatureStore>,
+    topology: Option<SharedGraphTopology>,
 }
 
 impl FpgaBackend {
@@ -54,6 +55,7 @@ impl FpgaBackend {
             cursors: (0..workers).map(|_| None).collect(),
             finished: (0..workers).map(|_| None).collect(),
             store: None,
+            topology: None,
         }
     }
 }
@@ -170,7 +172,7 @@ impl SamplingBackend for FpgaBackend {
         cursor.ssd_to_host += sampled_bytes;
         cursor.now = done;
         let cursor = self.cursors[worker].take().expect("cursor");
-        let batch = cursor.plan.resolve(ctx.graph());
+        let batch = super::resolve_batch(self.topology.as_ref(), ctx.graph(), &cursor.plan);
         let useful = batch.subgraph_bytes();
         self.finished[worker] = Some(FinishedBatch {
             done: cursor.now,
@@ -196,6 +198,10 @@ impl SamplingBackend for FpgaBackend {
 
     fn attach_store(&mut self, store: SharedFeatureStore) {
         self.store = Some(store);
+    }
+
+    fn attach_topology(&mut self, topology: SharedGraphTopology) {
+        self.topology = Some(topology);
     }
 }
 

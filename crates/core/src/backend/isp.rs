@@ -20,7 +20,7 @@
 //! work on a dedicated core complex instead of the firmware-shared one
 //! (§VI-C: "dedicated, ISP-purposed embedded cores like Newport").
 
-use super::{SamplingBackend, SharedFeatureStore, StepOutcome};
+use super::{SamplingBackend, SharedFeatureStore, SharedGraphTopology, StepOutcome};
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
 use crate::metrics::{FinishedBatch, TransferStats};
@@ -84,6 +84,7 @@ pub struct IspBackend {
     cursors: Vec<Option<Cursor>>,
     finished: Vec<Option<FinishedBatch>>,
     store: Option<SharedFeatureStore>,
+    topology: Option<SharedGraphTopology>,
 }
 
 impl IspBackend {
@@ -97,6 +98,7 @@ impl IspBackend {
             cursors: (0..workers).map(|_| None).collect(),
             finished: (0..workers).map(|_| None).collect(),
             store: None,
+            topology: None,
         }
     }
 
@@ -296,7 +298,7 @@ impl SamplingBackend for IspBackend {
                     return StepOutcome::Running { next: done };
                 }
                 let cursor = self.cursors[worker].take().expect("cursor");
-                let batch = cursor.plan.resolve(ctx.graph());
+                let batch = super::resolve_batch(self.topology.as_ref(), ctx.graph(), &cursor.plan);
                 let useful = batch.subgraph_bytes();
                 self.finished[worker] = Some(FinishedBatch {
                     done: cursor.now,
@@ -324,6 +326,10 @@ impl SamplingBackend for IspBackend {
 
     fn attach_store(&mut self, store: SharedFeatureStore) {
         self.store = Some(store);
+    }
+
+    fn attach_topology(&mut self, topology: SharedGraphTopology) {
+        self.topology = Some(topology);
     }
 }
 

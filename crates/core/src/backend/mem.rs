@@ -6,7 +6,7 @@
 //! host-CPU cost. One step processes one hop (accesses within a hop are
 //! independent and execute back-to-back on the worker's core).
 
-use super::{SamplingBackend, SharedFeatureStore, StepOutcome};
+use super::{SamplingBackend, SharedFeatureStore, SharedGraphTopology, StepOutcome};
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
 use crate::metrics::{FinishedBatch, TransferStats};
@@ -30,6 +30,7 @@ pub struct MemBackend {
     cursors: Vec<Option<Cursor>>,
     finished: Vec<Option<FinishedBatch>>,
     store: Option<SharedFeatureStore>,
+    topology: Option<SharedGraphTopology>,
 }
 
 impl MemBackend {
@@ -50,6 +51,7 @@ impl MemBackend {
             cursors: (0..workers).map(|_| None).collect(),
             finished: (0..workers).map(|_| None).collect(),
             store: None,
+            topology: None,
         }
     }
 }
@@ -103,7 +105,7 @@ impl SamplingBackend for MemBackend {
             return StepOutcome::Running { next: done };
         }
         let cursor = self.cursors[worker].take().expect("cursor");
-        let batch = cursor.plan.resolve(self.ctx.graph());
+        let batch = super::resolve_batch(self.topology.as_ref(), self.ctx.graph(), &cursor.plan);
         let useful = batch.subgraph_bytes();
         self.finished[worker] = Some(FinishedBatch {
             done,
@@ -129,6 +131,10 @@ impl SamplingBackend for MemBackend {
 
     fn attach_store(&mut self, store: SharedFeatureStore) {
         self.store = Some(store);
+    }
+
+    fn attach_topology(&mut self, topology: SharedGraphTopology) {
+        self.topology = Some(topology);
     }
 }
 

@@ -23,7 +23,8 @@ pub use ssd_host::{DirectIoHostBackend, MmapHostBackend};
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
 use crate::metrics::{FinishedBatch, GatheredFeatures};
-use smartsage_gnn::SamplePlan;
+use smartsage_gnn::{SamplePlan, SampledBatch};
+use smartsage_graph::CsrGraph;
 use smartsage_sim::SimTime;
 use std::sync::Arc;
 
@@ -39,6 +40,40 @@ use std::sync::Arc;
 /// scoped counters); cross-run sharing happens in the sharded page
 /// cache below it.
 pub type SharedFeatureStore = smartsage_store::SharedDynStore;
+
+/// The topology store the producer workers of one pipeline run sample
+/// through — the graph analogue of [`SharedFeatureStore`]. With one
+/// attached (see [`SamplingBackend::attach_topology`]), finished
+/// batches resolve their sampled neighbor ids through the store's
+/// tier (in-memory CSR, page-aligned file reads, or device-side ISP
+/// resolution) instead of the context's in-memory graph; results are
+/// bit-identical by the store determinism contract, only the I/O
+/// accounting differs.
+pub type SharedGraphTopology = smartsage_store::SharedTopology;
+
+/// Resolves a finished plan to its subgraph: through the attached
+/// topology store when one is installed, straight from the in-memory
+/// CSR otherwise. Shared by every backend's finish path so the tiers
+/// cannot drift.
+///
+/// # Panics
+///
+/// Panics if the topology store fails (a real I/O error on the
+/// file-backed path) — producers have no recovery path mid-simulation.
+pub(crate) fn resolve_batch(
+    topology: Option<&SharedGraphTopology>,
+    graph: &CsrGraph,
+    plan: &SamplePlan,
+) -> SampledBatch {
+    match topology {
+        None => plan.resolve(graph),
+        Some(topo) => {
+            let mut topo = topo.lock().expect("topology store poisoned");
+            plan.resolve_on(topo.as_mut())
+                .unwrap_or_else(|e| panic!("producer topology resolve failed: {e}"))
+        }
+    }
+}
 
 /// Producer-side feature gather: resolves the feature rows of a
 /// finished batch's distinct nodes through `store` and attaches them to
@@ -112,6 +147,12 @@ pub trait SamplingBackend {
     /// [`GatheredFeatures`]; the
     /// store's counters record the resulting I/O.
     fn attach_store(&mut self, store: SharedFeatureStore);
+
+    /// Installs the topology store finished batches resolve their
+    /// sampled neighbor ids through (see [`SharedGraphTopology`]).
+    /// Without one, batches resolve from the context's in-memory CSR —
+    /// the historical behavior.
+    fn attach_topology(&mut self, topology: SharedGraphTopology);
 }
 
 /// Instantiates the backend for `ctx.config.kind`.

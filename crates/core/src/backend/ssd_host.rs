@@ -13,7 +13,7 @@
 //! thread: each edge-list read depends on the previous control flow),
 //! which is exactly why these paths are latency-bound.
 
-use super::{SamplingBackend, SharedFeatureStore, StepOutcome};
+use super::{SamplingBackend, SharedFeatureStore, SharedGraphTopology, StepOutcome};
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
 use crate::metrics::{FinishedBatch, TransferStats};
@@ -50,6 +50,7 @@ pub struct HostBackend {
     cursors: Vec<Option<Cursor>>,
     finished: Vec<Option<FinishedBatch>>,
     store: Option<SharedFeatureStore>,
+    topology: Option<SharedGraphTopology>,
 }
 
 /// The baseline mmap-based SSD system.
@@ -105,6 +106,7 @@ impl HostBackend {
             cursors: (0..workers).map(|_| None).collect(),
             finished: (0..workers).map(|_| None).collect(),
             store: None,
+            topology: None,
         }
     }
 
@@ -201,7 +203,7 @@ impl SamplingBackend for HostBackend {
             return StepOutcome::Running { next: t };
         }
         let cursor = self.cursors[worker].take().expect("cursor");
-        let batch = cursor.plan.resolve(self.ctx.graph());
+        let batch = super::resolve_batch(self.topology.as_ref(), self.ctx.graph(), &cursor.plan);
         let useful = batch.subgraph_bytes();
         self.finished[worker] = Some(FinishedBatch {
             done: cursor.now,
@@ -227,6 +229,10 @@ impl SamplingBackend for HostBackend {
 
     fn attach_store(&mut self, store: SharedFeatureStore) {
         self.store = Some(store);
+    }
+
+    fn attach_topology(&mut self, topology: SharedGraphTopology) {
+        self.topology = Some(topology);
     }
 }
 

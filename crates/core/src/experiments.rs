@@ -29,7 +29,7 @@ use smartsage_graph::kronecker::{expand, KroneckerConfig};
 use smartsage_graph::{Dataset, DatasetProfile, GraphScale};
 use smartsage_memsim::{BandwidthMeter, CacheParams, SetAssocCache};
 use smartsage_sim::{SimTime, Xoshiro256};
-use smartsage_store::StoreKind;
+use smartsage_store::{StoreKind, TopologyKind};
 use std::sync::Arc;
 
 /// How big the scaled experiments are. Defaults favour fast iteration;
@@ -51,6 +51,10 @@ pub struct ExperimentScale {
     /// the timing-only mode; results are identical either way — only
     /// I/O counters are added).
     pub store: Option<StoreKind>,
+    /// Topology store neighbor sampling reads the graph through
+    /// (`None` keeps the in-memory CSR; results are identical either
+    /// way — only topology I/O counters are added).
+    pub topology: Option<TopologyKind>,
     /// Background page read-ahead for the file store (see
     /// [`PipelineConfig::readahead`]). Results and simulated timing are
     /// identical either way; only the hit/miss split of the I/O
@@ -67,6 +71,7 @@ impl Default for ExperimentScale {
             workers: 12,
             seed: 2022,
             store: None,
+            topology: None,
             readahead: false,
         }
     }
@@ -98,6 +103,12 @@ impl ExperimentScale {
     /// The same scale with feature gathers routed through `kind`.
     pub fn with_store(mut self, kind: StoreKind) -> Self {
         self.store = Some(kind);
+        self
+    }
+
+    /// The same scale with neighbor sampling routed through `kind`.
+    pub fn with_topology(mut self, kind: TopologyKind) -> Self {
+        self.topology = Some(kind);
         self
     }
 
@@ -293,6 +304,7 @@ fn pipe_cfg(scale: &ExperimentScale, workers: usize, train: bool) -> PipelineCon
         sampler: SamplerKind::GraphSage,
         train,
         store: scale.store,
+        topology: scale.topology,
         readahead: scale.readahead,
     }
 }

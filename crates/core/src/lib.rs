@@ -48,4 +48,4 @@ pub use experiments::{registry, Experiment, ExperimentScale};
 pub use pipeline::{PipelineConfig, PipelineReport};
 pub use report::{Cell, Table};
 pub use runner::{OutputFormat, RunOutcome, Runner, RunnerBuilder, SweepOutcome};
-pub use smartsage_store::{StoreKind, StoreStats};
+pub use smartsage_store::{StoreKind, StoreStats, TopologyKind};

@@ -9,20 +9,22 @@
 //! dynamics exactly as in the paper: when producers cannot keep up, the
 //! GPU starves.
 
-use crate::backend::{make_backend, SharedFeatureStore, StepOutcome};
+use crate::backend::{make_backend, SharedFeatureStore, SharedGraphTopology, StepOutcome};
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
 use crate::metrics::{FinishedBatch, StageBreakdown, TransferStats};
 use crate::store_metrics;
 use smartsage_gnn::gpu::BatchDims;
 use smartsage_gnn::saint::plan_random_walk;
-use smartsage_gnn::sampler::{epoch_targets, plan_sample};
+use smartsage_gnn::sampler::{epoch_targets, plan_sample, plan_sample_on};
 use smartsage_gnn::{Fanouts, SamplePlan};
 use smartsage_hostio::PrefetchQueue;
 use smartsage_sim::{EventQueue, SimDuration, SimTime, Xoshiro256};
 use smartsage_store::{
-    share_store, FileStoreOptions, InMemoryStore, IspGatherOptions, IspGatherStore, MeteredStore,
-    SharedFileStore, StoreHandle, StoreKind, StoreRegistry, StoreStats,
+    check_same_population, share_store, share_topology, FileStoreOptions, FileTopology,
+    InMemoryStore, InMemoryTopology, IspGatherOptions, IspGatherStore, IspSampleTopology,
+    MeteredStore, SharedCsrFile, SharedFileStore, StoreHandle, StoreKind, StoreRegistry,
+    StoreStats, TopologyKind,
 };
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -81,6 +83,26 @@ pub struct PipelineConfig {
     /// guarantees identical results, so only the report's I/O section
     /// changes.
     pub store: Option<StoreKind>,
+    /// Topology store neighbor sampling reads the graph through.
+    /// `None` (default) keeps the historical mode — hop expansion and
+    /// batch resolution walk the in-memory CSR with no functional I/O.
+    /// `Some(Mem)` samples through an [`InMemoryTopology`] (counters,
+    /// no I/O); `Some(File)` through a **shared** on-disk `SSGRPH01`
+    /// graph file: the content-keyed file is opened once per
+    /// [`StoreRegistry`] and the run holds a scoped [`FileTopology`]
+    /// handle onto it — page-aligned coalesced offset/edge reads, one
+    /// sharded page cache, exact per-run counters in
+    /// [`PipelineReport::topology_stats`]. `Some(Isp)` layers the run's
+    /// own [`IspSampleTopology`] over that same registry-shared file:
+    /// hop expansion resolves device-side against an SSD timing model
+    /// and only the sampled neighbor ids cross the modeled host link.
+    /// GraphSAGE plans are drawn *and* resolved through the store; the
+    /// GraphSAINT walk planner stays on the in-memory CSR (walks are
+    /// control-flow-dependent per step), with batch resolution still
+    /// routed through the store. Simulated pipeline time is never
+    /// perturbed — the determinism contract guarantees identical
+    /// results, so only the report's I/O section changes.
+    pub topology: Option<TopologyKind>,
     /// With the file store, overlap storage with compute: each batch's
     /// pages are resolved by a background read-ahead worker
     /// ([`smartsage_hostio::PrefetchQueue`]) from the moment the batch
@@ -108,6 +130,7 @@ impl Default for PipelineConfig {
             sampler: SamplerKind::GraphSage,
             train: true,
             store: None,
+            topology: None,
             readahead: false,
         }
     }
@@ -136,6 +159,9 @@ pub struct PipelineReport {
     pub sampling_throughput: f64,
     /// Feature-store counters (`None` when no store was configured).
     pub store_stats: Option<StoreStats>,
+    /// Graph-topology store counters (`None` when sampling ran on the
+    /// bare in-memory CSR).
+    pub topology_stats: Option<StoreStats>,
 }
 
 impl PipelineReport {
@@ -177,8 +203,10 @@ const FILE_STORE_CACHE_PAGES: usize = 1024;
 /// file descriptor and one sharded page cache while keeping exact
 /// per-run counters in its own handle.
 ///
-/// Also returns the shared store itself for [`StoreKind::File`], so
-/// the pipeline can attach a read-ahead worker to it.
+/// Also returns the shared store itself for the file-backed tiers
+/// ([`StoreKind::File`] and [`StoreKind::Isp`]), so the pipeline can
+/// attach a read-ahead worker (file tier only) and cross-check the
+/// node population against a file-backed topology store.
 ///
 /// # Panics
 ///
@@ -216,14 +244,70 @@ fn build_store(
         // The ISP tier keeps a run-private device model (its virtual
         // clock belongs to this run) over the registry-shared file and
         // payload cache, so a sweep still opens each key exactly once.
-        // No prefetch target is returned: host-path read-ahead would
-        // warm the payload cache through the host block path and
-        // corrupt the tier's device-vs-host transfer split (readahead
-        // is documented as file-store-only).
+        // The shared file is returned for the population cross-check
+        // only; the prefetcher is gated on the *file* tier, because
+        // host-path read-ahead would warm the payload cache through
+        // the host block path and corrupt this tier's device-vs-host
+        // transfer split.
         StoreKind::Isp => (
-            share_store(IspGatherStore::over(shared, IspGatherOptions::default())),
-            None,
+            share_store(IspGatherStore::over(
+                Arc::clone(&shared),
+                IspGatherOptions::default(),
+            )),
+            Some(shared),
         ),
+    }
+}
+
+/// Builds the configured topology store for one run.
+///
+/// Mirrors [`build_store`]: for [`TopologyKind::File`] and
+/// [`TopologyKind::Isp`] the content-keyed `SSGRPH01` graph file is
+/// resolved through the run's [`StoreRegistry`] (the sweep's own, or
+/// the process-wide one), so every concurrent run of a sweep shares one
+/// file descriptor and one sharded page cache; the run holds a scoped
+/// [`FileTopology`] handle (or its own [`IspSampleTopology`] device
+/// model — the virtual clock belongs to this run) onto it. Also
+/// returns the shared file itself so the pipeline can cross-check it
+/// against a file-backed feature store.
+///
+/// # Panics
+///
+/// Panics if the graph file cannot be written or opened — a real I/O
+/// failure on the host filesystem.
+fn build_topology(
+    ctx: &Arc<RunContext>,
+    kind: TopologyKind,
+) -> (SharedGraphTopology, Option<Arc<SharedCsrFile>>) {
+    if kind == TopologyKind::Mem {
+        // An Arc clone of the context's graph — never a copy of the
+        // CSR arrays.
+        return (
+            share_topology(InMemoryTopology::from_arc(Arc::clone(&ctx.data.graph))),
+            None,
+        );
+    }
+    let opts = FileStoreOptions {
+        cache_pages: FILE_STORE_CACHE_PAGES,
+        ..FileStoreOptions::default()
+    };
+    let scope_registry = store_metrics::current_registry();
+    let registry: &StoreRegistry = scope_registry
+        .as_deref()
+        .unwrap_or_else(|| StoreRegistry::global());
+    let shared = registry
+        .open_graph_csr(ctx.graph(), opts)
+        .unwrap_or_else(|e| panic!("opening shared graph topology failed: {e}"));
+    match kind {
+        TopologyKind::Mem => unreachable!("handled above"),
+        TopologyKind::File => (
+            share_topology(FileTopology::new(Arc::clone(&shared))),
+            Some(shared),
+        ),
+        TopologyKind::Isp => {
+            let topo = IspSampleTopology::over(Arc::clone(&shared), IspGatherOptions::default());
+            (share_topology(topo), Some(shared))
+        }
     }
 }
 
@@ -253,11 +337,31 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
         backend.attach_store(Arc::clone(&store));
         store
     });
+    // Topology store: hop expansion and batch resolution read the
+    // graph through it (real I/O for TopologyKind::File, device-side
+    // resolution for Isp).
+    let mut shared_graph: Option<Arc<SharedCsrFile>> = None;
+    let topology = cfg.topology.map(|kind| {
+        let (topo, shared) = build_topology(ctx, kind);
+        shared_graph = shared;
+        backend.attach_topology(Arc::clone(&topo));
+        topo
+    });
+    // Both halves of the dataset on file-backed tiers must describe
+    // the same node population. The pipeline surfaces store failures
+    // as panics (it has no error channel mid-simulation), but this one
+    // fires *up front* with the typed NodeCountMismatch message naming
+    // both files — never a NodeOutOfRange deep inside a gather.
+    if let (Some(graph), Some(feats)) = (&shared_graph, &shared_file) {
+        check_same_population(graph, feats)
+            .unwrap_or_else(|e| panic!("mismatched store population: {e}"));
+    }
     // Read-ahead: a background worker resolves each planned batch's
     // page runs and warms the shared cache while the simulation is
     // still stepping that batch toward its gather.
-    let prefetcher: Option<PrefetchQueue<SamplePlan>> =
-        shared_file.filter(|_| cfg.readahead).map(|shared| {
+    let prefetcher: Option<PrefetchQueue<SamplePlan>> = shared_file
+        .filter(|_| cfg.readahead && cfg.store == Some(StoreKind::File))
+        .map(|shared| {
             let ctx = Arc::clone(ctx);
             PrefetchQueue::spawn(move |plan: SamplePlan| {
                 let batch = plan.resolve(ctx.graph());
@@ -286,9 +390,18 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
         let graph = ctx.graph();
         let targets = epoch_targets(graph.num_nodes(), cfg.batch_size, index, cfg.seed);
         let mut rng = Xoshiro256::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9E37));
-        let plan = match &cfg.sampler {
-            SamplerKind::GraphSage => plan_sample(graph, &targets, &cfg.fanouts, &mut rng),
-            SamplerKind::SaintWalk { length } => {
+        let plan = match (&cfg.sampler, &topology) {
+            // GraphSAGE hop expansion reads degrees and frontier
+            // neighbors through the topology store when one is
+            // configured — the plan is bit-identical to the in-memory
+            // path by the determinism contract; only I/O is added.
+            (SamplerKind::GraphSage, Some(topo)) => {
+                let mut topo = topo.lock().expect("topology store poisoned");
+                plan_sample_on(topo.as_mut(), &targets, &cfg.fanouts, &mut rng)
+                    .unwrap_or_else(|e| panic!("producer topology planning failed: {e}"))
+            }
+            (SamplerKind::GraphSage, None) => plan_sample(graph, &targets, &cfg.fanouts, &mut rng),
+            (SamplerKind::SaintWalk { length }, _) => {
                 plan_random_walk(graph, &targets, *length, &mut rng)
             }
         };
@@ -447,6 +560,11 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
             drop(prefetcher);
             let stats = s.lock().expect("feature store poisoned").stats();
             store_metrics::record(&stats);
+            stats
+        }),
+        topology_stats: topology.map(|t| {
+            let stats = t.lock().expect("topology store poisoned").stats();
+            store_metrics::record_topology(&stats);
             stats
         }),
     }

@@ -30,9 +30,9 @@
 use crate::experiments::{registry, Experiment, ExperimentScale};
 use crate::report::{json_string, num, pct, speedup, Table};
 use crate::store_metrics::{self, SweepScope};
-use smartsage_store::{AtomicStoreStats, StoreKind, StoreOccupancy, StoreRegistry, StoreStats};
+use smartsage_store::{StoreKind, StoreOccupancy, StoreStats, TopologyKind};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// The result of one experiment run.
@@ -60,8 +60,15 @@ pub struct SweepOutcome {
     /// sweep's private scope — a second sweep in the same process
     /// reports exactly what its solo run would.
     pub store_stats: StoreStats,
+    /// Exact graph-topology store counters of *this sweep only*, with
+    /// the same scoping guarantees as [`SweepOutcome::store_stats`]:
+    /// what neighbor sampling read (offset pairs, edge entries), how
+    /// much of it hit the shared page cache, and — on the isp tier —
+    /// the device-vs-host byte split of the in-storage resolution.
+    pub topology_stats: StoreStats,
     /// Final page-cache occupancy of each store the sweep's private
-    /// registry opened (empty unless a file-backed store tier ran).
+    /// registry opened — feature files and graph topology files alike
+    /// (empty unless a file-backed tier ran).
     pub stores: Vec<StoreOccupancy>,
 }
 
@@ -77,32 +84,51 @@ impl SweepOutcome {
     ///
     /// [`Cell::Speedup`]: crate::report::Cell
     pub fn store_table(&self, kind: StoreKind) -> Table {
-        let s = &self.store_stats;
-        let mut t = Table::new(
-            "Sweep feature-store I/O",
-            &[
-                "Store",
-                "Gathers",
-                "Feature bytes",
-                "Device bytes read",
-                "Host bytes transferred",
-                "Page hit rate",
-                "Device time (ms)",
-                "Transfer reduction",
-            ],
-        );
-        t.row(vec![
-            kind.label().into(),
-            s.gathers.into(),
-            s.feature_bytes.into(),
-            s.device_bytes_read.into(),
-            s.host_bytes_transferred.into(),
-            pct(s.hit_rate()),
-            num(s.device_ns as f64 / 1e6, 3),
-            speedup(s.transfer_reduction()),
-        ]);
-        t
+        io_table("Sweep feature-store I/O", kind.label(), &self.store_stats)
     }
+
+    /// Renders the sweep's scoped graph-topology accounting as a typed
+    /// [`Table`] — the same columns as [`SweepOutcome::store_table`],
+    /// measured on the edge-list half of the dataset (`feature bytes`
+    /// here is delivered topology payload: degrees + sampled ids at
+    /// 8 bytes each).
+    pub fn topology_table(&self, kind: TopologyKind) -> Table {
+        io_table(
+            "Sweep graph-topology I/O",
+            kind.label(),
+            &self.topology_stats,
+        )
+    }
+}
+
+/// One-row exact-I/O table shared by the feature-store and topology
+/// reports, ending in a [`Cell::Speedup`](crate::report::Cell)-typed
+/// transfer-reduction column ([`StoreStats::transfer_reduction`]).
+fn io_table(title: &str, label: &str, s: &StoreStats) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "Store",
+            "Gathers",
+            "Feature bytes",
+            "Device bytes read",
+            "Host bytes transferred",
+            "Page hit rate",
+            "Device time (ms)",
+            "Transfer reduction",
+        ],
+    );
+    t.row(vec![
+        label.into(),
+        s.gathers.into(),
+        s.feature_bytes.into(),
+        s.device_bytes_read.into(),
+        s.host_bytes_transferred.into(),
+        pct(s.hit_rate()),
+        num(s.device_ns as f64 / 1e6, 3),
+        speedup(s.transfer_reduction()),
+    ]);
+    t
 }
 
 type Observer = Box<dyn Fn(&RunOutcome) + Send + Sync>;
@@ -114,6 +140,7 @@ pub struct RunnerBuilder {
     jobs: usize,
     observer: Option<Observer>,
     store: Option<smartsage_store::StoreKind>,
+    topology: Option<TopologyKind>,
 }
 
 impl RunnerBuilder {
@@ -125,6 +152,7 @@ impl RunnerBuilder {
             jobs: 1,
             observer: None,
             store: None,
+            topology: None,
         }
     }
 
@@ -148,6 +176,21 @@ impl RunnerBuilder {
     /// compose in either order.
     pub fn store(mut self, kind: smartsage_store::StoreKind) -> RunnerBuilder {
         self.store = Some(kind);
+        self
+    }
+
+    /// Routes every run's neighbor sampling through `kind`
+    /// (`--graph mem|file|isp`): hop expansion and batch resolution
+    /// read the graph through the selected
+    /// [`TopologyStore`](smartsage_store::TopologyStore); with `file`
+    /// or `isp`, all of the sweep's jobs share one registry-opened
+    /// graph file per content key and the sweep's exact topology I/O
+    /// totals come back in [`SweepOutcome::topology_stats`]. Tables
+    /// are unchanged by construction (the determinism contract).
+    /// Composes with [`RunnerBuilder::scale`] in either order, like
+    /// [`RunnerBuilder::store`].
+    pub fn topology(mut self, kind: TopologyKind) -> RunnerBuilder {
+        self.topology = Some(kind);
         self
     }
 
@@ -188,6 +231,9 @@ impl RunnerBuilder {
         let mut scale = self.scale;
         if let Some(kind) = self.store {
             scale.store = Some(kind);
+        }
+        if let Some(kind) = self.topology {
+            scale.topology = Some(kind);
         }
         Runner {
             scale,
@@ -244,8 +290,10 @@ impl Runner {
     /// together with the sweep's exactly scoped feature-store
     /// accounting.
     ///
-    /// Each sweep owns a **private** [`StoreRegistry`] and a fresh
-    /// [`AtomicStoreStats`] accumulator; both are installed as a
+    /// Each sweep owns a **private**
+    /// [`StoreRegistry`](smartsage_store::StoreRegistry) and fresh
+    /// [`AtomicStoreStats`](smartsage_store::AtomicStoreStats)
+    /// accumulators; all are installed as a
     /// [`SweepScope`] on every worker thread for the duration of its
     /// runs. Consequences, by design:
     ///
@@ -258,10 +306,7 @@ impl Runner {
     /// * every sweep starts with a cold cache, so back-to-back sweeps
     ///   of the same selection report identical stats.
     pub fn sweep(&self) -> SweepOutcome {
-        let scope = SweepScope {
-            stats: Arc::new(AtomicStoreStats::default()),
-            registry: Arc::new(StoreRegistry::new()),
-        };
+        let scope = SweepScope::new();
         let total = self.selection.len();
         let workers = self.jobs.clamp(1, total.max(1));
         let outcomes = if workers <= 1 {
@@ -305,6 +350,7 @@ impl Runner {
         SweepOutcome {
             outcomes,
             store_stats: scope.stats.snapshot(),
+            topology_stats: scope.topology.snapshot(),
             stores: scope.registry.occupancy(),
         }
     }

@@ -35,11 +35,34 @@ thread_local! {
 /// installs on its worker threads.
 #[derive(Debug, Clone)]
 pub struct SweepScope {
-    /// Where this sweep's per-run stats accumulate.
+    /// Where this sweep's per-run feature-store stats accumulate.
     pub stats: Arc<AtomicStoreStats>,
+    /// Where this sweep's per-run graph-topology stats accumulate —
+    /// kept separate from the feature side so a sweep's report can
+    /// split the two halves of the dataset.
+    pub topology: Arc<AtomicStoreStats>,
     /// The sweep's private store registry: every job of the sweep
-    /// shares one open store and one page cache through it.
+    /// shares one open store (feature file and graph file alike) and
+    /// one page cache per content key through it.
     pub registry: Arc<StoreRegistry>,
+}
+
+impl SweepScope {
+    /// A fresh scope with zeroed accumulators and an empty private
+    /// registry.
+    pub fn new() -> SweepScope {
+        SweepScope {
+            stats: Arc::new(AtomicStoreStats::default()),
+            topology: Arc::new(AtomicStoreStats::default()),
+            registry: Arc::new(StoreRegistry::new()),
+        }
+    }
+}
+
+impl Default for SweepScope {
+    fn default() -> Self {
+        SweepScope::new()
+    }
 }
 
 /// Pops the scope on drop, restoring whatever was installed before.
@@ -76,8 +99,8 @@ fn global() -> &'static AtomicStoreStats {
     GLOBAL.get_or_init(AtomicStoreStats::default)
 }
 
-/// Adds one run's exact counters to every active scope on this thread
-/// and to the process-wide aggregate.
+/// Adds one run's exact feature-store counters to every active scope
+/// on this thread and to the process-wide aggregate.
 pub fn record(stats: &StoreStats) {
     SCOPES.with(|s| {
         for scope in s.borrow().iter() {
@@ -85,6 +108,17 @@ pub fn record(stats: &StoreStats) {
         }
     });
     global().add(stats);
+}
+
+/// Adds one run's exact graph-topology counters to every active scope
+/// on this thread (there is no global shim for topology — the scoped
+/// path is the only consumer).
+pub fn record_topology(stats: &StoreStats) {
+    SCOPES.with(|s| {
+        for scope in s.borrow().iter() {
+            scope.topology.add(stats);
+        }
+    });
 }
 
 /// The process-wide aggregate recorded so far (compatibility shim —
@@ -131,14 +165,8 @@ mod tests {
             bytes_read: 10,
             ..StoreStats::default()
         };
-        let outer = SweepScope {
-            stats: Arc::new(AtomicStoreStats::default()),
-            registry: Arc::new(StoreRegistry::new()),
-        };
-        let inner = SweepScope {
-            stats: Arc::new(AtomicStoreStats::default()),
-            registry: Arc::new(StoreRegistry::new()),
-        };
+        let outer = SweepScope::new();
+        let inner = SweepScope::new();
         {
             let _g1 = install_scope(outer.clone());
             record(&one);
@@ -162,10 +190,7 @@ mod tests {
 
     #[test]
     fn scopes_are_thread_local() {
-        let scope = SweepScope {
-            stats: Arc::new(AtomicStoreStats::default()),
-            registry: Arc::new(StoreRegistry::new()),
-        };
+        let scope = SweepScope::new();
         let _g = install_scope(scope.clone());
         std::thread::scope(|s| {
             s.spawn(|| {

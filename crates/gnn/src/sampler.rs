@@ -15,9 +15,25 @@
 //!
 //! The paper's default configuration samples 25 neighbors at the first
 //! GNN layer and 10 at the second (§VI-F); mini-batch size is 1024 (§V).
+//!
+//! Both phases are generic over a
+//! [`TopologyStore`]: [`plan_sample_on`]
+//! draws the plan reading degrees and frontier neighbors through the
+//! store, and [`SamplePlan::resolve_on`] materializes the subgraph the
+//! same way — so the graph half of the dataset can live on storage
+//! ([`FileTopology`](smartsage_store::FileTopology)) or resolve inside
+//! the modeled SSD
+//! ([`IspSampleTopology`](smartsage_store::IspSampleTopology)). The
+//! historical in-memory entry points ([`plan_sample`],
+//! [`SamplePlan::resolve`]) are shims over the same code path through a
+//! zero-copy [`CsrView`], so the tiers cannot
+//! drift: bit-identical batches are a property of the shared
+//! implementation, asserted across tiers by
+//! `tests/topology_store_conformance.rs`.
 
 use smartsage_graph::{CsrGraph, NodeId};
 use smartsage_sim::Xoshiro256;
+use smartsage_store::{CsrView, StoreError, TopologyStore};
 
 /// Per-layer sampling fan-outs, outermost (target) layer first.
 ///
@@ -124,25 +140,51 @@ impl SamplePlan {
             .sum()
     }
 
-    /// Materializes sampled neighbor IDs from the graph.
+    /// Materializes sampled neighbor IDs from the in-memory graph — a
+    /// shim over [`SamplePlan::resolve_on`] through a zero-copy
+    /// [`CsrView`], so the in-memory and storage tiers share one code
+    /// path.
     ///
     /// Positions index into each node's neighbor list; nodes without
     /// neighbors contribute self-loops. The result is deterministic given
     /// the plan.
     pub fn resolve(&self, graph: &CsrGraph) -> SampledBatch {
+        self.resolve_on(&mut CsrView::new(graph))
+            .expect("in-memory topology cannot fail")
+    }
+
+    /// Materializes sampled neighbor IDs through a [`TopologyStore`]:
+    /// each hop's picks are resolved as **one coalesced batch** (the
+    /// file tier merges their pages into contiguous runs, the ISP tier
+    /// issues one device command per hop), and the resulting batch is
+    /// bit-identical to [`SamplePlan::resolve`] on the in-memory CSR by
+    /// the store determinism contract.
+    pub fn resolve_on(&self, topology: &mut dyn TopologyStore) -> Result<SampledBatch, StoreError> {
         let mut hops = Vec::with_capacity(self.hops.len());
         for hop in &self.hops {
             let mut parents = Vec::with_capacity(hop.accesses.len());
-            let mut neighbors = Vec::with_capacity(hop.accesses.len() * hop.fanout);
+            // Plan the hop's picks, then resolve them in one batch.
+            let mut picks: Vec<(NodeId, u64)> = Vec::with_capacity(hop.accesses.len() * hop.fanout);
             for access in &hop.accesses {
                 parents.push(access.node);
+                if !access.positions.is_empty() {
+                    debug_assert_eq!(access.positions.len(), hop.fanout);
+                    picks.extend(access.positions.iter().map(|&pos| (access.node, pos)));
+                }
+            }
+            let mut resolved = vec![NodeId::default(); picks.len()];
+            topology.pick_neighbors_into(&picks, &mut resolved)?;
+            // Reassemble in access order, substituting self-loops for
+            // isolated nodes.
+            let mut neighbors = Vec::with_capacity(hop.accesses.len() * hop.fanout);
+            let mut next = resolved.iter();
+            for access in &hop.accesses {
                 if access.positions.is_empty() {
                     // Isolated node: self-loops keep the tree shape.
                     neighbors.extend(std::iter::repeat_n(access.node, hop.fanout));
                 } else {
-                    debug_assert_eq!(access.positions.len(), hop.fanout);
-                    for &pos in &access.positions {
-                        neighbors.push(graph.neighbor(access.node, pos));
+                    for _ in &access.positions {
+                        neighbors.push(*next.next().expect("one answer per pick"));
                     }
                 }
             }
@@ -152,10 +194,10 @@ impl SamplePlan {
                 neighbors,
             });
         }
-        SampledBatch {
+        Ok(SampledBatch {
             targets: self.targets.clone(),
             hops,
-        }
+        })
     }
 }
 
@@ -205,7 +247,8 @@ impl SampledBatch {
 }
 
 /// Draws the sampling plan for one mini-batch (paper Algorithm 1,
-/// applied per hop).
+/// applied per hop) from the in-memory graph — a shim over
+/// [`plan_sample_on`] through a zero-copy [`CsrView`].
 ///
 /// Hop 0 reads each target's edge list and samples `fanouts[0]` positions
 /// with replacement; hop `k` does the same for every neighbor sampled at
@@ -216,34 +259,60 @@ pub fn plan_sample(
     fanouts: &Fanouts,
     rng: &mut Xoshiro256,
 ) -> SamplePlan {
+    plan_sample_on(&mut CsrView::new(graph), targets, fanouts, rng)
+        .expect("in-memory topology cannot fail")
+}
+
+/// Draws the sampling plan for one mini-batch through a
+/// [`TopologyStore`].
+///
+/// Per hop, the frontier's degrees are read as **one coalesced batch**
+/// (position draws need them), positions are drawn per node in frontier
+/// order — the RNG consumption order is exactly [`plan_sample`]'s, so
+/// plans are bit-identical across tiers for the same seed — and the
+/// next frontier's neighbor picks resolve as a second coalesced batch.
+pub fn plan_sample_on(
+    topology: &mut dyn TopologyStore,
+    targets: &[NodeId],
+    fanouts: &Fanouts,
+    rng: &mut Xoshiro256,
+) -> Result<SamplePlan, StoreError> {
     let mut hops = Vec::with_capacity(fanouts.hops());
     let mut frontier: Vec<NodeId> = targets.to_vec();
     for &fanout in fanouts.as_slice() {
+        let mut degrees = vec![0u64; frontier.len()];
+        topology.degrees_into(&frontier, &mut degrees)?;
         let mut accesses = Vec::with_capacity(frontier.len());
-        let mut next_frontier = Vec::with_capacity(frontier.len() * fanout);
-        for &node in &frontier {
-            let degree = graph.degree(node);
+        let mut picks: Vec<(NodeId, u64)> = Vec::with_capacity(frontier.len() * fanout);
+        for (&node, &degree) in frontier.iter().zip(&degrees) {
             let positions: Vec<u64> = if degree == 0 {
                 Vec::new()
             } else {
                 (0..fanout).map(|_| rng.range_u64(degree)).collect()
             };
-            if positions.is_empty() {
-                next_frontier.extend(std::iter::repeat_n(node, fanout));
+            picks.extend(positions.iter().map(|&p| (node, p)));
+            accesses.push(EdgeListAccess { node, positions });
+        }
+        let mut resolved = vec![NodeId::default(); picks.len()];
+        topology.pick_neighbors_into(&picks, &mut resolved)?;
+        let mut next_frontier = Vec::with_capacity(frontier.len() * fanout);
+        let mut next = resolved.iter();
+        for access in &accesses {
+            if access.positions.is_empty() {
+                next_frontier.extend(std::iter::repeat_n(access.node, fanout));
             } else {
-                for &p in &positions {
-                    next_frontier.push(graph.neighbor(node, p));
+                for _ in &access.positions {
+                    next_frontier.push(*next.next().expect("one answer per pick"));
                 }
             }
-            accesses.push(EdgeListAccess { node, positions });
         }
         hops.push(HopPlan { fanout, accesses });
         frontier = next_frontier;
     }
-    SamplePlan {
+    Ok(SamplePlan {
         targets: targets.to_vec(),
         hops,
-    }
+    })
 }
 
 /// Draws `batch_size` target nodes for step `step` of an epoch-long

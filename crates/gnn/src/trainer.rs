@@ -21,10 +21,10 @@
 //! `tests/shared_store_concurrency.rs`.
 
 use crate::model::{GraphSageModel, ModelDims};
-use crate::sampler::{epoch_targets, plan_sample, Fanouts};
+use crate::sampler::{epoch_targets, plan_sample, plan_sample_on, Fanouts};
 use smartsage_graph::{CsrGraph, FeatureTable, NodeId};
 use smartsage_sim::Xoshiro256;
-use smartsage_store::{FeatureStore, InMemoryStore, SharedDynStore, StoreError};
+use smartsage_store::{FeatureStore, InMemoryStore, SharedDynStore, StoreError, TopologyStore};
 
 /// Training configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,7 +80,9 @@ impl Trainer {
     }
 
     /// Runs one training step on `targets`, gathering features through
-    /// `store`; returns the batch loss.
+    /// `store`; returns the batch loss. Shim over
+    /// [`Trainer::train_step_via`] with a zero-copy in-memory topology
+    /// view, so sampling through storage shares this exact code path.
     pub fn train_step_on(
         &mut self,
         graph: &CsrGraph,
@@ -88,8 +90,31 @@ impl Trainer {
         targets: &[NodeId],
         rng: &mut Xoshiro256,
     ) -> Result<f32, StoreError> {
-        let plan = plan_sample(graph, targets, &self.config.fanouts, rng);
-        let batch = plan.resolve(graph);
+        self.train_step_via(
+            &mut smartsage_store::CsrView::new(graph),
+            store,
+            targets,
+            rng,
+        )
+    }
+
+    /// Runs one training step on `targets`, sampling neighbors through
+    /// `topology` and gathering features through `store` — **both**
+    /// halves of the dataset served by stores, so training can run
+    /// entirely through real storage I/O. Because topology and feature
+    /// stores alike resolve to byte-identical values (the determinism
+    /// contract), the loss trajectory is independent of which tiers
+    /// back the run; `tests/topology_training.rs` asserts this
+    /// end-to-end.
+    pub fn train_step_via(
+        &mut self,
+        topology: &mut dyn TopologyStore,
+        store: &mut dyn FeatureStore,
+        targets: &[NodeId],
+        rng: &mut Xoshiro256,
+    ) -> Result<f32, StoreError> {
+        let plan = plan_sample_on(topology, targets, &self.config.fanouts, rng)?;
+        let batch = plan.resolve_on(topology)?;
         let (x0, x1, x2) = self.gather(&batch, store)?;
         let cache = self.model.forward(&batch, x0, x1, x2);
         let labels: Vec<usize> = batch.targets.iter().map(|&t| store.label(t)).collect();

@@ -14,6 +14,7 @@
 use crate::csr::{CsrGraph, NEIGHBOR_ENTRY_BYTES};
 use crate::features::FeatureTable;
 use crate::generate::{generate_power_law, PowerLawConfig};
+use std::sync::Arc;
 
 /// Default number of label classes (communities) in synthesized datasets.
 pub const DEFAULT_NUM_CLASSES: usize = 16;
@@ -246,7 +247,7 @@ impl DatasetProfile {
         MaterializedDataset {
             profile: *self,
             scale,
-            graph,
+            graph: Arc::new(graph),
             features,
         }
     }
@@ -280,8 +281,11 @@ pub struct MaterializedDataset {
     pub profile: DatasetProfile,
     /// Which variant was materialized.
     pub scale: GraphScale,
-    /// The scaled graph.
-    pub graph: CsrGraph,
+    /// The scaled graph, shared: cloning the dataset (every
+    /// [`RunContext`](../../smartsage_core/context/struct.RunContext.html)
+    /// holds one) never copies the CSR arrays, and storage tiers that
+    /// need an owning handle take a cheap `Arc` clone.
+    pub graph: Arc<CsrGraph>,
     /// The (lazy) feature table at the profile's true dimensionality.
     pub features: FeatureTable,
 }

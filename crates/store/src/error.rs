@@ -56,6 +56,41 @@ pub enum StoreError {
         /// The options the store is already open with.
         open: crate::file::FileStoreOptions,
     },
+    /// A graph file's CSR content is internally inconsistent — offsets
+    /// out of monotone order, an edge index past the end of the edge
+    /// array, or a neighbor id past the node count. Raised at the read
+    /// that discovers it, never as a panic or a partial batch.
+    CorruptGraph {
+        /// The graph file being read.
+        path: PathBuf,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A graph file and a feature file that are supposed to describe
+    /// the same dataset disagree on the node count.
+    NodeCountMismatch {
+        /// The graph (topology) file.
+        graph: PathBuf,
+        /// Nodes the graph file holds.
+        graph_nodes: usize,
+        /// The feature file.
+        features: PathBuf,
+        /// Nodes the feature file holds.
+        feature_nodes: usize,
+    },
+    /// A neighbor pick's position is not below its node's degree —
+    /// a caller bug (a plan resolved against the wrong graph), kept
+    /// distinct from [`StoreError::CorruptGraph`] so it is never
+    /// misattributed to file corruption. Raised uniformly by every
+    /// topology tier.
+    PickOutOfRange {
+        /// The node whose neighbor list was picked from.
+        node: NodeId,
+        /// The requested position.
+        position: u64,
+        /// The node's actual degree.
+        degree: u64,
+    },
     /// A gather requested a node the store does not hold.
     NodeOutOfRange {
         /// The offending node.
@@ -116,6 +151,34 @@ impl fmt::Display for StoreError {
                     "feature file '{}' is already open with {open:?}; refusing to hand it \
                      out for a request with {requested:?}",
                     path.display()
+                )
+            }
+            StoreError::CorruptGraph { path, reason } => {
+                write!(f, "graph file '{}' is corrupt: {reason}", path.display())
+            }
+            StoreError::NodeCountMismatch {
+                graph,
+                graph_nodes,
+                features,
+                feature_nodes,
+            } => {
+                write!(
+                    f,
+                    "graph file '{}' holds {graph_nodes} nodes but feature file '{}' \
+                     holds {feature_nodes}; refusing to sample a mismatched dataset",
+                    graph.display(),
+                    features.display()
+                )
+            }
+            StoreError::PickOutOfRange {
+                node,
+                position,
+                degree,
+            } => {
+                write!(
+                    f,
+                    "neighbor pick {position} at node {node:?} is out of range for \
+                     degree {degree}"
                 )
             }
             StoreError::NodeOutOfRange { node, num_nodes } => {

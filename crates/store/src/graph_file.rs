@@ -1,0 +1,769 @@
+//! The on-disk CSR graph file: real page-aligned storage for the
+//! neighbor edge-list array.
+//!
+//! # On-disk layout (`SSGRPH01`)
+//!
+//! A graph file is one page-aligned header, the offset array, and the
+//! neighbor edge-list array — the paper's Fig 10 byte space made real
+//! (the feature half lives in the sibling `SSFEAT01` format of
+//! [`mod@crate::file`]):
+//!
+//! ```text
+//! offset 0      magic  "SSGRPH01"             (8 bytes)
+//! offset 8      num_nodes   u64 LE
+//! offset 16     num_edges   u64 LE
+//! offset 24     zero padding to 4096
+//! offset 4096   offsets: (num_nodes + 1) × u64 LE
+//!               zero padding to the next 4096 boundary
+//! offset E      edge array: num_edges × u64 LE neighbor ids
+//! ```
+//!
+//! Every neighbor entry is 8 bytes
+//! ([`smartsage_graph::csr::NEIGHBOR_ENTRY_BYTES`], the paper's
+//! "fine-grained 8 byte read transactions"), and the edge array starts
+//! page-aligned, exactly like the simulated on-SSD layout of
+//! [`smartsage_hostio::GraphFile`]. A file whose length disagrees with
+//! its header fails to open with [`StoreError::Truncated`] naming the
+//! file and the expected length; internally inconsistent CSR content —
+//! offsets out of monotone order, an edge index past the end of the
+//! edge array, a neighbor id past the node count — fails the read that
+//! discovers it with [`StoreError::CorruptGraph`], never a panic.
+//!
+//! # Read path
+//!
+//! [`SharedCsrFile`] is the topology analogue of
+//! [`SharedFileStore`](crate::SharedFileStore): the file is opened once
+//! per registry and read with positioned reads through a lock-striped
+//! [`ShardedPageCache`]; a batch of offset or edge entries is planned
+//! (pure address arithmetic), its distinct pages merged into maximal
+//! contiguous runs ([`merge_page_runs`]), and each maximal stretch of
+//! missing pages costs one positioned read. Every operation takes
+//! `&self` and returns its exact per-call I/O deltas, which the
+//! caller's [`FileTopology`](crate::FileTopology) handle accumulates
+//! into scoped counters.
+
+use crate::error::StoreError;
+use crate::file::FileStoreOptions;
+use crate::StoreStats;
+use smartsage_graph::{CsrGraph, NodeId};
+use smartsage_hostio::{merge_page_runs, ByteRange, ShardedPageCache};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Magic bytes identifying a graph topology file (versioned).
+pub const GRAPH_FILE_MAGIC: [u8; 8] = *b"SSGRPH01";
+
+/// Bytes reserved for the header; the offset array starts here.
+pub const GRAPH_HEADER_BYTES: u64 = 4096;
+
+/// Bytes per offset / neighbor entry (u64 LE, matching the 8-byte
+/// neighbor entries of the simulated on-SSD layout).
+pub const GRAPH_ENTRY_BYTES: u64 = 8;
+
+/// Byte offset where the edge array of an `n`-node graph begins: the
+/// offset array padded out to the next page boundary.
+pub fn edge_array_base(num_nodes: u64) -> u64 {
+    (GRAPH_HEADER_BYTES + (num_nodes + 1) * GRAPH_ENTRY_BYTES).next_multiple_of(GRAPH_HEADER_BYTES)
+}
+
+/// Exact length of a graph file holding `num_nodes` nodes and
+/// `num_edges` edges.
+pub fn graph_file_len(num_nodes: u64, num_edges: u64) -> u64 {
+    edge_array_base(num_nodes) + num_edges * GRAPH_ENTRY_BYTES
+}
+
+/// Serializes `graph` to `path` in the layout above. Overwrites any
+/// existing file.
+pub fn write_graph_file(path: &Path, graph: &CsrGraph) -> Result<(), StoreError> {
+    let io_err = |action: &'static str| {
+        move |source: std::io::Error| StoreError::Io {
+            path: path.to_path_buf(),
+            action,
+            source,
+        }
+    };
+    let file = File::create(path).map_err(io_err("create"))?;
+    let mut w = BufWriter::new(file);
+    let n = graph.num_nodes() as u64;
+    let mut header = [0u8; GRAPH_HEADER_BYTES as usize];
+    header[0..8].copy_from_slice(&GRAPH_FILE_MAGIC);
+    header[8..16].copy_from_slice(&n.to_le_bytes());
+    header[16..24].copy_from_slice(&graph.num_edges().to_le_bytes());
+    w.write_all(&header).map_err(io_err("write header"))?;
+    for node in graph.node_ids() {
+        w.write_all(&graph.edge_list_start(node).to_le_bytes())
+            .map_err(io_err("write offsets"))?;
+    }
+    w.write_all(&graph.num_edges().to_le_bytes())
+        .map_err(io_err("write offsets"))?;
+    let pad = edge_array_base(n) - (GRAPH_HEADER_BYTES + (n + 1) * GRAPH_ENTRY_BYTES);
+    w.write_all(&vec![0u8; pad as usize])
+        .map_err(io_err("write padding"))?;
+    for node in graph.node_ids() {
+        for &t in graph.neighbors(node) {
+            w.write_all(&(t.raw() as u64).to_le_bytes())
+                .map_err(io_err("write edges"))?;
+        }
+    }
+    w.flush().map_err(io_err("flush"))?;
+    Ok(())
+}
+
+/// An opened, validated graph file: the raw handle plus header fields.
+#[derive(Debug)]
+pub(crate) struct RawGraphFile {
+    pub file: File,
+    pub path: PathBuf,
+    pub num_nodes: usize,
+    pub num_edges: u64,
+    pub file_len: u64,
+}
+
+impl RawGraphFile {
+    /// Opens `path`, validating magic, header consistency, the exact
+    /// file length, and the cheap end-point CSR invariants (first
+    /// offset 0, last offset = edge count) before any slice is read.
+    pub fn open(path: &Path) -> Result<RawGraphFile, StoreError> {
+        let io_err = |action: &'static str| {
+            move |source: std::io::Error| StoreError::Io {
+                path: path.to_path_buf(),
+                action,
+                source,
+            }
+        };
+        let mut file = File::open(path).map_err(io_err("open"))?;
+        let file_len = file.metadata().map_err(io_err("stat"))?.len();
+        if file_len < GRAPH_HEADER_BYTES {
+            return Err(StoreError::Truncated {
+                path: path.to_path_buf(),
+                expected: GRAPH_HEADER_BYTES,
+                actual: file_len,
+            });
+        }
+        let mut header = [0u8; 24];
+        file.read_exact(&mut header)
+            .map_err(io_err("read header"))?;
+        if header[0..8] != GRAPH_FILE_MAGIC {
+            return Err(StoreError::BadMagic {
+                path: path.to_path_buf(),
+            });
+        }
+        let field = |at: usize| u64::from_le_bytes(header[at..at + 8].try_into().expect("8 bytes"));
+        let num_nodes = field(8);
+        let num_edges = field(16);
+        let bad = |reason: String| StoreError::BadHeader {
+            path: path.to_path_buf(),
+            reason,
+        };
+        if num_nodes > u32::MAX as u64 {
+            return Err(bad(format!("node count {num_nodes} exceeds u32 ids")));
+        }
+        // Checked arithmetic: a corrupt header must fail typed, not
+        // overflow past the truncation check.
+        let expected = num_edges
+            .checked_mul(GRAPH_ENTRY_BYTES)
+            .and_then(|b| b.checked_add(edge_array_base(num_nodes)))
+            .ok_or_else(|| {
+                bad(format!(
+                    "header implies an impossible size ({num_nodes} nodes, {num_edges} edges)"
+                ))
+            })?;
+        if file_len != expected {
+            return Err(StoreError::Truncated {
+                path: path.to_path_buf(),
+                expected,
+                actual: file_len,
+            });
+        }
+        // End-point CSR invariants are one positioned read each; the
+        // interior (monotonicity, targets in range) is validated lazily
+        // by the reads that touch it.
+        let corrupt = |reason: String| StoreError::CorruptGraph {
+            path: path.to_path_buf(),
+            reason,
+        };
+        let read_u64_at = |file: &File, offset: u64| -> Result<u64, StoreError> {
+            let mut buf = [0u8; 8];
+            read_exact_at(file, &mut buf, offset).map_err(|source| StoreError::Io {
+                path: path.to_path_buf(),
+                action: "read offsets",
+                source,
+            })?;
+            Ok(u64::from_le_bytes(buf))
+        };
+        let first = read_u64_at(&file, GRAPH_HEADER_BYTES)?;
+        if first != 0 {
+            return Err(corrupt(format!("first offset is {first}, expected 0")));
+        }
+        let last = read_u64_at(&file, GRAPH_HEADER_BYTES + num_nodes * GRAPH_ENTRY_BYTES)?;
+        if last != num_edges {
+            return Err(corrupt(format!(
+                "last offset {last} disagrees with edge count {num_edges}"
+            )));
+        }
+        Ok(RawGraphFile {
+            file,
+            path: path.to_path_buf(),
+            num_nodes: num_nodes as usize,
+            num_edges,
+            file_len,
+        })
+    }
+}
+
+/// Positioned read helper shared by open-time validation and the page
+/// read path: no shared cursor, safe from any thread.
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(buf, offset)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut clone = file.try_clone()?;
+        clone.seek(SeekFrom::Start(offset))?;
+        clone.read_exact(buf)
+    }
+}
+
+/// A graph topology file opened once, shared by any number of threads.
+///
+/// The topology analogue of [`SharedFileStore`](crate::SharedFileStore):
+/// constructed directly with [`SharedCsrFile::open_with`] or — the
+/// usual path — deduplicated through a
+/// [`StoreRegistry`](crate::StoreRegistry). Per-caller access goes
+/// through [`FileTopology`](crate::FileTopology) handles (scoped
+/// counters) or an [`IspSampleTopology`](crate::IspSampleTopology)
+/// (device-side resolution); this type itself keeps no per-caller
+/// state.
+#[derive(Debug)]
+pub struct SharedCsrFile {
+    file: File,
+    path: PathBuf,
+    num_nodes: usize,
+    num_edges: u64,
+    file_len: u64,
+    edge_base: u64,
+    opts: FileStoreOptions,
+    cache: ShardedPageCache,
+}
+
+impl SharedCsrFile {
+    /// Opens `path` with default options and shard count.
+    pub fn open(path: &Path) -> Result<SharedCsrFile, StoreError> {
+        SharedCsrFile::open_with(
+            path,
+            FileStoreOptions::default(),
+            crate::shared::DEFAULT_CACHE_SHARDS,
+        )
+    }
+
+    /// Opens `path` through the full magic/header/length/end-point
+    /// validation, striping the page cache over `shards` locks.
+    pub fn open_with(
+        path: &Path,
+        opts: FileStoreOptions,
+        shards: usize,
+    ) -> Result<SharedCsrFile, StoreError> {
+        assert!(opts.page_bytes > 0, "page size must be positive");
+        let raw = RawGraphFile::open(path)?;
+        Ok(SharedCsrFile {
+            file: raw.file,
+            edge_base: edge_array_base(raw.num_nodes as u64),
+            path: raw.path,
+            num_nodes: raw.num_nodes,
+            num_edges: raw.num_edges,
+            file_len: raw.file_len,
+            opts,
+            cache: ShardedPageCache::new(opts.cache_pages, shards),
+        })
+    }
+
+    /// The file this store reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> FileStoreOptions {
+        self.opts
+    }
+
+    /// Number of nodes the graph holds.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges the graph holds.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Exact length of the backing file in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    /// Resident pages per cache shard.
+    pub fn cache_occupancy(&self) -> Vec<usize> {
+        self.cache.occupancy()
+    }
+
+    /// Total page capacity of the cache.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Drops every cached page; the next read starts cold.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    fn corrupt(&self, reason: String) -> StoreError {
+        StoreError::CorruptGraph {
+            path: self.path.clone(),
+            reason,
+        }
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), StoreError> {
+        if node.index() >= self.num_nodes {
+            return Err(StoreError::NodeOutOfRange {
+                node,
+                num_nodes: self.num_nodes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Byte range of the two adjacent offset entries of `node`
+    /// (start + end of its neighbor slice; one 16-byte range).
+    fn offset_pair_range(&self, node: NodeId) -> ByteRange {
+        ByteRange {
+            offset: GRAPH_HEADER_BYTES + node.index() as u64 * GRAPH_ENTRY_BYTES,
+            len: 2 * GRAPH_ENTRY_BYTES,
+        }
+    }
+
+    /// Byte range of edge entry `e` within the edge array.
+    fn edge_entry_range(&self, e: u64) -> ByteRange {
+        ByteRange {
+            offset: self.edge_base + e * GRAPH_ENTRY_BYTES,
+            len: GRAPH_ENTRY_BYTES,
+        }
+    }
+
+    /// The distinct pages backing `ranges`, ascending with runs merged
+    /// — the plan the read path resolves, exposed for the ISP tier's
+    /// timing model. Pure address arithmetic.
+    pub(crate) fn plan_pages_for(&self, ranges: &[ByteRange]) -> Vec<u64> {
+        let pb = self.opts.page_bytes;
+        let mut pages = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            if let Some((first, last)) = range.blocks(pb) {
+                pages.extend(first..=last);
+            }
+        }
+        let mut plan = Vec::with_capacity(pages.len());
+        for run in merge_page_runs(&pages) {
+            plan.extend(run.first..run.end());
+        }
+        plan
+    }
+
+    /// Reads pages `[first, first + count)` with one positioned read;
+    /// returns one immutable buffer per page. Counts into `io`.
+    fn read_page_run(
+        &self,
+        first: u64,
+        count: u64,
+        io: &mut StoreStats,
+    ) -> Result<Vec<Arc<[u8]>>, StoreError> {
+        let pb = self.opts.page_bytes;
+        let start = first * pb;
+        let len = (count * pb).min(self.file_len - start) as usize;
+        let mut buf = vec![0u8; len];
+        read_exact_at(&self.file, &mut buf, start).map_err(|source| StoreError::Io {
+            path: self.path.clone(),
+            action: "read run",
+            source,
+        })?;
+        io.pages_read += count;
+        io.page_misses += count;
+        io.bytes_read += len as u64;
+        // Host-path split (Fig 10(a)): every page read from media
+        // crosses the host link whole. The ISP topology tier re-scopes
+        // the host side of this split after the fact.
+        io.device_bytes_read += len as u64;
+        io.host_bytes_transferred += len as u64;
+        Ok(buf.chunks(pb as usize).map(Arc::from).collect())
+    }
+
+    /// Resolves `ranges` (each one or two u64 entries) to their LE
+    /// values through the page cache: plan, coalesce, classify + fetch,
+    /// assemble — the same discipline as the feature read path.
+    fn read_entries(
+        &self,
+        ranges: &[ByteRange],
+        io: &mut StoreStats,
+    ) -> Result<Vec<u64>, StoreError> {
+        let pb = self.opts.page_bytes;
+        let mut pages = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            if let Some((first, last)) = range.blocks(pb) {
+                pages.extend(first..=last);
+            }
+        }
+        let runs = merge_page_runs(&pages);
+        // Classify + fetch: resident pages are hits (promoted now,
+        // staged as cheap Arc clones so eviction in an undersized cache
+        // cannot disturb assembly); each maximal stretch of missing
+        // pages costs one positioned read.
+        let mut staged: HashMap<u64, Arc<[u8]>> = HashMap::new();
+        let mut fetched: Vec<(u64, Arc<[u8]>)> = Vec::new();
+        for run in &runs {
+            let mut p = run.first;
+            while p < run.end() {
+                if let Some(buf) = self.cache.get(p) {
+                    io.page_hits += 1;
+                    staged.insert(p, buf);
+                    p += 1;
+                    continue;
+                }
+                let mut q = p + 1;
+                while q < run.end() && !self.cache.contains(q) {
+                    q += 1;
+                }
+                for (i, page_buf) in self.read_page_run(p, q - p, io)?.into_iter().enumerate() {
+                    staged.insert(p + i as u64, Arc::clone(&page_buf));
+                    fetched.push((p + i as u64, page_buf));
+                }
+                p = q;
+            }
+        }
+        // Assemble each entry from the staged pages (an entry may
+        // straddle a page boundary under odd page sizes).
+        let mut out = Vec::with_capacity(ranges.len() * 2);
+        let mut entry = [0u8; 8];
+        for range in ranges {
+            let mut at = range.offset;
+            while at < range.offset + range.len {
+                let hi = (at + GRAPH_ENTRY_BYTES).min(range.offset + range.len);
+                debug_assert_eq!(hi - at, GRAPH_ENTRY_BYTES, "ranges are whole entries");
+                let (first, last) = ByteRange {
+                    offset: at,
+                    len: GRAPH_ENTRY_BYTES,
+                }
+                .blocks(pb)
+                .expect("entries are non-empty");
+                for page in first..=last {
+                    let page_start = page * pb;
+                    let src = staged.get(&page).expect("planned page is staged");
+                    let lo = at.max(page_start);
+                    let end = hi.min(page_start + src.len() as u64);
+                    entry[(lo - at) as usize..(end - at) as usize].copy_from_slice(
+                        &src[(lo - page_start) as usize..(end - page_start) as usize],
+                    );
+                }
+                out.push(u64::from_le_bytes(entry));
+                at = hi;
+            }
+        }
+        // Commit fetched pages to the cache in ascending page order.
+        for (page, buf) in fetched {
+            self.cache.insert(page, buf);
+        }
+        Ok(out)
+    }
+
+    /// Reads the `(start, end)` offset pair of every node in `nodes`,
+    /// returning the pairs plus this call's exact **I/O** deltas (the
+    /// caller owns the access-level counters — a topology tier may
+    /// chain several raw reads into one logical operation). Validates
+    /// node bounds before any I/O and the CSR monotone/EOF invariants
+    /// on every pair it returns.
+    pub fn offset_pairs(
+        &self,
+        nodes: &[NodeId],
+    ) -> Result<(Vec<(u64, u64)>, StoreStats), StoreError> {
+        for &node in nodes {
+            self.check_node(node)?;
+        }
+        let ranges: Vec<ByteRange> = nodes.iter().map(|&n| self.offset_pair_range(n)).collect();
+        let mut io = StoreStats::default();
+        let entries = self.read_entries(&ranges, &mut io)?;
+        let mut pairs = Vec::with_capacity(nodes.len());
+        for (i, pair) in entries.chunks_exact(2).enumerate() {
+            let (start, end) = (pair[0], pair[1]);
+            if start > end {
+                return Err(self.corrupt(format!(
+                    "offsets out of monotone order at node {}: {start} > {end}",
+                    nodes[i]
+                )));
+            }
+            if end > self.num_edges {
+                return Err(self.corrupt(format!(
+                    "edge index {end} at node {} is past the end of the \
+                     {}-entry edge array",
+                    nodes[i], self.num_edges
+                )));
+            }
+            pairs.push((start, end));
+        }
+        Ok((pairs, io))
+    }
+
+    /// Reads the neighbor ids at absolute edge indices `edges`,
+    /// returning the ids plus this call's exact **I/O** deltas (access
+    /// counters belong to the caller, as with
+    /// [`SharedCsrFile::offset_pairs`]). Indices must already be
+    /// validated against the owning node's offset pair (the callers
+    /// do, via [`SharedCsrFile::offset_pairs`]).
+    pub fn edge_targets(&self, edges: &[u64]) -> Result<(Vec<NodeId>, StoreStats), StoreError> {
+        for &e in edges {
+            if e >= self.num_edges {
+                return Err(self.corrupt(format!(
+                    "edge index {e} is past the end of the {}-entry edge array",
+                    self.num_edges
+                )));
+            }
+        }
+        let ranges: Vec<ByteRange> = edges.iter().map(|&e| self.edge_entry_range(e)).collect();
+        let mut io = StoreStats::default();
+        let entries = self.read_entries(&ranges, &mut io)?;
+        let mut out = Vec::with_capacity(edges.len());
+        for (i, &raw) in entries.iter().enumerate() {
+            if raw >= self.num_nodes as u64 {
+                return Err(self.corrupt(format!(
+                    "neighbor id {raw} at edge index {} is past the {}-node bound",
+                    edges[i], self.num_nodes
+                )));
+            }
+            out.push(NodeId::new(raw as u32));
+        }
+        Ok((out, io))
+    }
+
+    /// Resolves `(node, position)` picks end to end: the picked
+    /// nodes' offset pairs locate (and validate) their slices, then
+    /// the picked edge entries resolve in one run-merged read.
+    /// Returns the neighbor ids, the absolute edge indices that were
+    /// read (the ISP tier's page plan needs them), and the combined
+    /// exact I/O deltas. Shared by
+    /// [`FileTopology`](crate::FileTopology) and
+    /// [`IspSampleTopology`](crate::IspSampleTopology) so the two
+    /// tiers' validation and error wording can never drift.
+    pub fn resolve_picks(
+        &self,
+        picks: &[(NodeId, u64)],
+    ) -> Result<(Vec<NodeId>, Vec<u64>, StoreStats), StoreError> {
+        let nodes: Vec<NodeId> = picks.iter().map(|&(n, _)| n).collect();
+        let (pairs, mut io) = self.offset_pairs(&nodes)?;
+        let mut edges = Vec::with_capacity(picks.len());
+        for (&(node, k), &(start, end)) in picks.iter().zip(&pairs) {
+            if k >= end - start {
+                return Err(StoreError::PickOutOfRange {
+                    node,
+                    position: k,
+                    degree: end - start,
+                });
+            }
+            edges.push(start + k);
+        }
+        let (targets, edge_io) = self.edge_targets(&edges)?;
+        io.accumulate(&edge_io);
+        Ok((targets, edges, io))
+    }
+
+    /// The page plan of an offset-pair batch (for the ISP timing
+    /// model): the same distinct, run-merged pages
+    /// [`SharedCsrFile::offset_pairs`] resolves.
+    pub(crate) fn plan_offset_pages(&self, nodes: &[NodeId]) -> Vec<u64> {
+        let ranges: Vec<ByteRange> = nodes.iter().map(|&n| self.offset_pair_range(n)).collect();
+        self.plan_pages_for(&ranges)
+    }
+
+    /// The combined device page plan of one pick batch — every
+    /// offset-pair and edge-entry page the picks touch, run-merged in
+    /// a single pass (the ISP tier's timing-model input after
+    /// [`SharedCsrFile::resolve_picks`]).
+    pub(crate) fn plan_pick_pages(&self, picks: &[(NodeId, u64)], edges: &[u64]) -> Vec<u64> {
+        let mut ranges: Vec<ByteRange> = picks
+            .iter()
+            .map(|&(n, _)| self.offset_pair_range(n))
+            .collect();
+        ranges.extend(edges.iter().map(|&e| self.edge_entry_range(e)));
+        self.plan_pages_for(&ranges)
+    }
+}
+
+/// Checks that a graph file and a feature file describe the same node
+/// population; a mismatch fails typed, naming both files.
+pub fn check_same_population(
+    graph: &SharedCsrFile,
+    features: &crate::SharedFileStore,
+) -> Result<(), StoreError> {
+    if graph.num_nodes() != features.num_nodes() {
+        return Err(StoreError::NodeCountMismatch {
+            graph: graph.path().to_path_buf(),
+            graph_nodes: graph.num_nodes(),
+            features: features.path().to_path_buf(),
+            feature_nodes: features.num_nodes(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScratchFile;
+    use smartsage_graph::generate::{generate_power_law, PowerLawConfig};
+
+    fn graph(nodes: usize, seed: u64) -> CsrGraph {
+        generate_power_law(&PowerLawConfig {
+            nodes,
+            avg_degree: 6.0,
+            seed,
+            ..PowerLawConfig::default()
+        })
+    }
+
+    fn write_graph(tag: &str, g: &CsrGraph) -> ScratchFile {
+        let file = ScratchFile::new(tag);
+        write_graph_file(file.path(), g).unwrap();
+        file
+    }
+
+    #[test]
+    fn roundtrip_matches_the_in_memory_csr() {
+        let g = graph(120, 0xA);
+        let file = write_graph("roundtrip", &g);
+        let shared = SharedCsrFile::open(file.path()).unwrap();
+        assert_eq!(shared.num_nodes(), 120);
+        assert_eq!(shared.num_edges(), g.num_edges());
+        let nodes: Vec<NodeId> = (0..120u32).map(NodeId::new).collect();
+        let (pairs, io) = shared.offset_pairs(&nodes).unwrap();
+        assert!(io.bytes_read > 0);
+        let mut picks = Vec::new();
+        for (node, &(start, end)) in nodes.iter().zip(&pairs) {
+            assert_eq!(end - start, g.degree(*node));
+            for e in start..end {
+                picks.push((*node, e));
+            }
+        }
+        let edges: Vec<u64> = picks.iter().map(|&(_, e)| e).collect();
+        let (targets, _) = shared.edge_targets(&edges).unwrap();
+        let mut want = Vec::new();
+        for node in g.node_ids() {
+            want.extend_from_slice(g.neighbors(node));
+        }
+        assert_eq!(targets, want, "edge array round-trips bit-for-bit");
+    }
+
+    #[test]
+    fn repeat_reads_hit_the_page_cache_and_deltas_are_exact() {
+        let g = graph(200, 0xB);
+        let file = write_graph("cache", &g);
+        let shared = SharedCsrFile::open(file.path()).unwrap();
+        let nodes: Vec<NodeId> = (0..200u32).map(NodeId::new).collect();
+        let (_, cold) = shared.offset_pairs(&nodes).unwrap();
+        assert!(cold.pages_read > 0);
+        assert_eq!(cold.page_hits, 0);
+        assert_eq!(cold.pages_read, cold.page_misses);
+        let (_, warm) = shared.offset_pairs(&nodes).unwrap();
+        assert_eq!(warm.pages_read, 0, "second pass reads nothing");
+        assert_eq!(warm.page_hits + warm.page_misses, cold.page_misses);
+        assert_eq!(
+            shared.cache_occupancy().iter().sum::<usize>() as u64,
+            cold.pages_read
+        );
+        shared.clear_cache();
+        assert_eq!(shared.cache_occupancy().iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn odd_page_sizes_resolve_identically() {
+        let g = graph(64, 0xC);
+        let file = write_graph("pagesizes", &g);
+        let nodes: Vec<NodeId> = [63u32, 0, 17, 17, 5].map(NodeId::new).to_vec();
+        let want = SharedCsrFile::open(file.path())
+            .unwrap()
+            .offset_pairs(&nodes)
+            .unwrap()
+            .0;
+        for page_bytes in [512u64, 1024, 4096, 16384] {
+            let shared = SharedCsrFile::open_with(
+                file.path(),
+                FileStoreOptions {
+                    page_bytes,
+                    cache_pages: 2,
+                },
+                2,
+            )
+            .unwrap();
+            assert_eq!(
+                shared.offset_pairs(&nodes).unwrap().0,
+                want,
+                "page size {page_bytes} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_graph_file_names_file_and_expected_length() {
+        let g = graph(40, 0xD);
+        let file = write_graph("trunc", &g);
+        let full = std::fs::metadata(file.path()).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(file.path())
+            .unwrap()
+            .set_len(full - 9)
+            .unwrap();
+        let err = SharedCsrFile::open(file.path()).unwrap_err();
+        assert!(matches!(err, StoreError::Truncated { expected, actual, .. }
+            if expected == full && actual == full - 9));
+        let msg = err.to_string();
+        assert!(msg.contains(file.path().to_str().unwrap()), "{msg}");
+        assert!(msg.contains(&full.to_string()), "{msg}");
+    }
+
+    #[test]
+    fn bad_magic_and_corrupt_endpoints_are_typed() {
+        let file = ScratchFile::new("graph-magic");
+        std::fs::write(file.path(), vec![0u8; GRAPH_HEADER_BYTES as usize]).unwrap();
+        assert!(matches!(
+            SharedCsrFile::open(file.path()).unwrap_err(),
+            StoreError::BadMagic { .. }
+        ));
+        // A valid-length file whose last offset disagrees with the edge
+        // count is corrupt, not truncated.
+        let g = graph(10, 0xE);
+        let file = write_graph("graph-endpoint", &g);
+        let at = GRAPH_HEADER_BYTES + 10 * GRAPH_ENTRY_BYTES;
+        let mut bytes = std::fs::read(file.path()).unwrap();
+        bytes[at as usize..at as usize + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(file.path(), &bytes).unwrap();
+        let err = SharedCsrFile::open(file.path()).unwrap_err();
+        assert!(matches!(err, StoreError::CorruptGraph { .. }), "{err}");
+        assert!(err.to_string().contains("last offset"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_node_fails_before_io() {
+        let g = graph(12, 0xF);
+        let file = write_graph("range", &g);
+        let shared = SharedCsrFile::open(file.path()).unwrap();
+        let err = shared.offset_pairs(&[NodeId::new(12)]).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::NodeOutOfRange { num_nodes: 12, .. }
+        ));
+    }
+}

@@ -272,59 +272,75 @@ impl IspGatherStore {
         &self.ssd
     }
 
-    /// Costs one gather against the device model: command decode, FTL
-    /// translation + flash read (or page-buffer hit) per planned page
-    /// with at most `queue_depth` reads in flight, row packing on the
-    /// cores, and the packed-result DMA. Returns the modeled busy time.
+    /// Costs one gather against the device model; see [`cost_isp_pass`].
     fn cost_gather(&mut self, pages: &[u64], rows: u64, payload_bytes: u64) -> SimDuration {
-        let start = self.clock;
-        // Firmware picks the gather command off the queue and decodes
-        // its node-list descriptor.
-        let (_, mut t) = self
-            .ssd
-            .cores
-            .exec_raw(start, self.ssd.nvme.isp_command_cost);
-        // Page fetches: the gather unit keeps up to `queue_depth`
-        // flash requests outstanding; a new issue waits for the oldest
-        // in-flight one once the window is full.
-        let mut inflight: VecDeque<SimTime> = VecDeque::with_capacity(self.queue_depth);
-        let mut ready = t;
-        for &lpn in pages {
-            let issue = if inflight.len() >= self.queue_depth {
-                inflight.pop_front().expect("window is full").max(t)
-            } else {
-                t
-            };
-            let (_, translated) = self
-                .ssd
-                .cores
-                .exec_raw(issue, self.ssd.ftl.translate_cost());
-            let ppn = self.ssd.ftl.translate(lpn);
-            let hit = self.ssd.buffer.access(ppn);
-            if !hit {
-                self.ssd.buffer.insert(ppn);
-            }
-            let done = if hit {
-                // Served from SSD DRAM: a short controller-side touch,
-                // same as the baseline block path's buffer hits.
-                translated + SimDuration::from_nanos(500)
-            } else {
-                self.ssd.flash.read_page(translated, ppn)
-            };
-            ready = ready.max(done);
-            inflight.push_back(done);
-            t = t.max(issue);
-        }
-        // Row gather/pack next to the page buffer, then one dense DMA
-        // of the packed payload back to the host.
-        let (_, packed) = self
-            .ssd
-            .cores
-            .exec_raw(ready, self.pack_cost_per_row.mul_u64(rows));
-        let done = self.ssd.dma_to_host(packed, payload_bytes);
-        self.clock = done;
-        done.elapsed_since(start)
+        cost_isp_pass(
+            &mut self.ssd,
+            &mut self.clock,
+            self.queue_depth,
+            self.pack_cost_per_row,
+            pages,
+            rows,
+            payload_bytes,
+        )
     }
+}
+
+/// Costs one ISP pass against a device model: command decode on the
+/// embedded cores, FTL translation + flash read (or page-buffer hit)
+/// per planned page with at most `queue_depth` reads in flight, per-row
+/// pack work on the cores, and the packed-result DMA. Advances `clock`
+/// (each pass starts where the previous one finished, so
+/// shared-resource contention accumulates across a run) and returns the
+/// modeled busy time. Shared by the ISP feature-gather tier and the
+/// ISP sampling topology ([`crate::IspSampleTopology`]).
+pub(crate) fn cost_isp_pass(
+    ssd: &mut Ssd,
+    clock: &mut SimTime,
+    queue_depth: usize,
+    pack_cost_per_row: SimDuration,
+    pages: &[u64],
+    rows: u64,
+    payload_bytes: u64,
+) -> SimDuration {
+    let start = *clock;
+    // Firmware picks the command off the queue and decodes its
+    // descriptor.
+    let (_, mut t) = ssd.cores.exec_raw(start, ssd.nvme.isp_command_cost);
+    // Page fetches: the in-device unit keeps up to `queue_depth` flash
+    // requests outstanding; a new issue waits for the oldest in-flight
+    // one once the window is full.
+    let mut inflight: VecDeque<SimTime> = VecDeque::with_capacity(queue_depth);
+    let mut ready = t;
+    for &lpn in pages {
+        let issue = if inflight.len() >= queue_depth {
+            inflight.pop_front().expect("window is full").max(t)
+        } else {
+            t
+        };
+        let (_, translated) = ssd.cores.exec_raw(issue, ssd.ftl.translate_cost());
+        let ppn = ssd.ftl.translate(lpn);
+        let hit = ssd.buffer.access(ppn);
+        if !hit {
+            ssd.buffer.insert(ppn);
+        }
+        let done = if hit {
+            // Served from SSD DRAM: a short controller-side touch,
+            // same as the baseline block path's buffer hits.
+            translated + SimDuration::from_nanos(500)
+        } else {
+            ssd.flash.read_page(translated, ppn)
+        };
+        ready = ready.max(done);
+        inflight.push_back(done);
+        t = t.max(issue);
+    }
+    // Gather/pack next to the page buffer, then one dense DMA of the
+    // packed payload back to the host.
+    let (_, packed) = ssd.cores.exec_raw(ready, pack_cost_per_row.mul_u64(rows));
+    let done = ssd.dma_to_host(packed, payload_bytes);
+    *clock = done;
+    done.elapsed_since(start)
 }
 
 impl FeatureStore for IspGatherStore {

@@ -35,6 +35,23 @@
 //!   (gathers, nodes, payload bytes) on top of the inner store's I/O
 //!   stats, for reports.
 //!
+//! # The topology half
+//!
+//! The feature table is only half the on-SSD dataset; the other half
+//! is the **neighbor edge-list array** the sampler walks. The
+//! [`TopologyStore`] trait ([`mod@topology`]) mirrors the feature-store
+//! architecture for it:
+//!
+//! * [`InMemoryTopology`] / [`CsrView`] — wrap a
+//!   [`CsrGraph`](smartsage_graph::CsrGraph); no I/O.
+//! * [`FileTopology`] — a scoped handle onto a registry-shared
+//!   [`SharedCsrFile`] (`SSGRPH01` on-disk CSR, [`mod@graph_file`]):
+//!   coalesced page-aligned offset/edge reads through the same sharded
+//!   page cache discipline.
+//! * [`IspSampleTopology`] — in-storage sampling: hop expansion
+//!   resolves device-side against the SSD timing model and only the
+//!   sampled neighbor ids cross the modeled link.
+//!
 //! # The determinism contract
 //!
 //! Feature gathering follows the same plan/resolve discipline as
@@ -43,29 +60,35 @@
 //! which order) and then *resolved* against the backing bytes. Every
 //! store resolves the same plan to **byte-identical** results — the
 //! storage medium may change latency and I/O counts, never values. The
-//! conformance suite (`tests/feature_store_conformance.rs`) asserts
-//! this across random graphs, batch orders, and page sizes, and the
-//! training equivalence test asserts that a full `Trainer` run through
-//! [`FileStore`] produces a bit-identical loss trajectory to
-//! [`InMemoryStore`].
+//! conformance suites (`tests/feature_store_conformance.rs`,
+//! `tests/topology_store_conformance.rs`) assert this across random
+//! graphs, batch orders, and page sizes, and the training equivalence
+//! tests assert that a full `Trainer` run through [`FileStore`] (and
+//! sampling through [`FileTopology`]) produces a bit-identical loss
+//! trajectory to the in-memory tiers.
 
 #![warn(missing_docs)]
 
 pub mod error;
 pub mod file;
+pub mod graph_file;
 pub mod handle;
 pub mod isp;
+pub mod isp_topology;
 pub mod mem;
 pub mod metered;
 pub mod registry;
 pub mod scratch;
 pub mod shared;
 pub mod stats;
+pub mod topology;
 
 pub use error::StoreError;
 pub use file::{write_feature_file, FileStore, FileStoreOptions};
+pub use graph_file::{check_same_population, write_graph_file, SharedCsrFile};
 pub use handle::StoreHandle;
 pub use isp::{IspGatherOptions, IspGatherStore};
+pub use isp_topology::IspSampleTopology;
 pub use mem::InMemoryStore;
 pub use metered::MeteredStore;
 pub use registry::{
@@ -74,6 +97,10 @@ pub use registry::{
 pub use scratch::ScratchFile;
 pub use shared::SharedFileStore;
 pub use stats::AtomicStoreStats;
+pub use topology::{
+    share_topology, CsrView, FileTopology, InMemoryTopology, SharedTopology, TopologyKind,
+    TopologyStore,
+};
 
 use smartsage_graph::NodeId;
 use std::sync::{Arc, Mutex};

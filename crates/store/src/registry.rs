@@ -33,15 +33,20 @@
 
 use crate::error::StoreError;
 use crate::file::{write_feature_file, FileStoreOptions};
+use crate::graph_file::{write_graph_file, SharedCsrFile};
 use crate::shared::{SharedFileStore, DEFAULT_CACHE_SHARDS};
-use smartsage_graph::FeatureTable;
+use smartsage_graph::{CsrGraph, FeatureTable};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Prefix of every file the registry manages in the temp directory.
+/// Prefix of every feature file the registry manages in the temp
+/// directory.
 const FILE_PREFIX: &str = "smartsage-feat-";
+
+/// Prefix of every graph topology file the registry manages.
+const GRAPH_PREFIX: &str = "smartsage-graph-";
 
 /// Marker separating a publish temporary's name from its `<pid>-<seq>`
 /// suffix.
@@ -75,10 +80,17 @@ impl StoreOccupancy {
 /// opens of already-published keys on other sweep threads.
 type Slot = Arc<Mutex<Option<Arc<SharedFileStore>>>>;
 
-/// Deduplicates [`SharedFileStore`] opens by content-keyed path.
+/// One graph content key's slot (same per-key discipline).
+type GraphSlot = Arc<Mutex<Option<Arc<SharedCsrFile>>>>;
+
+/// Deduplicates [`SharedFileStore`] and [`SharedCsrFile`] opens by
+/// content-keyed path — one registry serves both halves of the
+/// dataset (features and topology), so a sweep's jobs share one open
+/// file and one page cache per key on each axis.
 #[derive(Debug, Default)]
 pub struct StoreRegistry {
     entries: Mutex<HashMap<PathBuf, Slot>>,
+    graph_entries: Mutex<HashMap<PathBuf, GraphSlot>>,
 }
 
 impl StoreRegistry {
@@ -176,6 +188,106 @@ impl StoreRegistry {
         Ok(store)
     }
 
+    /// The content-keyed path for `graph`'s topology file: node/edge
+    /// counts plus an FNV-1a fingerprint of the full CSR content, so
+    /// distinct graphs can never collide on a key. The fingerprint is
+    /// one O(edges) pass per call — the same order of work as the
+    /// materialization that produced the graph, paid once per
+    /// `open_graph_csr` (a per-run cost, like materialization itself).
+    pub fn graph_content_key_path(graph: &CsrGraph) -> PathBuf {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        mix(graph.num_nodes() as u64);
+        mix(graph.num_edges());
+        for node in graph.node_ids() {
+            mix(graph.edge_list_start(node));
+            for &t in graph.neighbors(node) {
+                mix(t.raw() as u64);
+            }
+        }
+        std::env::temp_dir().join(format!(
+            "{GRAPH_PREFIX}n{}-e{}-h{h:016x}.gbin",
+            graph.num_nodes(),
+            graph.num_edges(),
+        ))
+    }
+
+    /// Opens (publishing first if needed) the shared topology file for
+    /// `graph` — the graph analogue of
+    /// [`StoreRegistry::open_feature_table`]: the first call for a
+    /// content key serializes and opens; every later call returns the
+    /// same `Arc` (one file descriptor, one sharded page cache per
+    /// sweep). An existing on-disk file is revalidated through the
+    /// usual magic/header/length checks; anything stale or foreign is
+    /// replaced via write-to-temporary + atomic rename. Requesting a
+    /// key that is already open with *different* options fails with
+    /// [`StoreError::OptionsConflict`].
+    pub fn open_graph_csr(
+        &self,
+        graph: &CsrGraph,
+        opts: FileStoreOptions,
+    ) -> Result<Arc<SharedCsrFile>, StoreError> {
+        let path = StoreRegistry::graph_content_key_path(graph);
+        let slot: GraphSlot = {
+            let mut entries = self.graph_entries.lock().expect("store registry");
+            Arc::clone(entries.entry(path.clone()).or_default())
+        };
+        let mut guard = slot.lock().expect("store registry graph slot");
+        if let Some(existing) = guard.as_ref() {
+            if existing.options() != opts {
+                return Err(StoreError::OptionsConflict {
+                    path,
+                    requested: opts,
+                    open: existing.options(),
+                });
+            }
+            return Ok(Arc::clone(existing));
+        }
+        let matches = |s: &SharedCsrFile| {
+            s.num_nodes() == graph.num_nodes() && s.num_edges() == graph.num_edges()
+        };
+        let store = match SharedCsrFile::open_with(&path, opts, DEFAULT_CACHE_SHARDS) {
+            Ok(store) if matches(&store) => store,
+            _ => {
+                static SEQ: AtomicU64 = AtomicU64::new(0);
+                let dir = path.parent().expect("temp files have a parent");
+                sweep_stale_tmp_files(dir);
+                let tmp = path.with_extension(format!(
+                    "tmp-{}-{}",
+                    std::process::id(),
+                    SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                write_graph_file(&tmp, graph)?;
+                std::fs::rename(&tmp, &path).map_err(|source| StoreError::Io {
+                    path: path.clone(),
+                    action: "publish",
+                    source,
+                })?;
+                SharedCsrFile::open_with(&path, opts, DEFAULT_CACHE_SHARDS)?
+            }
+        };
+        let store = Arc::new(store);
+        *guard = Some(Arc::clone(&store));
+        Ok(store)
+    }
+
+    /// Every graph file currently open in this registry.
+    fn open_graphs(&self) -> Vec<Arc<SharedCsrFile>> {
+        let slots: Vec<GraphSlot> = {
+            let entries = self.graph_entries.lock().expect("store registry");
+            entries.values().cloned().collect()
+        };
+        slots
+            .iter()
+            .filter_map(|slot| slot.lock().expect("store registry graph slot").clone())
+            .collect()
+    }
+
     /// Every store currently open in this registry (empty slots from
     /// failed opens are skipped).
     fn open_stores(&self) -> Vec<Arc<SharedFileStore>> {
@@ -189,9 +301,10 @@ impl StoreRegistry {
             .collect()
     }
 
-    /// Number of distinct stores this registry has open.
+    /// Number of distinct stores (feature + graph) this registry has
+    /// open.
     pub fn len(&self) -> usize {
-        self.open_stores().len()
+        self.open_stores().len() + self.open_graphs().len()
     }
 
     /// `true` when no store is open.
@@ -199,7 +312,8 @@ impl StoreRegistry {
         self.len() == 0
     }
 
-    /// Per-store cache occupancy, sorted by path for stable output.
+    /// Per-store cache occupancy — feature stores and graph topology
+    /// files alike — sorted by path for stable output.
     pub fn occupancy(&self) -> Vec<StoreOccupancy> {
         let mut out: Vec<StoreOccupancy> = self
             .open_stores()
@@ -215,6 +329,13 @@ impl StoreRegistry {
                 }
             })
             .collect();
+        out.extend(self.open_graphs().iter().map(|g| StoreOccupancy {
+            path: g.path().to_path_buf(),
+            shard_pages: g.cache_occupancy(),
+            capacity_pages: g.cache_capacity(),
+            prefetch_pages: 0,
+            prefetch_bytes: 0,
+        }));
         out.sort_by(|a, b| a.path.cmp(&b.path));
         out
     }
@@ -227,6 +348,9 @@ impl StoreRegistry {
         for store in self.open_stores() {
             store.clear_cache();
         }
+        for graph in self.open_graphs() {
+            graph.clear_cache();
+        }
     }
 
     /// Closes every open store. Outstanding handles keep their `Arc`s
@@ -234,6 +358,7 @@ impl StoreRegistry {
     /// fresh.
     pub fn close_all(&self) {
         self.entries.lock().expect("store registry").clear();
+        self.graph_entries.lock().expect("store registry").clear();
     }
 }
 
@@ -258,7 +383,9 @@ fn is_stale_tmp(path: &Path) -> bool {
     let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
         return false;
     };
-    if !name.starts_with(FILE_PREFIX) || !name.contains(TMP_MARKER) {
+    if (!name.starts_with(FILE_PREFIX) && !name.starts_with(GRAPH_PREFIX))
+        || !name.contains(TMP_MARKER)
+    {
         return false;
     }
     let Some(pid) = tmp_file_pid(name) else {
@@ -299,7 +426,8 @@ pub fn sweep_stale_tmp_files(dir: &Path) -> usize {
     removed
 }
 
-/// Removes every published feature file (`smartsage-feat-*.fbin`) and
+/// Removes every published feature file (`smartsage-feat-*.fbin`),
+/// every published graph topology file (`smartsage-graph-*.gbin`), and
 /// every stale publish temporary from the OS temp directory; returns
 /// how many files were removed. The global registry's entries are
 /// closed first so no deleted file is still being served — later opens
@@ -314,10 +442,10 @@ pub fn remove_cached_feature_files() -> usize {
     };
     for entry in entries.flatten() {
         let path = entry.path();
-        let is_published = path
-            .file_name()
-            .and_then(|n| n.to_str())
-            .is_some_and(|n| n.starts_with(FILE_PREFIX) && n.ends_with(".fbin"));
+        let is_published = path.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+            (n.starts_with(FILE_PREFIX) && n.ends_with(".fbin"))
+                || (n.starts_with(GRAPH_PREFIX) && n.ends_with(".gbin"))
+        });
         if is_published && std::fs::remove_file(&path).is_ok() {
             removed += 1;
         }
@@ -456,6 +584,72 @@ mod tests {
         // Outstanding Arcs still work after close_all.
         h.gather(&[NodeId::new(1)]).unwrap();
         let _ = std::fs::remove_file(store.path());
+    }
+
+    #[test]
+    fn graph_keys_dedup_share_and_conflict_like_feature_keys() {
+        use smartsage_graph::generate::{generate_power_law, PowerLawConfig};
+        let gen = |seed| {
+            generate_power_law(&PowerLawConfig {
+                nodes: 40,
+                avg_degree: 4.0,
+                seed,
+                ..PowerLawConfig::default()
+            })
+        };
+        let g = gen(0x6AF);
+        let reg = StoreRegistry::new();
+        let opts = FileStoreOptions::default();
+        let a = reg.open_graph_csr(&g, opts).unwrap();
+        let b = reg.open_graph_csr(&g, opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "one registry entry per graph key");
+        assert_eq!(reg.len(), 1);
+        let c = reg.open_graph_csr(&gen(0x6B0), opts).unwrap();
+        assert_ne!(a.path(), c.path(), "content hash is part of the key");
+        assert_eq!(reg.len(), 2);
+        let err = reg
+            .open_graph_csr(
+                &g,
+                FileStoreOptions {
+                    page_bytes: 512,
+                    ..opts
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, crate::StoreError::OptionsConflict { .. }));
+        // Occupancy covers graph stores once they are warm.
+        let nodes: Vec<NodeId> = (0..40u32).map(NodeId::new).collect();
+        a.offset_pairs(&nodes).unwrap();
+        let occ = reg.occupancy();
+        assert_eq!(occ.len(), 2);
+        assert!(occ
+            .iter()
+            .any(|o| o.path == a.path() && o.resident_pages() > 0));
+        reg.clear_caches();
+        assert!(reg.occupancy().iter().all(|o| o.resident_pages() == 0));
+        reg.close_all();
+        assert!(reg.is_empty());
+        for p in [a.path(), c.path()] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn stale_foreign_graph_file_is_republished() {
+        use smartsage_graph::generate::{generate_power_law, PowerLawConfig};
+        let g = generate_power_law(&PowerLawConfig {
+            nodes: 12,
+            avg_degree: 3.0,
+            seed: 0x6B1,
+            ..PowerLawConfig::default()
+        });
+        let reg = StoreRegistry::new();
+        let path = StoreRegistry::graph_content_key_path(&g);
+        std::fs::write(&path, b"not a graph file").unwrap();
+        let store = reg.open_graph_csr(&g, FileStoreOptions::default()).unwrap();
+        assert_eq!(store.num_nodes(), 12);
+        assert_eq!(store.num_edges(), g.num_edges());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn sampling_throughput(mut cfg: SystemConfig, workers: usize) -> f64 {
             sampler: SamplerKind::GraphSage,
             train: false,
             store: None,
+            topology: None,
             readahead: false,
         },
     );

@@ -72,6 +72,7 @@ fn main() {
                 sampler: SamplerKind::SaintWalk { length: 4 },
                 train: true,
                 store: None,
+                topology: None,
                 readahead: false,
             },
         );

@@ -88,6 +88,7 @@ fn main() {
                 sampler: SamplerKind::GraphSage,
                 train: true,
                 store: None,
+                topology: None,
                 readahead: false,
             },
         );

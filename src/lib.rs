@@ -20,7 +20,14 @@
 //!   implementations — a content-keyed `StoreRegistry` opens each
 //!   feature file once and every training job holds a scoped
 //!   `StoreHandle` onto its lock-striped sharded page cache — so
-//!   training can run through actual storage, in parallel.
+//!   training can run through actual storage, in parallel. The same
+//!   architecture covers the *topology* half of the dataset: a
+//!   `TopologyStore` trait with in-memory (`InMemoryTopology`),
+//!   file-backed (`FileTopology` over the on-disk `SSGRPH01` CSR), and
+//!   in-storage-sampling (`IspSampleTopology`: hop expansion resolves
+//!   device-side, only sampled neighbor ids cross the modeled link)
+//!   implementations, so neighbor sampling itself reads through
+//!   storage too.
 //! * [`memsim`] — LLC simulation and DRAM bandwidth accounting used by the
 //!   paper's characterization (Fig 5).
 //! * [`gnn`] — GraphSAGE/GraphSAINT samplers, dense layers, the functional
@@ -84,6 +91,59 @@
 //! assert!(i.host_bytes_transferred < d.host_bytes_transferred);
 //! assert_eq!(i.device_bytes_read, d.device_bytes_read);
 //! assert!(i.transfer_reduction() > 100.0); // one 32-byte row per 4 KiB page
+//! assert!(!isp.device_time().is_zero()); // modeled FTL + flash + PCIe time
+//! ```
+//!
+//! # Topology tiers
+//!
+//! The other half of the on-SSD dataset — the neighbor edge-list array
+//! sampling walks — gets the same three tiers through the
+//! `TopologyStore` trait: an in-memory CSR, a real page-aligned
+//! `SSGRPH01` graph file, or in-storage sampling where only the packed
+//! degrees and sampled neighbor ids cross the modeled link. Sampling
+//! is bit-identical across tiers (this example is the README's
+//! "Topology tiers" snippet, kept honest by `cargo test`):
+//!
+//! ```
+//! use smartsage::gnn::sampler::plan_sample_on;
+//! use smartsage::gnn::Fanouts;
+//! use smartsage::graph::generate::{generate_power_law, PowerLawConfig};
+//! use smartsage::graph::NodeId;
+//! use smartsage::sim::Xoshiro256;
+//! use smartsage::store::{
+//!     write_graph_file, FileTopology, InMemoryTopology, IspSampleTopology, ScratchFile,
+//!     TopologyStore,
+//! };
+//!
+//! // Publish a synthetic power-law graph to an SSGRPH01 file.
+//! let graph = generate_power_law(&PowerLawConfig {
+//!     nodes: 2048, avg_degree: 8.0, seed: 7, ..PowerLawConfig::default()
+//! });
+//! let file = ScratchFile::new("readme-topology-tiers");
+//! write_graph_file(file.path(), &graph).unwrap();
+//!
+//! // Sample two hops from scattered targets through all three tiers.
+//! let targets: Vec<NodeId> = (0..16u32).map(|i| NodeId::new(i * 127)).collect();
+//! let fanouts = Fanouts::new(vec![3, 2]);
+//! let sample = |topo: &mut dyn TopologyStore| {
+//!     let mut rng = Xoshiro256::seed_from_u64(42);
+//!     let plan = plan_sample_on(topo, &targets, &fanouts, &mut rng).unwrap();
+//!     plan.resolve_on(topo).unwrap()
+//! };
+//! let mut mem = InMemoryTopology::new(graph.clone());
+//! let mut disk = FileTopology::open(file.path()).unwrap();
+//! let mut isp = IspSampleTopology::open(file.path()).unwrap();
+//! let want = sample(&mut mem);
+//! assert_eq!(sample(&mut disk), want); // same batch off the page path
+//! assert_eq!(sample(&mut isp), want); // same batch off the ISP path
+//!
+//! // The file tier ships every touched offset/edge page whole; the ISP
+//! // tier resolves the hop inside the device and ships 8 B per answer.
+//! let (d, i) = (disk.stats(), isp.stats());
+//! assert_eq!(d.host_bytes_transferred, d.bytes_read);
+//! assert_eq!(i.host_bytes_transferred, i.feature_bytes); // packed answers only
+//! assert!(i.host_bytes_transferred < d.host_bytes_transferred);
+//! assert!(i.transfer_reduction() > 1.0);
 //! assert!(!isp.device_time().is_zero()); // modeled FTL + flash + PCIe time
 //! ```
 

@@ -135,7 +135,7 @@ fn exact_mode_small_graph_runs_without_analytic_locality() {
     let data = smartsage::graph::datasets::MaterializedDataset {
         profile: DatasetProfile::of(Dataset::Reddit),
         scale: GraphScale::InMemory,
-        graph,
+        graph: std::sync::Arc::new(graph),
         features: FeatureTable::new(8, 4, 0),
     };
     let ctx = Arc::new(RunContext::new_exact(

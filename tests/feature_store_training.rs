@@ -146,6 +146,7 @@ fn feature_store_pipeline_run_reports_nonzero_io_without_timing_drift() {
         workers: 2,
         seed: 11,
         store: None,
+        topology: None,
         readahead: false,
     };
     let plain = run_system(Dataset::Amazon, SystemKind::Dram, &scale, 2, true);
@@ -214,6 +215,7 @@ fn feature_store_works_behind_every_backend() {
         workers: 1,
         seed: 3,
         store: Some(StoreKind::File),
+        topology: None,
         readahead: false,
     };
     let mut reference = None;

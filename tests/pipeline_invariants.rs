@@ -26,6 +26,7 @@ fn run(kind: SystemKind, workers: usize, train: bool, seed: u64) -> PipelineRepo
             sampler: SamplerKind::GraphSage,
             train,
             store: None,
+            topology: None,
             readahead: false,
         },
     )
@@ -140,6 +141,7 @@ fn bounded_queue_blocks_producers_not_correctness() {
                 sampler: SamplerKind::GraphSage,
                 train: true,
                 store: None,
+                topology: None,
                 readahead: false,
             },
         )
@@ -177,6 +179,7 @@ fn saint_walks_complete_on_ssd_systems() {
             sampler: SamplerKind::SaintWalk { length: 4 },
             train: true,
             store: None,
+            topology: None,
             readahead: false,
         },
     );

@@ -4,6 +4,7 @@
 //! contention.
 
 use smartsage::gnn::model::ModelDims;
+use smartsage::gnn::sampler::plan_sample_on;
 use smartsage::gnn::trainer::{TrainConfig, Trainer};
 use smartsage::gnn::Fanouts;
 use smartsage::graph::generate::{generate_power_law, PowerLawConfig};
@@ -11,8 +12,8 @@ use smartsage::graph::{CsrGraph, FeatureTable, NodeId};
 use smartsage::sim::Xoshiro256;
 use smartsage::store::file::FileStoreOptions;
 use smartsage::store::{
-    share_store, FeatureStore, InMemoryStore, SharedDynStore, SharedFileStore, StoreHandle,
-    StoreRegistry, StoreStats,
+    share_store, FeatureStore, FileTopology, InMemoryStore, InMemoryTopology, SharedDynStore,
+    SharedFileStore, StoreHandle, StoreRegistry, StoreStats, TopologyStore,
 };
 use std::sync::Arc;
 
@@ -193,4 +194,98 @@ fn concurrent_training_through_one_shared_handle_matches_memory() {
     assert_eq!(stats.gathers, 6 * 3 * 3);
     assert!(stats.bytes_read > 0, "training really read from disk");
     assert_eq!(stats.pages_read, stats.page_misses);
+}
+
+#[test]
+fn hammering_threads_sample_bit_identically_through_one_shared_topology() {
+    // 8 threads sampling through one shared on-disk graph (a scoped
+    // FileTopology handle each, one SharedCsrFile and one sharded page
+    // cache under all of them) must produce exactly the serial
+    // in-memory batches, with exact per-handle scoped stats.
+    let graph: CsrGraph = generate_power_law(&PowerLawConfig {
+        nodes: NODES,
+        avg_degree: 8.0,
+        seed: 0x70C0,
+        ..PowerLawConfig::default()
+    });
+    let registry = StoreRegistry::new();
+    let shared = registry
+        .open_graph_csr(
+            &graph,
+            FileStoreOptions {
+                page_bytes: 1024,
+                cache_pages: 8, // far below the file: real eviction churn
+            },
+        )
+        .expect("open shared graph");
+    let fanouts = Fanouts::new(vec![4, 3]);
+    let seeds: Vec<u64> = (0..16u64).collect();
+    let targets: Vec<NodeId> = (0..40u32)
+        .map(|i| NodeId::new(i * 9 % NODES as u32))
+        .collect();
+    // Serial reference through the in-memory tier.
+    let want: Vec<_> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut mem = InMemoryTopology::new(graph.clone());
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            let plan = plan_sample_on(&mut mem, &targets, &fanouts, &mut rng).unwrap();
+            plan.resolve_on(&mut mem).unwrap()
+        })
+        .collect();
+    let per_thread: Vec<StoreStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8usize)
+            .map(|t| {
+                let shared = Arc::clone(&shared);
+                let (want, seeds, targets, fanouts) = (&want, &seeds, &targets, &fanouts);
+                s.spawn(move || {
+                    let mut topo = FileTopology::new(shared);
+                    for round in 0..10 {
+                        let i = (t + round) % seeds.len();
+                        let mut rng = Xoshiro256::seed_from_u64(seeds[i]);
+                        let plan = plan_sample_on(&mut topo, targets, fanouts, &mut rng).unwrap();
+                        let batch = plan.resolve_on(&mut topo).unwrap();
+                        assert_eq!(batch, want[i], "thread {t} diverged on seed {i}");
+                    }
+                    topo.stats()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Exactness under contention: access counters are deterministic
+    // per thread (3 batched reads per hop per plan+resolve), and every
+    // page lookup is classified exactly once — the total equals a solo
+    // replay's, though the hit/miss split may differ.
+    let mut total = StoreStats::default();
+    for s in &per_thread {
+        assert_eq!(s.gathers, 10 * 3 * 2, "3 reads per hop, 2 hops, 10 rounds");
+        total.accumulate(s);
+    }
+    let solo_lookups = {
+        let registry = StoreRegistry::new();
+        let solo = registry
+            .open_graph_csr(
+                &graph,
+                FileStoreOptions {
+                    page_bytes: 1024,
+                    cache_pages: 8,
+                },
+            )
+            .unwrap();
+        let mut topo = FileTopology::new(solo);
+        for (t, round) in (0..8usize).flat_map(|t| (0..10).map(move |r| (t, r))) {
+            let i = (t + round) % seeds.len();
+            let mut rng = Xoshiro256::seed_from_u64(seeds[i]);
+            let plan = plan_sample_on(&mut topo, &targets, &fanouts, &mut rng).unwrap();
+            plan.resolve_on(&mut topo).unwrap();
+        }
+        let s = topo.stats();
+        let _ = std::fs::remove_file(topo.shared().path());
+        s.page_hits + s.page_misses
+    };
+    assert_eq!(total.page_hits + total.page_misses, solo_lookups);
+    assert_eq!(total.pages_read, total.page_misses);
+    assert!(total.page_hits > 0 && total.page_misses > 0);
+    let _ = std::fs::remove_file(shared.path());
 }

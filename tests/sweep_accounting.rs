@@ -24,6 +24,7 @@ fn sweep(jobs: usize, names: &[&str]) -> SweepOutcome {
         workers: 1,
         seed: 0x5EED5,
         store: Some(StoreKind::File),
+        topology: None,
         readahead: false,
     };
     Runner::builder()
@@ -94,6 +95,7 @@ fn readahead_changes_only_the_io_split_never_results() {
         workers: 1,
         seed: 0x5EED8,
         store: Some(StoreKind::File),
+        topology: None,
         readahead: false,
     };
     let run = |readahead: bool| {
@@ -130,6 +132,73 @@ fn readahead_changes_only_the_io_split_never_results() {
     );
 }
 
+/// A deliberately small graph-topology sweep (distinct seed, same
+/// scoping rules as the feature sweeps above).
+fn graph_sweep(jobs: usize, names: &[&str]) -> SweepOutcome {
+    let scale = ExperimentScale {
+        edge_budget: 20_000,
+        batch_size: 8,
+        batches: 2,
+        workers: 1,
+        seed: 0x5EED9,
+        store: None,
+        topology: Some(smartsage::core::TopologyKind::File),
+        readahead: false,
+    };
+    Runner::builder()
+        .scale(scale)
+        .filter(|e| names.contains(&e.name))
+        .jobs(jobs)
+        .build()
+        .sweep()
+}
+
+#[test]
+fn second_graph_sweep_in_one_process_reports_exactly_its_solo_stats() {
+    let first = graph_sweep(1, &["fig7"]);
+    let second = graph_sweep(1, &["fig7"]);
+    assert!(
+        first.topology_stats.bytes_read > 0,
+        "sampling did real topology I/O"
+    );
+    assert!(first.topology_stats.gathers > 0);
+    assert_eq!(
+        first.store_stats,
+        smartsage::store::StoreStats::default(),
+        "no feature store configured"
+    );
+    assert_eq!(
+        first.topology_stats, second.topology_stats,
+        "second sweep's topology report must equal its solo run"
+    );
+}
+
+#[test]
+fn parallel_graph_sweep_shares_one_registry_entry_and_tables_are_identical() {
+    let serial = graph_sweep(1, &["fig6", "fig7"]);
+    let parallel = graph_sweep(4, &["fig6", "fig7"]);
+    // One open graph file per content key (5 datasets), no matter how
+    // many experiments or worker threads sample through it.
+    assert_eq!(parallel.stores.len(), 5, "one graph entry per dataset");
+    assert_eq!(serial.stores.len(), 5);
+    for occ in &parallel.stores {
+        assert!(occ.resident_pages() > 0);
+        assert!(occ.resident_pages() <= occ.capacity_pages);
+    }
+    assert_eq!(
+        OutputFormat::Text.render(&serial.outcomes),
+        OutputFormat::Text.render(&parallel.outcomes)
+    );
+    // Access-level counters are interleaving-independent; every page
+    // lookup is classified exactly once.
+    let (s, p) = (serial.topology_stats, parallel.topology_stats);
+    assert_eq!(s.gathers, p.gathers);
+    assert_eq!(s.nodes_gathered, p.nodes_gathered);
+    assert_eq!(s.feature_bytes, p.feature_bytes);
+    assert_eq!(s.page_hits + s.page_misses, p.page_hits + p.page_misses);
+    assert_eq!(p.pages_read, p.page_misses);
+}
+
 #[test]
 fn memory_store_sweeps_scope_their_stats_too() {
     let scale = ExperimentScale {
@@ -139,6 +208,7 @@ fn memory_store_sweeps_scope_their_stats_too() {
         workers: 1,
         seed: 0x5EED6,
         store: Some(StoreKind::Mem),
+        topology: None,
         readahead: false,
     };
     let run = || {
@@ -169,6 +239,7 @@ fn storeless_sweep_reports_zero_stats() {
             workers: 1,
             seed: 0x5EED7,
             store: None,
+            topology: None,
             readahead: false,
         })
         .filter(|e| e.name == "fig7")
