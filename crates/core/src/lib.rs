@@ -23,6 +23,9 @@
 //! * [`runner`] — the sweep API: select registered experiments, run
 //!   them serially or across a thread pool, observe typed outcomes.
 //! * [`report`] — typed-cell tables rendering to text, CSV, and JSON.
+//! * [`json`] — the minimal shared JSON parser/writer behind the
+//!   report renderers and the `smartsage-serve` request bodies: strict,
+//!   typed errors, never a panic.
 //! * [`store_metrics`] — *scoped* feature-store I/O accounting: sweeps
 //!   install a per-sweep accumulator + private store registry on their
 //!   worker threads, every pipeline run records its exact counters into
@@ -34,6 +37,7 @@ pub mod backend;
 pub mod config;
 pub mod context;
 pub mod experiments;
+pub mod json;
 pub mod metrics;
 pub mod nsconfig;
 pub mod pipeline;

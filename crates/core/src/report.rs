@@ -131,13 +131,11 @@ impl From<usize> for Cell {
     }
 }
 
-fn json_number(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
+// JSON escaping/number formatting live in the shared [`crate::json`]
+// module (also consumed by `smartsage-serve`); these aliases keep the
+// renderer and the runner's sweep-level rendering on one implementation.
+pub(crate) use crate::json::escape_string as json_string;
+use crate::json::number as json_number;
 
 fn raw_number(v: f64) -> String {
     if v.is_finite() {
@@ -145,26 +143,6 @@ fn raw_number(v: f64) -> String {
     } else {
         String::new()
     }
-}
-
-/// JSON string literal with escaping; shared with the runner's
-/// sweep-level rendering.
-pub(crate) fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 fn csv_quote(s: &str) -> String {

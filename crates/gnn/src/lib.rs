@@ -31,5 +31,5 @@ pub mod trainer;
 
 pub use gpu::{GpuParams, TrainingCost};
 pub use model::GraphSageModel;
-pub use sampler::{Fanouts, SamplePlan, SampledBatch};
+pub use sampler::{merge_batches, sample_many_on, Fanouts, SamplePlan, SampleSpec, SampledBatch};
 pub use tensor::Matrix;

@@ -315,6 +315,155 @@ pub fn plan_sample_on(
     })
 }
 
+/// One independent sampling request inside a merged, coalesced pass —
+/// the unit `smartsage-serve`'s batcher hands to [`sample_many_on`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// The request's mini-batch target nodes.
+    pub targets: Vec<NodeId>,
+    /// Seed of the request's private position RNG.
+    pub seed: u64,
+}
+
+/// Samples many independent requests through a [`TopologyStore`] in
+/// **one coalesced pass per hop**: all requests' frontiers merge into a
+/// single `degrees_into` batch and a single `pick_neighbors_into`
+/// batch, so overlapping neighborhoods share page fetches, cache hits,
+/// and ISP passes.
+///
+/// Each request draws its neighbor positions from its own
+/// [`Xoshiro256`] seeded with `spec.seed`, consumed in exactly the
+/// order [`plan_sample_on`] would consume it — so every returned batch
+/// is bit-identical to running that request alone:
+///
+/// ```text
+/// sample_many_on(t, specs, f)[i]
+///     == plan_sample_on(t, &specs[i].targets, f,
+///                       &mut Xoshiro256::seed_from_u64(specs[i].seed))?
+///            .resolve_on(t)?
+/// ```
+///
+/// Only the store's I/O accounting differs (fewer, larger batched
+/// operations); `nodes_gathered`/`feature_bytes` totals are unchanged
+/// because merging neither adds nor drops answers.
+pub fn sample_many_on(
+    topology: &mut dyn TopologyStore,
+    specs: &[SampleSpec],
+    fanouts: &Fanouts,
+) -> Result<Vec<SampledBatch>, StoreError> {
+    let mut rngs: Vec<Xoshiro256> = specs
+        .iter()
+        .map(|s| Xoshiro256::seed_from_u64(s.seed))
+        .collect();
+    let mut frontiers: Vec<Vec<NodeId>> = specs.iter().map(|s| s.targets.clone()).collect();
+    let mut hops: Vec<Vec<HopSample>> = specs.iter().map(|_| Vec::new()).collect();
+    for &fanout in fanouts.as_slice() {
+        // One merged degree read across every request's frontier.
+        let merged: Vec<NodeId> = frontiers.iter().flatten().copied().collect();
+        let mut degrees = vec![0u64; merged.len()];
+        topology.degrees_into(&merged, &mut degrees)?;
+        // Per request (in request order), draw positions from its own
+        // RNG — the consumption order within a request is exactly
+        // `plan_sample_on`'s, so merging cannot change any request's
+        // sample.
+        let mut picks: Vec<(NodeId, u64)> = Vec::with_capacity(merged.len() * fanout);
+        let mut accesses: Vec<Vec<EdgeListAccess>> = Vec::with_capacity(specs.len());
+        let mut offset = 0;
+        for (frontier, rng) in frontiers.iter().zip(&mut rngs) {
+            let mut request_accesses = Vec::with_capacity(frontier.len());
+            for (&node, &degree) in frontier
+                .iter()
+                .zip(&degrees[offset..offset + frontier.len()])
+            {
+                let positions: Vec<u64> = if degree == 0 {
+                    Vec::new()
+                } else {
+                    (0..fanout).map(|_| rng.range_u64(degree)).collect()
+                };
+                picks.extend(positions.iter().map(|&p| (node, p)));
+                request_accesses.push(EdgeListAccess { node, positions });
+            }
+            offset += frontier.len();
+            accesses.push(request_accesses);
+        }
+        // One merged pick resolution, then split back per request,
+        // substituting self-loops for isolated nodes.
+        let mut resolved = vec![NodeId::default(); picks.len()];
+        topology.pick_neighbors_into(&picks, &mut resolved)?;
+        let mut next = resolved.iter();
+        for ((request_accesses, frontier), request_hops) in
+            accesses.iter().zip(&mut frontiers).zip(&mut hops)
+        {
+            let mut neighbors = Vec::with_capacity(request_accesses.len() * fanout);
+            for access in request_accesses {
+                if access.positions.is_empty() {
+                    neighbors.extend(std::iter::repeat_n(access.node, fanout));
+                } else {
+                    for _ in &access.positions {
+                        neighbors.push(*next.next().expect("one answer per pick"));
+                    }
+                }
+            }
+            request_hops.push(HopSample {
+                fanout,
+                parents: std::mem::take(frontier),
+                neighbors: neighbors.clone(),
+            });
+            *frontier = neighbors;
+        }
+    }
+    Ok(specs
+        .iter()
+        .zip(hops)
+        .map(|(spec, hops)| SampledBatch {
+            targets: spec.targets.clone(),
+            hops,
+        })
+        .collect())
+}
+
+/// Concatenates independent [`SampledBatch`]es (same hop structure)
+/// into one batch whose forward pass computes every request at once.
+///
+/// Because every [`Matrix`](crate::tensor::Matrix) operation in the
+/// model is row-local and `group_mean` groups consecutive fixed-size
+/// runs, request boundaries always align with group boundaries — so
+/// the merged logits split back into per-request logits that are
+/// bit-identical to running each request alone (asserted by
+/// `smartsage-serve`'s coalescing tests).
+///
+/// # Panics
+///
+/// Panics if the batches' hop counts or fan-outs differ (the caller
+/// groups requests by fan-out before merging).
+pub fn merge_batches(batches: &[SampledBatch]) -> SampledBatch {
+    assert!(!batches.is_empty(), "nothing to merge");
+    let fanouts: Vec<usize> = batches[0].hops.iter().map(|h| h.fanout).collect();
+    for b in batches {
+        let got: Vec<usize> = b.hops.iter().map(|h| h.fanout).collect();
+        assert_eq!(got, fanouts, "merge requires identical fan-outs");
+    }
+    let mut merged = SampledBatch {
+        targets: Vec::new(),
+        hops: fanouts
+            .iter()
+            .map(|&fanout| HopSample {
+                fanout,
+                parents: Vec::new(),
+                neighbors: Vec::new(),
+            })
+            .collect(),
+    };
+    for b in batches {
+        merged.targets.extend_from_slice(&b.targets);
+        for (into, hop) in merged.hops.iter_mut().zip(&b.hops) {
+            into.parents.extend_from_slice(&hop.parents);
+            into.neighbors.extend_from_slice(&hop.neighbors);
+        }
+    }
+    merged
+}
+
 /// Draws `batch_size` target nodes for step `step` of an epoch-long
 /// deterministic permutation (sampling without replacement across the
 /// epoch, as ML dataloaders do).
@@ -471,6 +620,98 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), n, "epoch must visit each node once");
+    }
+
+    #[test]
+    fn sample_many_matches_solo_sampling_bit_for_bit() {
+        let g = graph();
+        let f = Fanouts::new(vec![4, 3]);
+        let specs: Vec<SampleSpec> = (0..5u64)
+            .map(|i| SampleSpec {
+                targets: (0..6u32).map(|t| NodeId::new(t * 7 + i as u32)).collect(),
+                seed: 1000 + i,
+            })
+            .collect();
+        let mut merged_topo = CsrView::new(&g);
+        let merged = sample_many_on(&mut merged_topo, &specs, &f).unwrap();
+        assert_eq!(merged.len(), specs.len());
+        for (spec, batch) in specs.iter().zip(&merged) {
+            let mut solo_topo = CsrView::new(&g);
+            let mut rng = Xoshiro256::seed_from_u64(spec.seed);
+            let solo = plan_sample_on(&mut solo_topo, &spec.targets, &f, &mut rng)
+                .unwrap()
+                .resolve_on(&mut solo_topo)
+                .unwrap();
+            assert_eq!(batch, &solo, "merged sampling must not change results");
+        }
+        // Merging answers the same node count as the plans alone (the
+        // plan+resolve serial path re-resolves picks, so it reads
+        // strictly more) through only two batched ops per hop.
+        let merged_stats = merged_topo.stats();
+        let solo_plan_total: u64 = specs
+            .iter()
+            .map(|spec| {
+                let mut topo = CsrView::new(&g);
+                let mut rng = Xoshiro256::seed_from_u64(spec.seed);
+                plan_sample_on(&mut topo, &spec.targets, &f, &mut rng).unwrap();
+                topo.stats().nodes_gathered
+            })
+            .sum();
+        assert_eq!(merged_stats.nodes_gathered, solo_plan_total);
+        assert_eq!(merged_stats.gathers, 2 * f.hops() as u64);
+    }
+
+    #[test]
+    fn sample_many_handles_isolated_nodes_and_empty_spec_lists() {
+        let g = CsrGraph::from_edges(3, [(0, 1)]); // node 2 isolated
+        let f = Fanouts::new(vec![2]);
+        let specs = vec![SampleSpec {
+            targets: vec![NodeId::new(2)],
+            seed: 3,
+        }];
+        let out = sample_many_on(&mut CsrView::new(&g), &specs, &f).unwrap();
+        assert_eq!(out[0].hops[0].neighbors, vec![NodeId::new(2); 2]);
+        assert!(sample_many_on(&mut CsrView::new(&g), &[], &f)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn merge_batches_concatenates_per_hop() {
+        let g = graph();
+        let f = Fanouts::new(vec![3, 2]);
+        let specs: Vec<SampleSpec> = (0..3u64)
+            .map(|i| SampleSpec {
+                targets: vec![NodeId::new(i as u32), NodeId::new(40 + i as u32)],
+                seed: i,
+            })
+            .collect();
+        let batches = sample_many_on(&mut CsrView::new(&g), &specs, &f).unwrap();
+        let merged = merge_batches(&batches);
+        assert_eq!(merged.targets.len(), 6);
+        assert_eq!(merged.hops[0].neighbors.len(), 6 * 3);
+        assert_eq!(merged.hops[1].neighbors.len(), 6 * 3 * 2);
+        // Request i's rows sit at contiguous offsets in request order.
+        assert_eq!(&merged.targets[2..4], &batches[1].targets[..]);
+        assert_eq!(
+            &merged.hops[1].neighbors[12..24],
+            &batches[1].hops[1].neighbors[..]
+        );
+        // Hop-1 parents are still exactly hop-0's flattened neighbors.
+        assert_eq!(merged.hops[1].parents, merged.hops[0].neighbors);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical fan-outs")]
+    fn merge_batches_rejects_mismatched_fanouts() {
+        let g = graph();
+        let spec = vec![SampleSpec {
+            targets: vec![NodeId::new(1)],
+            seed: 1,
+        }];
+        let a = sample_many_on(&mut CsrView::new(&g), &spec, &Fanouts::new(vec![2])).unwrap();
+        let b = sample_many_on(&mut CsrView::new(&g), &spec, &Fanouts::new(vec![3])).unwrap();
+        merge_batches(&[a[0].clone(), b[0].clone()]);
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! The coalescing batcher: a bounded admission queue in front of one
+//! executor thread that drains time/size windows into
+//! [`Engine::execute`].
+//!
+//! Admission control is typed and immediate: a full queue rejects with
+//! [`ServeError::QueueFull`] (HTTP 429) and a closed queue with
+//! [`ServeError::ShuttingDown`] (503) at submit time — overload never
+//! builds an unbounded backlog, and connection workers never block on
+//! a queue that cannot accept them. Shutdown is graceful: the queue
+//! closes to new work, the executor drains everything already
+//! admitted, then exits.
+
+use crate::api::{ApiRequest, ServeError};
+use crate::engine::Engine;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Batching/admission policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// How long the executor lingers after the first request of a
+    /// window arrives, collecting more requests to merge. Zero means
+    /// drain immediately (whatever is already queued still merges).
+    pub window: Duration,
+    /// Most requests merged into one executor pass.
+    pub max_batch: usize,
+    /// Admission queue capacity; submissions beyond it get a 429.
+    pub queue_depth: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            window: Duration::from_millis(2),
+            max_batch: 64,
+            queue_depth: 256,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// The no-coalescing policy: one request per executor pass, no
+    /// lingering — the serial baseline the load harness compares
+    /// against.
+    pub fn serial() -> BatchPolicy {
+        BatchPolicy {
+            window: Duration::ZERO,
+            max_batch: 1,
+            queue_depth: 256,
+        }
+    }
+}
+
+struct Pending {
+    request: ApiRequest,
+    reply: mpsc::SyncSender<Result<String, ServeError>>,
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    open: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    arrived: Condvar,
+    policy: BatchPolicy,
+    rejected_queue_full: AtomicU64,
+}
+
+/// The batcher: owns the admission queue and the executor thread.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    executor: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Starts the executor thread over `engine`. The engine stays
+    /// reachable (for `GET /stats`) through the returned `Arc`; the
+    /// executor takes the lock only while running a window.
+    pub fn start(engine: Arc<Mutex<Engine>>, policy: BatchPolicy) -> Batcher {
+        assert!(policy.max_batch > 0, "max_batch must be positive");
+        assert!(policy.queue_depth > 0, "queue_depth must be positive");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            arrived: Condvar::new(),
+            policy,
+            rejected_queue_full: AtomicU64::new(0),
+        });
+        let executor_shared = Arc::clone(&shared);
+        let executor = thread::Builder::new()
+            .name("serve-batcher".to_string())
+            .spawn(move || run_executor(executor_shared, engine))
+            .expect("spawn batcher executor");
+        Batcher {
+            shared,
+            executor: Mutex::new(Some(executor)),
+        }
+    }
+
+    /// Admits one request, returning the channel its response will
+    /// arrive on — or rejects immediately with a typed 429/503.
+    pub fn submit(
+        &self,
+        request: ApiRequest,
+    ) -> Result<mpsc::Receiver<Result<String, ServeError>>, ServeError> {
+        let (reply, receiver) = mpsc::sync_channel(1);
+        let mut state = self.shared.state.lock().expect("batcher state");
+        if !state.open {
+            return Err(ServeError::ShuttingDown);
+        }
+        if state.queue.len() >= self.shared.policy.queue_depth {
+            self.shared
+                .rejected_queue_full
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QueueFull {
+                depth: self.shared.policy.queue_depth,
+            });
+        }
+        state.queue.push_back(Pending { request, reply });
+        drop(state);
+        self.shared.arrived.notify_one();
+        Ok(receiver)
+    }
+
+    /// Requests admitted but rejected for queue overflow so far.
+    pub fn rejected_queue_full(&self) -> u64 {
+        self.shared.rejected_queue_full.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently waiting for an executor pass.
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("batcher state").queue.len()
+    }
+
+    /// Closes the queue to new work, drains everything already
+    /// admitted, and joins the executor. Idempotent.
+    pub fn close(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("batcher state");
+            state.open = false;
+        }
+        self.shared.arrived.notify_all();
+        if let Some(executor) = self.executor.lock().expect("batcher executor").take() {
+            executor.join().expect("batcher executor panicked");
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn run_executor(shared: Arc<Shared>, engine: Arc<Mutex<Engine>>) {
+    loop {
+        // Wait for the first request of a window (or shutdown).
+        {
+            let mut state = shared.state.lock().expect("batcher state");
+            while state.queue.is_empty() && state.open {
+                state = shared.arrived.wait(state).expect("batcher state");
+            }
+            if state.queue.is_empty() && !state.open {
+                return; // drained and closed
+            }
+        }
+        // Linger for the coalescing window so concurrent requests can
+        // join this pass — but drain immediately when shutting down.
+        if !shared.policy.window.is_zero() {
+            let draining = !shared.state.lock().expect("batcher state").open;
+            if !draining {
+                thread::sleep(shared.policy.window);
+            }
+        }
+        let window: Vec<Pending> = {
+            let mut state = shared.state.lock().expect("batcher state");
+            let n = state.queue.len().min(shared.policy.max_batch);
+            state.queue.drain(..n).collect()
+        };
+        if window.is_empty() {
+            continue;
+        }
+        let requests: Vec<ApiRequest> = window.iter().map(|p| p.request.clone()).collect();
+        let responses = engine.lock().expect("serve engine").execute(&requests);
+        for (pending, response) in window.into_iter().zip(responses) {
+            // A client that hung up just discards its response.
+            let _ = pending.reply.send(response);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::SampleRequest;
+    use crate::engine::{DatasetConfig, EngineConfig};
+    use smartsage_gnn::Fanouts;
+
+    fn engine() -> Arc<Mutex<Engine>> {
+        Arc::new(Mutex::new(
+            Engine::new(EngineConfig {
+                dataset: DatasetConfig {
+                    nodes: 200,
+                    feature_dim: 8,
+                    classes: 4,
+                    ..DatasetConfig::default()
+                },
+                fanouts: Fanouts::new(vec![2, 2]),
+                hidden: 8,
+                ..EngineConfig::default()
+            })
+            .unwrap(),
+        ))
+    }
+
+    fn sample(nodes: &[u32]) -> ApiRequest {
+        let body = format!(
+            "{{\"nodes\":[{}]}}",
+            nodes
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        ApiRequest::Sample(SampleRequest::parse(&body).unwrap())
+    }
+
+    #[test]
+    fn submits_resolve_through_the_executor() {
+        let batcher = Batcher::start(engine(), BatchPolicy::serial());
+        let rx = batcher.submit(sample(&[1, 2])).unwrap();
+        let response = rx.recv().unwrap().unwrap();
+        assert!(response.contains("\"targets\":[1,2]"), "{response}");
+        batcher.close();
+    }
+
+    #[test]
+    fn queue_overflow_is_a_typed_429() {
+        let engine = engine();
+        // Stall the executor by holding the engine lock, so admitted
+        // requests stay queued.
+        let guard = engine.lock().unwrap();
+        let batcher = Batcher::start(
+            Arc::clone(&engine),
+            BatchPolicy {
+                window: Duration::ZERO,
+                max_batch: 1,
+                queue_depth: 2,
+            },
+        );
+        let _rx1 = batcher.submit(sample(&[1])).unwrap();
+        // Give the executor a moment to pull the first request out of
+        // the queue (it then blocks on the engine lock we hold).
+        std::thread::sleep(Duration::from_millis(50));
+        let _rx2 = batcher.submit(sample(&[2])).unwrap();
+        let _rx3 = batcher.submit(sample(&[3])).unwrap();
+        let err = batcher.submit(sample(&[4])).unwrap_err();
+        assert_eq!(err.status(), 429);
+        assert!(err.to_string().contains('2'), "{err}");
+        assert_eq!(batcher.rejected_queue_full(), 1);
+        drop(guard);
+        batcher.close();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_work_then_rejects_new_submits() {
+        let batcher = Batcher::start(
+            engine(),
+            BatchPolicy {
+                window: Duration::from_millis(200),
+                max_batch: 64,
+                queue_depth: 16,
+            },
+        );
+        let receivers: Vec<_> = (0..4)
+            .map(|i| batcher.submit(sample(&[i])).unwrap())
+            .collect();
+        batcher.close();
+        for rx in receivers {
+            assert!(rx.recv().unwrap().is_ok(), "admitted work must complete");
+        }
+        let err = batcher.submit(sample(&[1])).unwrap_err();
+        assert_eq!(err.status(), 503);
+    }
+
+    #[test]
+    fn a_window_coalesces_concurrent_requests() {
+        let engine = engine();
+        let batcher = Batcher::start(
+            Arc::clone(&engine),
+            BatchPolicy {
+                window: Duration::from_millis(100),
+                max_batch: 64,
+                queue_depth: 64,
+            },
+        );
+        let receivers: Vec<_> = (0..6)
+            .map(|i| batcher.submit(sample(&[i, i + 1])).unwrap())
+            .collect();
+        for rx in receivers {
+            rx.recv().unwrap().unwrap();
+        }
+        let counters = engine.lock().unwrap().counters();
+        assert_eq!(counters.requests, 6);
+        assert!(
+            counters.merged_batches < 6,
+            "6 requests inside one 100ms window must share passes, got {counters:?}"
+        );
+        batcher.close();
+    }
+}

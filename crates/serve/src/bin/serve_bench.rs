@@ -1,0 +1,424 @@
+//! `serve_bench` — the closed-loop load harness for smartsage-serve.
+//!
+//! For each store tier pair (`mem/mem`, `file/file`, `isp/isp`) it
+//! stands up an in-process server, drives N closed-loop clients
+//! (every client keeps exactly one request in flight) for K requests
+//! each over deliberately overlapping node sets, and reports QPS,
+//! p50/p99 latency, and the tier's exact host-vs-device byte split.
+//!
+//! It then re-runs the **file** tier serially — same request multiset,
+//! one client, [`BatchPolicy::serial`] (window zero, batch size one) —
+//! and asserts the coalescing contract from the issue:
+//!
+//! 1. merged-batch count strictly below the request count,
+//! 2. per-request host bytes strictly below the no-coalescing
+//!    baseline, and
+//! 3. every response bit-identical to its serial twin.
+//!
+//! Results land in `BENCH_6.json` (plus a tiny-scale `fig7` sweep
+//! wall-clock so the offline path is timed in the same artifact). Any
+//! contract violation exits nonzero — the bench is self-asserting.
+
+use smartsage_core::{ExperimentScale, Runner, StoreKind, TopologyKind};
+use smartsage_gnn::Fanouts;
+use smartsage_serve::batcher::BatchPolicy;
+use smartsage_serve::client::HttpClient;
+use smartsage_serve::engine::{DatasetConfig, Engine, EngineConfig, EngineCounters};
+use smartsage_serve::http::{HttpOptions, Server};
+use smartsage_store::StoreStats;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+usage: serve_bench [options]
+
+  --clients N     closed-loop clients per tier run (default 8)
+  --requests N    requests per client (default 25)
+  --nodes N       served population size (default 4096)
+  --cache-pages N file/isp page-cache capacity (default 32; small on
+                  purpose — the thrashing regime is where coalescing
+                  visibly cuts host bytes)
+  --output PATH   where to write the JSON report (default BENCH_6.json)
+  --help          this text
+";
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("serve_bench: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Everything one tier run produced.
+struct TierRun {
+    label: &'static str,
+    wall: Duration,
+    latencies: Vec<Duration>,
+    counters: EngineCounters,
+    store: StoreStats,
+    topology: StoreStats,
+    /// body -> response, for the bit-identity check.
+    responses: HashMap<String, String>,
+}
+
+impl TierRun {
+    fn requests(&self) -> u64 {
+        self.counters.requests
+    }
+
+    fn qps(&self) -> f64 {
+        self.requests() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn host_bytes(&self) -> u64 {
+        self.store.host_bytes_transferred + self.topology.host_bytes_transferred
+    }
+
+    fn host_bytes_per_request(&self) -> f64 {
+        self.host_bytes() as f64 / self.requests().max(1) as f64
+    }
+
+    fn percentile(&self, p: f64) -> Duration {
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        if sorted.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx]
+    }
+}
+
+/// The deterministic request stream: client `c`'s request `i`. Targets
+/// are shared across clients for the same `i` (maximal overlap inside
+/// a coalescing window when the closed loops run in lockstep) while
+/// seeds stay unique per (client, request) so every body — and hence
+/// every sampled neighborhood — is distinct. Even rounds infer, odd
+/// rounds sample, so both the feature and topology paths carry load.
+fn request_body(client: usize, i: usize, nodes: usize) -> (String, String) {
+    let targets: Vec<String> = (0..4)
+        .map(|j| ((i * 31 + j * 1021) % nodes).to_string())
+        .collect();
+    let body = format!(
+        "{{\"nodes\":[{}],\"seed\":{}}}",
+        targets.join(","),
+        client * 100_000 + i
+    );
+    let path = if i.is_multiple_of(2) {
+        "/v1/infer"
+    } else {
+        "/v1/sample"
+    };
+    (path.to_string(), body)
+}
+
+fn engine_config(
+    store: StoreKind,
+    topology: TopologyKind,
+    nodes: usize,
+    cache_pages: usize,
+) -> EngineConfig {
+    EngineConfig {
+        dataset: DatasetConfig {
+            nodes,
+            feature_dim: 64,
+            ..DatasetConfig::default()
+        },
+        store,
+        topology,
+        fanouts: Fanouts::new(vec![10, 5]),
+        cache_pages,
+        ..EngineConfig::default()
+    }
+}
+
+/// Drives `clients` closed loops over `stream` (split into contiguous
+/// per-client slices) against a fresh server on the given tiers and
+/// collects latency + exact I/O. With `clients == 1` the whole stream
+/// replays in order — the no-coalescing baseline.
+fn run_tier(
+    label: &'static str,
+    (store, topology): (StoreKind, TopologyKind),
+    clients: usize,
+    stream: &Arc<Vec<(String, String)>>,
+    nodes: usize,
+    cache_pages: usize,
+    policy: BatchPolicy,
+) -> TierRun {
+    assert!(stream.len().is_multiple_of(clients), "stream splits evenly");
+    let per_client = stream.len() / clients;
+    let engine = Engine::new(engine_config(store, topology, nodes, cache_pages))
+        .unwrap_or_else(|e| fatal(&format!("{label}: failed to open store tiers: {e}")));
+    let server = Server::start(engine, policy, HttpOptions::default(), "127.0.0.1:0")
+        .unwrap_or_else(|e| fatal(&format!("{label}: failed to bind: {e}")));
+    let addr = server.addr();
+    let start = Instant::now();
+    let mut workers = Vec::new();
+    for client in 0..clients {
+        let stream = Arc::clone(stream);
+        workers.push(std::thread::spawn(move || {
+            let mut conn = HttpClient::connect(addr)
+                .unwrap_or_else(|e| fatal(&format!("client {client}: connect: {e}")));
+            let mut latencies = Vec::with_capacity(per_client);
+            let mut responses = Vec::with_capacity(per_client);
+            for (path, body) in &stream[client * per_client..(client + 1) * per_client] {
+                let sent = Instant::now();
+                let (status, response) = conn
+                    .request("POST", path, Some(body))
+                    .unwrap_or_else(|e| fatal(&format!("client {client}: {body}: {e}")));
+                latencies.push(sent.elapsed());
+                if status != 200 {
+                    fatal(&format!("client {client}: {body} got {status}: {response}"));
+                }
+                responses.push((body.clone(), response));
+            }
+            (latencies, responses)
+        }));
+    }
+    let mut latencies = Vec::new();
+    let mut responses = HashMap::new();
+    for worker in workers {
+        let (lat, res) = worker.join().unwrap_or_else(|_| fatal("client panicked"));
+        latencies.extend(lat);
+        for (body, response) in res {
+            if let Some(previous) = responses.insert(body.clone(), response.clone()) {
+                // Bodies are unique by construction; a duplicate would
+                // make the bit-identity map ambiguous.
+                assert_eq!(previous, response, "duplicate body answered differently");
+            }
+        }
+    }
+    let wall = start.elapsed();
+    server.shutdown();
+    let engine = server.engine();
+    let engine = engine
+        .lock()
+        .unwrap_or_else(|_| fatal("engine lock poisoned"));
+    TierRun {
+        label,
+        wall,
+        latencies,
+        counters: engine.counters(),
+        store: engine.store_stats(),
+        topology: engine.topology_stats(),
+        responses,
+    }
+}
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("serve_bench: {msg}");
+    std::process::exit(1);
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn tier_json(run: &TierRun) -> String {
+    use smartsage_core::json::number;
+    format!(
+        "{{\"requests\":{},\"wall_ms\":{},\"qps\":{},\"p50_ms\":{},\"p99_ms\":{},\
+         \"merged_batches\":{},\"coalesced_requests\":{},\
+         \"host_bytes\":{},\"host_bytes_per_request\":{},\"host_bytes_per_sec\":{},\
+         \"device_bytes_read\":{},\"store_page_hit_rate\":{},\"topology_page_hit_rate\":{}}}",
+        run.requests(),
+        number(ms(run.wall)),
+        number(run.qps()),
+        number(ms(run.percentile(0.50))),
+        number(ms(run.percentile(0.99))),
+        run.counters.merged_batches,
+        run.counters.coalesced_requests,
+        run.host_bytes(),
+        number(run.host_bytes_per_request()),
+        number(run.host_bytes() as f64 / run.wall.as_secs_f64().max(1e-9)),
+        run.store.device_bytes_read + run.topology.device_bytes_read,
+        number(run.store.hit_rate()),
+        number(run.topology.hit_rate()),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    let value_of = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| fail_usage(&format!("{flag} needs a value")))
+            })
+            .map(|s| s.as_str())
+    };
+    let parse = |flag: &str, default: usize| -> usize {
+        value_of(flag).map_or(default, |v| {
+            v.parse()
+                .unwrap_or_else(|_| fail_usage(&format!("{flag} wants an integer, got '{v}'")))
+        })
+    };
+    let clients = parse("--clients", 8).max(1);
+    let requests = parse("--requests", 25).max(1);
+    let nodes = parse("--nodes", 4096).max(64);
+    let cache_pages = parse("--cache-pages", 32).max(1);
+    let output = value_of("--output").unwrap_or("BENCH_6.json").to_string();
+
+    let coalescing = BatchPolicy {
+        window: Duration::from_millis(2),
+        max_batch: 64,
+        queue_depth: 1024,
+    };
+    println!(
+        "serve_bench: {clients} closed-loop clients x {requests} requests, {nodes} nodes, \
+         {cache_pages}-page cache"
+    );
+
+    // One deterministic request stream, shared by every run: the
+    // coalesced runs split it across the clients, the serial baseline
+    // replays the whole thing in order.
+    let stream: Arc<Vec<(String, String)>> = Arc::new(
+        (0..clients)
+            .flat_map(|c| (0..requests).map(move |i| request_body(c, i, nodes)))
+            .collect(),
+    );
+
+    // Closed-loop runs, one per tier pair.
+    let tiers = [
+        ("mem", StoreKind::Mem, TopologyKind::Mem),
+        ("file", StoreKind::File, TopologyKind::File),
+        ("isp", StoreKind::Isp, TopologyKind::Isp),
+    ];
+    let mut runs = Vec::new();
+    for (label, store, topology) in tiers {
+        let run = run_tier(
+            label,
+            (store, topology),
+            clients,
+            &stream,
+            nodes,
+            cache_pages,
+            coalescing,
+        );
+        println!(
+            "  {label:>4}: {:.0} qps, p50 {:.3} ms, p99 {:.3} ms, {} merged batches / {} requests, \
+             {} host bytes",
+            run.qps(),
+            ms(run.percentile(0.50)),
+            ms(run.percentile(0.99)),
+            run.counters.merged_batches,
+            run.requests(),
+            run.host_bytes(),
+        );
+        runs.push(run);
+    }
+
+    // The no-coalescing baseline: the file tier again, same request
+    // multiset, one client, serial policy.
+    let serial = run_tier(
+        "file-serial",
+        (StoreKind::File, TopologyKind::File),
+        1,
+        &stream,
+        nodes,
+        cache_pages,
+        BatchPolicy::serial(),
+    );
+    println!(
+        "  {:>4}: {:.0} qps, {} merged batches / {} requests, {} host bytes",
+        serial.label,
+        serial.qps(),
+        serial.counters.merged_batches,
+        serial.requests(),
+        serial.host_bytes(),
+    );
+
+    // --- The coalescing contract (self-asserting). -------------------
+    let file = runs
+        .iter()
+        .find(|r| r.label == "file")
+        .expect("file tier ran");
+    let total = (clients * requests) as u64;
+    if file.requests() != total || serial.requests() != total {
+        fatal(&format!(
+            "request accounting off: coalesced {} vs serial {} vs expected {total}",
+            file.requests(),
+            serial.requests()
+        ));
+    }
+    if file.counters.merged_batches >= file.requests() {
+        fatal(&format!(
+            "coalescing failed: {} merged batches for {} requests",
+            file.counters.merged_batches,
+            file.requests()
+        ));
+    }
+    if file.host_bytes_per_request() >= serial.host_bytes_per_request() {
+        fatal(&format!(
+            "no host-byte win: coalesced {:.1} B/request vs serial {:.1} B/request",
+            file.host_bytes_per_request(),
+            serial.host_bytes_per_request()
+        ));
+    }
+    // Bit-identity: the serial baseline replayed the same bodies one
+    // at a time; every response must match exactly (samples AND
+    // logits), or coalescing changed results.
+    if serial.responses.len() != file.responses.len() {
+        fatal("serial baseline saw a different body set");
+    }
+    let mut checked = 0usize;
+    for (body, serial_response) in &serial.responses {
+        match file.responses.get(body) {
+            Some(coalesced_response) if coalesced_response == serial_response => checked += 1,
+            Some(_) => fatal(&format!(
+                "response diverged under coalescing for body {body}"
+            )),
+            None => fatal(&format!("coalesced run never answered body {body}")),
+        }
+    }
+    println!(
+        "  coalescing contract: {} merged batches < {} requests; \
+         {:.1} < {:.1} host B/request; {checked} responses bit-identical",
+        file.counters.merged_batches,
+        file.requests(),
+        file.host_bytes_per_request(),
+        serial.host_bytes_per_request(),
+    );
+
+    // --- The offline path, timed in the same artifact: fig7 tiny. ----
+    let fig7_start = Instant::now();
+    let outcomes = Runner::builder()
+        .scale(ExperimentScale::tiny())
+        .filter(|e| e.name == "fig7")
+        .build()
+        .run();
+    let fig7_wall = fig7_start.elapsed();
+    if outcomes.len() != 1 {
+        fatal("fig7 experiment missing from the registry");
+    }
+    println!("  fig7 (tiny scale): {:.1} ms wall", ms(fig7_wall));
+
+    // --- BENCH_6.json -------------------------------------------------
+    use smartsage_core::json::number;
+    let per_tier: Vec<String> = runs
+        .iter()
+        .map(|run| format!("\"{}\":{}", run.label, tier_json(run)))
+        .collect();
+    let report = format!(
+        "{{\n  \"bench\": \"serve_bench\",\n  \"clients\": {clients},\n  \
+         \"requests_per_client\": {requests},\n  \"nodes\": {nodes},\n  \
+         \"cache_pages\": {cache_pages},\n  \"tiers\": {{\n    {}\n  }},\n  \
+         \"coalescing\": {{\n    \"baseline\": {},\n    \
+         \"merged_batches_lt_requests\": true,\n    \
+         \"host_bytes_per_request_reduction\": {},\n    \
+         \"responses_bit_identical\": {checked}\n  }},\n  \
+         \"fig7_tiny_wall_ms\": {}\n}}\n",
+        per_tier.join(",\n    "),
+        tier_json(&serial),
+        number(serial.host_bytes_per_request() / file.host_bytes_per_request().max(1e-9)),
+        number(ms(fig7_wall)),
+    );
+    if let Err(e) = std::fs::write(&output, &report) {
+        fatal(&format!("failed to write {output}: {e}"));
+    }
+    println!("serve_bench: wrote {output}");
+}

@@ -1,0 +1,108 @@
+//! A minimal blocking HTTP/1.1 client for the in-process harnesses —
+//! the closed-loop load generator and the integration tests. Speaks
+//! exactly the subset the server does (keep-alive, `Content-Length`
+//! framing).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One keep-alive connection to a server.
+pub struct HttpClient {
+    stream: TcpStream,
+    buffer: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects to `addr`.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(HttpClient {
+            stream,
+            buffer: Vec::new(),
+        })
+    }
+
+    /// Sends one request and reads the response: `(status, body)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: smartsage\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let head_end = loop {
+            if let Some(pos) = self.buffer.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before a full response head",
+                ));
+            }
+            self.buffer.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&self.buffer[..head_end]).to_string();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed status line in '{head}'"),
+                )
+            })?;
+        let content_length: usize = head
+            .lines()
+            .find_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .unwrap_or(0);
+        let body_start = head_end + 4;
+        while self.buffer.len() < body_start + content_length {
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            self.buffer.extend_from_slice(&chunk[..n]);
+        }
+        let body = String::from_utf8_lossy(&self.buffer[body_start..body_start + content_length])
+            .to_string();
+        self.buffer.drain(..body_start + content_length);
+        Ok((status, body))
+    }
+}
+
+/// One-shot request on a fresh connection.
+pub fn oneshot(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    HttpClient::connect(addr)?.request(method, path, body)
+}

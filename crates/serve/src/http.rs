@@ -1,0 +1,481 @@
+//! The std-only HTTP/1.1 front end: a `TcpListener` shared by a fixed
+//! pool of worker threads, each handling one keep-alive connection at
+//! a time.
+//!
+//! Deliberately minimal (the workspace is offline — no tokio, no
+//! hyper): request-line + headers + `Content-Length` bodies, JSON in
+//! and out, typed errors end to end. Routes:
+//!
+//! | Route              | Behavior                                       |
+//! |--------------------|------------------------------------------------|
+//! | `GET /health`      | liveness + tier labels                         |
+//! | `GET /stats`       | service counters + per-tier store stats        |
+//! | `POST /v1/sample`  | k-hop sampling through the batcher             |
+//! | `POST /v1/infer`   | sample + gather + GraphSage forward            |
+//! | `POST /v1/shutdown`| acknowledge, then signal [`Server::wait`]      |
+//!
+//! Oversized bodies are rejected with a 413 *before* the body is read;
+//! malformed framing gets a 400 and the connection closes; everything
+//! after framing flows through [`crate::api`]'s typed errors.
+
+use crate::api::{ApiRequest, SampleRequest, ServeError};
+use crate::batcher::{BatchPolicy, Batcher};
+use crate::engine::Engine;
+use smartsage_core::json;
+use smartsage_store::StoreStats;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Connection-level options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpOptions {
+    /// Worker threads; each owns one connection at a time, so this
+    /// bounds concurrent connections (excess waits in the OS accept
+    /// backlog).
+    pub workers: usize,
+    /// Largest accepted request body; longer declarations get a 413
+    /// without reading the body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpOptions {
+    fn default() -> Self {
+        HttpOptions {
+            workers: 16,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// How often blocked reads wake up to notice shutdown.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+struct Inner {
+    engine: Arc<Mutex<Engine>>,
+    batcher: Batcher,
+    options: HttpOptions,
+    shutting_down: AtomicBool,
+    stop_requested: Mutex<bool>,
+    stop_signal: Condvar,
+}
+
+/// A running server: the listener, its worker pool, and the batcher +
+/// engine behind them.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), starts the
+    /// batcher executor and `options.workers` connection workers, and
+    /// returns immediately.
+    pub fn start(
+        engine: Engine,
+        policy: BatchPolicy,
+        options: HttpOptions,
+        addr: &str,
+    ) -> std::io::Result<Server> {
+        assert!(options.workers > 0, "need at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let engine = Arc::new(Mutex::new(engine));
+        let inner = Arc::new(Inner {
+            engine: Arc::clone(&engine),
+            batcher: Batcher::start(engine, policy),
+            options,
+            shutting_down: AtomicBool::new(false),
+            stop_requested: Mutex::new(false),
+            stop_signal: Condvar::new(),
+        });
+        let mut workers = Vec::with_capacity(options.workers);
+        for i in 0..options.workers {
+            let listener = listener.try_clone()?;
+            let inner = Arc::clone(&inner);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("serve-http-{i}"))
+                    .spawn(move || accept_loop(listener, inner))
+                    .expect("spawn http worker"),
+            );
+        }
+        Ok(Server {
+            inner,
+            addr,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine, for harnesses that read stats in-process.
+    pub fn engine(&self) -> Arc<Mutex<Engine>> {
+        Arc::clone(&self.inner.engine)
+    }
+
+    /// Blocks until a `POST /v1/shutdown` arrives (the caller then
+    /// runs [`Server::shutdown`]).
+    pub fn wait(&self) {
+        let mut stop = self.inner.stop_requested.lock().expect("stop flag");
+        while !*stop {
+            stop = self.inner.stop_signal.wait(stop).expect("stop flag");
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain every admitted
+    /// request, join the workers. Idempotent.
+    pub fn shutdown(&self) {
+        if self.inner.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Close the queue to new work and drain what was admitted.
+        self.inner.batcher.close();
+        // Unblock workers parked in accept().
+        let workers: Vec<_> = self.workers.lock().expect("workers").drain(..).collect();
+        for _ in 0..workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for worker in workers {
+            worker.join().expect("http worker panicked");
+        }
+        // Release anything blocked in wait().
+        self.signal_stop();
+    }
+
+    fn signal_stop(&self) {
+        *self.inner.stop_requested.lock().expect("stop flag") = true;
+        self.inner.stop_signal.notify_all();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    loop {
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    return; // the wake-up connection during shutdown
+                }
+                // Connection failures only end that connection.
+                let _ = handle_connection(stream, &inner);
+            }
+            Err(_) => {
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// One parsed request frame.
+struct HttpRequest {
+    method: String,
+    path: String,
+    body: String,
+    close: bool,
+}
+
+enum FrameError {
+    /// The connection is done (clean EOF or I/O failure) — no response.
+    Disconnect,
+    /// Shutdown was signaled while the connection idled.
+    ShuttingDown,
+    /// The frame is unusable; respond with this and close.
+    Reject(ServeError),
+}
+
+fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_nodelay(true)?;
+    let mut buffer: Vec<u8> = Vec::new();
+    loop {
+        match read_request(&mut stream, &mut buffer, inner) {
+            Ok(request) => {
+                let close = request.close;
+                let (status, body) = route(&request, inner);
+                respond(&mut stream, status, &body, close)?;
+                if close {
+                    return Ok(());
+                }
+            }
+            Err(FrameError::Disconnect) => return Ok(()),
+            Err(FrameError::ShuttingDown) => return Ok(()),
+            Err(FrameError::Reject(e)) => {
+                respond(&mut stream, e.status(), &e.to_json(), true)?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Reads one request frame, polling for shutdown while idle. `buffer`
+/// carries bytes already read past the previous frame (keep-alive).
+fn read_request(
+    stream: &mut TcpStream,
+    buffer: &mut Vec<u8>,
+    inner: &Arc<Inner>,
+) -> Result<HttpRequest, FrameError> {
+    let head_end = loop {
+        if let Some(pos) = find_head_end(buffer) {
+            break pos;
+        }
+        if buffer.len() > MAX_HEAD_BYTES {
+            return Err(FrameError::Reject(ServeError::BadRequest(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            ))));
+        }
+        fill(stream, buffer, buffer.is_empty(), inner)?;
+    };
+    let head = std::str::from_utf8(&buffer[..head_end])
+        .map_err(|_| FrameError::Reject(ServeError::BadRequest("non-UTF-8 request head".into())))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => (m.to_string(), p.to_string()),
+        _ => {
+            return Err(FrameError::Reject(ServeError::BadRequest(format!(
+                "malformed request line '{request_line}'"
+            ))))
+        }
+    };
+    let mut content_length = 0usize;
+    let mut close = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().map_err(|_| {
+                FrameError::Reject(ServeError::BadRequest(format!(
+                    "unparseable Content-Length '{value}'"
+                )))
+            })?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            close = value.eq_ignore_ascii_case("close");
+        }
+    }
+    // Oversized bodies are rejected on the *declared* length — the
+    // server never reads them in.
+    if content_length > inner.options.max_body_bytes {
+        return Err(FrameError::Reject(ServeError::BodyTooLarge {
+            got: content_length,
+            limit: inner.options.max_body_bytes,
+        }));
+    }
+    let body_start = head_end + 4;
+    while buffer.len() < body_start + content_length {
+        fill(stream, buffer, false, inner)?;
+    }
+    let body = String::from_utf8(buffer[body_start..body_start + content_length].to_vec())
+        .map_err(|_| FrameError::Reject(ServeError::BadRequest("non-UTF-8 request body".into())))?;
+    buffer.drain(..body_start + content_length);
+    Ok(HttpRequest {
+        method,
+        path,
+        body,
+        close,
+    })
+}
+
+/// Appends more bytes from the socket. While a connection sits idle
+/// between requests (`idle`), read timeouts poll the shutdown flag;
+/// mid-frame timeouts just retry.
+fn fill(
+    stream: &mut TcpStream,
+    buffer: &mut Vec<u8>,
+    idle: bool,
+    inner: &Arc<Inner>,
+) -> Result<(), FrameError> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buffer.is_empty() {
+                    Err(FrameError::Disconnect)
+                } else {
+                    Err(FrameError::Reject(ServeError::BadRequest(
+                        "connection closed mid-request".into(),
+                    )))
+                }
+            }
+            Ok(n) => {
+                buffer.extend_from_slice(&chunk[..n]);
+                return Ok(());
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if inner.shutting_down.load(Ordering::SeqCst) && idle && buffer.is_empty() {
+                    return Err(FrameError::ShuttingDown);
+                }
+            }
+            Err(_) => return Err(FrameError::Disconnect),
+        }
+    }
+}
+
+fn find_head_end(buffer: &[u8]) -> Option<usize> {
+    buffer.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn route(request: &HttpRequest, inner: &Arc<Inner>) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => (200, health_json(inner)),
+        ("GET", "/stats") => (200, stats_json(inner)),
+        ("POST", "/v1/sample") => dispatch(inner, &request.body, ApiRequest::Sample),
+        ("POST", "/v1/infer") => dispatch(inner, &request.body, ApiRequest::Infer),
+        ("POST", "/v1/shutdown") => {
+            // Acknowledge first; the owner thread (in `wait()`) runs
+            // the actual drain + join.
+            inner.stop_signal.notify_all_with(&inner.stop_requested);
+            (200, "{\"status\":\"shutting down\"}".to_string())
+        }
+        (_, "/health" | "/stats" | "/v1/sample" | "/v1/infer" | "/v1/shutdown") => {
+            let e = ServeError::MethodNotAllowed;
+            (e.status(), e.to_json())
+        }
+        _ => {
+            let e = ServeError::NotFound;
+            (e.status(), e.to_json())
+        }
+    }
+}
+
+/// Parses, admits, and awaits one request — every failure mode is a
+/// typed [`ServeError`]; nothing here can panic a worker.
+fn dispatch(
+    inner: &Arc<Inner>,
+    body: &str,
+    verb: impl FnOnce(SampleRequest) -> ApiRequest,
+) -> (u16, String) {
+    let outcome = SampleRequest::parse(body)
+        .map(verb)
+        .and_then(|request| inner.batcher.submit(request))
+        .and_then(|receiver| {
+            receiver
+                .recv()
+                // The executor drains every admitted request before
+                // exiting, so a dropped channel means it died.
+                .map_err(|_| ServeError::Internal("executor gone".into()))?
+        });
+    match outcome {
+        Ok(body) => (200, body),
+        Err(e) => (e.status(), e.to_json()),
+    }
+}
+
+fn health_json(inner: &Arc<Inner>) -> String {
+    let engine = inner.engine.lock().expect("serve engine");
+    format!(
+        "{{\"status\":\"ok\",\"store\":{},\"graph\":{},\"nodes\":{}}}",
+        json::escape_string(engine.config().store.label()),
+        json::escape_string(engine.config().topology.label()),
+        engine.num_nodes()
+    )
+}
+
+/// The `GET /stats` body: service counters plus per-tier I/O stats,
+/// all from this engine's scoped handles.
+fn stats_json(inner: &Arc<Inner>) -> String {
+    let engine = inner.engine.lock().expect("serve engine");
+    let c = engine.counters();
+    let service = format!(
+        "{{\"requests\":{},\"sample_requests\":{},\"infer_requests\":{},\
+         \"merged_batches\":{},\"coalesced_requests\":{},\
+         \"rejected_queue_full\":{},\"queued\":{}}}",
+        c.requests,
+        c.sample_requests,
+        c.infer_requests,
+        c.merged_batches,
+        c.coalesced_requests,
+        inner.batcher.rejected_queue_full(),
+        inner.batcher.queued(),
+    );
+    format!(
+        "{{\"service\":{service},\"store\":{},\"topology\":{}}}",
+        tier_stats_json(engine.config().store.label(), &engine.store_stats()),
+        tier_stats_json(engine.config().topology.label(), &engine.topology_stats()),
+    )
+}
+
+/// One store tier's counters as a JSON object.
+pub fn tier_stats_json(tier: &str, s: &StoreStats) -> String {
+    format!(
+        "{{\"tier\":{},\"gathers\":{},\"nodes_gathered\":{},\"feature_bytes\":{},\
+         \"pages_read\":{},\"bytes_read\":{},\"page_hits\":{},\"page_misses\":{},\
+         \"device_bytes_read\":{},\"host_bytes_transferred\":{},\"device_ns\":{},\
+         \"hit_rate\":{},\"transfer_reduction\":{}}}",
+        json::escape_string(tier),
+        s.gathers,
+        s.nodes_gathered,
+        s.feature_bytes,
+        s.pages_read,
+        s.bytes_read,
+        s.page_hits,
+        s.page_misses,
+        s.device_bytes_read,
+        s.host_bytes_transferred,
+        s.device_ns,
+        json::number(s.hit_rate()),
+        json::number(s.transfer_reduction()),
+    )
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &str, close: bool) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "OK",
+    };
+    let connection = if close { "close" } else { "keep-alive" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Tiny extension so `route` can signal the owner thread without
+/// holding the lock across `notify`.
+trait NotifyWith {
+    fn notify_all_with(&self, flag: &Mutex<bool>);
+}
+
+impl NotifyWith for Condvar {
+    fn notify_all_with(&self, flag: &Mutex<bool>) {
+        *flag.lock().expect("stop flag") = true;
+        self.notify_all();
+    }
+}

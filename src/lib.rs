@@ -35,6 +35,10 @@
 //! * [`core`] — the SmartSAGE system itself: NSconfig, the ISP firmware
 //!   model, the seven system backends, the producer/consumer pipeline
 //!   simulator, and one experiment driver per paper table/figure.
+//! * [`serve`] — the online serving path: a std-only HTTP/1.1 service
+//!   (`/v1/sample`, `/v1/infer`, `/stats`) over the same shared store
+//!   tiers, with a request-coalescing batcher, typed admission
+//!   control, and a closed-loop load harness (`serve_bench`).
 //!
 //! # Quickstart
 //!
@@ -152,6 +156,7 @@ pub use smartsage_gnn as gnn;
 pub use smartsage_graph as graph;
 pub use smartsage_hostio as hostio;
 pub use smartsage_memsim as memsim;
+pub use smartsage_serve as serve;
 pub use smartsage_sim as sim;
 pub use smartsage_storage as storage;
 pub use smartsage_store as store;
