@@ -26,9 +26,7 @@ fn pipe(kind: SystemKind, sampler: SamplerKind, fanouts: Fanouts) -> f64 {
             seed: 13,
             sampler,
             train: true,
-            store: None,
-            topology: None,
-            readahead: false,
+            ..PipelineConfig::default()
         },
     );
     report.makespan.as_secs_f64()

@@ -14,9 +14,7 @@ fn bench_scale() -> ExperimentScale {
         batches: 4,
         workers: 4,
         seed: 2022,
-        store: None,
-        topology: None,
-        readahead: false,
+        ..ExperimentScale::default()
     }
 }
 
@@ -126,9 +124,7 @@ fn fig15_coalescing(c: &mut Criterion) {
                             seed: scale.seed,
                             sampler: SamplerKind::GraphSage,
                             train: false,
-                            store: None,
-                            topology: None,
-                            readahead: false,
+                            ..PipelineConfig::default()
                         },
                     )
                 });

@@ -233,10 +233,10 @@ fn main() {
     let printer: Mutex<(usize, BTreeMap<usize, String>)> = Mutex::new((0, BTreeMap::new()));
     let mut scale = cli.scale;
     if let Some(kind) = cli.store {
-        scale.store = Some(kind);
+        scale.store = kind;
     }
     if let Some(kind) = cli.graph {
-        scale.topology = Some(kind);
+        scale.topology = kind;
     }
     scale.readahead = cli.readahead;
     let runner = Runner::builder()

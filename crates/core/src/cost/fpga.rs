@@ -1,4 +1,4 @@
-//! FPGA-based CSD backend (paper §VI-D, Fig 9 and Fig 19).
+//! FPGA-based CSD cost policy (paper §VI-D, Fig 9 and Fig 19).
 //!
 //! A SmartSSD-style device: the FPGA sits next to the SSD behind an
 //! in-package PCIe switch. In-storage sampling then requires a **two-step
@@ -9,17 +9,17 @@
 //! over-fetch the firmware ISP eliminates, so the FPGA CSD fails to beat
 //! even the software-only direct-I/O design.
 
-use super::{SamplingBackend, SharedFeatureStore, SharedGraphTopology, StepOutcome};
+use super::{BatchCost, CostPolicy, StepOutcome};
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
-use crate::metrics::{FinishedBatch, FpgaPhases, TransferStats};
-use smartsage_gnn::SamplePlan;
+use crate::metrics::FpgaPhases;
 use smartsage_sim::{Link, SimDuration, SimTime, Xoshiro256};
+use smartsage_store::SampleTrace;
 use std::sync::Arc;
 
 #[derive(Debug)]
 struct Cursor {
-    plan: SamplePlan,
+    trace: SampleTrace,
     hop: usize,
     access: usize,
     started: SimTime,
@@ -29,46 +29,42 @@ struct Cursor {
     ssd_to_host: u64,
 }
 
-/// The FPGA-CSD backend.
+/// The FPGA-CSD cost policy.
 #[derive(Debug)]
-pub struct FpgaBackend {
+pub struct FpgaPolicy {
     ctx: Arc<RunContext>,
     /// The in-device P2P link between the SSD and the FPGA.
     p2p: Link,
     rng: Xoshiro256,
     cursors: Vec<Option<Cursor>>,
-    finished: Vec<Option<FinishedBatch>>,
-    store: Option<SharedFeatureStore>,
-    topology: Option<SharedGraphTopology>,
+    finished: Vec<Option<BatchCost>>,
 }
 
-impl FpgaBackend {
-    /// Creates the backend.
+impl FpgaPolicy {
+    /// Creates the policy.
     pub fn new(ctx: Arc<RunContext>, workers: usize) -> Self {
         let fpga = &ctx.config.devices.fpga;
         let p2p = Link::new(fpga.p2p_bytes_per_sec, fpga.p2p_latency);
         let rng = Xoshiro256::seed_from_u64(0xF96A_0003 ^ ctx.layout.total_bytes());
-        FpgaBackend {
+        FpgaPolicy {
             ctx,
             p2p,
             rng,
             cursors: (0..workers).map(|_| None).collect(),
             finished: (0..workers).map(|_| None).collect(),
-            store: None,
-            topology: None,
         }
     }
 }
 
-impl SamplingBackend for FpgaBackend {
+impl CostPolicy for FpgaPolicy {
     fn kind(&self) -> SystemKind {
         SystemKind::FpgaCsd
     }
 
-    fn begin(&mut self, worker: usize, at: SimTime, plan: SamplePlan) {
+    fn begin(&mut self, worker: usize, at: SimTime, trace: SampleTrace) {
         assert!(self.cursors[worker].is_none(), "worker {worker} is busy");
         self.cursors[worker] = Some(Cursor {
-            plan,
+            trace,
             hop: 0,
             access: 0,
             started: at,
@@ -94,10 +90,10 @@ impl SamplingBackend for FpgaBackend {
             return StepOutcome::Running { next: t };
         }
 
-        if cursor.hop < cursor.plan.hops.len() {
+        if cursor.hop < cursor.trace.hops.len() {
             // Process one chunk of accesses: flash fill, P2P move of the
             // block-granular chunks to the FPGA, then the gather.
-            let hop = &cursor.plan.hops[cursor.hop];
+            let hop = &cursor.trace.hops[cursor.hop];
             let chunk_end = (cursor.access + params.fpga.p2p_queue_depth).min(hop.accesses.len());
             let page_bytes = devices.ssd.page_bytes();
             let block = params.hostio.os_page_bytes;
@@ -106,7 +102,7 @@ impl SamplingBackend for FpgaBackend {
             let mut samples = 0u64;
             for idx in cursor.access..chunk_end {
                 let access = &hop.accesses[idx];
-                samples += access.positions.len().max(1) as u64;
+                samples += access.picks.max(1) as u64;
                 let range = ctx.layout.edge_list_range(ctx.graph(), access.node);
                 if range.len == 0 {
                     continue;
@@ -166,62 +162,45 @@ impl SamplingBackend for FpgaBackend {
         }
 
         // Step 3: FPGA→CPU transfer of the dense subgraph.
-        let sampled_bytes = cursor.plan.num_sampled() * 8;
+        let sampled_bytes = cursor.trace.num_sampled() * 8;
         let done = devices.ssd.dma_to_host(t, sampled_bytes);
         cursor.phases.fpga_to_cpu += done.saturating_elapsed_since(t);
         cursor.ssd_to_host += sampled_bytes;
         cursor.now = done;
         let cursor = self.cursors[worker].take().expect("cursor");
-        let batch = super::resolve_batch(self.topology.as_ref(), ctx.graph(), &cursor.plan);
-        let useful = batch.subgraph_bytes();
-        self.finished[worker] = Some(FinishedBatch {
+        self.finished[worker] = Some(BatchCost {
             done: cursor.now,
             sampling_time: cursor.now - cursor.started,
             overhead_time: SimDuration::ZERO,
-            batch,
-            transfers: TransferStats {
-                ssd_to_host_bytes: cursor.ssd_to_host,
-                host_to_ssd_bytes: 0,
-                useful_bytes: useful,
-            },
+            ssd_to_host_bytes: cursor.ssd_to_host,
+            host_to_ssd_bytes: 0,
             fpga: Some(cursor.phases),
-            features: None,
         });
         StepOutcome::Finished
     }
 
-    fn take_result(&mut self, worker: usize) -> FinishedBatch {
-        let mut result = self.finished[worker].take().expect("no finished batch");
-        super::gather_batch_features(self.store.as_ref(), &mut result);
-        result
-    }
-
-    fn attach_store(&mut self, store: SharedFeatureStore) {
-        self.store = Some(store);
-    }
-
-    fn attach_topology(&mut self, topology: SharedGraphTopology) {
-        self.topology = Some(topology);
+    fn take_result(&mut self, worker: usize) -> BatchCost {
+        self.finished[worker].take().expect("no finished batch")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::testutil::{drive, test_context, test_plan};
-    use crate::backend::{DirectIoHostBackend, IspBackend};
+    use crate::cost::testutil::{drive, test_context, test_trace};
+    use crate::cost::{DirectIoHostPolicy, IspPolicy};
 
     #[test]
     fn fpga_reports_phase_breakdown() {
         let ctx = test_context(SystemKind::FpgaCsd);
         let mut devices = Devices::new(&ctx.config);
-        let mut b = FpgaBackend::new(Arc::clone(&ctx), 1);
+        let mut p = FpgaPolicy::new(Arc::clone(&ctx), 1);
         let r = drive(
-            &mut b,
+            &mut p,
             &mut devices,
             0,
             SimTime::ZERO,
-            test_plan(&ctx, 32, 1),
+            test_trace(&ctx, 32, 1),
         );
         let phases = r.fpga.expect("fpga detail");
         assert!(phases.ssd_to_fpga > SimDuration::ZERO);
@@ -235,23 +214,23 @@ mod tests {
         // The paper's §VI-D conclusion.
         let ctx_f = test_context(SystemKind::FpgaCsd);
         let mut dev_f = Devices::new(&ctx_f.config);
-        let mut bf = FpgaBackend::new(Arc::clone(&ctx_f), 1);
+        let mut pf = FpgaPolicy::new(Arc::clone(&ctx_f), 1);
         let rf = drive(
-            &mut bf,
+            &mut pf,
             &mut dev_f,
             0,
             SimTime::ZERO,
-            test_plan(&ctx_f, 64, 5),
+            test_trace(&ctx_f, 64, 5),
         );
         let ctx_i = test_context(SystemKind::SmartSageHwSw);
         let mut dev_i = Devices::new(&ctx_i.config);
-        let mut bi = IspBackend::new(Arc::clone(&ctx_i), 1, false);
+        let mut pi = IspPolicy::new(Arc::clone(&ctx_i), 1, false);
         let ri = drive(
-            &mut bi,
+            &mut pi,
             &mut dev_i,
             0,
             SimTime::ZERO,
-            test_plan(&ctx_i, 64, 5),
+            test_trace(&ctx_i, 64, 5),
         );
         assert!(
             rf.sampling_time > ri.sampling_time,
@@ -265,23 +244,23 @@ mod tests {
     fn fpga_does_not_beat_software_only() {
         let ctx_f = test_context(SystemKind::FpgaCsd);
         let mut dev_f = Devices::new(&ctx_f.config);
-        let mut bf = FpgaBackend::new(Arc::clone(&ctx_f), 1);
+        let mut pf = FpgaPolicy::new(Arc::clone(&ctx_f), 1);
         let rf = drive(
-            &mut bf,
+            &mut pf,
             &mut dev_f,
             0,
             SimTime::ZERO,
-            test_plan(&ctx_f, 64, 6),
+            test_trace(&ctx_f, 64, 6),
         );
         let ctx_s = test_context(SystemKind::SmartSageSw);
         let mut dev_s = Devices::new(&ctx_s.config);
-        let mut bs = DirectIoHostBackend::new(Arc::clone(&ctx_s), 1);
+        let mut ps = DirectIoHostPolicy::new(Arc::clone(&ctx_s), 1);
         let rs = drive(
-            &mut bs,
+            &mut ps,
             &mut dev_s,
             0,
             SimTime::ZERO,
-            test_plan(&ctx_s, 64, 6),
+            test_trace(&ctx_s, 64, 6),
         );
         // "failing to achieve any performance advantage even over our
         // software-only SmartSAGE(SW)" — allow parity but no clear win.

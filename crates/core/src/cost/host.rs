@@ -1,30 +1,29 @@
-//! Host-driven SSD sampling backends: `SSD (mmap)` and `SmartSAGE (SW)`.
+//! Host-driven SSD cost policies: `SSD (mmap)` and `SmartSAGE (SW)`.
 //!
 //! Both keep sampling on the host CPU and read the edge-list array from
 //! the SSD, fetching each accessed node's neighbor-ID chunk in block
 //! granularity (paper Fig 10a). They differ only in the software path:
 //!
-//! * [`MmapHostBackend`] goes through the OS page cache — faults cost
+//! * [`MmapHostPolicy`] goes through the OS page cache — faults cost
 //!   "several tens of microseconds" of kernel time per missing page;
-//! * [`DirectIoHostBackend`] uses `O_DIRECT` + a user-space scratchpad —
+//! * [`DirectIoHostPolicy`] uses `O_DIRECT` + a user-space scratchpad —
 //!   the paper's latency-optimized software runtime (SmartSAGE (SW)).
 //!
 //! Accesses step one at a time per worker (queue depth 1 per sampling
 //! thread: each edge-list read depends on the previous control flow),
 //! which is exactly why these paths are latency-bound.
 
-use super::{SamplingBackend, SharedFeatureStore, SharedGraphTopology, StepOutcome};
+use super::{BatchCost, CostPolicy, StepOutcome};
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
-use crate::metrics::{FinishedBatch, TransferStats};
-use smartsage_gnn::SamplePlan;
 use smartsage_hostio::{DirectIoReader, MmapReader};
 use smartsage_sim::{SimDuration, SimTime, Xoshiro256};
+use smartsage_store::SampleTrace;
 use std::sync::Arc;
 
 #[derive(Debug)]
 struct Cursor {
-    plan: SamplePlan,
+    trace: SampleTrace,
     hop: usize,
     access: usize,
     started: SimTime,
@@ -33,7 +32,7 @@ struct Cursor {
     ssd_bytes: u64,
 }
 
-/// Which reader a host backend drives.
+/// Which reader a host policy drives.
 #[derive(Debug)]
 enum Reader {
     Mmap(MmapReader),
@@ -42,24 +41,22 @@ enum Reader {
 
 /// Common implementation of the two host paths.
 #[derive(Debug)]
-pub struct HostBackend {
+pub struct HostPolicy {
     ctx: Arc<RunContext>,
     kind: SystemKind,
     reader: Reader,
     rng: Xoshiro256,
     cursors: Vec<Option<Cursor>>,
-    finished: Vec<Option<FinishedBatch>>,
-    store: Option<SharedFeatureStore>,
-    topology: Option<SharedGraphTopology>,
+    finished: Vec<Option<BatchCost>>,
 }
 
 /// The baseline mmap-based SSD system.
-pub type MmapHostBackend = HostBackend;
+pub type MmapHostPolicy = HostPolicy;
 
 /// Constructor support for both host paths.
-impl HostBackend {
-    /// Builds the `SSD (mmap)` backend.
-    pub fn new(ctx: Arc<RunContext>, workers: usize) -> HostBackend {
+impl HostPolicy {
+    /// Builds the `SSD (mmap)` policy.
+    pub fn new(ctx: Arc<RunContext>, workers: usize) -> HostPolicy {
         // Page cache sized for the scaled graph when running exact; the
         // analytic mode overrides hit decisions anyway.
         let cache_bytes = Self::scaled_cache_bytes(&ctx, ctx.config.devices.host_cache_bytes);
@@ -70,8 +67,8 @@ impl HostBackend {
         Self::with_reader(ctx, workers, SystemKind::SsdMmap, reader)
     }
 
-    /// Builds the `SmartSAGE (SW)` direct-I/O backend.
-    pub fn new_direct_io(ctx: Arc<RunContext>, workers: usize) -> HostBackend {
+    /// Builds the `SmartSAGE (SW)` direct-I/O policy.
+    pub fn new_direct_io(ctx: Arc<RunContext>, workers: usize) -> HostPolicy {
         let cache_bytes = Self::scaled_cache_bytes(&ctx, ctx.config.devices.scratchpad_bytes);
         let reader = Reader::DirectIo(DirectIoReader::new(
             cache_bytes,
@@ -96,17 +93,15 @@ impl HostBackend {
         workers: usize,
         kind: SystemKind,
         reader: Reader,
-    ) -> HostBackend {
+    ) -> HostPolicy {
         let rng = Xoshiro256::seed_from_u64(0x5EED_0001 ^ ctx.layout.total_bytes());
-        HostBackend {
+        HostPolicy {
             ctx,
             kind,
             reader,
             rng,
             cursors: (0..workers).map(|_| None).collect(),
             finished: (0..workers).map(|_| None).collect(),
-            store: None,
-            topology: None,
         }
     }
 
@@ -125,27 +120,27 @@ impl HostBackend {
     }
 }
 
-/// Builder alias so `make_backend` reads naturally.
+/// Builder alias so `make_policy` reads naturally.
 #[derive(Debug)]
-pub struct DirectIoHostBackend;
+pub struct DirectIoHostPolicy;
 
-impl DirectIoHostBackend {
-    /// Builds the `SmartSAGE (SW)` backend (`HostBackend::new_direct_io`).
+impl DirectIoHostPolicy {
+    /// Builds the `SmartSAGE (SW)` policy (`HostPolicy::new_direct_io`).
     #[allow(clippy::new_ret_no_self)] // intentionally an alias constructor
-    pub fn new(ctx: Arc<RunContext>, workers: usize) -> HostBackend {
-        HostBackend::new_direct_io(ctx, workers)
+    pub fn new(ctx: Arc<RunContext>, workers: usize) -> HostPolicy {
+        HostPolicy::new_direct_io(ctx, workers)
     }
 }
 
-impl SamplingBackend for HostBackend {
+impl CostPolicy for HostPolicy {
     fn kind(&self) -> SystemKind {
         self.kind
     }
 
-    fn begin(&mut self, worker: usize, at: SimTime, plan: SamplePlan) {
+    fn begin(&mut self, worker: usize, at: SimTime, trace: SampleTrace) {
         assert!(self.cursors[worker].is_none(), "worker {worker} is busy");
         self.cursors[worker] = Some(Cursor {
-            plan,
+            trace,
             hop: 0,
             access: 0,
             started: at,
@@ -163,7 +158,7 @@ impl SamplingBackend for HostBackend {
         let cursor = self.cursors[worker].as_mut().expect("no active batch");
         let mut t = now.max(cursor.now);
 
-        let hop = &cursor.plan.hops[cursor.hop];
+        let hop = &cursor.trace.hops[cursor.hop];
         let access = &hop.accesses[cursor.access];
         // Offset-table lookup: resident in host DRAM for all systems
         // (it is ~1% of the edge array; see DESIGN.md).
@@ -199,56 +194,39 @@ impl SamplingBackend for HostBackend {
             cursor.access = 0;
             cursor.hop += 1;
         }
-        if cursor.hop < cursor.plan.hops.len() {
+        if cursor.hop < cursor.trace.hops.len() {
             return StepOutcome::Running { next: t };
         }
         let cursor = self.cursors[worker].take().expect("cursor");
-        let batch = super::resolve_batch(self.topology.as_ref(), self.ctx.graph(), &cursor.plan);
-        let useful = batch.subgraph_bytes();
-        self.finished[worker] = Some(FinishedBatch {
+        self.finished[worker] = Some(BatchCost {
             done: cursor.now,
             sampling_time: cursor.now - cursor.started,
             overhead_time: cursor.overhead,
-            batch,
-            transfers: TransferStats {
-                ssd_to_host_bytes: cursor.ssd_bytes,
-                host_to_ssd_bytes: 0,
-                useful_bytes: useful,
-            },
+            ssd_to_host_bytes: cursor.ssd_bytes,
+            host_to_ssd_bytes: 0,
             fpga: None,
-            features: None,
         });
         StepOutcome::Finished
     }
 
-    fn take_result(&mut self, worker: usize) -> FinishedBatch {
-        let mut result = self.finished[worker].take().expect("no finished batch");
-        super::gather_batch_features(self.store.as_ref(), &mut result);
-        result
-    }
-
-    fn attach_store(&mut self, store: SharedFeatureStore) {
-        self.store = Some(store);
-    }
-
-    fn attach_topology(&mut self, topology: SharedGraphTopology) {
-        self.topology = Some(topology);
+    fn take_result(&mut self, worker: usize) -> BatchCost {
+        self.finished[worker].take().expect("no finished batch")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::testutil::{drive, test_context, test_plan};
+    use crate::cost::testutil::{drive, test_context, test_trace};
 
     #[test]
     fn mmap_is_orders_of_magnitude_slower_than_dram_sampling() {
         let ctx = test_context(SystemKind::SsdMmap);
         let mut devices = Devices::new(&ctx.config);
-        let mut b = HostBackend::new(Arc::clone(&ctx), 1);
-        let plan = test_plan(&ctx, 32, 5);
-        let accesses = plan.num_accesses();
-        let r = drive(&mut b, &mut devices, 0, SimTime::ZERO, plan);
+        let mut p = HostPolicy::new(Arc::clone(&ctx), 1);
+        let trace = test_trace(&ctx, 32, 5);
+        let accesses = trace.num_accesses();
+        let r = drive(&mut p, &mut devices, 0, SimTime::ZERO, trace);
         let per_access_us = r.sampling_time.as_micros_f64() / accesses as f64;
         // Misses cost ~70-90us; with a decent hit rate the blended cost
         // should still be tens of microseconds.
@@ -256,7 +234,7 @@ mod tests {
             (3.0..200.0).contains(&per_access_us),
             "per-access {per_access_us} us"
         );
-        assert!(r.transfers.ssd_to_host_bytes > 0);
+        assert!(r.ssd_to_host_bytes > 0);
         assert!(r.overhead_time > SimDuration::ZERO);
     }
 
@@ -264,23 +242,23 @@ mod tests {
     fn direct_io_beats_mmap() {
         let ctx_m = test_context(SystemKind::SsdMmap);
         let mut dev_m = Devices::new(&ctx_m.config);
-        let mut bm = HostBackend::new(Arc::clone(&ctx_m), 1);
+        let mut pm = HostPolicy::new(Arc::clone(&ctx_m), 1);
         let rm = drive(
-            &mut bm,
+            &mut pm,
             &mut dev_m,
             0,
             SimTime::ZERO,
-            test_plan(&ctx_m, 48, 6),
+            test_trace(&ctx_m, 48, 6),
         );
         let ctx_d = test_context(SystemKind::SmartSageSw);
         let mut dev_d = Devices::new(&ctx_d.config);
-        let mut bd = HostBackend::new_direct_io(Arc::clone(&ctx_d), 1);
+        let mut pd = HostPolicy::new_direct_io(Arc::clone(&ctx_d), 1);
         let rd = drive(
-            &mut bd,
+            &mut pd,
             &mut dev_d,
             0,
             SimTime::ZERO,
-            test_plan(&ctx_d, 48, 6),
+            test_trace(&ctx_d, 48, 6),
         );
         let speedup = rm.sampling_time.ratio(rd.sampling_time);
         assert!(
@@ -293,16 +271,12 @@ mod tests {
     fn transfers_are_block_granular() {
         let ctx = test_context(SystemKind::SsdMmap);
         let mut devices = Devices::new(&ctx.config);
-        let mut b = HostBackend::new(Arc::clone(&ctx), 1);
-        let r = drive(
-            &mut b,
-            &mut devices,
-            0,
-            SimTime::ZERO,
-            test_plan(&ctx, 16, 9),
-        );
-        assert_eq!(r.transfers.ssd_to_host_bytes % 4096, 0);
+        let mut p = HostPolicy::new(Arc::clone(&ctx), 1);
+        let trace = test_trace(&ctx, 16, 9);
+        let useful = trace.num_sampled() * 8;
+        let r = drive(&mut p, &mut devices, 0, SimTime::ZERO, trace);
+        assert_eq!(r.ssd_to_host_bytes % 4096, 0);
         // Over-fetch: block-granular chunks dwarf the useful sample IDs.
-        assert!(r.transfers.amplification() > 1.0);
+        assert!(r.ssd_to_host_bytes > useful);
     }
 }

@@ -1,4 +1,5 @@
-//! In-storage-processing backend: `SmartSAGE (HW/SW)` and the oracle CSD.
+//! In-storage-processing cost policy: `SmartSAGE (HW/SW)` and the
+//! oracle CSD.
 //!
 //! The full SmartSAGE design (paper §IV, Fig 11): the host driver issues
 //! one vendor NVMe command per coalescing group, DMAs the `NSconfig`
@@ -7,7 +8,7 @@
 //! fetches into the DRAM page buffer, fine-grained neighbor gathers on
 //! the embedded cores, and a single dense subgraph DMA back to the host.
 //!
-//! Two properties distinguish this path from the host backends:
+//! Two properties distinguish this path from the host policies:
 //!
 //! * **Internal parallelism** — the subgraph generator keeps
 //!   `isp_queue_depth` flash page requests in flight (Fig 11 step 3-4),
@@ -20,13 +21,12 @@
 //! work on a dedicated core complex instead of the firmware-shared one
 //! (§VI-C: "dedicated, ISP-purposed embedded cores like Newport").
 
-use super::{SamplingBackend, SharedFeatureStore, SharedGraphTopology, StepOutcome};
+use super::{BatchCost, CostPolicy, StepOutcome};
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
-use crate::metrics::{FinishedBatch, TransferStats};
 use crate::nsconfig::{NsConfig, TargetDescriptor};
-use smartsage_gnn::SamplePlan;
 use smartsage_sim::{SimDuration, SimTime, Xoshiro256};
+use smartsage_store::SampleTrace;
 use std::sync::Arc;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +43,7 @@ enum Phase {
 
 #[derive(Debug)]
 struct Cursor {
-    plan: SamplePlan,
+    trace: SampleTrace,
     /// Per-hop access counts per target (tree block sizes).
     per_target: Vec<usize>,
     cmd: usize,
@@ -62,7 +62,7 @@ struct Cursor {
 impl Cursor {
     /// Targets covered by command `c` at coalescing granularity `g`.
     fn cmd_targets(&self, g: usize) -> (usize, usize) {
-        let total = self.plan.targets.len();
+        let total = self.trace.num_targets;
         let start = self.cmd * g;
         (start.min(total), ((self.cmd + 1) * g).min(total))
     }
@@ -75,60 +75,58 @@ impl Cursor {
     }
 }
 
-/// The ISP backend (shared-core HW/SW or dedicated-core oracle).
+/// The ISP cost policy (shared-core HW/SW or dedicated-core oracle).
 #[derive(Debug)]
-pub struct IspBackend {
+pub struct IspPolicy {
     ctx: Arc<RunContext>,
     oracle: bool,
     rng: Xoshiro256,
     cursors: Vec<Option<Cursor>>,
-    finished: Vec<Option<FinishedBatch>>,
-    store: Option<SharedFeatureStore>,
-    topology: Option<SharedGraphTopology>,
+    finished: Vec<Option<BatchCost>>,
 }
 
-impl IspBackend {
-    /// Creates the backend; `oracle` selects the dedicated-core complex.
+impl IspPolicy {
+    /// Creates the policy; `oracle` selects the dedicated-core complex.
     pub fn new(ctx: Arc<RunContext>, workers: usize, oracle: bool) -> Self {
         let rng = Xoshiro256::seed_from_u64(0x15B0_0002 ^ ctx.layout.total_bytes());
-        IspBackend {
+        IspPolicy {
             ctx,
             oracle,
             rng,
             cursors: (0..workers).map(|_| None).collect(),
             finished: (0..workers).map(|_| None).collect(),
-            store: None,
-            topology: None,
         }
     }
 
     /// Builds the real `NSconfig` blob for one command (functional
     /// fidelity: the bytes that cross PCIe are a decodable descriptor).
+    /// Targets and degrees come straight from the trace — hop 0's
+    /// frontier *is* the target list, for both samplers.
     fn build_nsconfig(&self, cursor: &Cursor, g: usize) -> NsConfig {
         let (t0, t1) = cursor.cmd_targets(g);
         let graph = self.ctx.graph();
         let block = self.ctx.config.devices.hostio.os_page_bytes;
-        let targets = cursor.plan.targets[t0..t1]
+        let targets = cursor.trace.hops[0].accesses[t0..t1]
             .iter()
-            .map(|&node| {
-                let range = self.ctx.layout.edge_list_range(graph, node);
+            .map(|access| {
+                let range = self.ctx.layout.edge_list_range(graph, access.node);
                 TargetDescriptor {
-                    node,
+                    node: access.node,
                     lba: range.offset / block,
                     offset_in_block: (range.offset % block) as u16,
-                    degree: graph.degree(node),
+                    degree: access.degree,
                 }
             })
             .collect();
         NsConfig {
             seed: 0x5A6E_0000 ^ cursor.cmd as u64,
-            fanouts: cursor.plan.hops.iter().map(|h| h.fanout as u16).collect(),
+            fanouts: cursor.trace.hops.iter().map(|h| h.fanout as u16).collect(),
             targets,
         }
     }
 }
 
-impl SamplingBackend for IspBackend {
+impl CostPolicy for IspPolicy {
     fn kind(&self) -> SystemKind {
         if self.oracle {
             SystemKind::SmartSageOracle
@@ -137,14 +135,14 @@ impl SamplingBackend for IspBackend {
         }
     }
 
-    fn begin(&mut self, worker: usize, at: SimTime, plan: SamplePlan) {
+    fn begin(&mut self, worker: usize, at: SimTime, trace: SampleTrace) {
         assert!(self.cursors[worker].is_none(), "worker {worker} is busy");
-        let m = plan.targets.len().max(1);
-        let per_target: Vec<usize> = plan.hops.iter().map(|h| h.accesses.len() / m).collect();
+        let m = trace.num_targets.max(1);
+        let per_target: Vec<usize> = trace.hops.iter().map(|h| h.accesses.len() / m).collect();
         let g = self.ctx.config.coalescing_granularity as usize;
-        let num_cmds = plan.targets.len().div_ceil(g).max(1);
+        let num_cmds = trace.num_targets.div_ceil(g).max(1);
         self.cursors[worker] = Some(Cursor {
-            plan,
+            trace,
             per_target,
             cmd: 0,
             num_cmds,
@@ -203,7 +201,7 @@ impl SamplingBackend for IspBackend {
             Phase::Process => {
                 let (_, hop_end) = cursor.cmd_hop_range(g, cursor.hop);
                 let chunk_end = (cursor.access + params.isp_queue_depth).min(hop_end);
-                let hop = &cursor.plan.hops[cursor.hop];
+                let hop = &cursor.trace.hops[cursor.hop];
                 // Core work for the chunk: per-access bookkeeping + FTL
                 // translation + per-sample gather cost.
                 let mut core_work = SimDuration::ZERO;
@@ -213,9 +211,7 @@ impl SamplingBackend for IspBackend {
                     let access = &hop.accesses[idx];
                     core_work += params.isp_access_cost
                         + devices.ssd.ftl.translate_cost()
-                        + params
-                            .isp_sample_cost
-                            .mul_u64(access.positions.len() as u64);
+                        + params.isp_sample_cost.mul_u64(access.picks as u64);
                     let range = ctx.layout.edge_list_range(ctx.graph(), access.node);
                     if range.len == 0 {
                         continue;
@@ -269,7 +265,7 @@ impl SamplingBackend for IspBackend {
                 cursor.access = chunk_end;
                 if cursor.access >= hop_end {
                     cursor.hop += 1;
-                    if cursor.hop >= cursor.plan.hops.len() {
+                    if cursor.hop >= cursor.trace.hops.len() {
                         cursor.phase = Phase::Return;
                     } else {
                         let (start, _) = cursor.cmd_hop_range(g, cursor.hop);
@@ -284,7 +280,7 @@ impl SamplingBackend for IspBackend {
                 t += params.ssd.nvme.isp_pickup_delay();
                 let (t0, t1) = cursor.cmd_targets(g);
                 let mut sampled: u64 = 0;
-                for (h, hop) in cursor.plan.hops.iter().enumerate() {
+                for (h, hop) in cursor.trace.hops.iter().enumerate() {
                     let block = cursor.per_target[h];
                     sampled += ((t1 - t0) * block * hop.fanout) as u64;
                 }
@@ -298,84 +294,65 @@ impl SamplingBackend for IspBackend {
                     return StepOutcome::Running { next: done };
                 }
                 let cursor = self.cursors[worker].take().expect("cursor");
-                let batch = super::resolve_batch(self.topology.as_ref(), ctx.graph(), &cursor.plan);
-                let useful = batch.subgraph_bytes();
-                self.finished[worker] = Some(FinishedBatch {
+                self.finished[worker] = Some(BatchCost {
                     done: cursor.now,
                     sampling_time: cursor.now - cursor.started,
                     overhead_time: cursor.overhead,
-                    batch,
-                    transfers: TransferStats {
-                        ssd_to_host_bytes: cursor.ssd_to_host,
-                        host_to_ssd_bytes: cursor.host_to_ssd,
-                        useful_bytes: useful,
-                    },
+                    ssd_to_host_bytes: cursor.ssd_to_host,
+                    host_to_ssd_bytes: cursor.host_to_ssd,
                     fpga: None,
-                    features: None,
                 });
                 StepOutcome::Finished
             }
         }
     }
 
-    fn take_result(&mut self, worker: usize) -> FinishedBatch {
-        let mut result = self.finished[worker].take().expect("no finished batch");
-        super::gather_batch_features(self.store.as_ref(), &mut result);
-        result
-    }
-
-    fn attach_store(&mut self, store: SharedFeatureStore) {
-        self.store = Some(store);
-    }
-
-    fn attach_topology(&mut self, topology: SharedGraphTopology) {
-        self.topology = Some(topology);
+    fn take_result(&mut self, worker: usize) -> BatchCost {
+        self.finished[worker].take().expect("no finished batch")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::testutil::{drive, test_context, test_plan};
     use crate::config::SystemConfig;
     use crate::context::RunContext;
+    use crate::cost::testutil::{drive, test_context, test_trace};
     use smartsage_graph::{Dataset, DatasetProfile, GraphScale};
 
     #[test]
     fn isp_sends_back_only_the_subgraph() {
         let ctx = test_context(SystemKind::SmartSageHwSw);
         let mut devices = Devices::new(&ctx.config);
-        let mut b = IspBackend::new(Arc::clone(&ctx), 1, false);
-        let plan = test_plan(&ctx, 32, 4);
-        let sampled = plan.num_sampled();
-        let r = drive(&mut b, &mut devices, 0, SimTime::ZERO, plan);
-        assert_eq!(r.transfers.ssd_to_host_bytes, sampled * 8);
-        assert!(r.transfers.host_to_ssd_bytes > 0, "NSconfig must be DMA'd");
-        // One command at default coalescing: tiny command overheads.
-        assert!((r.transfers.amplification() - 1.0).abs() < 1e-9);
+        let mut p = IspPolicy::new(Arc::clone(&ctx), 1, false);
+        let trace = test_trace(&ctx, 32, 4);
+        let sampled = trace.num_sampled();
+        let r = drive(&mut p, &mut devices, 0, SimTime::ZERO, trace);
+        assert_eq!(r.ssd_to_host_bytes, sampled * 8);
+        assert!(r.host_to_ssd_bytes > 0, "NSconfig must be DMA'd");
     }
 
     #[test]
     fn oracle_is_at_least_as_fast_as_shared_cores() {
         let ctx_h = test_context(SystemKind::SmartSageHwSw);
         let mut dev_h = Devices::new(&ctx_h.config);
-        let mut bh = IspBackend::new(Arc::clone(&ctx_h), 1, false);
+        let mut ph = IspPolicy::new(Arc::clone(&ctx_h), 1, false);
         let rh = drive(
-            &mut bh,
+            &mut ph,
             &mut dev_h,
             0,
             SimTime::ZERO,
-            test_plan(&ctx_h, 64, 8),
+            test_trace(&ctx_h, 64, 8),
         );
         let ctx_o = test_context(SystemKind::SmartSageOracle);
         let mut dev_o = Devices::new(&ctx_o.config);
-        let mut bo = IspBackend::new(Arc::clone(&ctx_o), 1, true);
+        let mut po = IspPolicy::new(Arc::clone(&ctx_o), 1, true);
         let ro = drive(
-            &mut bo,
+            &mut po,
             &mut dev_o,
             0,
             SimTime::ZERO,
-            test_plan(&ctx_o, 64, 8),
+            test_trace(&ctx_o, 64, 8),
         );
         assert!(
             ro.sampling_time <= rh.sampling_time,
@@ -393,9 +370,9 @@ mod tests {
             let cfg = SystemConfig::new(SystemKind::SmartSageHwSw).with_coalescing(granularity);
             let ctx = Arc::new(RunContext::new(data.clone(), cfg));
             let mut devices = Devices::new(&ctx.config);
-            let mut b = IspBackend::new(Arc::clone(&ctx), 1, false);
-            let plan = test_plan(&ctx, 64, 2);
-            drive(&mut b, &mut devices, 0, SimTime::ZERO, plan).sampling_time
+            let mut p = IspPolicy::new(Arc::clone(&ctx), 1, false);
+            let trace = test_trace(&ctx, 64, 2);
+            drive(&mut p, &mut devices, 0, SimTime::ZERO, trace).sampling_time
         };
         let coarse = run(64);
         let fine = run(1);
@@ -408,12 +385,12 @@ mod tests {
     #[test]
     fn nsconfig_blob_is_decodable() {
         let ctx = test_context(SystemKind::SmartSageHwSw);
-        let b = IspBackend::new(Arc::clone(&ctx), 1, false);
-        let plan = test_plan(&ctx, 8, 1);
-        let m = plan.targets.len().max(1);
+        let p = IspPolicy::new(Arc::clone(&ctx), 1, false);
+        let trace = test_trace(&ctx, 8, 1);
+        let m = trace.num_targets.max(1);
         let cursor = Cursor {
-            per_target: plan.hops.iter().map(|h| h.accesses.len() / m).collect(),
-            plan,
+            per_target: trace.hops.iter().map(|h| h.accesses.len() / m).collect(),
+            trace,
             cmd: 0,
             num_cmds: 1,
             hop: 0,
@@ -425,7 +402,7 @@ mod tests {
             host_to_ssd: 0,
             ssd_to_host: 0,
         };
-        let cfg = b.build_nsconfig(&cursor, 1024);
+        let cfg = p.build_nsconfig(&cursor, 1024);
         let decoded = NsConfig::decode(&cfg.encode()).expect("round trip");
         assert_eq!(decoded.targets.len(), 8);
         assert_eq!(decoded.fanouts, vec![4, 3]);

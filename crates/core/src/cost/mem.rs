@@ -1,70 +1,65 @@
-//! In-memory sampling backends: DRAM (oracular) and Optane PMEM.
+//! In-memory cost policies: DRAM (oracular) and Optane PMEM.
 //!
 //! The edge-list array resides in a byte-addressable memory device;
 //! sampling is a chain of fine-grained random loads (paper §III-B) whose
 //! time is dominated by effective load latency, plus a small per-access
-//! host-CPU cost. One step processes one hop (accesses within a hop are
-//! independent and execute back-to-back on the worker's core).
+//! host-CPU cost. One step prices one hop of the trace (accesses within
+//! a hop are independent and execute back-to-back on the worker's core).
 
-use super::{SamplingBackend, SharedFeatureStore, SharedGraphTopology, StepOutcome};
+use super::{BatchCost, CostPolicy, StepOutcome};
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
-use crate::metrics::{FinishedBatch, TransferStats};
-use smartsage_gnn::SamplePlan;
 use smartsage_sim::{SimDuration, SimTime};
+use smartsage_store::SampleTrace;
 use std::sync::Arc;
 
 #[derive(Debug)]
 struct Cursor {
-    plan: SamplePlan,
+    trace: SampleTrace,
     hop: usize,
     started: SimTime,
     now: SimTime,
 }
 
-/// DRAM / PMEM sampling backend.
+/// DRAM / PMEM cost policy.
 #[derive(Debug)]
-pub struct MemBackend {
+pub struct MemPolicy {
     ctx: Arc<RunContext>,
     kind: SystemKind,
     cursors: Vec<Option<Cursor>>,
-    finished: Vec<Option<FinishedBatch>>,
-    store: Option<SharedFeatureStore>,
-    topology: Option<SharedGraphTopology>,
+    finished: Vec<Option<BatchCost>>,
 }
 
-impl MemBackend {
-    /// Oracular DRAM-resident backend.
+impl MemPolicy {
+    /// Oracular DRAM-resident policy.
     pub fn new_dram(ctx: Arc<RunContext>, workers: usize) -> Self {
         Self::new(ctx, workers, SystemKind::Dram)
     }
 
-    /// Optane PMEM backend.
+    /// Optane PMEM policy.
     pub fn new_pmem(ctx: Arc<RunContext>, workers: usize) -> Self {
         Self::new(ctx, workers, SystemKind::Pmem)
     }
 
     fn new(ctx: Arc<RunContext>, workers: usize, kind: SystemKind) -> Self {
-        MemBackend {
+        MemPolicy {
             ctx,
             kind,
             cursors: (0..workers).map(|_| None).collect(),
             finished: (0..workers).map(|_| None).collect(),
-            store: None,
-            topology: None,
         }
     }
 }
 
-impl SamplingBackend for MemBackend {
+impl CostPolicy for MemPolicy {
     fn kind(&self) -> SystemKind {
         self.kind
     }
 
-    fn begin(&mut self, worker: usize, at: SimTime, plan: SamplePlan) {
+    fn begin(&mut self, worker: usize, at: SimTime, trace: SampleTrace) {
         assert!(self.cursors[worker].is_none(), "worker {worker} is busy");
         self.cursors[worker] = Some(Cursor {
-            plan,
+            trace,
             hop: 0,
             started: at,
             now: at,
@@ -74,16 +69,11 @@ impl SamplingBackend for MemBackend {
     fn step(&mut self, worker: usize, devices: &mut Devices, now: SimTime) -> StepOutcome {
         let cursor = self.cursors[worker].as_mut().expect("no active batch");
         let now = now.max(cursor.now);
-        let hop = &cursor.plan.hops[cursor.hop];
+        let hop = &cursor.trace.hops[cursor.hop];
         // Reads this hop: per access, two offset-table entries plus one
         // 8-byte load per sampled position.
         let accesses = hop.accesses.len() as u64;
-        let reads: u64 = accesses * 2
-            + hop
-                .accesses
-                .iter()
-                .map(|a| a.positions.len() as u64)
-                .sum::<u64>();
+        let reads: u64 = accesses * 2 + hop.accesses.iter().map(|a| a.picks as u64).sum::<u64>();
         let device = match self.kind {
             SystemKind::Dram => &mut devices.host_dram,
             _ => &mut devices.pmem,
@@ -101,76 +91,59 @@ impl SamplingBackend for MemBackend {
         let done = mem_done.max(now + compute);
         cursor.now = done;
         cursor.hop += 1;
-        if cursor.hop < cursor.plan.hops.len() {
+        if cursor.hop < cursor.trace.hops.len() {
             return StepOutcome::Running { next: done };
         }
         let cursor = self.cursors[worker].take().expect("cursor");
-        let batch = super::resolve_batch(self.topology.as_ref(), self.ctx.graph(), &cursor.plan);
-        let useful = batch.subgraph_bytes();
-        self.finished[worker] = Some(FinishedBatch {
+        self.finished[worker] = Some(BatchCost {
             done,
             sampling_time: done - cursor.started,
             overhead_time: SimDuration::ZERO,
-            batch,
-            transfers: TransferStats {
-                ssd_to_host_bytes: 0,
-                host_to_ssd_bytes: 0,
-                useful_bytes: useful,
-            },
+            ssd_to_host_bytes: 0,
+            host_to_ssd_bytes: 0,
             fpga: None,
-            features: None,
         });
         StepOutcome::Finished
     }
 
-    fn take_result(&mut self, worker: usize) -> FinishedBatch {
-        let mut result = self.finished[worker].take().expect("no finished batch");
-        super::gather_batch_features(self.store.as_ref(), &mut result);
-        result
-    }
-
-    fn attach_store(&mut self, store: SharedFeatureStore) {
-        self.store = Some(store);
-    }
-
-    fn attach_topology(&mut self, topology: SharedGraphTopology) {
-        self.topology = Some(topology);
+    fn take_result(&mut self, worker: usize) -> BatchCost {
+        self.finished[worker].take().expect("no finished batch")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::testutil::{drive, test_context, test_plan};
+    use crate::cost::testutil::{drive, test_context, test_trace};
 
     #[test]
     fn dram_batch_time_is_latency_dominated() {
         let ctx = test_context(SystemKind::Dram);
         let mut devices = Devices::new(&ctx.config);
-        let mut b = MemBackend::new_dram(Arc::clone(&ctx), 1);
-        let plan = test_plan(&ctx, 32, 1);
-        let accesses = plan.num_accesses();
-        let result = drive(&mut b, &mut devices, 0, SimTime::ZERO, plan);
+        let mut p = MemPolicy::new_dram(Arc::clone(&ctx), 1);
+        let trace = test_trace(&ctx, 32, 1);
+        let accesses = trace.num_accesses();
+        let cost = drive(&mut p, &mut devices, 0, SimTime::ZERO, trace);
         // Time should be on the order of accesses x (tens of ns each).
-        let per_access = result.sampling_time.as_nanos_f64() / accesses as f64;
+        let per_access = cost.sampling_time.as_nanos_f64() / accesses as f64;
         assert!(
             (10.0..2_000.0).contains(&per_access),
             "per-access {per_access} ns"
         );
-        assert_eq!(result.transfers.ssd_to_host_bytes, 0);
+        assert_eq!(cost.ssd_to_host_bytes, 0);
     }
 
     #[test]
     fn pmem_slower_than_dram_by_small_factor() {
-        let plan_of = |ctx: &Arc<RunContext>| test_plan(ctx, 64, 2);
+        let trace_of = |ctx: &Arc<RunContext>| test_trace(ctx, 64, 2);
         let ctx_d = test_context(SystemKind::Dram);
         let mut dev_d = Devices::new(&ctx_d.config);
-        let mut bd = MemBackend::new_dram(Arc::clone(&ctx_d), 1);
-        let rd = drive(&mut bd, &mut dev_d, 0, SimTime::ZERO, plan_of(&ctx_d));
+        let mut pd = MemPolicy::new_dram(Arc::clone(&ctx_d), 1);
+        let rd = drive(&mut pd, &mut dev_d, 0, SimTime::ZERO, trace_of(&ctx_d));
         let ctx_p = test_context(SystemKind::Pmem);
         let mut dev_p = Devices::new(&ctx_p.config);
-        let mut bp = MemBackend::new_pmem(Arc::clone(&ctx_p), 1);
-        let rp = drive(&mut bp, &mut dev_p, 0, SimTime::ZERO, plan_of(&ctx_p));
+        let mut pp = MemPolicy::new_pmem(Arc::clone(&ctx_p), 1);
+        let rp = drive(&mut pp, &mut dev_p, 0, SimTime::ZERO, trace_of(&ctx_p));
         let ratio = rp.sampling_time.ratio(rd.sampling_time);
         assert!(
             (1.2..8.0).contains(&ratio),
@@ -182,9 +155,9 @@ mod tests {
     #[should_panic(expected = "busy")]
     fn double_begin_panics() {
         let ctx = test_context(SystemKind::Dram);
-        let mut b = MemBackend::new_dram(Arc::clone(&ctx), 1);
-        let p = test_plan(&ctx, 2, 3);
-        b.begin(0, SimTime::ZERO, p.clone());
-        b.begin(0, SimTime::ZERO, p);
+        let mut p = MemPolicy::new_dram(Arc::clone(&ctx), 1);
+        let t = test_trace(&ctx, 2, 3);
+        p.begin(0, SimTime::ZERO, t.clone());
+        p.begin(0, SimTime::ZERO, t);
     }
 }

@@ -1,0 +1,70 @@
+//! Rebuilding the sample byte trace from a finished [`SamplePlan`].
+//!
+//! A plan *is* the complete record of planning's storage access
+//! stream: one edge-list access per frontier node per hop, with the
+//! drawn positions attached. [`trace_of_plan`] folds that record into
+//! the [`SampleTrace`] form the cost policies consume.
+//!
+//! This is the pipeline's hot-path producer — uniform across samplers
+//! (the random-walk planner never touches a topology store, so the
+//! plan is the one source both samplers share). The store-side
+//! [`TracingTopology`](smartsage_store::TracingTopology) decorator
+//! records the identical trace at the storage interface; the
+//! conformance suite (`tests/cost_purity.rs`) holds the two equal on
+//! random graphs across every tier.
+
+use smartsage_gnn::SamplePlan;
+use smartsage_graph::CsrGraph;
+use smartsage_store::{SampleTrace, TraceAccess, TraceHop};
+
+/// The byte trace of `plan`: every edge-list access planning made, in
+/// hop order, with the node's degree and the number of drawn picks.
+pub fn trace_of_plan(plan: &SamplePlan, graph: &CsrGraph) -> SampleTrace {
+    SampleTrace {
+        num_targets: plan.targets.len(),
+        hops: plan
+            .hops
+            .iter()
+            .map(|hop| TraceHop {
+                fanout: hop.fanout,
+                accesses: hop
+                    .accesses
+                    .iter()
+                    .map(|access| TraceAccess {
+                        node: access.node,
+                        degree: graph.degree(access.node),
+                        picks: access.positions.len(),
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemKind;
+    use crate::cost::testutil::{test_context, test_plan};
+
+    #[test]
+    fn trace_counts_match_the_plan() {
+        let ctx = test_context(SystemKind::Dram);
+        let plan = test_plan(&ctx, 16, 5);
+        let trace = trace_of_plan(&plan, ctx.graph());
+        assert_eq!(trace.num_targets, plan.targets.len());
+        assert_eq!(trace.hops.len(), plan.hops.len());
+        assert_eq!(trace.num_accesses(), plan.num_accesses());
+        assert_eq!(trace.num_sampled(), plan.num_sampled());
+        // Hop 0's frontier is the target list itself.
+        let hop0: Vec<_> = trace.hops[0].accesses.iter().map(|a| a.node).collect();
+        assert_eq!(hop0, plan.targets);
+        for hop in &trace.hops {
+            for access in &hop.accesses {
+                assert_eq!(access.degree, ctx.graph().degree(access.node));
+                let want = if access.degree > 0 { hop.fanout } else { 0 };
+                assert_eq!(access.picks, want);
+            }
+        }
+    }
+}

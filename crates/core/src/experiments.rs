@@ -16,9 +16,8 @@
 //! directly.
 
 use crate::ablations;
-use crate::backend::{make_backend, StepOutcome};
 use crate::config::{SystemConfig, SystemKind};
-use crate::context::{Devices, RunContext};
+use crate::context::RunContext;
 use crate::metrics::FinishedBatch;
 use crate::pipeline::{run_pipeline, PipelineConfig, PipelineReport, SamplerKind};
 use crate::report::{num, pct, speedup, Table};
@@ -28,7 +27,7 @@ use smartsage_graph::degree::DegreeStats;
 use smartsage_graph::kronecker::{expand, KroneckerConfig};
 use smartsage_graph::{Dataset, DatasetProfile, GraphScale};
 use smartsage_memsim::{BandwidthMeter, CacheParams, SetAssocCache};
-use smartsage_sim::{SimTime, Xoshiro256};
+use smartsage_sim::Xoshiro256;
 use smartsage_store::{StoreKind, TopologyKind};
 use std::sync::Arc;
 
@@ -47,14 +46,14 @@ pub struct ExperimentScale {
     pub workers: usize,
     /// Base seed.
     pub seed: u64,
-    /// Feature store pipeline producers gather through (`None` keeps
-    /// the timing-only mode; results are identical either way — only
-    /// I/O counters are added).
-    pub store: Option<StoreKind>,
-    /// Topology store neighbor sampling reads the graph through
-    /// (`None` keeps the in-memory CSR; results are identical either
-    /// way — only topology I/O counters are added).
-    pub topology: Option<TopologyKind>,
+    /// Feature store pipeline producers gather through. Results are
+    /// identical across tiers — only the I/O counters differ (see
+    /// [`PipelineConfig::store`]).
+    pub store: StoreKind,
+    /// Topology store neighbor sampling reads the graph through.
+    /// Results are identical across tiers — only the topology I/O
+    /// counters differ (see [`PipelineConfig::topology`]).
+    pub topology: TopologyKind,
     /// Background page read-ahead for the file store (see
     /// [`PipelineConfig::readahead`]). Results and simulated timing are
     /// identical either way; only the hit/miss split of the I/O
@@ -70,8 +69,8 @@ impl Default for ExperimentScale {
             batches: 24,
             workers: 12,
             seed: 2022,
-            store: None,
-            topology: None,
+            store: StoreKind::Mem,
+            topology: TopologyKind::Mem,
             readahead: false,
         }
     }
@@ -102,13 +101,13 @@ impl ExperimentScale {
 
     /// The same scale with feature gathers routed through `kind`.
     pub fn with_store(mut self, kind: StoreKind) -> Self {
-        self.store = Some(kind);
+        self.store = kind;
         self
     }
 
     /// The same scale with neighbor sampling routed through `kind`.
     pub fn with_topology(mut self, kind: TopologyKind) -> Self {
-        self.topology = Some(kind);
+        self.topology = kind;
         self
     }
 
@@ -849,22 +848,10 @@ fn fig18_driver(scale: &ExperimentScale) -> Table {
 // Fig 19: FPGA-based CSD comparison
 // ---------------------------------------------------------------------
 
-/// Drives one single-worker batch on a backend and returns the result.
+/// Drives one single-worker batch through the scale's store tiers and
+/// the context's cost policy (see [`crate::pipeline::sample_once`]).
 fn sample_once(ctx: &Arc<RunContext>, scale: &ExperimentScale) -> FinishedBatch {
-    let mut devices = Devices::new(&ctx.config);
-    let mut backend = make_backend(ctx, 1);
-    let graph = ctx.graph();
-    let targets = epoch_targets(graph.num_nodes(), scale.batch_size, 0, scale.seed);
-    let mut rng = Xoshiro256::seed_from_u64(scale.seed);
-    let plan = plan_sample(graph, &targets, &Fanouts::paper_default(), &mut rng);
-    backend.begin(0, SimTime::ZERO, plan);
-    let mut now = SimTime::ZERO;
-    loop {
-        match backend.step(0, &mut devices, now) {
-            StepOutcome::Running { next } => now = next.max(now),
-            StepOutcome::Finished => return backend.take_result(0),
-        }
-    }
+    crate::pipeline::sample_once(ctx, &pipe_cfg(scale, 1, false))
 }
 
 fn fig19_driver(scale: &ExperimentScale) -> Table {

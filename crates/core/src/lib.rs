@@ -11,12 +11,15 @@
 //!   encode/decode round trip.
 //! * [`context`] — per-run shared state: the materialized dataset, the
 //!   on-SSD layout, and full-scale locality rates (Che approximation).
-//! * [`backend`] — one sampling backend per system, all replaying the
-//!   same [`smartsage_gnn::SamplePlan`] so results are functionally
-//!   identical while timing differs.
+//! * [`cost`] — one cost policy per system: per-system device models
+//!   replayed over the [`smartsage_store::SampleTrace`] byte trace of
+//!   the single real storage path, producing each design point's
+//!   modeled time and link traffic.
 //! * [`pipeline`] — the producer/consumer discrete-event simulator
-//!   (paper Fig 4): CPU-side workers produce subgraphs, the GPU consumes
-//!   them; reports makespan, per-stage breakdowns and GPU idle time.
+//!   (paper Fig 4): CPU-side workers sample and gather through the
+//!   store tiers exactly once, cost policies price the byte trace, the
+//!   GPU consumes the batches; reports makespan, per-stage breakdowns
+//!   and GPU idle time.
 //! * [`experiments`] — the [`Experiment`] registry: one descriptor per
 //!   paper artifact (`table1`, `fig5` … ablations), each driving a
 //!   typed [`report::Table`].
@@ -33,9 +36,9 @@
 //!   only as a compatibility shim (`--store mem|file`).
 
 pub mod ablations;
-pub mod backend;
 pub mod config;
 pub mod context;
+pub mod cost;
 pub mod experiments;
 pub mod json;
 pub mod metrics;
@@ -45,9 +48,9 @@ pub mod report;
 pub mod runner;
 pub mod store_metrics;
 
-pub use backend::{make_backend, SamplingBackend};
 pub use config::{SystemConfig, SystemKind};
 pub use context::RunContext;
+pub use cost::{make_policy, BatchCost, CostPolicy};
 pub use experiments::{registry, Experiment, ExperimentScale};
 pub use pipeline::{PipelineConfig, PipelineReport};
 pub use report::{Cell, Table};

@@ -74,7 +74,8 @@ impl TransferStats {
     }
 }
 
-/// Phase timing detail for the FPGA-CSD backend (paper Fig 19's bars).
+/// Phase timing detail for the FPGA-CSD cost policy (paper Fig 19's
+/// bars).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FpgaPhases {
     /// Time moving edge-list chunks SSD→FPGA over the in-device P2P link.
@@ -87,8 +88,8 @@ pub struct FpgaPhases {
     pub fpga_to_cpu: SimDuration,
 }
 
-/// Feature rows gathered for one batch's distinct subgraph nodes by the
-/// producer-side feature store (when one is attached to the backend).
+/// Feature rows gathered for one batch's distinct subgraph nodes
+/// through the run's feature store.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GatheredFeatures {
     /// The distinct subgraph nodes, sorted ascending (the gather plan).
@@ -99,7 +100,10 @@ pub struct GatheredFeatures {
     pub data: Vec<f32>,
 }
 
-/// Outcome of one produced batch, as reported by a backend.
+/// Outcome of one produced batch: the modeled cost of its byte trace
+/// (from the system's [`CostPolicy`](crate::cost::CostPolicy)) joined
+/// with the real storage results (subgraph resolved and features
+/// gathered through the run's store tiers, by the pipeline, once).
 #[derive(Debug, Clone)]
 pub struct FinishedBatch {
     /// When sampling finished.
@@ -113,11 +117,10 @@ pub struct FinishedBatch {
     pub batch: smartsage_gnn::SampledBatch,
     /// Data movement caused by this batch.
     pub transfers: TransferStats,
-    /// FPGA-CSD phase detail (only set by that backend).
+    /// FPGA-CSD phase detail (only set by that policy).
     pub fpga: Option<FpgaPhases>,
-    /// Features gathered through the attached store (`None` when no
-    /// store is attached — the historical timing-only mode).
-    pub features: Option<GatheredFeatures>,
+    /// Features gathered through the run's feature store.
+    pub features: GatheredFeatures,
 }
 
 #[cfg(test)]

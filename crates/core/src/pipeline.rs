@@ -1,30 +1,35 @@
 //! Producer/consumer training-pipeline simulator (paper Fig 4).
 //!
-//! CPU-side producer workers generate subgraphs through a system backend;
-//! finished mini-batches (subgraph + gathered features) enter a bounded
-//! work queue; the GPU consumer pops them, pays the CPU→GPU transfer, and
-//! trains. The simulation is event-driven at the backend's step
-//! granularity, so concurrent workers contend for shared devices in
-//! global time order, and GPU idle time (Fig 7) falls out of the queue
-//! dynamics exactly as in the paper: when producers cannot keep up, the
-//! GPU starves.
+//! CPU-side producer workers sample and gather every mini-batch through
+//! the **one real storage path** (the run's topology and feature store
+//! tiers); the system under test only decides what that access stream
+//! *costs*. Each planned batch's byte trace
+//! ([`smartsage_store::SampleTrace`]) is handed to the run's
+//! [`CostPolicy`], which replays it against the design point's device
+//! models in virtual time. Finished mini-batches (subgraph + gathered
+//! features + modeled cost) enter a bounded work queue; the GPU consumer
+//! pops them, pays the CPU→GPU transfer, and trains. The simulation is
+//! event-driven at the policy's step granularity, so concurrent workers
+//! contend for shared devices in global time order, and GPU idle time
+//! (Fig 7) falls out of the queue dynamics exactly as in the paper:
+//! when producers cannot keep up, the GPU starves.
 
-use crate::backend::{make_backend, SharedFeatureStore, SharedGraphTopology, StepOutcome};
 use crate::config::SystemKind;
 use crate::context::{Devices, RunContext};
-use crate::metrics::{FinishedBatch, StageBreakdown, TransferStats};
+use crate::cost::{make_policy, trace_of_plan, CostPolicy, StepOutcome};
+use crate::metrics::{FinishedBatch, GatheredFeatures, StageBreakdown, TransferStats};
 use crate::store_metrics;
 use smartsage_gnn::gpu::BatchDims;
 use smartsage_gnn::saint::plan_random_walk;
-use smartsage_gnn::sampler::{epoch_targets, plan_sample, plan_sample_on};
+use smartsage_gnn::sampler::{epoch_targets, plan_sample_on};
 use smartsage_gnn::{Fanouts, SamplePlan};
 use smartsage_hostio::PrefetchQueue;
 use smartsage_sim::{EventQueue, SimDuration, SimTime, Xoshiro256};
 use smartsage_store::{
     check_same_population, share_store, share_topology, FileStoreOptions, FileTopology,
     InMemoryStore, InMemoryTopology, IspGatherOptions, IspGatherStore, IspSampleTopology,
-    MeteredStore, SharedCsrFile, SharedFileStore, StoreHandle, StoreKind, StoreRegistry,
-    StoreStats, TopologyKind,
+    MeteredStore, SharedCsrFile, SharedDynStore, SharedFileStore, SharedTopology, StoreHandle,
+    StoreKind, StoreRegistry, StoreStats, TopologyKind,
 };
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -65,44 +70,45 @@ pub struct PipelineConfig {
     /// `false` measures data preparation only (Figs 14-17): batches are
     /// consumed instantly and the GPU plays no part.
     pub train: bool,
-    /// Feature store the producers gather through. `None` (default)
-    /// keeps the historical timing-only mode — no functional feature
-    /// I/O. `Some(Mem)` gathers through an in-memory store,
-    /// `Some(File)` through a **shared** on-disk feature store: the
-    /// content-keyed file is opened once per
+    /// Feature store the producers gather through — every run gathers
+    /// its batches' features functionally, and
+    /// [`PipelineReport::store_stats`] records the exact I/O.
+    /// [`StoreKind::Mem`] (default) gathers from an in-memory store,
+    /// [`StoreKind::File`] through a **shared** on-disk feature store:
+    /// the content-keyed file is opened once per
     /// [`StoreRegistry`] (the sweep's own, or the process-wide one) and
     /// every run holds a scoped [`StoreHandle`] onto it — one file
-    /// descriptor, one sharded page cache, exact per-run counters in
-    /// [`PipelineReport::store_stats`]. `Some(Isp)` layers the run's
-    /// own [`IspGatherStore`] over that same registry-shared file:
-    /// page reads resolve device-side against an SSD timing model and
-    /// only packed feature rows cross the modeled host link, so the
-    /// report's stats split `device_bytes_read` from
-    /// `host_bytes_transferred`. Simulated pipeline time is never
-    /// perturbed by any store — the store determinism contract
-    /// guarantees identical results, so only the report's I/O section
-    /// changes.
-    pub store: Option<StoreKind>,
+    /// descriptor, one sharded page cache, exact per-run counters.
+    /// [`StoreKind::Isp`] layers the run's own [`IspGatherStore`] over
+    /// that same registry-shared file: page reads resolve device-side
+    /// against an SSD timing model and only packed feature rows cross
+    /// the modeled host link, so the report's stats split
+    /// `device_bytes_read` from `host_bytes_transferred`. Simulated
+    /// pipeline time is never perturbed by the tier choice — the store
+    /// determinism contract guarantees identical results, so only the
+    /// report's I/O section changes.
+    pub store: StoreKind,
     /// Topology store neighbor sampling reads the graph through.
-    /// `None` (default) keeps the historical mode — hop expansion and
-    /// batch resolution walk the in-memory CSR with no functional I/O.
-    /// `Some(Mem)` samples through an [`InMemoryTopology`] (counters,
-    /// no I/O); `Some(File)` through a **shared** on-disk `SSGRPH01`
+    /// Hop expansion and batch resolution always run through the
+    /// configured tier, and [`PipelineReport::topology_stats`] records
+    /// the exact I/O. [`TopologyKind::Mem`] (default) samples through
+    /// an [`InMemoryTopology`] (counters, no I/O);
+    /// [`TopologyKind::File`] through a **shared** on-disk `SSGRPH01`
     /// graph file: the content-keyed file is opened once per
     /// [`StoreRegistry`] and the run holds a scoped [`FileTopology`]
     /// handle onto it — page-aligned coalesced offset/edge reads, one
-    /// sharded page cache, exact per-run counters in
-    /// [`PipelineReport::topology_stats`]. `Some(Isp)` layers the run's
-    /// own [`IspSampleTopology`] over that same registry-shared file:
-    /// hop expansion resolves device-side against an SSD timing model
-    /// and only the sampled neighbor ids cross the modeled host link.
-    /// GraphSAGE plans are drawn *and* resolved through the store; the
-    /// GraphSAINT walk planner stays on the in-memory CSR (walks are
+    /// sharded page cache, exact per-run counters.
+    /// [`TopologyKind::Isp`] layers the run's own [`IspSampleTopology`]
+    /// over that same registry-shared file: hop expansion resolves
+    /// device-side against an SSD timing model and only the sampled
+    /// neighbor ids cross the modeled host link. GraphSAGE plans are
+    /// drawn *and* resolved through the store; the GraphSAINT walk
+    /// planner stays on the in-memory CSR (walks are
     /// control-flow-dependent per step), with batch resolution still
     /// routed through the store. Simulated pipeline time is never
     /// perturbed — the determinism contract guarantees identical
     /// results, so only the report's I/O section changes.
-    pub topology: Option<TopologyKind>,
+    pub topology: TopologyKind,
     /// With the file store, overlap storage with compute: each batch's
     /// pages are resolved by a background read-ahead worker
     /// ([`smartsage_hostio::PrefetchQueue`]) from the moment the batch
@@ -112,7 +118,7 @@ pub struct PipelineConfig {
     /// and misses — and therefore demand bytes read — shifts, with
     /// prefetch I/O accounted separately in
     /// [`SharedFileStore::prefetch_stats`]. Ignored without
-    /// `store: Some(File)`.
+    /// `store: StoreKind::File`.
     pub readahead: bool,
 }
 
@@ -129,8 +135,8 @@ impl Default for PipelineConfig {
             seed: 0xC0FFEE,
             sampler: SamplerKind::GraphSage,
             train: true,
-            store: None,
-            topology: None,
+            store: StoreKind::Mem,
+            topology: TopologyKind::Mem,
             readahead: false,
         }
     }
@@ -157,11 +163,11 @@ pub struct PipelineReport {
     pub avg_sampling_time: SimDuration,
     /// Data-preparation throughput in batches/second.
     pub sampling_throughput: f64,
-    /// Feature-store counters (`None` when no store was configured).
-    pub store_stats: Option<StoreStats>,
-    /// Graph-topology store counters (`None` when sampling ran on the
-    /// bare in-memory CSR).
-    pub topology_stats: Option<StoreStats>,
+    /// Feature-store counters of the run's gathers (exact, per run).
+    pub store_stats: StoreStats,
+    /// Graph-topology store counters of the run's sampling and batch
+    /// resolution (exact, per run).
+    pub topology_stats: StoreStats,
 }
 
 impl PipelineReport {
@@ -215,7 +221,7 @@ const FILE_STORE_CACHE_PAGES: usize = 1024;
 fn build_store(
     ctx: &Arc<RunContext>,
     kind: StoreKind,
-) -> (SharedFeatureStore, Option<Arc<SharedFileStore>>) {
+) -> (SharedDynStore, Option<Arc<SharedFileStore>>) {
     let features = ctx.data.features.clone();
     let num_nodes = ctx.graph().num_nodes();
     if kind == StoreKind::Mem {
@@ -278,7 +284,7 @@ fn build_store(
 fn build_topology(
     ctx: &Arc<RunContext>,
     kind: TopologyKind,
-) -> (SharedGraphTopology, Option<Arc<SharedCsrFile>>) {
+) -> (SharedTopology, Option<Arc<SharedCsrFile>>) {
     if kind == TopologyKind::Mem {
         // An Arc clone of the context's graph — never a copy of the
         // CSR arrays.
@@ -311,6 +317,97 @@ fn build_topology(
     }
 }
 
+/// Installs `plan` for `worker`: the policy receives the plan's byte
+/// trace (the modeled-cost input) and the plan itself is parked so the
+/// finish path can resolve it on the real storage path.
+fn begin_batch(
+    policy: &mut dyn CostPolicy,
+    plans: &mut [Option<SamplePlan>],
+    ctx: &RunContext,
+    worker: usize,
+    at: SimTime,
+    plan: SamplePlan,
+) {
+    policy.begin(worker, at, trace_of_plan(&plan, ctx.graph()));
+    plans[worker] = Some(plan);
+}
+
+/// Joins a worker's finished [`BatchCost`](crate::cost::BatchCost) with
+/// the real storage results: the parked plan resolves to its subgraph
+/// through the topology store, and the subgraph's distinct nodes gather
+/// their features through the feature store. Shared by the pipeline's
+/// finish path and [`sample_once`] so the tiers cannot drift.
+///
+/// # Panics
+///
+/// Panics if either store fails (a real I/O error on the file-backed
+/// tiers) — producers have no recovery path mid-simulation.
+fn finish_batch(
+    policy: &mut dyn CostPolicy,
+    store: &SharedDynStore,
+    topology: &SharedTopology,
+    worker: usize,
+    plan: SamplePlan,
+) -> FinishedBatch {
+    let cost = policy.take_result(worker);
+    let batch = {
+        let mut topo = topology.lock().expect("topology store poisoned");
+        plan.resolve_on(topo.as_mut())
+            .unwrap_or_else(|e| panic!("producer topology resolve failed: {e}"))
+    };
+    let nodes = batch.all_nodes();
+    let useful = batch.subgraph_bytes();
+    let (data, dim) = {
+        let mut store = store.lock().expect("feature store poisoned");
+        let data = store
+            .gather(&nodes)
+            .unwrap_or_else(|e| panic!("producer feature gather failed: {e}"));
+        (data, store.dim())
+    };
+    FinishedBatch {
+        done: cost.done,
+        sampling_time: cost.sampling_time,
+        overhead_time: cost.overhead_time,
+        batch,
+        transfers: TransferStats {
+            ssd_to_host_bytes: cost.ssd_to_host_bytes,
+            host_to_ssd_bytes: cost.host_to_ssd_bytes,
+            useful_bytes: useful,
+        },
+        fpga: cost.fpga,
+        features: GatheredFeatures { nodes, dim, data },
+    }
+}
+
+/// Drives one single-worker batch (epoch index 0) through the
+/// configured store tiers and the context's cost policy; returns the
+/// full result. The single-batch analogue of [`run_pipeline`], used by
+/// the per-batch experiment drivers (Fig 19's latency breakdown, the
+/// Fig 10 transfer-reduction table).
+pub fn sample_once(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> FinishedBatch {
+    let mut devices = Devices::new(&ctx.config);
+    let mut policy = make_policy(ctx, 1);
+    let (store, _shared_file) = build_store(ctx, cfg.store);
+    let (topology, _shared_graph) = build_topology(ctx, cfg.topology);
+    let graph = ctx.graph();
+    let targets = epoch_targets(graph.num_nodes(), cfg.batch_size, 0, cfg.seed);
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+    let plan = match &cfg.sampler {
+        SamplerKind::GraphSage => {
+            let mut topo = topology.lock().expect("topology store poisoned");
+            plan_sample_on(topo.as_mut(), &targets, &cfg.fanouts, &mut rng)
+                .unwrap_or_else(|e| panic!("producer topology planning failed: {e}"))
+        }
+        SamplerKind::SaintWalk { length } => plan_random_walk(graph, &targets, *length, &mut rng),
+    };
+    policy.begin(0, SimTime::ZERO, trace_of_plan(&plan, graph));
+    let mut now = SimTime::ZERO;
+    while let StepOutcome::Running { next } = policy.step(0, &mut devices, now) {
+        now = next.max(now);
+    }
+    finish_batch(policy.as_mut(), &store, &topology, 0, plan)
+}
+
 struct ReadyBatch {
     ready: SimTime,
     transfer_bytes: u64,
@@ -326,27 +423,13 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
     assert!(cfg.workers > 0, "need at least one worker");
     assert!(cfg.total_batches > 0, "need at least one batch");
     let mut devices = Devices::new(&ctx.config);
-    let mut backend = make_backend(ctx, cfg.workers);
-    // Producer-side feature store: the backend gathers every finished
-    // batch's features through it (real I/O for StoreKind::File, via a
-    // scoped handle onto the registry-shared store).
-    let mut shared_file: Option<Arc<SharedFileStore>> = None;
-    let store = cfg.store.map(|kind| {
-        let (store, shared) = build_store(ctx, kind);
-        shared_file = shared;
-        backend.attach_store(Arc::clone(&store));
-        store
-    });
-    // Topology store: hop expansion and batch resolution read the
-    // graph through it (real I/O for TopologyKind::File, device-side
+    let mut policy = make_policy(ctx, cfg.workers);
+    // The one real storage path: every batch's features gather through
+    // the feature store, and its plan is drawn and resolved through the
+    // topology store (real I/O for the File tier, device-side
     // resolution for Isp).
-    let mut shared_graph: Option<Arc<SharedCsrFile>> = None;
-    let topology = cfg.topology.map(|kind| {
-        let (topo, shared) = build_topology(ctx, kind);
-        shared_graph = shared;
-        backend.attach_topology(Arc::clone(&topo));
-        topo
-    });
+    let (store, shared_file) = build_store(ctx, cfg.store);
+    let (topology, shared_graph) = build_topology(ctx, cfg.topology);
     // Both halves of the dataset on file-backed tiers must describe
     // the same node population. The pipeline surfaces store failures
     // as panics (it has no error channel mid-simulation), but this one
@@ -360,7 +443,7 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
     // page runs and warms the shared cache while the simulation is
     // still stepping that batch toward its gather.
     let prefetcher: Option<PrefetchQueue<SamplePlan>> = shared_file
-        .filter(|_| cfg.readahead && cfg.store == Some(StoreKind::File))
+        .filter(|_| cfg.readahead && cfg.store == StoreKind::File)
         .map(|shared| {
             let ctx = Arc::clone(ctx);
             PrefetchQueue::spawn(move |plan: SamplePlan| {
@@ -385,23 +468,26 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
     let mut transfers = TransferStats::default();
     let mut sampling_total = SimDuration::ZERO;
     let mut makespan_end = SimTime::ZERO;
+    // The in-flight plan of each worker, parked between begin (where
+    // its trace is priced) and finish (where it resolves on the real
+    // storage path).
+    let mut plans: Vec<Option<SamplePlan>> = (0..cfg.workers).map(|_| None).collect();
 
     let make_plan = |index: usize| -> SamplePlan {
         let graph = ctx.graph();
         let targets = epoch_targets(graph.num_nodes(), cfg.batch_size, index, cfg.seed);
         let mut rng = Xoshiro256::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9E37));
-        let plan = match (&cfg.sampler, &topology) {
+        let plan = match &cfg.sampler {
             // GraphSAGE hop expansion reads degrees and frontier
-            // neighbors through the topology store when one is
-            // configured — the plan is bit-identical to the in-memory
-            // path by the determinism contract; only I/O is added.
-            (SamplerKind::GraphSage, Some(topo)) => {
-                let mut topo = topo.lock().expect("topology store poisoned");
+            // neighbors through the topology store — the plan is
+            // bit-identical across tiers by the determinism contract;
+            // only the I/O accounting differs.
+            SamplerKind::GraphSage => {
+                let mut topo = topology.lock().expect("topology store poisoned");
                 plan_sample_on(topo.as_mut(), &targets, &cfg.fanouts, &mut rng)
                     .unwrap_or_else(|e| panic!("producer topology planning failed: {e}"))
             }
-            (SamplerKind::GraphSage, None) => plan_sample(graph, &targets, &cfg.fanouts, &mut rng),
-            (SamplerKind::SaintWalk { length }, _) => {
+            SamplerKind::SaintWalk { length } => {
                 plan_random_walk(graph, &targets, *length, &mut rng)
             }
         };
@@ -417,7 +503,8 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
     // Seed each worker with its first batch.
     for w in 0..cfg.workers {
         if next_batch < cfg.total_batches {
-            backend.begin(w, SimTime::ZERO, make_plan(next_batch));
+            let plan = make_plan(next_batch);
+            begin_batch(policy.as_mut(), &mut plans, ctx, w, SimTime::ZERO, plan);
             next_batch += 1;
             events.schedule(SimTime::ZERO, Event::Worker(w));
         }
@@ -425,12 +512,13 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
 
     while let Some((now, event)) = events.pop() {
         match event {
-            Event::Worker(w) => match backend.step(w, &mut devices, now) {
+            Event::Worker(w) => match policy.step(w, &mut devices, now) {
                 StepOutcome::Running { next } => {
                     events.schedule(next.max(now), Event::Worker(w));
                 }
                 StepOutcome::Finished => {
-                    let result: FinishedBatch = backend.take_result(w);
+                    let plan = plans[w].take().expect("finished worker has a plan");
+                    let result = finish_batch(policy.as_mut(), &store, &topology, w, plan);
                     sampling_total += result.sampling_time;
                     breakdown.sampling += result.sampling_time.saturating_sub(result.overhead_time);
                     breakdown.other += result.overhead_time;
@@ -441,14 +529,10 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
 
                     let mut t = result.done;
                     if cfg.train {
-                        // Feature table lookup (always host DRAM).
-                        // With a store attached the backend already
-                        // built the sorted-distinct node list.
-                        let distinct = result
-                            .features
-                            .as_ref()
-                            .map_or_else(|| result.batch.all_nodes().len(), |f| f.nodes.len())
-                            as u64;
+                        // Feature table lookup (always host DRAM); the
+                        // gather already built the sorted-distinct node
+                        // list.
+                        let distinct = result.features.nodes.len() as u64;
                         let f_done = devices.host_dram.random_access(t, distinct, feat_bytes);
                         breakdown.feature_lookup += f_done.saturating_elapsed_since(t);
                         t = f_done;
@@ -474,7 +558,8 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
                                 events.schedule(t, Event::Gpu);
                             }
                             if next_batch < cfg.total_batches {
-                                backend.begin(w, t, make_plan(next_batch));
+                                let plan = make_plan(next_batch);
+                                begin_batch(policy.as_mut(), &mut plans, ctx, w, t, plan);
                                 next_batch += 1;
                                 events.schedule(t, Event::Worker(w));
                             }
@@ -483,7 +568,8 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
                         makespan_end = makespan_end.max(t);
                         consumed += 1;
                         if next_batch < cfg.total_batches {
-                            backend.begin(w, t, make_plan(next_batch));
+                            let plan = make_plan(next_batch);
+                            begin_batch(policy.as_mut(), &mut plans, ctx, w, t, plan);
                             next_batch += 1;
                             events.schedule(t, Event::Worker(w));
                         }
@@ -512,7 +598,8 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
                     if let Some((bw, payload)) = blocked.pop_front() {
                         queue.push_back(payload);
                         if next_batch < cfg.total_batches {
-                            backend.begin(bw, now, make_plan(next_batch));
+                            let plan = make_plan(next_batch);
+                            begin_batch(policy.as_mut(), &mut plans, ctx, bw, now, plan);
                             next_batch += 1;
                             events.schedule(now, Event::Worker(bw));
                         }
@@ -528,6 +615,20 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
             break;
         }
     }
+
+    // Quiesce background read-ahead before reading counters, so the
+    // report's prefetch/demand split is settled.
+    drop(prefetcher);
+    let store_stats = {
+        let stats = store.lock().expect("feature store poisoned").stats();
+        store_metrics::record(&stats);
+        stats
+    };
+    let topology_stats = {
+        let stats = topology.lock().expect("topology store poisoned").stats();
+        store_metrics::record_topology(&stats);
+        stats
+    };
 
     let makespan = makespan_end.since_epoch();
     let batches = consumed.max(produced_done);
@@ -554,19 +655,8 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
         } else {
             batches as f64 / makespan.as_secs_f64()
         },
-        store_stats: store.map(|s| {
-            // Quiesce background read-ahead before reading counters, so
-            // the report's prefetch/demand split is settled.
-            drop(prefetcher);
-            let stats = s.lock().expect("feature store poisoned").stats();
-            store_metrics::record(&stats);
-            stats
-        }),
-        topology_stats: topology.map(|t| {
-            let stats = t.lock().expect("topology store poisoned").stats();
-            store_metrics::record_topology(&stats);
-            stats
-        }),
+        store_stats,
+        topology_stats,
     }
 }
 
@@ -614,6 +704,18 @@ mod tests {
         assert!(report.gpu_busy.is_zero());
         assert!(report.breakdown.gnn_train.is_zero());
         assert!(report.sampling_throughput > 0.0);
+    }
+
+    #[test]
+    fn every_run_reports_exact_store_counters() {
+        // The unified path always gathers functionally — even the
+        // default in-memory tiers report the run's exact I/O counters.
+        let ctx = ctx(SystemKind::Dram);
+        let report = run_pipeline(&ctx, &small_cfg(false));
+        assert_eq!(report.store_stats.gathers, 6);
+        assert!(report.store_stats.nodes_gathered > 0);
+        assert!(report.store_stats.feature_bytes > 0);
+        assert!(report.topology_stats.gathers > 0);
     }
 
     #[test]
@@ -694,5 +796,29 @@ mod tests {
         cfg.sampler = SamplerKind::SaintWalk { length: 3 };
         let report = run_pipeline(&ctx, &cfg);
         assert_eq!(report.batches, 6);
+    }
+
+    #[test]
+    fn sample_once_matches_the_single_batch_pipeline_cost() {
+        // One batch through sample_once equals the first batch of a
+        // one-worker pipeline: same plan (epoch index 0, same seed),
+        // same trace, same policy state — so the same modeled cost.
+        let ctx = ctx(SystemKind::SsdMmap);
+        let cfg = PipelineConfig {
+            workers: 1,
+            total_batches: 1,
+            batch_size: 32,
+            fanouts: Fanouts::new(vec![5, 4]),
+            train: false,
+            ..PipelineConfig::default()
+        };
+        let once = sample_once(&ctx, &cfg);
+        let report = run_pipeline(&ctx, &cfg);
+        assert_eq!(once.sampling_time, report.avg_sampling_time);
+        assert_eq!(
+            once.transfers.ssd_to_host_bytes,
+            report.transfers.ssd_to_host_bytes
+        );
+        assert_eq!(once.transfers.useful_bytes, report.transfers.useful_bytes);
     }
 }

@@ -230,10 +230,10 @@ impl RunnerBuilder {
         };
         let mut scale = self.scale;
         if let Some(kind) = self.store {
-            scale.store = Some(kind);
+            scale.store = kind;
         }
         if let Some(kind) = self.topology {
-            scale.topology = Some(kind);
+            scale.topology = kind;
         }
         Runner {
             scale,
@@ -453,7 +453,7 @@ mod tests {
     fn selection_defaults_to_full_registry() {
         let runner = Runner::builder().build();
         assert_eq!(runner.experiments().len(), registry().len());
-        assert_eq!(runner.scale().store, None);
+        assert_eq!(runner.scale().store, StoreKind::Mem);
     }
 
     #[test]
@@ -463,17 +463,17 @@ mod tests {
             .store(StoreKind::File)
             .scale(ExperimentScale::tiny())
             .build();
-        assert_eq!(store_then_scale.scale().store, Some(StoreKind::File));
+        assert_eq!(store_then_scale.scale().store, StoreKind::File);
         let scale_then_store = Runner::builder()
             .scale(ExperimentScale::tiny())
             .store(StoreKind::File)
             .build();
-        assert_eq!(scale_then_store.scale().store, Some(StoreKind::File));
+        assert_eq!(scale_then_store.scale().store, StoreKind::File);
         // An explicit scale.store wins only when .store() is not used.
         let via_scale = Runner::builder()
-            .scale(ExperimentScale::tiny().with_store(StoreKind::Mem))
+            .scale(ExperimentScale::tiny().with_store(StoreKind::Isp))
             .build();
-        assert_eq!(via_scale.scale().store, Some(StoreKind::Mem));
+        assert_eq!(via_scale.scale().store, StoreKind::Isp);
     }
 
     #[test]

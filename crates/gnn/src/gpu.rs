@@ -1,4 +1,4 @@
-//! GPU timing model for the backend "GNN training" stage.
+//! GPU timing model for the consumer "GNN training" stage.
 //!
 //! The paper's platform trains on an NVIDIA Tesla T4 (§V). The pipeline
 //! simulator only needs *how long* a mini-batch's forward+backward takes

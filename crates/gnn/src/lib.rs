@@ -10,7 +10,7 @@
 //! * [`sampler`] — GraphSAGE neighbor sampling (paper Algorithm 1) as a
 //!   two-phase design: [`sampler::plan_sample`] draws the random
 //!   *positions* once into a [`sampler::SamplePlan`], and every system
-//!   backend (DRAM, mmap, direct-I/O, ISP) replays the same plan — so the
+//!   (DRAM, mmap, direct-I/O, ISP) prices and resolves the same plan — so the
 //!   property "the ISP produces byte-identical subgraphs to the host
 //!   sampler" holds by construction and is also asserted by tests.
 //! * [`saint`] — the GraphSAINT random-walk sampler used by the paper's
@@ -20,7 +20,7 @@
 //! * [`trainer`] — the mini-batch training loop (loss provably decreases
 //!   on community-structured synthetic graphs).
 //! * [`gpu`] — the GPU timing model (Tesla T4-class FLOPs, PCIe 3.0 x16)
-//!   used by the pipeline simulator for the backend "GNN training" stage.
+//!   used by the pipeline simulator for the consumer "GNN training" stage.
 
 pub mod gpu;
 pub mod model;

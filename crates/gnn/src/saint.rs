@@ -8,7 +8,7 @@
 //! show SmartSAGE's ISP generalizes across sampling algorithms.
 //!
 //! The walk plan reuses [`SamplePlan`] with fan-out 1 per hop, so every
-//! backend and the ISP firmware replay walks identically.
+//! sampler and the ISP firmware replay walks identically.
 
 use crate::sampler::{EdgeListAccess, Fanouts, HopPlan, SamplePlan};
 use smartsage_graph::{CsrGraph, NodeId};

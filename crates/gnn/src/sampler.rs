@@ -1,17 +1,17 @@
 //! GraphSAGE neighbor sampling (paper §II-B, Algorithm 1).
 //!
-//! Sampling is split into two phases so that *every* system backend
-//! replays exactly the same random choices:
+//! Sampling is split into two phases so that every system's cost
+//! policy prices exactly the same random choices:
 //!
 //! 1. [`plan_sample`] draws, for each edge-list access, the **positions**
 //!    of the sampled neighbors within the node's neighbor list, producing
 //!    a [`SamplePlan`]. The plan is the ground truth for both the
 //!    functional result and the storage access pattern (which blocks of
-//!    the edge-list array each backend must touch).
+//!    the edge-list array each system must touch).
 //! 2. [`SamplePlan::resolve`] materializes the sampled neighbor IDs (the
-//!    subgraph) by reading the graph — host-side backends do this from
-//!    (simulated) host memory, the ISP does it inside the SSD; both get
-//!    byte-identical results because they share the plan.
+//!    subgraph) by reading the graph — on the host systems this models
+//!    (simulated) host memory, on the ISP it happens inside the SSD;
+//!    both get byte-identical results because they share the plan.
 //!
 //! The paper's default configuration samples 25 neighbors at the first
 //! GNN layer and 10 at the second (§VI-F); mini-batch size is 1024 (§V).

@@ -4,7 +4,7 @@
 //! (Fig 4), run for real: sample → gather → forward → backward → SGD.
 //! The integration tests use it to prove the reproduction trains — loss
 //! decreases and accuracy beats chance on community-labeled graphs —
-//! independent of which storage backend produced the subgraphs.
+//! independent of which storage tier produced the subgraphs.
 //!
 //! The gather stage goes through a
 //! [`FeatureStore`]: the `*_on` methods

@@ -4,7 +4,7 @@
 //! neighbor IDs contiguously; a separate offset array locates each node's
 //! slice. This is exactly the layout serialized onto the simulated SSD by
 //! `smartsage-hostio::GraphFile`, so byte offsets computed here are the
-//! logical block addresses the SSD backends fetch.
+//! logical block addresses the SSD systems fetch.
 
 use std::fmt;
 

@@ -2,7 +2,7 @@
 //!
 //! The graph dataset is serialized into one logical byte space on the SSD
 //! (paper Fig 10): the offset table first, then the neighbor edge-list
-//! array. [`GraphFile`] answers the address arithmetic every backend
+//! array. [`GraphFile`] answers the address arithmetic every system
 //! needs: *where do node `u`'s neighbor IDs live, and which logical
 //! blocks does that span?*
 

@@ -31,7 +31,7 @@
 //!   ISP command decode on the embedded cores, an FTL lookup per page,
 //!   flash page reads issued with up to
 //!   [`IspGatherOptions::queue_depth`] requests in flight (channel
-//!   parallelism, exactly like the edge-list ISP backend), page-buffer
+//!   parallelism, exactly like the edge-list ISP cost policy), page-buffer
 //!   hits served from SSD DRAM, a per-row pack cost on the cores, and
 //!   finally the result DMA. The accumulated busy time is reported in
 //!   [`StoreStats::device_ns`] and [`IspGatherStore::device_time`].
@@ -187,7 +187,7 @@ pub struct IspGatherStore {
     pack_cost_per_row: SimDuration,
     /// Virtual device clock: each gather starts where the previous one
     /// finished, so shared-resource contention (cores, channels, PCIe)
-    /// accumulates across a run exactly like in the edge-list backends.
+    /// accumulates across a run exactly like in the edge-list policies.
     clock: SimTime,
     device_time: SimDuration,
     stats: StoreStats,

@@ -82,6 +82,7 @@ pub mod scratch;
 pub mod shared;
 pub mod stats;
 pub mod topology;
+pub mod trace;
 
 pub use error::StoreError;
 pub use file::{write_feature_file, FileStore, FileStoreOptions};
@@ -101,6 +102,7 @@ pub use topology::{
     share_topology, CsrView, FileTopology, InMemoryTopology, SharedTopology, TopologyKind,
     TopologyStore,
 };
+pub use trace::{SampleTrace, TraceAccess, TraceHop, TracingTopology};
 
 use smartsage_graph::NodeId;
 use std::sync::{Arc, Mutex};

@@ -133,7 +133,7 @@ pub trait TopologyStore: std::fmt::Debug {
 }
 
 /// A dynamically typed topology store shared across threads — the
-/// hand-off type between the pipeline and its backends, mirroring
+/// hand-off type between the pipeline and its samplers, mirroring
 /// [`SharedDynStore`](crate::SharedDynStore).
 pub type SharedTopology = Arc<Mutex<Box<dyn TopologyStore + Send>>>;
 

@@ -42,9 +42,7 @@ fn sampling_throughput(mut cfg: SystemConfig, workers: usize) -> f64 {
             seed: 5,
             sampler: SamplerKind::GraphSage,
             train: false,
-            store: None,
-            topology: None,
-            readahead: false,
+            ..PipelineConfig::default()
         },
     );
     report.sampling_throughput

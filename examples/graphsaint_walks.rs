@@ -71,9 +71,7 @@ fn main() {
                 seed: 17,
                 sampler: SamplerKind::SaintWalk { length: 4 },
                 train: true,
-                store: None,
-                topology: None,
-                readahead: false,
+                ..PipelineConfig::default()
             },
         );
         let b = *base.get_or_insert(report.makespan);

@@ -8,9 +8,10 @@
 //!
 //! Run with `cargo run --release --example isp_firmware_trace`.
 
-use smartsage::core::backend::{make_backend, StepOutcome};
 use smartsage::core::config::{SystemConfig, SystemKind};
 use smartsage::core::context::{Devices, RunContext};
+use smartsage::core::cost::{make_policy, trace_of_plan, StepOutcome};
+use smartsage::core::metrics::TransferStats;
 use smartsage::core::nsconfig::{NsConfig, TargetDescriptor};
 use smartsage::gnn::sampler::plan_sample;
 use smartsage::gnn::Fanouts;
@@ -73,30 +74,32 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    // Steps 2-7: drive the ISP backend and narrate the phases.
+    // Steps 2-7: drive the ISP cost policy and narrate the phases.
     // ------------------------------------------------------------------
     println!("\n== In-storage subgraph generation (virtual time) ==");
     let mut devices = Devices::new(&ctx.config);
-    let mut backend = make_backend(&ctx, 1);
+    let mut policy = make_policy(&ctx, 1);
     let mut rng = Xoshiro256::seed_from_u64(1);
     let plan = plan_sample(graph, &targets, &Fanouts::paper_default(), &mut rng);
+    let trace = trace_of_plan(&plan, graph);
     println!(
-        "  plan: {} edge-list accesses across {} hops, {} ids to sample",
-        plan.num_accesses(),
-        plan.hops.len(),
-        plan.num_sampled()
+        "  trace: {} edge-list accesses across {} hops, {} ids to sample",
+        trace.num_accesses(),
+        trace.hops.len(),
+        trace.num_sampled()
     );
-    backend.begin(0, SimTime::ZERO, plan);
+    policy.begin(0, SimTime::ZERO, trace);
     let mut now = SimTime::ZERO;
     let mut steps = 0u32;
-    while let StepOutcome::Running { next } = backend.step(0, &mut devices, now) {
+    while let StepOutcome::Running { next } = policy.step(0, &mut devices, now) {
         if steps < 6 || steps.is_multiple_of(8) {
             println!("  step {steps:>3}: firmware advances to {next}");
         }
         now = next.max(now);
         steps += 1;
     }
-    let result = backend.take_result(0);
+    let result = policy.take_result(0);
+    let batch = plan.resolve(graph);
     println!("  done at {} after {} firmware steps", result.done, steps);
     println!("\n== Device-side accounting ==");
     println!(
@@ -117,17 +120,22 @@ fn main() {
         devices.ssd.cores.busy_time(),
         devices.ssd.cores.utilization() * 100.0
     );
+    let transfers = TransferStats {
+        ssd_to_host_bytes: result.ssd_to_host_bytes,
+        host_to_ssd_bytes: result.host_to_ssd_bytes,
+        useful_bytes: batch.subgraph_bytes(),
+    };
     println!(
         "  PCIe: {} bytes host->SSD (NSconfig), {} bytes SSD->host (subgraph)",
-        result.transfers.host_to_ssd_bytes, result.transfers.ssd_to_host_bytes
+        transfers.host_to_ssd_bytes, transfers.ssd_to_host_bytes
     );
     println!(
         "  over-fetch factor    : {:.2}x (dense subgraph: every byte useful)",
-        result.transfers.amplification()
+        transfers.amplification()
     );
     println!(
         "  sampled subgraph     : {} ids in {}",
-        result.batch.num_sampled(),
+        batch.num_sampled(),
         result.sampling_time
     );
 }

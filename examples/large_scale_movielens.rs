@@ -81,9 +81,7 @@ fn main() {
                 seed: 3,
                 sampler: SamplerKind::GraphSage,
                 train: true,
-                store: None,
-                topology: None,
-                readahead: false,
+                ..PipelineConfig::default()
             },
         );
         let b = *base.get_or_insert(report.makespan);

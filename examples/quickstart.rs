@@ -87,9 +87,7 @@ fn main() {
                 seed: 11,
                 sampler: SamplerKind::GraphSage,
                 train: true,
-                store: None,
-                topology: None,
-                readahead: false,
+                ..PipelineConfig::default()
             },
         );
         let base = *mmap_time.get_or_insert(report.makespan);

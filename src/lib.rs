@@ -33,8 +33,9 @@
 //! * [`gnn`] — GraphSAGE/GraphSAINT samplers, dense layers, the functional
 //!   trainer and the GPU timing model.
 //! * [`core`] — the SmartSAGE system itself: NSconfig, the ISP firmware
-//!   model, the seven system backends, the producer/consumer pipeline
-//!   simulator, and one experiment driver per paper table/figure.
+//!   model, the per-system cost policies over the sample byte trace,
+//!   the producer/consumer pipeline simulator, and one experiment
+//!   driver per paper table/figure.
 //! * [`serve`] — the online serving path: a std-only HTTP/1.1 service
 //!   (`/v1/sample`, `/v1/infer`, `/stats`) over the same shared store
 //!   tiers, with a request-coalescing batcher, typed admission

@@ -1,0 +1,149 @@
+//! Property tests (proptest): cost policies are **pure functions of
+//! the byte trace**.
+//!
+//! The unification contract has two halves, and each gets a property:
+//!
+//! 1. *One trace.* Planning through any storage tier (in-memory CSR,
+//!    paged graph file, in-storage sampler) produces the identical
+//!    plan, and the trace the storage interface observes (the
+//!    [`TracingTopology`] export hook) equals the trace the hot path
+//!    rebuilds from the plan (`trace_of_plan`) — access for access.
+//! 2. *One cost per trace.* Feeding the same trace to a fresh policy
+//!    yields the identical [`BatchCost`] — independent of which worker
+//!    slot drives it and of how many slots the policy was built with.
+//!
+//! Together: modeled time cannot depend on the store tier, the job
+//! count, or sweep ordering — only on the bytes the run touched.
+
+use proptest::prelude::*;
+use smartsage::core::config::{SystemConfig, SystemKind};
+use smartsage::core::context::{Devices, RunContext};
+use smartsage::core::cost::{make_policy, trace_of_plan, BatchCost, CostPolicy, StepOutcome};
+use smartsage::gnn::sampler::{plan_sample_on, Fanouts};
+use smartsage::graph::generate::{generate_power_law, PowerLawConfig};
+use smartsage::graph::{CsrGraph, Dataset, DatasetProfile, GraphScale, NodeId};
+use smartsage::sim::{SimTime, Xoshiro256};
+use smartsage::store::topology::{FileTopology, InMemoryTopology};
+use smartsage::store::trace::TracingTopology;
+use smartsage::store::{write_graph_file, IspSampleTopology, ScratchFile, TopologyStore};
+use std::sync::Arc;
+
+fn arbitrary_graph(nodes: usize, seed: u64) -> CsrGraph {
+    generate_power_law(&PowerLawConfig {
+        nodes,
+        avg_degree: 6.0,
+        communities: 4,
+        homophily: 0.6,
+        exponent: 2.1,
+        seed,
+    })
+}
+
+/// Plans through `topology` behind the trace export hook; returns the
+/// recorded trace and the plan's own trace.
+fn traced_plan(
+    topology: &mut dyn TopologyStore,
+    graph: &CsrGraph,
+    targets: &[NodeId],
+    fanouts: &Fanouts,
+    seed: u64,
+) -> (smartsage::store::SampleTrace, smartsage::store::SampleTrace) {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut tracer = TracingTopology::new(topology);
+    let plan = plan_sample_on(&mut tracer, targets, fanouts, &mut rng).expect("planning succeeds");
+    (tracer.into_trace(), trace_of_plan(&plan, graph))
+}
+
+fn drive(
+    policy: &mut dyn CostPolicy,
+    devices: &mut Devices,
+    worker: usize,
+    trace: smartsage::store::SampleTrace,
+) -> BatchCost {
+    policy.begin(worker, SimTime::ZERO, trace);
+    let mut now = SimTime::ZERO;
+    loop {
+        match policy.step(worker, devices, now) {
+            StepOutcome::Running { next } => now = next.max(now),
+            StepOutcome::Finished => return policy.take_result(worker),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn every_tier_observes_the_trace_the_plan_rebuilds(
+        seed in 0u64..500,
+        nodes in 100usize..400,
+        fanout1 in 2usize..6,
+        fanout2 in 2usize..5,
+        targets in 2usize..12,
+    ) {
+        let graph = arbitrary_graph(nodes, seed);
+        let t: Vec<NodeId> = (0..targets as u32).map(NodeId::new).collect();
+        let fanouts = Fanouts::new(vec![fanout1, fanout2]);
+
+        let file = ScratchFile::new("cost-purity-graph");
+        write_graph_file(file.path(), &graph).expect("write graph file");
+
+        let mut mem = InMemoryTopology::new(graph.clone());
+        let (mem_seen, mem_plan) = traced_plan(&mut mem, &graph, &t, &fanouts, seed);
+        prop_assert_eq!(
+            &mem_seen, &mem_plan,
+            "mem tier: export hook and plan rebuild disagree"
+        );
+
+        let mut disk = FileTopology::open(file.path()).expect("open file topology");
+        let (disk_seen, disk_plan) = traced_plan(&mut disk, &graph, &t, &fanouts, seed);
+        prop_assert_eq!(
+            &disk_seen, &disk_plan,
+            "file tier: export hook and plan rebuild disagree"
+        );
+
+        let mut isp = IspSampleTopology::open(file.path()).expect("open isp topology");
+        let (isp_seen, isp_plan) = traced_plan(&mut isp, &graph, &t, &fanouts, seed);
+        prop_assert_eq!(
+            &isp_seen, &isp_plan,
+            "isp tier: export hook and plan rebuild disagree"
+        );
+
+        // The determinism contract across tiers: one plan, one trace.
+        prop_assert_eq!(&mem_plan, &disk_plan, "mem vs file trace");
+        prop_assert_eq!(&mem_plan, &isp_plan, "mem vs isp trace");
+    }
+
+    #[test]
+    fn same_trace_prices_identically_on_a_fresh_policy(
+        seed in 0u64..500,
+        targets in 2usize..24,
+    ) {
+        let data = DatasetProfile::of(Dataset::Amazon)
+            .materialize(GraphScale::LargeScale, 15_000, seed);
+        for kind in SystemKind::ALL {
+            let ctx = Arc::new(RunContext::new(data.clone(), SystemConfig::new(kind)));
+            let t: Vec<NodeId> = (0..targets as u32).map(NodeId::new).collect();
+            let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xC057);
+            let plan = smartsage::gnn::sampler::plan_sample(
+                ctx.graph(),
+                &t,
+                &Fanouts::new(vec![4, 3]),
+                &mut rng,
+            );
+            let trace = trace_of_plan(&plan, ctx.graph());
+            let run = |worker: usize, workers: usize| {
+                let mut devices = Devices::new(&ctx.config);
+                let mut policy = make_policy(&ctx, workers);
+                drive(&mut *policy, &mut devices, worker, trace.clone())
+            };
+            let reference = run(0, 1);
+            // Re-running on a fresh instance reproduces the cost...
+            prop_assert_eq!(run(0, 1), reference, "{} is not trace-pure", kind);
+            // ...and so does driving a different worker slot of a
+            // wider policy: slot index and slot count are bookkeeping,
+            // not model state.
+            prop_assert_eq!(run(2, 4), reference, "{} depends on worker slot", kind);
+        }
+    }
+}

@@ -1,12 +1,12 @@
 //! Integration: the functional training loop composes with every
-//! storage backend — subgraphs produced by the system simulators feed
-//! the real GraphSAGE model, and learning happens regardless of which
-//! design point produced the data (the paper's systems change *where*
-//! sampling runs, never *what* it computes).
+//! cost policy — subgraphs resolve on the one real storage path, each
+//! system's policy prices the same byte trace, and learning happens
+//! regardless of which design point priced the data (the paper's
+//! systems change *what sampling costs*, never *what it computes*).
 
-use smartsage::core::backend::{make_backend, StepOutcome};
 use smartsage::core::config::{SystemConfig, SystemKind};
 use smartsage::core::context::{Devices, RunContext};
+use smartsage::core::cost::{make_policy, trace_of_plan, StepOutcome};
 use smartsage::gnn::model::{GraphSageModel, ModelDims};
 use smartsage::gnn::sampler::plan_sample;
 use smartsage::gnn::Fanouts;
@@ -16,7 +16,8 @@ use smartsage::graph::{Dataset, DatasetProfile, FeatureTable, GraphScale, NodeId
 use smartsage::sim::{SimTime, Xoshiro256};
 use std::sync::Arc;
 
-/// Samples one batch through a system backend and returns the subgraph.
+/// Samples one batch, prices its trace on `kind`'s policy, and returns
+/// the subgraph.
 fn sample_via(
     kind: SystemKind,
     ctx: &Arc<RunContext>,
@@ -24,17 +25,18 @@ fn sample_via(
     seed: u64,
 ) -> smartsage::gnn::SampledBatch {
     let mut devices = Devices::new(&ctx.config);
-    let mut backend = make_backend(ctx, 1);
+    let mut policy = make_policy(ctx, 1);
     let mut rng = Xoshiro256::seed_from_u64(seed);
     let plan = plan_sample(ctx.graph(), targets, &Fanouts::new(vec![5, 3]), &mut rng);
-    backend.begin(0, SimTime::ZERO, plan);
+    policy.begin(0, SimTime::ZERO, trace_of_plan(&plan, ctx.graph()));
     let mut now = SimTime::ZERO;
-    while let StepOutcome::Running { next } = backend.step(0, &mut devices, now) {
+    while let StepOutcome::Running { next } = policy.step(0, &mut devices, now) {
         now = next.max(now);
     }
-    let result = backend.take_result(0);
-    assert_eq!(result.batch.targets, targets, "{kind}: targets preserved");
-    result.batch
+    let _cost = policy.take_result(0);
+    let batch = plan.resolve(ctx.graph());
+    assert_eq!(batch.targets, targets, "{kind}: targets preserved");
+    batch
 }
 
 #[test]
@@ -80,8 +82,8 @@ fn training_on_isp_produced_subgraphs_reduces_loss() {
 
 #[test]
 fn every_system_trains_to_the_same_loss_trajectory() {
-    // Because all backends replay the same plan, training is
-    // *numerically identical* across them — storage placement cannot
+    // Because every system shares the one real storage path, training
+    // is *numerically identical* across them — cost policies cannot
     // change learning outcomes.
     let mut reference: Option<Vec<f32>> = None;
     for kind in [
@@ -146,27 +148,28 @@ fn exact_mode_small_graph_runs_without_analytic_locality() {
     let targets: Vec<NodeId> = (0..16u32).map(NodeId::new).collect();
     let batch = sample_via(SystemKind::SsdMmap, &ctx, &targets, 1);
     assert_eq!(batch.targets.len(), 16);
-    // Repeat sampling warms the exact caches: the second pass with the
-    // same plan must not be slower.
+    // Repeat pricing warms the exact caches inside the policy: the
+    // second pass with the same trace must not be slower.
     let mut devices = Devices::new(&ctx.config);
-    let mut backend = make_backend(&ctx, 1);
+    let mut policy = make_policy(&ctx, 1);
     let mut rng = Xoshiro256::seed_from_u64(1);
     let plan = plan_sample(ctx.graph(), &targets, &Fanouts::new(vec![5, 3]), &mut rng);
-    let run = |backend: &mut Box<dyn smartsage::core::backend::SamplingBackend>,
+    let trace = trace_of_plan(&plan, ctx.graph());
+    let run = |policy: &mut Box<dyn smartsage::core::cost::CostPolicy>,
                devices: &mut Devices,
                at: SimTime,
-               plan: smartsage::gnn::SamplePlan| {
-        backend.begin(0, at, plan);
+               trace: smartsage::store::SampleTrace| {
+        policy.begin(0, at, trace);
         let mut now = at;
         loop {
-            match backend.step(0, devices, now) {
+            match policy.step(0, devices, now) {
                 StepOutcome::Running { next } => now = next.max(now),
-                StepOutcome::Finished => return backend.take_result(0),
+                StepOutcome::Finished => return policy.take_result(0),
             }
         }
     };
-    let cold = run(&mut backend, &mut devices, SimTime::ZERO, plan.clone());
-    let warm = run(&mut backend, &mut devices, cold.done, plan);
+    let cold = run(&mut policy, &mut devices, SimTime::ZERO, trace.clone());
+    let warm = run(&mut policy, &mut devices, cold.done, trace);
     assert!(
         warm.sampling_time <= cold.sampling_time,
         "warm pass {} should not exceed cold pass {}",

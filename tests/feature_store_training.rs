@@ -7,7 +7,7 @@
 
 use smartsage::core::config::SystemKind;
 use smartsage::core::experiments::{run_system, ExperimentScale};
-use smartsage::core::StoreKind;
+use smartsage::core::{StoreKind, TopologyKind};
 use smartsage::gnn::model::ModelDims;
 use smartsage::gnn::trainer::{TrainConfig, Trainer};
 use smartsage::gnn::Fanouts;
@@ -145,12 +145,12 @@ fn feature_store_pipeline_run_reports_nonzero_io_without_timing_drift() {
         batches: 4,
         workers: 2,
         seed: 11,
-        store: None,
-        topology: None,
+        store: StoreKind::Mem,
+        topology: TopologyKind::Mem,
         readahead: false,
     };
     let plain = run_system(Dataset::Amazon, SystemKind::Dram, &scale, 2, true);
-    assert!(plain.store_stats.is_none());
+    assert_eq!(plain.store_stats.bytes_read, 0, "mem tier does no disk I/O");
     let mem = run_system(
         Dataset::Amazon,
         SystemKind::Dram,
@@ -179,9 +179,9 @@ fn feature_store_pipeline_run_reports_nonzero_io_without_timing_drift() {
     assert_eq!(plain.makespan, file.makespan);
     assert_eq!(plain.makespan, isp.makespan);
 
-    let ms = mem.store_stats.expect("mem store stats");
-    let fs = file.store_stats.expect("file store stats");
-    let is = isp.store_stats.expect("isp store stats");
+    let ms = mem.store_stats;
+    let fs = file.store_stats;
+    let is = isp.store_stats;
     assert_eq!(ms.gathers, 4, "one gather per produced batch");
     assert_eq!(fs.gathers, 4);
     assert_eq!(is.gathers, 4);
@@ -205,17 +205,18 @@ fn feature_store_pipeline_run_reports_nonzero_io_without_timing_drift() {
 }
 
 #[test]
-fn feature_store_works_behind_every_backend() {
-    // The store is threaded through the backend trait: every system's
-    // producer gathers the same features for the same plans.
+fn feature_store_works_under_every_cost_policy() {
+    // The store sits on the one real storage path: every system's
+    // producer gathers the same features for the same plans, and the
+    // cost policy only prices the resulting byte trace.
     let scale = ExperimentScale {
         edge_budget: 20_000,
         batch_size: 8,
         batches: 2,
         workers: 1,
         seed: 3,
-        store: Some(StoreKind::File),
-        topology: None,
+        store: StoreKind::File,
+        topology: TopologyKind::Mem,
         readahead: false,
     };
     let mut reference = None;
@@ -228,7 +229,7 @@ fn feature_store_works_behind_every_backend() {
         SystemKind::FpgaCsd,
     ] {
         let report = run_system(Dataset::ProteinPi, kind, &scale, 1, true);
-        let stats = report.store_stats.expect("store stats");
+        let stats = report.store_stats;
         // Ad-hoc runs share the process-wide registry store: the first
         // system pays the disk reads, later ones may ride its warm
         // shared page cache — but every run resolves its pages.

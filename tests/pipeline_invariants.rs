@@ -1,5 +1,5 @@
 //! Integration: conservation and ordering invariants of the
-//! producer/consumer pipeline simulator across system backends.
+//! producer/consumer pipeline simulator across cost policies.
 
 use smartsage::core::config::{SystemConfig, SystemKind};
 use smartsage::core::context::RunContext;
@@ -25,9 +25,7 @@ fn run(kind: SystemKind, workers: usize, train: bool, seed: u64) -> PipelineRepo
             seed,
             sampler: SamplerKind::GraphSage,
             train,
-            store: None,
-            topology: None,
-            readahead: false,
+            ..PipelineConfig::default()
         },
     )
 }
@@ -140,9 +138,7 @@ fn bounded_queue_blocks_producers_not_correctness() {
                 seed: 9,
                 sampler: SamplerKind::GraphSage,
                 train: true,
-                store: None,
-                topology: None,
-                readahead: false,
+                ..PipelineConfig::default()
             },
         )
     };
@@ -178,9 +174,7 @@ fn saint_walks_complete_on_ssd_systems() {
             seed: 3,
             sampler: SamplerKind::SaintWalk { length: 4 },
             train: true,
-            store: None,
-            topology: None,
-            readahead: false,
+            ..PipelineConfig::default()
         },
     );
     assert_eq!(report.batches, 4);

@@ -2,16 +2,16 @@
 //! arbitrary graphs, plans, and cache configurations.
 
 use proptest::prelude::*;
-use smartsage::core::backend::{make_backend, StepOutcome};
 use smartsage::core::config::{SystemConfig, SystemKind};
-use smartsage::core::context::{Devices, RunContext};
+use smartsage::core::context::RunContext;
 use smartsage::core::nsconfig::{NsConfig, TargetDescriptor};
+use smartsage::core::pipeline::{sample_once, PipelineConfig};
 use smartsage::gnn::sampler::{plan_sample, Fanouts};
 use smartsage::graph::generate::{generate_power_law, PowerLawConfig};
 use smartsage::graph::traversal::k_hop_neighborhood;
 use smartsage::graph::{CsrGraph, DatasetProfile, FeatureTable, GraphScale, NodeId};
 use smartsage::hostio::{GraphFile, LruSet};
-use smartsage::sim::{SimTime, Xoshiro256};
+use smartsage::sim::Xoshiro256;
 use std::sync::Arc;
 
 fn arbitrary_graph(nodes: usize, avg_degree: f64, seed: u64) -> CsrGraph {
@@ -48,28 +48,35 @@ proptest! {
     }
 
     #[test]
-    fn host_and_isp_backends_agree_for_any_seed(
+    fn host_and_isp_systems_resolve_identical_subgraphs(
         seed in 0u64..500,
         batch in 4usize..24,
     ) {
+        // Unified-path contract: the system kind only prices the byte
+        // trace; sampling and resolution run on the one real storage
+        // path, so every design point yields the same subgraph and the
+        // same gathered features for the same seed.
         let data = DatasetProfile::of(smartsage::graph::Dataset::Amazon)
             .materialize(GraphScale::LargeScale, 15_000, seed);
-        let targets: Vec<NodeId> = (0..batch as u32).map(NodeId::new).collect();
         let mut results = Vec::new();
         for kind in [SystemKind::SsdMmap, SystemKind::SmartSageHwSw] {
             let ctx = Arc::new(RunContext::new(data.clone(), SystemConfig::new(kind)));
-            let mut devices = Devices::new(&ctx.config);
-            let mut backend = make_backend(&ctx, 1);
-            let mut rng = Xoshiro256::seed_from_u64(seed);
-            let plan = plan_sample(ctx.graph(), &targets, &Fanouts::new(vec![3, 2]), &mut rng);
-            backend.begin(0, SimTime::ZERO, plan);
-            let mut now = SimTime::ZERO;
-            while let StepOutcome::Running { next } = backend.step(0, &mut devices, now) {
-                now = next.max(now);
-            }
-            results.push(backend.take_result(0).batch);
+            let cfg = PipelineConfig {
+                workers: 1,
+                total_batches: 1,
+                batch_size: batch,
+                fanouts: Fanouts::new(vec![3, 2]),
+                seed,
+                train: false,
+                ..PipelineConfig::default()
+            };
+            results.push(sample_once(&ctx, &cfg));
         }
-        prop_assert_eq!(&results[0], &results[1], "mmap vs ISP subgraph mismatch");
+        prop_assert_eq!(&results[0].batch, &results[1].batch, "mmap vs ISP subgraph mismatch");
+        prop_assert_eq!(&results[0].features, &results[1].features, "mmap vs ISP features mismatch");
+        // The costs differ in the expected direction: the ISP ships
+        // only the dense sample ids, mmap ships whole blocks.
+        prop_assert!(results[0].transfers.ssd_to_host_bytes >= results[1].transfers.ssd_to_host_bytes);
     }
 
     #[test]

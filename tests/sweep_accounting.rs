@@ -11,7 +11,7 @@
 
 use smartsage::core::experiments::ExperimentScale;
 use smartsage::core::runner::{OutputFormat, Runner, SweepOutcome};
-use smartsage::core::StoreKind;
+use smartsage::core::{StoreKind, TopologyKind};
 
 /// A deliberately small file-store sweep. The seed is distinctive so no
 /// other test in this binary shares content-keyed feature files with
@@ -23,8 +23,8 @@ fn sweep(jobs: usize, names: &[&str]) -> SweepOutcome {
         batches: 2,
         workers: 1,
         seed: 0x5EED5,
-        store: Some(StoreKind::File),
-        topology: None,
+        store: StoreKind::File,
+        topology: TopologyKind::Mem,
         readahead: false,
     };
     Runner::builder()
@@ -94,8 +94,8 @@ fn readahead_changes_only_the_io_split_never_results() {
         batches: 2,
         workers: 1,
         seed: 0x5EED8,
-        store: Some(StoreKind::File),
-        topology: None,
+        store: StoreKind::File,
+        topology: TopologyKind::Mem,
         readahead: false,
     };
     let run = |readahead: bool| {
@@ -141,8 +141,8 @@ fn graph_sweep(jobs: usize, names: &[&str]) -> SweepOutcome {
         batches: 2,
         workers: 1,
         seed: 0x5EED9,
-        store: None,
-        topology: Some(smartsage::core::TopologyKind::File),
+        store: StoreKind::Mem,
+        topology: TopologyKind::File,
         readahead: false,
     };
     Runner::builder()
@@ -162,11 +162,9 @@ fn second_graph_sweep_in_one_process_reports_exactly_its_solo_stats() {
         "sampling did real topology I/O"
     );
     assert!(first.topology_stats.gathers > 0);
-    assert_eq!(
-        first.store_stats,
-        smartsage::store::StoreStats::default(),
-        "no feature store configured"
-    );
+    // The feature side ran on the mem tier: counted, but no disk I/O.
+    assert!(first.store_stats.gathers > 0);
+    assert_eq!(first.store_stats.bytes_read, 0, "mem tier reads no disk");
     assert_eq!(
         first.topology_stats, second.topology_stats,
         "second sweep's topology report must equal its solo run"
@@ -207,8 +205,8 @@ fn memory_store_sweeps_scope_their_stats_too() {
         batches: 2,
         workers: 1,
         seed: 0x5EED6,
-        store: Some(StoreKind::Mem),
-        topology: None,
+        store: StoreKind::Mem,
+        topology: TopologyKind::Mem,
         readahead: false,
     };
     let run = || {
@@ -230,7 +228,11 @@ fn memory_store_sweeps_scope_their_stats_too() {
 }
 
 #[test]
-fn storeless_sweep_reports_zero_stats() {
+fn default_mem_tier_sweep_counts_accesses_without_any_io() {
+    // Intentional delta from the pre-unification suite: there is no
+    // "storeless" mode anymore. The default mem tiers sit on the same
+    // real storage path, so access counters are always exact — only the
+    // I/O columns are zero.
     let outcome = Runner::builder()
         .scale(ExperimentScale {
             edge_budget: 20_000,
@@ -238,14 +240,58 @@ fn storeless_sweep_reports_zero_stats() {
             batches: 2,
             workers: 1,
             seed: 0x5EED7,
-            store: None,
-            topology: None,
+            store: StoreKind::Mem,
+            topology: TopologyKind::Mem,
             readahead: false,
         })
         .filter(|e| e.name == "fig7")
         .build()
         .sweep();
-    assert_eq!(outcome.store_stats, smartsage::store::StoreStats::default());
+    assert!(outcome.store_stats.gathers > 0, "every gather is counted");
+    assert!(outcome.topology_stats.gathers > 0);
+    assert_eq!(outcome.store_stats.bytes_read, 0);
+    assert_eq!(outcome.topology_stats.bytes_read, 0);
     assert!(outcome.stores.is_empty());
     assert_eq!(outcome.outcomes.len(), 1);
+}
+
+#[test]
+fn modeled_time_is_a_pure_function_of_the_trace_across_tiers_and_jobs() {
+    // The unification contract at sweep granularity: the store tier and
+    // the job count change where bytes physically come from, never the
+    // byte trace — so every modeled-time column in every table is
+    // byte-identical across all combinations.
+    let run = |store: StoreKind, topology: TopologyKind, jobs: usize| {
+        Runner::builder()
+            .scale(ExperimentScale {
+                edge_budget: 20_000,
+                batch_size: 8,
+                batches: 2,
+                workers: 2,
+                seed: 0x5EEDA,
+                store,
+                topology,
+                readahead: false,
+            })
+            .filter(|e| names(e.name))
+            .jobs(jobs)
+            .build()
+            .sweep()
+    };
+    fn names(n: &str) -> bool {
+        matches!(n, "fig6" | "fig7" | "fig14" | "fig18")
+    }
+    let reference = OutputFormat::Text.render(&run(StoreKind::Mem, TopologyKind::Mem, 1).outcomes);
+    for (store, topology, jobs) in [
+        (StoreKind::File, TopologyKind::File, 1),
+        (StoreKind::Isp, TopologyKind::Isp, 1),
+        (StoreKind::File, TopologyKind::Isp, 4),
+        (StoreKind::Mem, TopologyKind::Mem, 4),
+    ] {
+        let got = OutputFormat::Text.render(&run(store, topology, jobs).outcomes);
+        assert_eq!(
+            got, reference,
+            "tables diverged under store={store:?} topology={topology:?} jobs={jobs}"
+        );
+    }
 }

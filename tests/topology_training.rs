@@ -123,44 +123,46 @@ fn pipeline_with_graph_file_and_store_file_reports_topology_io() {
         total_batches: 6,
         batch_size: 32,
         fanouts: Fanouts::new(vec![5, 4]),
-        store: Some(StoreKind::File),
-        topology: Some(TopologyKind::File),
+        store: StoreKind::File,
+        topology: TopologyKind::File,
         ..PipelineConfig::default()
     };
     let report = run_pipeline(&ctx, &cfg);
-    let topo = report.topology_stats.expect("topology configured");
+    let topo = report.topology_stats;
     assert!(topo.bytes_read > 0, "pipeline sampling read the graph file");
     assert!(topo.hit_rate() > 0.0, "repeat reads hit the shared cache");
     assert_eq!(topo.pages_read, topo.page_misses);
     assert!(topo.gathers > 0);
-    let store = report.store_stats.expect("store configured");
+    let store = report.store_stats;
     assert!(store.bytes_read > 0);
 
-    // Timing and results are identical to the storeless run — the
-    // determinism contract: stores add I/O accounting, never time.
+    // Timing and results are identical to the in-memory-tier run — the
+    // determinism contract: tiers change I/O accounting, never time.
     let plain = run_pipeline(
         &ctx,
         &PipelineConfig {
-            store: None,
-            topology: None,
+            store: StoreKind::Mem,
+            topology: TopologyKind::Mem,
             ..cfg.clone()
         },
     );
     assert_eq!(plain.makespan, report.makespan);
     assert_eq!(plain.batches, report.batches);
-    assert!(plain.topology_stats.is_none());
+    // The mem tier still counts gathers — it reads no file bytes.
+    assert!(plain.topology_stats.gathers > 0);
+    assert_eq!(plain.topology_stats.bytes_read, 0);
 
     // The isp graph tier: same timing, device-side resolution, host
     // bytes strictly below the file tier's.
     let isp = run_pipeline(
         &ctx,
         &PipelineConfig {
-            topology: Some(TopologyKind::Isp),
+            topology: TopologyKind::Isp,
             ..cfg.clone()
         },
     );
     assert_eq!(isp.makespan, report.makespan);
-    let isp_topo = isp.topology_stats.expect("isp topology configured");
+    let isp_topo = isp.topology_stats;
     assert!(isp_topo.device_ns > 0, "modeled device time accumulates");
     assert!(
         isp_topo.host_bytes_transferred < topo.host_bytes_transferred,
