@@ -52,6 +52,8 @@
 //! All flags are validated (and unknown experiment names rejected with
 //! the list of valid names, exit code 2) before any experiment runs.
 
+#![forbid(unsafe_code)]
+
 use smartsage_bench::{graph_from_flag, scale_from_flag, store_from_flag};
 use smartsage_core::experiments::{registry, Experiment, ExperimentScale};
 use smartsage_core::runner::{OutputFormat, Runner};

@@ -13,6 +13,8 @@
 //! [`smartsage_core::experiments::registry`]; this crate only re-derives
 //! views of it and parses CLI flag values.
 
+#![forbid(unsafe_code)]
+
 use smartsage_core::experiments::{registry, ExperimentScale};
 use smartsage_core::{StoreKind, TopologyKind};
 

@@ -8,7 +8,9 @@ use smartsage_storage::memdev::MemDeviceParams;
 use smartsage_storage::ssd::{PcieParams, SsdParams};
 
 /// The training-system design points of the evaluation (paper §VI).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// `Ord` follows declaration order so keyed collections iterate in the
+/// paper's system order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SystemKind {
     /// Oracular in-memory baseline: edge list entirely in DRAM (§VI-C).
     Dram,

@@ -201,7 +201,7 @@ mod tests {
     fn relative_speed_ordering_holds() {
         // Single-worker sampling latency: DRAM < PMEM < ISP < direct-I/O
         // < mmap — the paper's headline ordering (Figs 14, 18).
-        let mut times = std::collections::HashMap::new();
+        let mut times = std::collections::BTreeMap::new();
         for kind in [
             SystemKind::Dram,
             SystemKind::Pmem,

@@ -221,7 +221,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -257,7 +257,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -268,7 +268,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             fields.push((key, value));
@@ -285,7 +285,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -308,7 +308,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -320,11 +320,11 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
             // The input is a &str, so slicing between the ASCII
-            // delimiters found above lands on char boundaries.
-            out.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .expect("input is UTF-8 and delimiters are ASCII"),
-            );
+            // delimiters found above lands on char boundaries; the
+            // error arm is unreachable but typed all the same.
+            let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("invalid UTF-8 inside string"))?;
+            out.push_str(run);
             match self.peek() {
                 Some(b'"') => {
                     self.pos += 1;
@@ -358,7 +358,7 @@ impl<'a> Parser<'a> {
                     // Surrogate pair: a low surrogate must follow.
                     if self.peek() == Some(b'\\') {
                         self.pos += 1;
-                        self.expect(b'u')
+                        self.expect_byte(b'u')
                             .map_err(|_| self.err("high surrogate not followed by \\u"))?;
                         let lo = self.hex4()?;
                         if !(0xdc00..0xe000).contains(&lo) {
@@ -400,7 +400,8 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number span");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-ASCII byte in number"))?;
         match text.parse::<f64>() {
             Ok(v) if v.is_finite() => Ok(JsonValue::Num(v)),
             _ => Err(JsonError {

@@ -35,6 +35,8 @@
 //!   the innermost scope, and the old process-wide aggregate survives
 //!   only as a compatibility shim (`--store mem|file`).
 
+#![forbid(unsafe_code)]
+
 pub mod ablations;
 pub mod config;
 pub mod context;

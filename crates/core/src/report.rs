@@ -378,6 +378,29 @@ mod tests {
     use super::*;
 
     #[test]
+    fn tables_built_from_keyed_maps_are_byte_identical_across_insertion_orders() {
+        // The SSL002 contract: result tables come out of ordered maps,
+        // so two processes that accumulate the same measurements in
+        // different orders emit the same bytes in every format.
+        use std::collections::BTreeMap;
+        let rows = [("mem", 10u64), ("file", 20), ("isp", 30), ("mmap", 40)];
+        let build = |order: &[usize]| {
+            let mut map = BTreeMap::new();
+            for &i in order {
+                map.insert(rows[i].0, rows[i].1);
+            }
+            let mut t = Table::new("tiers", &["tier", "ns"]);
+            for (tier, ns) in &map {
+                t.row(vec![(*tier).into(), ns.to_string().into()]);
+            }
+            (t.to_string(), t.to_csv(), t.to_json())
+        };
+        let forward = build(&[0, 1, 2, 3]);
+        let adversarial = build(&[3, 1, 0, 2]);
+        assert_eq!(forward, adversarial);
+    }
+
+    #[test]
     fn renders_aligned_columns() {
         let mut t = Table::new("T", &["name", "v"]);
         t.row(vec!["long-name".into(), "1".into()]);

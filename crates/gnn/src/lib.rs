@@ -22,6 +22,8 @@
 //! * [`gpu`] — the GPU timing model (Tesla T4-class FLOPs, PCIe 3.0 x16)
 //!   used by the pipeline simulator for the consumer "GNN training" stage.
 
+#![forbid(unsafe_code)]
+
 pub mod gpu;
 pub mod model;
 pub mod saint;

@@ -43,6 +43,8 @@
 //! assert!(g.num_edges() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod csr;
 pub mod datasets;
 pub mod degree;

@@ -31,6 +31,7 @@
 //!   instead impose the hit probability the cache would achieve at the
 //!   dataset's true size.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coalesce;
@@ -43,6 +44,7 @@ pub mod page_cache;
 pub mod params;
 pub mod prefetch;
 pub mod sharded_cache;
+pub mod sync;
 
 pub use coalesce::{merge_page_runs, PageRun};
 pub use direct_io::DirectIoReader;
@@ -54,3 +56,4 @@ pub use page_cache::PageCache;
 pub use params::HostIoParams;
 pub use prefetch::PrefetchQueue;
 pub use sharded_cache::ShardedPageCache;
+pub use sync::{CondvarExt, LockExt};

@@ -1,0 +1,452 @@
+//! A small hand-rolled Rust lexer — just enough structure for the SSL
+//! lints to never false-positive on prose.
+//!
+//! The lexer understands the token classes whose *contents* must be
+//! invisible to word-matching lints: line and block comments (nested),
+//! string literals with escapes, raw strings with arbitrary `#`
+//! fences, byte and raw-byte strings, char literals vs lifetimes, and
+//! raw identifiers. Comments are kept as tokens (with their text)
+//! because the suppression syntax lives in them; strings are kept as
+//! opaque `StrLit` tokens so `"call .unwrap() here"` in a doc example
+//! or log message never trips SSL001.
+//!
+//! Attribute spans (`#[...]` / `#![...]`, bracket-matched) mark every
+//! token inside them with [`Token::in_attribute`], so attribute
+//! arguments like `#[should_panic(expected = "...")]` are
+//! distinguishable from code.
+
+/// What a token is, at the granularity the lints need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// String-ish literal: `"…"`, `r#"…"#`, `b"…"`, `'c'`.
+    StrLit,
+    /// Numeric literal.
+    NumLit,
+    /// One punctuation character.
+    Punct,
+    /// `// …` comment (doc comments included), text preserved.
+    LineComment,
+    /// `/* … */` comment (nesting handled), text preserved.
+    BlockComment,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Class of the token.
+    pub kind: TokenKind,
+    /// Source text. For comments this includes the delimiters; for
+    /// strings it is the opening delimiter only (contents are opaque
+    /// to the lints on purpose).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+    /// Whether the token sits inside a `#[...]`/`#![...]` span.
+    pub in_attribute: bool,
+}
+
+impl Token {
+    fn is_code(&self) -> bool {
+        !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `source` into tokens. The lexer is total: any input produces
+/// a token stream (unterminated constructs simply run to end of file),
+/// so the lints can run on work-in-progress code.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    _source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            _source: source,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line/column.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+            in_attribute: false,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(line, col),
+                '"' => self.string(line, col),
+                'b' if self.peek_at(1) == Some('"') => {
+                    self.bump();
+                    self.string(line, col);
+                }
+                'b' if self.peek_at(1) == Some('r') && self.raw_fence_at(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line, col);
+                }
+                'r' if self.raw_fence_at(1) => {
+                    self.bump();
+                    self.raw_string(line, col);
+                }
+                'r' if self.peek_at(1) == Some('#')
+                    && self.peek_at(2).is_some_and(is_ident_start) =>
+                {
+                    // Raw identifier r#ident.
+                    self.bump();
+                    self.bump();
+                    self.ident(line, col);
+                }
+                '\'' => self.lifetime_or_char(line, col),
+                c if is_ident_start(c) => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+        mark_attributes(&mut self.tokens);
+        self.tokens
+    }
+
+    /// Is `r`'s tail at `ahead` a raw-string fence: zero or more `#`
+    /// then `"`?
+    fn raw_fence_at(&self, ahead: usize) -> bool {
+        let mut i = ahead;
+        while self.peek_at(i) == Some('#') {
+            i += 1;
+        }
+        self.peek_at(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek() {
+            if c == '/' && self.peek_at(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek_at(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line, col);
+    }
+
+    fn string(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // whatever is escaped, including \"
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::StrLit, "\"".to_string(), line, col);
+    }
+
+    /// `r"…"` / `r#"…"#` with any number of `#`s; the leading `r` (and
+    /// `b`) is already consumed.
+    fn raw_string(&mut self, line: u32, col: u32) {
+        let mut fence = 0usize;
+        while self.peek() == Some('#') {
+            fence += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A quote closes only when followed by `fence` hashes.
+                for i in 0..fence {
+                    if self.peek_at(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..fence {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::StrLit, "r\"".to_string(), line, col);
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal).
+    fn lifetime_or_char(&mut self, line: u32, col: u32) {
+        self.bump(); // the quote
+        match self.peek() {
+            Some(c) if is_ident_start(c) && self.peek_at(1) != Some('\'') => {
+                // Lifetime (or the keyword-ish `'static`): identifier
+                // chars not closed by a quote.
+                let mut name = String::from("'");
+                while let Some(c) = self.peek() {
+                    if is_ident_continue(c) {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Lifetime, name, line, col);
+            }
+            Some('\\') => {
+                // Escaped char literal: consume through the closing quote.
+                self.bump();
+                self.bump(); // escaped char (or `u`)
+                while let Some(c) = self.peek() {
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::StrLit, "'".to_string(), line, col);
+            }
+            Some(_) => {
+                // Plain char literal 'x'.
+                self.bump();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::StrLit, "'".to_string(), line, col);
+            }
+            None => self.push(TokenKind::Punct, "'".to_string(), line, col),
+        }
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, name, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            // Good enough for positions: numbers, underscores, type
+            // suffixes, hex digits, and the exponent/float dot.
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                // `0..10` range: the dot belongs to the range, not the
+                // number, when followed by another dot.
+                if c == '.' && self.peek_at(1) == Some('.') {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::NumLit, text, line, col);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Marks tokens inside `#[...]` / `#![...]` spans (bracket-matched, so
+/// nested brackets in attribute arguments stay inside the span).
+fn mark_attributes(tokens: &mut [Token]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        let starts_attr = tokens[i].is_code()
+            && tokens[i].text == "#"
+            && tokens[i].kind == TokenKind::Punct
+            && next_code(tokens, i).is_some_and(|j| {
+                tokens[j].text == "["
+                    || (tokens[j].text == "!"
+                        && next_code(tokens, j).is_some_and(|k| tokens[k].text == "["))
+            });
+        if !starts_attr {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < tokens.len() {
+            if tokens[j].is_code() {
+                match tokens[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            tokens[j].in_attribute = true;
+            j += 1;
+        }
+        if j < tokens.len() {
+            tokens[j].in_attribute = true; // the closing `]`
+        }
+        i = j + 1;
+    }
+}
+
+fn next_code(tokens: &[Token], from: usize) -> Option<usize> {
+    tokens[from + 1..]
+        .iter()
+        .position(Token::is_code)
+        .map(|off| from + 1 + off)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+            // call .unwrap() here
+            /* panic!("boom") /* nested unwrap */ still comment */
+            let s = "don't .expect(this)";
+            let r = r#"raw "quoted" .unwrap()"#;
+            let c = 'x';
+            real_ident();
+        "##;
+        let names = idents(src);
+        assert!(names.contains(&"real_ident".to_string()));
+        assert!(!names.iter().any(|n| n == "unwrap" || n == "panic"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        // The quote of 'a must not swallow the rest of the signature.
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "str"));
+    }
+
+    #[test]
+    fn attribute_spans_are_marked() {
+        let toks = lex("#[should_panic(expected = \"boom\")]\nfn f() { g(); }");
+        let should_panic = toks
+            .iter()
+            .find(|t| t.text == "should_panic")
+            .expect("token");
+        assert!(should_panic.in_attribute);
+        let g = toks.iter().find(|t| t.text == "g").expect("token");
+        assert!(!g.in_attribute);
+    }
+
+    #[test]
+    fn raw_strings_with_fences_terminate_correctly() {
+        let toks = lex(r###"let x = r##"has "# inside"##; after();"###);
+        assert!(toks.iter().any(|t| t.text == "after"));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_opaque() {
+        let names = idents(r##"let x = b"unwrap"; let y = br#"panic"# ; ok();"##);
+        assert_eq!(names, vec!["let", "x", "let", "y", "ok"]);
+    }
+}

@@ -1,0 +1,96 @@
+//! smartsage-lint: the workspace invariant checker.
+//!
+//! Machine-enforces the design rules this repo's PRs established in
+//! prose: panic-freedom on untrusted-input paths (SSL001),
+//! deterministic iteration in result-producing modules (SSL002), no
+//! wall-clock reads in modeled-time code (SSL003), no new mutable
+//! global state (SSL004), no `unsafe` (SSL005), and no unaudited
+//! nested lock acquisitions (SSL006). Violations that are genuinely
+//! sound carry an inline `// ssl::allow(SSL00N): <justification>`,
+//! which is itself checked: it must name a real code, must justify
+//! itself, and must suppress something (SSL000 otherwise).
+//!
+//! The pass is first-party and dependency-free: a hand-rolled lexer
+//! (comment-, string-, raw-string-, and attribute-aware) feeds purely
+//! lexical lints. That buys zero build-time cost and full control over
+//! scoping at the price of no type information — the lints are written
+//! to be conservative and the allow mechanism absorbs the residue.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod suppress;
+pub mod workspace;
+
+use std::path::Path;
+
+pub use diag::{Code, Diagnostic};
+
+/// Checks one file's source text as if it lived at workspace-relative
+/// `path`. Suppressions are collected, applied, and themselves
+/// checked. `is_test_file` marks whole-file test context (`tests/`,
+/// `benches/`, `examples/`).
+pub fn check_source(path: &str, source: &str, is_test_file: bool) -> Vec<Diagnostic> {
+    let tokens = lexer::lex(source);
+    let ctx = lints::FileContext {
+        path,
+        tokens: &tokens,
+        is_test_file,
+        test_regions: lints::test_regions(&tokens),
+    };
+    let found = lints::check(&ctx);
+    let (allows, mut ssl000) = suppress::collect(path, &tokens);
+    let mut out = suppress::apply(path, found, &allows);
+    out.append(&mut ssl000);
+    out.sort_by_key(|a| (a.line, a.col, a.code));
+    out
+}
+
+/// Checks every first-party file under `root`. Returns diagnostics
+/// sorted by (file, line, col) and the number of files checked.
+pub fn check_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    let files = workspace::discover(root)?;
+    let count = files.len();
+    let mut diags = Vec::new();
+    for file in &files {
+        let source = std::fs::read_to_string(&file.path)?;
+        let (rel, is_test_file) = match workspace::lint_path_override(&source) {
+            // An override relocates the file: test-context follows
+            // the virtual path, not where it lives on disk.
+            Some(over) => (over.to_string(), workspace::is_test_path(over)),
+            None => (file.rel.clone(), file.is_test_file),
+        };
+        diags.extend(check_source(&rel, &source, is_test_file));
+    }
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.code).cmp(&(&b.file, b.line, b.col, b.code)));
+    Ok((diags, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_source_applies_allows_and_flags_stale_ones() {
+        let src = "\
+            fn f(x: Option<u8>) -> u8 {\n\
+                x.unwrap() // ssl::allow(SSL001): x was filled two lines up\n\
+            }\n\
+            // ssl::allow(SSL003): stale — nothing here reads a clock\n\
+            fn g() {}\n";
+        let found = check_source("crates/serve/src/engine.rs", src, false);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].code, Code::Ssl000);
+        assert!(found[0].message.contains("suppresses nothing"));
+    }
+
+    #[test]
+    fn test_files_are_exempt_from_panic_lints_but_not_unsafe() {
+        let src = "fn t() { Some(1).unwrap(); unsafe {} }";
+        let found = check_source("crates/serve/tests/serve_http.rs", src, true);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].code, Code::Ssl005);
+    }
+}

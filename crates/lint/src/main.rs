@@ -1,0 +1,123 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p smartsage-lint -- --deny            # check the workspace, exit 1 on findings
+//! cargo run -p smartsage-lint -- --list            # print the lint codes and rules
+//! cargo run -p smartsage-lint -- path/to/file.rs   # check specific files
+//! ```
+//!
+//! With no file arguments the checker walks upward from the current
+//! directory to the workspace root (the directory holding `Cargo.toml`
+//! with a `[workspace]` table) and lints every first-party `.rs` file
+//! under `crates/`, excluding `vendor/`, `target/`, and the fixture
+//! corpus.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use smartsage_lint::{check_source, check_workspace, workspace, Code};
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut list = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!(
+                    "smartsage-lint [--deny] [--list] [FILE.rs ...]\n\
+                     \n\
+                     Checks the workspace (or the given files) against the SSL lint set.\n\
+                     --deny   exit nonzero if any diagnostic is produced\n\
+                     --list   print the lint codes and the rules they enforce"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("smartsage-lint: unknown flag '{other}' (try --help)");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    if list {
+        for code in Code::ALL {
+            println!("{}  {}", code.as_str(), code.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let (diags, checked) = if files.is_empty() {
+        let Some(root) = find_workspace_root() else {
+            eprintln!("smartsage-lint: no workspace root found above the current directory");
+            return ExitCode::from(2);
+        };
+        match check_workspace(&root) {
+            Ok(result) => result,
+            Err(err) => {
+                eprintln!("smartsage-lint: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut diags = Vec::new();
+        for file in &files {
+            let source = match std::fs::read_to_string(file) {
+                Ok(s) => s,
+                Err(err) => {
+                    eprintln!("smartsage-lint: {file}: {err}");
+                    return ExitCode::from(2);
+                }
+            };
+            // A `// lint-path:` override relocates the file to a
+            // virtual path; test-context must follow the virtual
+            // path, not where the fixture happens to live on disk.
+            let rel = workspace::lint_path_override(&source)
+                .map(str::to_string)
+                .unwrap_or_else(|| file.replace('\\', "/"));
+            let is_test_file = workspace::is_test_path(&rel);
+            diags.extend(check_source(&rel, &source, is_test_file));
+        }
+        let count = files.len();
+        (diags, count)
+    };
+
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("smartsage-lint: {checked} files checked, no diagnostics");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "smartsage-lint: {} diagnostic{} across {checked} files",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

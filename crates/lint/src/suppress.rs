@@ -1,0 +1,258 @@
+//! Inline suppressions: `// ssl::allow(SSL00N): <justification>`.
+//!
+//! A suppression is itself part of the checked surface:
+//!
+//! * it **must** carry a non-empty justification after the colon;
+//! * it **must** suppress at least one diagnostic of the named code
+//!   (a stale allow is an error, so dead suppressions cannot pile up);
+//! * it **must** name a known code.
+//!
+//! A trailing comment applies to its own line; a full-line comment
+//! applies to the next line that holds code. Several codes may share
+//! one allow: `ssl::allow(SSL001, SSL006): reason`.
+
+use crate::diag::{Code, Diagnostic};
+use crate::lexer::{Token, TokenKind};
+
+/// One parsed `ssl::allow`, before it is matched against diagnostics.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Codes this allow names.
+    pub codes: Vec<Code>,
+    /// The line whose diagnostics it suppresses.
+    pub target_line: u32,
+    /// Where the allow itself sits (for SSL000 reporting).
+    pub line: u32,
+    /// Column of the comment.
+    pub col: u32,
+    /// The text after `):`, trimmed.
+    pub justification: String,
+}
+
+/// The marker that introduces a suppression inside a comment.
+pub const MARKER: &str = "ssl::allow(";
+
+/// Extracts every suppression from `tokens`. Malformed suppressions
+/// (unknown code, missing justification) are returned as SSL000
+/// diagnostics *and* do not suppress anything.
+pub fn collect(file: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut errors = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        // A suppression is a *plain* comment that begins with the
+        // marker. Doc comments (`///`, `//!`, `/**`, `/*!`) are prose
+        // — they may *mention* `ssl::allow(…)` without being one.
+        let body = match token.kind {
+            TokenKind::LineComment => {
+                let body = token.text.strip_prefix("//").unwrap_or(&token.text);
+                if body.starts_with('/') || body.starts_with('!') {
+                    continue;
+                }
+                body
+            }
+            TokenKind::BlockComment => {
+                let body = token.text.strip_prefix("/*").unwrap_or(&token.text);
+                if body.starts_with('*') || body.starts_with('!') {
+                    continue;
+                }
+                body
+            }
+            _ => continue,
+        };
+        let trimmed = body.trim_start();
+        if !trimmed.starts_with(MARKER) {
+            continue;
+        }
+        let rest = &trimmed[MARKER.len()..];
+        let ssl000 = |message: String| Diagnostic {
+            file: file.to_string(),
+            line: token.line,
+            col: token.col,
+            code: Code::Ssl000,
+            message,
+            help: format!(
+                "write `// {MARKER}SSL00N): <why this specific site is sound>` \
+                 on the offending line or the line above it"
+            ),
+        };
+        let Some(close) = rest.find(')') else {
+            errors.push(ssl000("unterminated `ssl::allow(` suppression".to_string()));
+            continue;
+        };
+        let mut codes = Vec::new();
+        let mut bad_code = false;
+        for name in rest[..close].split(',') {
+            match Code::parse(name.trim()) {
+                Some(code) => codes.push(code),
+                None => {
+                    errors.push(ssl000(format!(
+                        "`ssl::allow` names unknown lint code '{}'",
+                        name.trim()
+                    )));
+                    bad_code = true;
+                }
+            }
+        }
+        let after = &rest[close + 1..];
+        let justification = match after.strip_prefix(':') {
+            Some(j) => j.trim().to_string(),
+            None => String::new(),
+        };
+        if justification.is_empty() {
+            errors.push(ssl000(
+                "`ssl::allow` without a justification — every suppression must say \
+                 why the site is sound"
+                    .to_string(),
+            ));
+            continue;
+        }
+        if bad_code || codes.is_empty() {
+            continue;
+        }
+        // A trailing comment covers its own line; a full-line comment
+        // covers the next code-bearing line.
+        let own_line_has_code = tokens[..i]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == token.line)
+            .any(is_code);
+        let target_line = if own_line_has_code {
+            token.line
+        } else {
+            match tokens[i + 1..].iter().find(|t| is_code(t)) {
+                Some(t) => t.line,
+                None => token.line, // nothing follows: will report as unused
+            }
+        };
+        allows.push(Allow {
+            codes,
+            target_line,
+            line: token.line,
+            col: token.col,
+            justification,
+        });
+    }
+    (allows, errors)
+}
+
+fn is_code(t: &Token) -> bool {
+    !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+}
+
+/// Applies `allows` to `diags`: suppressed diagnostics are dropped;
+/// every allow that suppressed nothing becomes an SSL000 diagnostic.
+pub fn apply(file: &str, diags: Vec<Diagnostic>, allows: &[Allow]) -> Vec<Diagnostic> {
+    let mut used = vec![false; allows.len()];
+    let mut kept = Vec::new();
+    'diag: for d in diags {
+        for (i, allow) in allows.iter().enumerate() {
+            if allow.target_line == d.line && allow.codes.contains(&d.code) {
+                used[i] = true;
+                continue 'diag;
+            }
+        }
+        kept.push(d);
+    }
+    for (allow, used) in allows.iter().zip(used) {
+        if !used {
+            kept.push(Diagnostic {
+                file: file.to_string(),
+                line: allow.line,
+                col: allow.col,
+                code: Code::Ssl000,
+                message: format!(
+                    "`ssl::allow({})` suppresses nothing on line {}",
+                    allow
+                        .codes
+                        .iter()
+                        .map(|c| c.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    allow.target_line
+                ),
+                help: "delete the stale suppression (the violation it covered is gone)".to_string(),
+            });
+        }
+    }
+    kept.sort_by_key(|a| (a.line, a.col, a.code));
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn diag(line: u32, code: Code) -> Diagnostic {
+        Diagnostic {
+            file: "f.rs".into(),
+            line,
+            col: 1,
+            code,
+            message: "m".into(),
+            help: "h".into(),
+        }
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let toks = lex("let x = v.f(); // ssl::allow(SSL001): provably present\n");
+        let (allows, errors) = collect("f.rs", &toks);
+        assert!(errors.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].target_line, 1);
+        let kept = apply("f.rs", vec![diag(1, Code::Ssl001)], &allows);
+        assert!(kept.is_empty(), "{kept:?}");
+    }
+
+    #[test]
+    fn full_line_allow_covers_the_next_code_line() {
+        let toks = lex(
+            "// ssl::allow(SSL004): sanctioned global\n\n// other comment\nstatic X: u8 = 0;\n",
+        );
+        let (allows, errors) = collect("f.rs", &toks);
+        assert!(errors.is_empty());
+        assert_eq!(allows[0].target_line, 4);
+    }
+
+    #[test]
+    fn missing_justification_is_ssl000_and_does_not_suppress() {
+        let toks = lex("v.f(); // ssl::allow(SSL001)\n");
+        let (allows, errors) = collect("f.rs", &toks);
+        assert!(allows.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].code, Code::Ssl000);
+    }
+
+    #[test]
+    fn unknown_code_is_ssl000() {
+        let toks = lex("// ssl::allow(SSL042): sure\nf();\n");
+        let (allows, errors) = collect("f.rs", &toks);
+        assert!(allows.is_empty());
+        assert!(errors[0].message.contains("SSL042"));
+    }
+
+    #[test]
+    fn unused_allow_is_ssl000() {
+        let toks = lex("// ssl::allow(SSL001): but nothing is wrong here\nf();\n");
+        let (allows, errors) = collect("f.rs", &toks);
+        assert!(errors.is_empty());
+        let kept = apply("f.rs", Vec::new(), &allows);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].code, Code::Ssl000);
+        assert!(kept[0].message.contains("suppresses nothing"));
+    }
+
+    #[test]
+    fn one_allow_may_name_several_codes() {
+        let toks = lex("x.f(); // ssl::allow(SSL001, SSL006): audited\n");
+        let (allows, errors) = collect("f.rs", &toks);
+        assert!(errors.is_empty());
+        let kept = apply(
+            "f.rs",
+            vec![diag(1, Code::Ssl001), diag(1, Code::Ssl006)],
+            &allows,
+        );
+        assert!(kept.is_empty());
+    }
+}

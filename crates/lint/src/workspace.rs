@@ -1,0 +1,103 @@
+//! Workspace file discovery and per-file classification.
+//!
+//! The walker finds every first-party `.rs` file under `crates/`,
+//! skipping `vendor/`, `target/`, and the lint crate's own fixture
+//! corpus (fixtures deliberately violate the rules). Each file is
+//! classified as test context or not: anything under a `tests/`,
+//! `benches/`, or `examples/` directory is test context wholesale;
+//! `#[cfg(test)] mod` regions inside `src/` files are detected
+//! per-line by [`crate::lints::test_regions`].
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never linted, at any depth.
+const SKIP_DIRS: [&str; 4] = ["vendor", "target", ".git", "fixtures"];
+
+/// A discovered source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute (or root-joined) path for reading.
+    pub path: PathBuf,
+    /// Workspace-relative path with `/` separators, for scoping and
+    /// reporting.
+    pub rel: String,
+    /// Whole file is test/bench/example context.
+    pub is_test_file: bool,
+}
+
+/// Walks `root` and returns every lintable `.rs` file, sorted by
+/// relative path so output order is stable.
+pub fn discover(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            if !rel.starts_with("crates/") {
+                continue;
+            }
+            let is_test_file = is_test_path(&rel);
+            out.push(SourceFile {
+                path,
+                rel,
+                is_test_file,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Whether a workspace-relative path is whole-file test context.
+pub fn is_test_path(rel: &str) -> bool {
+    rel.split('/')
+        .any(|seg| matches!(seg, "tests" | "benches" | "examples"))
+}
+
+/// Reads a fixture-style override header: a first-line comment
+/// `// lint-path: crates/foo/src/bar.rs` makes the checker treat the
+/// source as if it lived at that workspace-relative path. Used by the
+/// fixture corpus to exercise path-scoped lints from files that live
+/// elsewhere.
+pub fn lint_path_override(source: &str) -> Option<&str> {
+    let first = source.lines().next()?;
+    let rest = first.trim().strip_prefix("//")?;
+    let path = rest.trim().strip_prefix("lint-path:")?;
+    Some(path.trim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_path_header_is_parsed_from_line_one_only() {
+        assert_eq!(
+            lint_path_override("// lint-path: crates/serve/src/api.rs\nfn f() {}"),
+            Some("crates/serve/src/api.rs")
+        );
+        assert_eq!(lint_path_override("fn f() {}\n// lint-path: x"), None);
+        assert_eq!(lint_path_override(""), None);
+    }
+}

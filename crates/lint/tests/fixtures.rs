@@ -1,0 +1,97 @@
+//! Fixture corpus: every file under `tests/fixtures/fail/` must
+//! produce exactly the code set its `// expect:` header declares, and
+//! every file under `tests/fixtures/pass/` must produce nothing.
+//!
+//! Fixtures carry a `// lint-path:` first line that relocates them to
+//! a virtual workspace path, so path-scoped lints can be exercised
+//! from files that physically live in the corpus (which the workspace
+//! walker skips).
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use smartsage_lint::{check_source, workspace, Code};
+
+fn fixture_files(kind: &str) -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(kind);
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("fixture dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no fixtures under {}", dir.display());
+    files
+}
+
+fn codes_produced(path: &Path, source: &str) -> BTreeSet<Code> {
+    let rel = workspace::lint_path_override(source)
+        .unwrap_or_else(|| panic!("{} lacks a `// lint-path:` header", path.display()))
+        .to_string();
+    let is_test_file = workspace::is_test_path(&rel);
+    check_source(&rel, source, is_test_file)
+        .into_iter()
+        .map(|d| d.code)
+        .collect()
+}
+
+fn codes_expected(path: &Path, source: &str) -> BTreeSet<Code> {
+    let line = source
+        .lines()
+        .find(|l| l.trim_start().starts_with("// expect:"))
+        .unwrap_or_else(|| panic!("{} lacks a `// expect:` header", path.display()));
+    let list = line.trim_start().strip_prefix("// expect:").unwrap();
+    list.split(',')
+        .map(|name| {
+            Code::parse(name.trim())
+                .unwrap_or_else(|| panic!("{}: unknown expected code '{name}'", path.display()))
+        })
+        .collect()
+}
+
+#[test]
+fn every_fail_fixture_produces_exactly_its_expected_codes() {
+    for path in fixture_files("fail") {
+        let source = fs::read_to_string(&path).expect("read fixture");
+        let expected = codes_expected(&path, &source);
+        let produced = codes_produced(&path, &source);
+        assert_eq!(
+            produced,
+            expected,
+            "{}: expected {expected:?}, produced {produced:?}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn every_pass_fixture_is_clean() {
+    for path in fixture_files("pass") {
+        let source = fs::read_to_string(&path).expect("read fixture");
+        let produced = codes_produced(&path, &source);
+        assert!(
+            produced.is_empty(),
+            "{}: expected no diagnostics, produced {produced:?}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn every_code_has_at_least_one_fail_fixture() {
+    let mut covered = BTreeSet::new();
+    for path in fixture_files("fail") {
+        let source = fs::read_to_string(&path).expect("read fixture");
+        covered.extend(codes_expected(&path, &source));
+    }
+    for code in Code::ALL {
+        assert!(
+            covered.contains(&code),
+            "no fail fixture exercises {}",
+            code.as_str()
+        );
+    }
+}

@@ -1,0 +1,9 @@
+// lint-path: crates/serve/src/decode_fixture.rs
+// expect: SSL000, SSL001
+
+// An allow without a justification is malformed AND does not
+// suppress, so the underlying SSL001 fires too.
+
+pub fn decode(input: Option<u32>) -> u32 {
+    input.unwrap() // ssl::allow(SSL001)
+}

@@ -1,0 +1,10 @@
+// lint-path: crates/gnn/src/aggregate_fixture.rs
+// expect: SSL000
+
+// A suppression that suppresses nothing is itself an error: stale
+// allows must be deleted, not accumulated.
+
+// ssl::allow(SSL003): stale — nothing below reads a clock
+pub fn aggregate(values: &[f32]) -> f32 {
+    values.iter().sum()
+}

@@ -1,0 +1,10 @@
+// lint-path: crates/gnn/src/layer_fixture.rs
+// expect: SSL000
+
+// An allow that names a code the checker does not know is malformed
+// and suppresses nothing.
+
+// ssl::allow(SSL042): the answer is not a lint code
+pub fn layer(x: f32) -> f32 {
+    x * 2.0
+}

@@ -1,0 +1,22 @@
+// lint-path: crates/serve/src/parse_fixture.rs
+// expect: SSL001
+
+// Untrusted-input paths (the serve crate handles bytes off a socket)
+// must not panic: no unwrap, no expect, no panic!-family macros.
+
+pub fn parse(line: &str) -> u32 {
+    let field = line.split(':').nth(1).unwrap();
+    let value: u32 = field.trim().parse().expect("numeric field");
+    if value == 0 {
+        panic!("zero is not a valid request id");
+    }
+    value
+}
+
+pub fn route(kind: u8) -> &'static str {
+    match kind {
+        0 => "sample",
+        1 => "gather",
+        _ => unreachable!("kinds are validated upstream"),
+    }
+}

@@ -1,0 +1,16 @@
+// lint-path: crates/core/src/report.rs
+// expect: SSL002
+
+// Result-producing modules iterate their collections into tables and
+// reports; HashMap iteration order varies run to run, so emitted
+// artifacts would not be byte-identical.
+
+use std::collections::HashMap;
+
+pub fn tally(rows: &[(String, u64)]) -> HashMap<String, u64> {
+    let mut out = HashMap::new();
+    for (key, n) in rows {
+        *out.entry(key.clone()).or_insert(0) += n;
+    }
+    out
+}

@@ -1,0 +1,13 @@
+// lint-path: crates/core/src/cost/probe_fixture.rs
+// expect: SSL003
+
+// Modeled-time code accounts costs in simulated nanoseconds; reading
+// the host's wall clock would couple results to machine speed.
+
+use std::time::{Instant, SystemTime};
+
+pub fn measure() -> u128 {
+    let start = Instant::now();
+    let _stamp = SystemTime::now();
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,9 @@
+// lint-path: crates/storage/src/raw_fixture.rs
+// expect: SSL005
+
+// The workspace is `unsafe`-free by design; every crate root carries
+// `#![forbid(unsafe_code)]` and the lint backstops new crates.
+
+pub fn reinterpret(bytes: &[u8]) -> u32 {
+    unsafe { *(bytes.as_ptr() as *const u32) }
+}

@@ -1,0 +1,20 @@
+// lint-path: crates/hostio/src/drain_fixture.rs
+// expect: SSL006
+
+// Holding one guard while acquiring another is a deadlock hazard if
+// any other code path takes the locks in the opposite order; nested
+// acquisitions must carry an audited allow.
+
+use std::sync::Mutex;
+
+pub struct Queues {
+    hot: Mutex<Vec<u32>>,
+    cold: Mutex<Vec<u32>>,
+}
+
+pub fn migrate(q: &Queues) {
+    let hot = q.hot.lock();
+    let cold = q.cold.lock();
+    drop(cold);
+    drop(hot);
+}

@@ -1,0 +1,19 @@
+// lint-path: crates/serve/src/parse_fixture.rs
+
+// The compliant shape for untrusted input: every fallible step
+// surfaces a typed error instead of panicking.
+
+pub enum ParseError {
+    MissingField,
+    BadNumber,
+    ZeroId,
+}
+
+pub fn parse(line: &str) -> Result<u32, ParseError> {
+    let field = line.split(':').nth(1).ok_or(ParseError::MissingField)?;
+    let value: u32 = field.trim().parse().map_err(|_| ParseError::BadNumber)?;
+    if value == 0 {
+        return Err(ParseError::ZeroId);
+    }
+    Ok(value)
+}

@@ -1,0 +1,14 @@
+// lint-path: crates/core/src/report.rs
+
+// BTreeMap iterates in key order, so tables built from it are
+// byte-identical regardless of insertion order.
+
+use std::collections::BTreeMap;
+
+pub fn tally(rows: &[(String, u64)]) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for (key, n) in rows {
+        *out.entry(key.clone()).or_insert(0) += n;
+    }
+    out
+}

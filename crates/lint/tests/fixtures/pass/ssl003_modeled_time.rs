@@ -1,0 +1,15 @@
+// lint-path: crates/core/src/cost/probe_fixture.rs
+
+// Modeled-time code advances an explicit simulated clock; no host
+// clock is consulted anywhere.
+
+pub struct ModelClock {
+    now_ns: u64,
+}
+
+impl ModelClock {
+    pub fn advance(&mut self, cost_ns: u64) -> u64 {
+        self.now_ns += cost_ns;
+        self.now_ns
+    }
+}

@@ -1,0 +1,9 @@
+// lint-path: crates/core/src/store_metrics.rs
+
+// store_metrics is the one sanctioned home for process-wide counters;
+// SSL004 is scoped to everywhere *except* this module.
+
+use std::sync::atomic::AtomicU64;
+
+pub static GATHER_BYTES: AtomicU64 = AtomicU64::new(0);
+pub static SAMPLE_CALLS: AtomicU64 = AtomicU64::new(0);

@@ -1,0 +1,9 @@
+// lint-path: crates/storage/src/raw_fixture.rs
+
+// The safe equivalent of a pointer reinterpretation: explicit
+// little-endian decoding through the byte API.
+
+pub fn decode(bytes: &[u8]) -> Option<u32> {
+    let four: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(four))
+}

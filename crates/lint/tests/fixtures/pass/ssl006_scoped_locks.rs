@@ -1,0 +1,20 @@
+// lint-path: crates/hostio/src/drain_fixture.rs
+
+// The compliant shape: each guard lives in its own scope, so only one
+// lock is ever held at a time and no ordering hazard exists.
+
+use std::sync::Mutex;
+
+pub struct Queues {
+    hot: Mutex<Vec<u32>>,
+    cold: Mutex<Vec<u32>>,
+}
+
+pub fn migrate(q: &Queues) {
+    let drained: Vec<u32> = {
+        let mut hot = q.hot.lock().unwrap_or_else(|e| e.into_inner());
+        hot.drain(..).collect()
+    };
+    let mut cold = q.cold.lock().unwrap_or_else(|e| e.into_inner());
+    cold.extend(drained);
+}

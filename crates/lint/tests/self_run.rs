@@ -1,0 +1,105 @@
+//! End-to-end runs of the `smartsage-lint` binary itself:
+//!
+//! * `--deny` over the real workspace exits 0 (the workspace is clean
+//!   and must stay that way — this test is the enforcement);
+//! * `--deny <fail fixture>` exits nonzero and names the expected
+//!   code in its output, for every fail fixture.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_smartsage-lint");
+
+fn manifest_dir() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn deny_run_over_the_workspace_is_clean() {
+    let root = manifest_dir().parent().unwrap().parent().unwrap();
+    let output = Command::new(BIN)
+        .arg("--deny")
+        .current_dir(root)
+        .output()
+        .expect("run smartsage-lint");
+    assert!(
+        output.status.success(),
+        "workspace lint found diagnostics:\n{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("no diagnostics"),
+        "unexpected summary: {stderr}"
+    );
+}
+
+#[test]
+fn deny_run_fails_on_every_fail_fixture_and_names_the_code() {
+    let dir = manifest_dir().join("tests/fixtures/fail");
+    let mut checked = 0;
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("read fail fixtures")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let source = fs::read_to_string(&path).expect("read fixture");
+        let expect_line = source
+            .lines()
+            .find(|l| l.trim_start().starts_with("// expect:"))
+            .unwrap_or_else(|| panic!("{} lacks `// expect:`", path.display()));
+        let codes: Vec<&str> = expect_line
+            .trim_start()
+            .strip_prefix("// expect:")
+            .unwrap()
+            .split(',')
+            .map(str::trim)
+            .collect();
+        let output = Command::new(BIN)
+            .arg("--deny")
+            .arg(&path)
+            .output()
+            .expect("run smartsage-lint");
+        assert!(
+            !output.status.success(),
+            "{} should fail under --deny",
+            path.display()
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        for code in codes {
+            assert!(
+                stdout.contains(code),
+                "{}: output lacks {code}:\n{stdout}",
+                path.display()
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 7, "expected at least one fixture per code");
+}
+
+#[test]
+fn pass_fixtures_are_clean_through_the_binary() {
+    let dir = manifest_dir().join("tests/fixtures/pass");
+    for entry in fs::read_dir(&dir).expect("read pass fixtures") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let output = Command::new(BIN)
+            .arg("--deny")
+            .arg(&path)
+            .output()
+            .expect("run smartsage-lint");
+        assert!(
+            output.status.success(),
+            "{} should be clean:\n{}",
+            path.display(),
+            String::from_utf8_lossy(&output.stdout)
+        );
+    }
+}

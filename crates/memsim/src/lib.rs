@@ -12,6 +12,8 @@
 //! * [`meter::BandwidthMeter`] — achieved-vs-peak DRAM bandwidth
 //!   accounting given the miss stream.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod meter;
 

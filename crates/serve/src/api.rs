@@ -22,7 +22,7 @@ pub const MAX_REQUEST_NODES: usize = 4096;
 pub const MAX_REQUEST_HOPS: usize = 4;
 
 /// A typed serving failure, each variant carrying its HTTP status.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum ServeError {
     /// The request body is not valid JSON (`400`).
     BadJson(json::JsonError),
@@ -401,6 +401,27 @@ mod tests {
         }
         .into();
         assert_eq!(e.status(), 500);
+    }
+
+    #[test]
+    fn cloned_errors_keep_status_label_and_body() {
+        // The merged-execution path hands one failure to every infer
+        // request in the group by cloning it; the clone must be
+        // indistinguishable on the wire.
+        let errors = [
+            ServeError::BadJson(json::parse("{").unwrap_err()),
+            ServeError::NodeOutOfRange {
+                node: 9,
+                num_nodes: 3,
+            },
+            ServeError::Internal("gather failed".to_string()),
+        ];
+        for e in &errors {
+            let c = e.clone();
+            assert_eq!(c.status(), e.status());
+            assert_eq!(c.label(), e.label());
+            assert_eq!(c.to_json(), e.to_json());
+        }
     }
 
     #[test]

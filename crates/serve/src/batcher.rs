@@ -12,6 +12,7 @@
 
 use crate::api::{ApiRequest, ServeError};
 use crate::engine::Engine;
+use smartsage_hostio::{CondvarExt, LockExt};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -81,8 +82,9 @@ pub struct Batcher {
 impl Batcher {
     /// Starts the executor thread over `engine`. The engine stays
     /// reachable (for `GET /stats`) through the returned `Arc`; the
-    /// executor takes the lock only while running a window.
-    pub fn start(engine: Arc<Mutex<Engine>>, policy: BatchPolicy) -> Batcher {
+    /// executor takes the lock only while running a window. Fails only
+    /// if the OS refuses the executor thread.
+    pub fn start(engine: Arc<Mutex<Engine>>, policy: BatchPolicy) -> std::io::Result<Batcher> {
         assert!(policy.max_batch > 0, "max_batch must be positive");
         assert!(policy.queue_depth > 0, "queue_depth must be positive");
         let shared = Arc::new(Shared {
@@ -97,12 +99,11 @@ impl Batcher {
         let executor_shared = Arc::clone(&shared);
         let executor = thread::Builder::new()
             .name("serve-batcher".to_string())
-            .spawn(move || run_executor(executor_shared, engine))
-            .expect("spawn batcher executor");
-        Batcher {
+            .spawn(move || run_executor(executor_shared, engine))?;
+        Ok(Batcher {
             shared,
             executor: Mutex::new(Some(executor)),
-        }
+        })
     }
 
     /// Admits one request, returning the channel its response will
@@ -112,7 +113,7 @@ impl Batcher {
         request: ApiRequest,
     ) -> Result<mpsc::Receiver<Result<String, ServeError>>, ServeError> {
         let (reply, receiver) = mpsc::sync_channel(1);
-        let mut state = self.shared.state.lock().expect("batcher state");
+        let mut state = self.shared.state.safe_lock();
         if !state.open {
             return Err(ServeError::ShuttingDown);
         }
@@ -137,19 +138,22 @@ impl Batcher {
 
     /// Requests currently waiting for an executor pass.
     pub fn queued(&self) -> usize {
-        self.shared.state.lock().expect("batcher state").queue.len()
+        self.shared.state.safe_lock().queue.len()
     }
 
     /// Closes the queue to new work, drains everything already
     /// admitted, and joins the executor. Idempotent.
     pub fn close(&self) {
         {
-            let mut state = self.shared.state.lock().expect("batcher state");
+            let mut state = self.shared.state.safe_lock();
             state.open = false;
         }
         self.shared.arrived.notify_all();
-        if let Some(executor) = self.executor.lock().expect("batcher executor").take() {
-            executor.join().expect("batcher executor panicked");
+        if let Some(executor) = self.executor.safe_lock().take() {
+            // The executor holds no response channels at exit; if it
+            // panicked, its queue entries already dropped (senders
+            // hung up) and submitters saw disconnects.
+            let _ = executor.join();
         }
     }
 }
@@ -164,9 +168,9 @@ fn run_executor(shared: Arc<Shared>, engine: Arc<Mutex<Engine>>) {
     loop {
         // Wait for the first request of a window (or shutdown).
         {
-            let mut state = shared.state.lock().expect("batcher state");
+            let mut state = shared.state.safe_lock();
             while state.queue.is_empty() && state.open {
-                state = shared.arrived.wait(state).expect("batcher state");
+                state = shared.arrived.safe_wait(state);
             }
             if state.queue.is_empty() && !state.open {
                 return; // drained and closed
@@ -175,13 +179,13 @@ fn run_executor(shared: Arc<Shared>, engine: Arc<Mutex<Engine>>) {
         // Linger for the coalescing window so concurrent requests can
         // join this pass — but drain immediately when shutting down.
         if !shared.policy.window.is_zero() {
-            let draining = !shared.state.lock().expect("batcher state").open;
+            let draining = !shared.state.safe_lock().open;
             if !draining {
                 thread::sleep(shared.policy.window);
             }
         }
         let window: Vec<Pending> = {
-            let mut state = shared.state.lock().expect("batcher state");
+            let mut state = shared.state.safe_lock();
             let n = state.queue.len().min(shared.policy.max_batch);
             state.queue.drain(..n).collect()
         };
@@ -189,7 +193,7 @@ fn run_executor(shared: Arc<Shared>, engine: Arc<Mutex<Engine>>) {
             continue;
         }
         let requests: Vec<ApiRequest> = window.iter().map(|p| p.request.clone()).collect();
-        let responses = engine.lock().expect("serve engine").execute(&requests);
+        let responses = engine.safe_lock().execute(&requests);
         for (pending, response) in window.into_iter().zip(responses) {
             // A client that hung up just discards its response.
             let _ = pending.reply.send(response);
@@ -235,7 +239,7 @@ mod tests {
 
     #[test]
     fn submits_resolve_through_the_executor() {
-        let batcher = Batcher::start(engine(), BatchPolicy::serial());
+        let batcher = Batcher::start(engine(), BatchPolicy::serial()).expect("start batcher");
         let rx = batcher.submit(sample(&[1, 2])).unwrap();
         let response = rx.recv().unwrap().unwrap();
         assert!(response.contains("\"targets\":[1,2]"), "{response}");
@@ -255,7 +259,8 @@ mod tests {
                 max_batch: 1,
                 queue_depth: 2,
             },
-        );
+        )
+        .expect("start batcher");
         let _rx1 = batcher.submit(sample(&[1])).unwrap();
         // Give the executor a moment to pull the first request out of
         // the queue (it then blocks on the engine lock we hold).
@@ -279,7 +284,8 @@ mod tests {
                 max_batch: 64,
                 queue_depth: 16,
             },
-        );
+        )
+        .expect("start batcher");
         let receivers: Vec<_> = (0..4)
             .map(|i| batcher.submit(sample(&[i])).unwrap())
             .collect();
@@ -301,7 +307,8 @@ mod tests {
                 max_batch: 64,
                 queue_depth: 64,
             },
-        );
+        )
+        .expect("start batcher");
         let receivers: Vec<_> = (0..6)
             .map(|i| batcher.submit(sample(&[i, i + 1])).unwrap())
             .collect();

@@ -8,6 +8,8 @@
 //! serve --store file --graph file --port 0 --nodes 4096 --window-us 2000
 //! ```
 
+#![forbid(unsafe_code)]
+
 use smartsage_gnn::Fanouts;
 use smartsage_serve::batcher::BatchPolicy;
 use smartsage_serve::engine::{DatasetConfig, Engine, EngineConfig};

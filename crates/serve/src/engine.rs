@@ -239,7 +239,16 @@ impl Engine {
         }
         responses
             .into_iter()
-            .map(|r| r.expect("every request got a response"))
+            .map(|r| {
+                // Every index is filled by validate() or its group; a
+                // gap is an engine bug, reported as a 500 rather than
+                // a dead worker.
+                r.unwrap_or_else(|| {
+                    Err(ServeError::Internal(
+                        "request fell through the execution window".to_string(),
+                    ))
+                })
+            })
             .collect()
     }
 
@@ -329,9 +338,8 @@ impl Engine {
                 }
             }
             Err(e) => {
-                let msg = e.to_string();
                 for &i in &infer_members {
-                    responses[i] = Some(Err(ServeError::Internal(msg.clone())));
+                    responses[i] = Some(Err(e.clone()));
                 }
             }
         }
@@ -343,7 +351,7 @@ impl Engine {
     fn infer_merged(
         &mut self,
         merged: &SampledBatch,
-    ) -> Result<(Vec<Vec<f32>>, Vec<usize>), StoreError> {
+    ) -> Result<(Vec<Vec<f32>>, Vec<usize>), ServeError> {
         let (x0, x1, x2) = self.gather_distinct(merged)?;
         let cache = self.model.forward(merged, x0, x1, x2);
         let predictions = GraphSageModel::predictions(&cache);
@@ -362,24 +370,30 @@ impl Engine {
     fn gather_distinct(
         &mut self,
         batch: &SampledBatch,
-    ) -> Result<(Matrix, Matrix, Matrix), StoreError> {
+    ) -> Result<(Matrix, Matrix, Matrix), ServeError> {
         let dim = self.store.dim();
         let distinct = batch.all_nodes(); // sorted + deduplicated
         let flat = self.store.gather(&distinct)?;
-        let fill = |nodes: &[NodeId]| -> Matrix {
+        let fill = |nodes: &[NodeId]| -> Result<Matrix, ServeError> {
             let mut data = Vec::with_capacity(nodes.len() * dim);
             for node in nodes {
-                let row = distinct
-                    .binary_search(node)
-                    .expect("every batch node is in its distinct set");
+                // all_nodes() collects every sampled node, so the
+                // search only misses if the sampler broke its own
+                // contract — a 500, not a panic.
+                let row = distinct.binary_search(node).map_err(|_| {
+                    ServeError::Internal(format!(
+                        "sampled node {} missing from its distinct set",
+                        node.raw()
+                    ))
+                })?;
                 data.extend_from_slice(&flat[row * dim..(row + 1) * dim]);
             }
-            Matrix::from_vec(nodes.len(), dim, data)
+            Ok(Matrix::from_vec(nodes.len(), dim, data))
         };
         Ok((
-            fill(&batch.targets),
-            fill(&batch.hops[0].neighbors),
-            fill(&batch.hops[1].neighbors),
+            fill(&batch.targets)?,
+            fill(&batch.hops[0].neighbors)?,
+            fill(&batch.hops[1].neighbors)?,
         ))
     }
 }

@@ -22,6 +22,7 @@ use crate::api::{ApiRequest, SampleRequest, ServeError};
 use crate::batcher::{BatchPolicy, Batcher};
 use crate::engine::Engine;
 use smartsage_core::json;
+use smartsage_hostio::{CondvarExt, LockExt};
 use smartsage_store::StoreStats;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -89,22 +90,41 @@ impl Server {
         let engine = Arc::new(Mutex::new(engine));
         let inner = Arc::new(Inner {
             engine: Arc::clone(&engine),
-            batcher: Batcher::start(engine, policy),
+            batcher: Batcher::start(engine, policy)?,
             options,
             shutting_down: AtomicBool::new(false),
             stop_requested: Mutex::new(false),
             stop_signal: Condvar::new(),
         });
         let mut workers = Vec::with_capacity(options.workers);
+        let mut spawn_error = None;
         for i in 0..options.workers {
-            let listener = listener.try_clone()?;
-            let inner = Arc::clone(&inner);
-            workers.push(
+            let spawned = listener.try_clone().and_then(|listener| {
+                let inner = Arc::clone(&inner);
                 thread::Builder::new()
                     .name(format!("serve-http-{i}"))
                     .spawn(move || accept_loop(listener, inner))
-                    .expect("spawn http worker"),
-            );
+            });
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    spawn_error = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = spawn_error {
+            // Partial startup: unwind the workers that did spawn so
+            // the caller gets a clean error, not a half-alive server.
+            inner.shutting_down.store(true, Ordering::SeqCst);
+            inner.batcher.close();
+            for _ in 0..workers.len() {
+                let _ = TcpStream::connect(addr);
+            }
+            for worker in workers {
+                let _ = worker.join();
+            }
+            return Err(e);
         }
         Ok(Server {
             inner,
@@ -126,9 +146,9 @@ impl Server {
     /// Blocks until a `POST /v1/shutdown` arrives (the caller then
     /// runs [`Server::shutdown`]).
     pub fn wait(&self) {
-        let mut stop = self.inner.stop_requested.lock().expect("stop flag");
+        let mut stop = self.inner.stop_requested.safe_lock();
         while !*stop {
-            stop = self.inner.stop_signal.wait(stop).expect("stop flag");
+            stop = self.inner.stop_signal.safe_wait(stop);
         }
     }
 
@@ -141,19 +161,21 @@ impl Server {
         // Close the queue to new work and drain what was admitted.
         self.inner.batcher.close();
         // Unblock workers parked in accept().
-        let workers: Vec<_> = self.workers.lock().expect("workers").drain(..).collect();
+        let workers: Vec<_> = self.workers.safe_lock().drain(..).collect();
         for _ in 0..workers.len() {
             let _ = TcpStream::connect(self.addr);
         }
         for worker in workers {
-            worker.join().expect("http worker panicked");
+            // A worker that panicked already dropped its connection;
+            // the rest of shutdown proceeds regardless.
+            let _ = worker.join();
         }
         // Release anything blocked in wait().
         self.signal_stop();
     }
 
     fn signal_stop(&self) {
-        *self.inner.stop_requested.lock().expect("stop flag") = true;
+        *self.inner.stop_requested.safe_lock() = true;
         self.inner.stop_signal.notify_all();
     }
 }
@@ -387,7 +409,7 @@ fn dispatch(
 }
 
 fn health_json(inner: &Arc<Inner>) -> String {
-    let engine = inner.engine.lock().expect("serve engine");
+    let engine = inner.engine.safe_lock();
     format!(
         "{{\"status\":\"ok\",\"store\":{},\"graph\":{},\"nodes\":{}}}",
         json::escape_string(engine.config().store.label()),
@@ -399,7 +421,7 @@ fn health_json(inner: &Arc<Inner>) -> String {
 /// The `GET /stats` body: service counters plus per-tier I/O stats,
 /// all from this engine's scoped handles.
 fn stats_json(inner: &Arc<Inner>) -> String {
-    let engine = inner.engine.lock().expect("serve engine");
+    let engine = inner.engine.safe_lock();
     let c = engine.counters();
     let service = format!(
         "{{\"requests\":{},\"sample_requests\":{},\"infer_requests\":{},\
@@ -475,7 +497,7 @@ trait NotifyWith {
 
 impl NotifyWith for Condvar {
     fn notify_all_with(&self, flag: &Mutex<bool>) {
-        *flag.lock().expect("stop flag") = true;
+        *flag.safe_lock() = true;
         self.notify_all();
     }
 }

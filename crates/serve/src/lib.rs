@@ -61,6 +61,16 @@
 //! server.shutdown();
 //! ```
 
+#![forbid(unsafe_code)]
+// The serve crate faces untrusted input; back SSL001 with the
+// equivalent clippy wall so the rule holds even when edits bypass
+// `smartsage-lint` (tests keep their panics — a failed assert there
+// is the point).
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod api;
 pub mod batcher;
 pub mod client;

@@ -36,6 +36,8 @@
 //! assert_eq!(e3, t0 + tr + tr); // third read queues behind a channel
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bandwidth;
 pub mod events;
 pub mod resource;

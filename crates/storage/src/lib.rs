@@ -28,6 +28,8 @@
 //! accumulating contention in shared [`smartsage_sim::Server`]s and
 //! [`smartsage_sim::Link`]s.
 
+#![forbid(unsafe_code)]
+
 pub mod cores;
 pub mod flash;
 pub mod ftl;

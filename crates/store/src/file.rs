@@ -152,6 +152,8 @@ impl RawFeatureFile {
                 path: path.to_path_buf(),
             });
         }
+        // ssl::allow(SSL001): `header` is a fixed [u8; 32] and every
+        // call site passes at <= 24, so the 8-byte slice always fits.
         let field = |at: usize| u64::from_le_bytes(header[at..at + 8].try_into().expect("8 bytes"));
         let dim = field(8);
         let num_nodes = field(16);
@@ -359,9 +361,13 @@ impl FeatureStore for FileStore {
         let mut row_buf = vec![0u8; self.dim * 4];
         for (row, &node) in nodes.iter().enumerate() {
             let range = self.row_range(node)?;
+            // ssl::allow(SSL001): open() rejects dim == 0, so every row
+            // range has len > 0 and blocks() cannot return None.
             let (first, last) = range.blocks(pb).expect("rows are non-empty");
             for page in first..=last {
                 let page_start = page * pb;
+                // ssl::allow(SSL001): the staging pass above inserted
+                // every page of every planned run before resolution.
                 let src = staged.get(&page).expect("planned page is staged");
                 let lo = range.offset.max(page_start);
                 let hi = (range.offset + range.len).min(page_start + src.len() as u64);
@@ -370,6 +376,8 @@ impl FeatureStore for FileStore {
             }
             let out_row = &mut out[row * self.dim..(row + 1) * self.dim];
             for (v, chunk) in out_row.iter_mut().zip(row_buf.chunks_exact(4)) {
+                // ssl::allow(SSL001): chunks_exact(4) yields 4-byte
+                // slices by construction.
                 *v = f32::from_le_bytes(chunk.try_into().expect("4 bytes"));
             }
         }

@@ -52,7 +52,7 @@ use crate::file::FileStoreOptions;
 use crate::shared::SharedFileStore;
 use crate::{FeatureStore, StoreStats};
 use smartsage_graph::NodeId;
-use smartsage_hostio::LruSet;
+use smartsage_hostio::{LockExt, LruSet};
 use smartsage_sim::{SimDuration, SimTime};
 use smartsage_storage::{Ssd, SsdParams};
 use std::collections::{HashMap, VecDeque};
@@ -108,7 +108,7 @@ impl RowScratchpad {
 
     /// Resident rows.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("row scratchpad").rows.len()
+        self.inner.safe_lock().rows.len()
     }
 
     /// `true` when nothing is resident.
@@ -118,7 +118,7 @@ impl RowScratchpad {
 
     /// The resident row of `node`, promoting it to most-recently-used.
     pub fn get(&self, node: NodeId) -> Option<Arc<[f32]>> {
-        let mut inner = self.inner.lock().expect("row scratchpad");
+        let mut inner = self.inner.safe_lock();
         if !inner.order.touch(&node.raw()) {
             return None;
         }
@@ -131,7 +131,7 @@ impl RowScratchpad {
         if self.capacity_rows == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("row scratchpad");
+        let mut inner = self.inner.safe_lock();
         if let Some(evicted) = inner.order.insert(node.raw()) {
             inner.rows.remove(&evicted);
         }

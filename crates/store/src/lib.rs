@@ -67,6 +67,7 @@
 //! sampling through [`FileTopology`]) produces a bit-identical loss
 //! trajectory to the in-memory tiers.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;

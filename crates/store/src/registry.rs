@@ -36,7 +36,8 @@ use crate::file::{write_feature_file, FileStoreOptions};
 use crate::graph_file::{write_graph_file, SharedCsrFile};
 use crate::shared::{SharedFileStore, DEFAULT_CACHE_SHARDS};
 use smartsage_graph::{CsrGraph, FeatureTable};
-use std::collections::HashMap;
+use smartsage_hostio::LockExt;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -89,8 +90,11 @@ type GraphSlot = Arc<Mutex<Option<Arc<SharedCsrFile>>>>;
 /// file and one page cache per key on each axis.
 #[derive(Debug, Default)]
 pub struct StoreRegistry {
-    entries: Mutex<HashMap<PathBuf, Slot>>,
-    graph_entries: Mutex<HashMap<PathBuf, GraphSlot>>,
+    // BTreeMap, not HashMap: occupancy() and close_all() iterate these
+    // maps, and registry output feeds reports — iteration order must
+    // be a function of the keys alone (SSL002).
+    entries: Mutex<BTreeMap<PathBuf, Slot>>,
+    graph_entries: Mutex<BTreeMap<PathBuf, GraphSlot>>,
 }
 
 impl StoreRegistry {
@@ -101,6 +105,9 @@ impl StoreRegistry {
 
     /// The process-wide registry.
     pub fn global() -> &'static StoreRegistry {
+        // ssl::allow(SSL004): the global registry is the sanctioned
+        // process-wide instance (module docs); sweeps that need
+        // isolation construct private registries instead.
         static GLOBAL: OnceLock<StoreRegistry> = OnceLock::new();
         GLOBAL.get_or_init(StoreRegistry::new)
     }
@@ -138,10 +145,10 @@ impl StoreRegistry {
         // write) happens under the per-key slot lock, so opens of
         // other keys proceed concurrently.
         let slot: Slot = {
-            let mut entries = self.entries.lock().expect("store registry");
+            let mut entries = self.entries.safe_lock();
             Arc::clone(entries.entry(path.clone()).or_default())
         };
-        let mut guard = slot.lock().expect("store registry slot");
+        let mut guard = slot.safe_lock();
         if let Some(existing) = guard.as_ref() {
             // Never hand a caller a store with a different geometry
             // than it asked for — its I/O accounting would silently be
@@ -166,9 +173,12 @@ impl StoreRegistry {
         let store = match SharedFileStore::open_with(&path, opts, DEFAULT_CACHE_SHARDS) {
             Ok(store) if matches(&store) => store,
             _ => {
+                // ssl::allow(SSL004): publish-temporary sequence
+                // number — names files, never read as a statistic.
                 static SEQ: AtomicU64 = AtomicU64::new(0);
-                let dir = path.parent().expect("temp files have a parent");
-                sweep_stale_tmp_files(dir);
+                if let Some(dir) = path.parent() {
+                    sweep_stale_tmp_files(dir);
+                }
                 let tmp = path.with_extension(format!(
                     "tmp-{}-{}",
                     std::process::id(),
@@ -234,10 +244,10 @@ impl StoreRegistry {
     ) -> Result<Arc<SharedCsrFile>, StoreError> {
         let path = StoreRegistry::graph_content_key_path(graph);
         let slot: GraphSlot = {
-            let mut entries = self.graph_entries.lock().expect("store registry");
+            let mut entries = self.graph_entries.safe_lock();
             Arc::clone(entries.entry(path.clone()).or_default())
         };
-        let mut guard = slot.lock().expect("store registry graph slot");
+        let mut guard = slot.safe_lock();
         if let Some(existing) = guard.as_ref() {
             if existing.options() != opts {
                 return Err(StoreError::OptionsConflict {
@@ -254,9 +264,12 @@ impl StoreRegistry {
         let store = match SharedCsrFile::open_with(&path, opts, DEFAULT_CACHE_SHARDS) {
             Ok(store) if matches(&store) => store,
             _ => {
+                // ssl::allow(SSL004): publish-temporary sequence
+                // number — names files, never read as a statistic.
                 static SEQ: AtomicU64 = AtomicU64::new(0);
-                let dir = path.parent().expect("temp files have a parent");
-                sweep_stale_tmp_files(dir);
+                if let Some(dir) = path.parent() {
+                    sweep_stale_tmp_files(dir);
+                }
                 let tmp = path.with_extension(format!(
                     "tmp-{}-{}",
                     std::process::id(),
@@ -279,12 +292,12 @@ impl StoreRegistry {
     /// Every graph file currently open in this registry.
     fn open_graphs(&self) -> Vec<Arc<SharedCsrFile>> {
         let slots: Vec<GraphSlot> = {
-            let entries = self.graph_entries.lock().expect("store registry");
+            let entries = self.graph_entries.safe_lock();
             entries.values().cloned().collect()
         };
         slots
             .iter()
-            .filter_map(|slot| slot.lock().expect("store registry graph slot").clone())
+            .filter_map(|slot| slot.safe_lock().clone())
             .collect()
     }
 
@@ -292,12 +305,12 @@ impl StoreRegistry {
     /// failed opens are skipped).
     fn open_stores(&self) -> Vec<Arc<SharedFileStore>> {
         let slots: Vec<Slot> = {
-            let entries = self.entries.lock().expect("store registry");
+            let entries = self.entries.safe_lock();
             entries.values().cloned().collect()
         };
         slots
             .iter()
-            .filter_map(|slot| slot.lock().expect("store registry slot").clone())
+            .filter_map(|slot| slot.safe_lock().clone())
             .collect()
     }
 
@@ -357,8 +370,8 @@ impl StoreRegistry {
     /// alive; the registry just forgets them, so the next open is
     /// fresh.
     pub fn close_all(&self) {
-        self.entries.lock().expect("store registry").clear();
-        self.graph_entries.lock().expect("store registry").clear();
+        self.entries.safe_lock().clear();
+        self.graph_entries.safe_lock().clear();
     }
 }
 
@@ -511,6 +524,38 @@ mod tests {
         assert!(!Arc::ptr_eq(&stores[0][0], &stores[1][0]));
         for per_key in &stores {
             let _ = std::fs::remove_file(per_key[0].path());
+        }
+    }
+
+    #[test]
+    fn occupancy_order_is_a_function_of_keys_not_insertion_order() {
+        // Adversarial insertion orders: two registries open the same
+        // key set forwards and backwards. Occupancy feeds reports, so
+        // the listings must be byte-identical — this is the regression
+        // test behind the BTreeMap choice (SSL002).
+        let opts = FileStoreOptions::default();
+        let seeds = [0xD0_01u64, 0xD0_02, 0xD0_03, 0xD0_04, 0xD0_05];
+        let forward = StoreRegistry::new();
+        for (i, &seed) in seeds.iter().enumerate() {
+            forward
+                .open_feature_table(&table(seed), 20 + i, opts)
+                .unwrap();
+        }
+        let backward = StoreRegistry::new();
+        for (i, &seed) in seeds.iter().enumerate().rev() {
+            backward
+                .open_feature_table(&table(seed), 20 + i, opts)
+                .unwrap();
+        }
+        let render = |reg: &StoreRegistry| {
+            reg.occupancy()
+                .iter()
+                .map(|o| format!("{}:{}\n", o.path.display(), o.capacity_pages))
+                .collect::<String>()
+        };
+        assert_eq!(render(&forward), render(&backward));
+        for o in forward.occupancy() {
+            let _ = std::fs::remove_file(&o.path);
         }
     }
 

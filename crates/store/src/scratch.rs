@@ -16,6 +16,8 @@ impl ScratchFile {
     /// Creates a fresh path tagged `tag`; the file itself is not
     /// created until something writes it.
     pub fn new(tag: &str) -> ScratchFile {
+        // ssl::allow(SSL004): scratch-name sequence number — names
+        // throwaway files, never read as a statistic.
         static SEQ: AtomicU64 = AtomicU64::new(0);
         ScratchFile(std::env::temp_dir().join(format!(
             "smartsage-scratch-{}-{}-{tag}.fbin",

@@ -152,6 +152,8 @@
 //! assert!(!isp.device_time().is_zero()); // modeled FTL + flash + PCIe time
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use smartsage_core as core;
 pub use smartsage_gnn as gnn;
 pub use smartsage_graph as graph;
