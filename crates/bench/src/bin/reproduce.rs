@@ -7,7 +7,7 @@
 //! reproduce [EXPERIMENT...] [--list] [--filter SUBSTR]
 //!           [--scale tiny|default|paper] [--format text|csv|json]
 //!           [--jobs N] [--store mem|file|isp] [--graph mem|file|isp]
-//!           [--readahead] [--clean-store]
+//!           [--readahead] [--shards N] [--clean-store]
 //! ```
 //!
 //! With no experiment names, everything runs in paper (registry) order.
@@ -44,6 +44,15 @@
 //! the sweep's exact, scoped topology I/O. Tables stay byte-identical
 //! across `--graph` tiers (the determinism contract).
 //!
+//! `--shards N` partitions both halves of every dataset across `N`
+//! modeled storage devices: contiguous node ranges, one per-shard
+//! content-keyed file, cache-budget slice, and (on the isp tiers) SSD
+//! timing model per device. Batched requests scatter to their owning
+//! shards and merge back in request order, so tables are byte-identical
+//! at every shard count — the end-of-sweep stderr report simply gains a
+//! per-shard `[store shard i: ...]` / `[graph shard i: ...]` breakdown
+//! whose I/O columns sum exactly to the sweep totals.
+//!
 //! `--clean-store` removes the content-keyed feature files
 //! (`smartsage-feat-*.fbin`), graph files (`smartsage-graph-*.gbin`),
 //! and any orphaned publish temporaries from the OS temp directory,
@@ -68,7 +77,8 @@ fn fail_usage(message: &str) -> ! {
     eprintln!(
         "usage: reproduce [EXPERIMENT...] [--list] [--filter SUBSTR] \
          [--scale tiny|default|paper] [--format text|csv|json] [--jobs N] \
-         [--store mem|file|isp] [--graph mem|file|isp] [--readahead] [--clean-store]"
+         [--store mem|file|isp] [--graph mem|file|isp] [--readahead] [--shards N] \
+         [--clean-store]"
     );
     std::process::exit(2);
 }
@@ -110,6 +120,7 @@ struct Cli {
     store: Option<StoreKind>,
     graph: Option<TopologyKind>,
     readahead: bool,
+    shards: usize,
     clean_store: bool,
 }
 
@@ -124,6 +135,7 @@ fn parse_args(args: Vec<String>) -> Cli {
         store: None,
         graph: None,
         readahead: false,
+        shards: 1,
         clean_store: false,
     };
     let mut it = args.into_iter();
@@ -165,6 +177,15 @@ fn parse_args(args: Vec<String>) -> Cli {
                 }));
             }
             "--readahead" => cli.readahead = true,
+            "--shards" => {
+                let value = value_of("--shards");
+                cli.shards = value.parse().unwrap_or_else(|_| {
+                    fail_usage(&format!("--shards expects an integer, got '{value}'"))
+                });
+                if cli.shards == 0 {
+                    fail_usage("--shards expects at least one device");
+                }
+            }
             "--clean-store" => cli.clean_store = true,
             "--filter" => cli.filter = Some(value_of("--filter")),
             flag if flag.starts_with("--") => fail_usage(&format!("unknown flag '{flag}'")),
@@ -193,6 +214,7 @@ fn main() {
             || cli.store.is_some()
             || cli.graph.is_some()
             || cli.readahead
+            || cli.shards != 1
         {
             fail_usage("--clean-store is a standalone action and cannot be combined with a sweep");
         }
@@ -241,6 +263,7 @@ fn main() {
         scale.topology = kind;
     }
     scale.readahead = cli.readahead;
+    scale.shards = cli.shards;
     let runner = Runner::builder()
         .scale(scale)
         .experiments(selection)
@@ -303,6 +326,21 @@ fn main() {
             s.device_ns as f64 / 1e6
         );
         eprint!("{}", sweep.store_table(kind));
+        // The per-device breakdown of a sharded sweep: exact, scoped,
+        // and summing to the totals above (the shard-conformance
+        // contract).
+        for (i, s) in sweep.store_shards.iter().enumerate() {
+            eprintln!(
+                "[store shard {i}: {} sub-gathers, {} bytes read from disk \
+                 ({} pages), host {} bytes transferred, modeled device time \
+                 {:.3} ms]",
+                s.gathers,
+                s.bytes_read,
+                s.pages_read,
+                s.host_bytes_transferred,
+                s.device_ns as f64 / 1e6
+            );
+        }
     }
     // The topology half gets the same exact, scoped per-sweep report.
     if let Some(kind) = cli.graph {
@@ -327,6 +365,19 @@ fn main() {
             t.device_ns as f64 / 1e6
         );
         eprint!("{}", sweep.topology_table(kind));
+        // Per-device breakdown, mirroring the feature side.
+        for (i, t) in sweep.topology_shards.iter().enumerate() {
+            eprintln!(
+                "[graph shard {i}: {} sub-reads, {} bytes read from disk \
+                 ({} pages), host {} bytes transferred, modeled device time \
+                 {:.3} ms]",
+                t.gathers,
+                t.bytes_read,
+                t.pages_read,
+                t.host_bytes_transferred,
+                t.device_ns as f64 / 1e6
+            );
+        }
     }
     if cli.store.is_some() || cli.graph.is_some() {
         for occ in &sweep.stores {

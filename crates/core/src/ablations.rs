@@ -59,6 +59,7 @@ fn run_mode(
             store: scale.store,
             topology: scale.topology,
             readahead: scale.readahead,
+            shards: scale.shards,
         },
     );
     if train {

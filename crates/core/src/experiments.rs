@@ -59,6 +59,11 @@ pub struct ExperimentScale {
     /// identical either way; only the hit/miss split of the I/O
     /// counters shifts.
     pub readahead: bool,
+    /// Modeled storage devices the file-backed dataset is partitioned
+    /// across (see [`PipelineConfig::shards`]). Results are identical
+    /// at every shard count — only the I/O accounting gains a
+    /// per-shard breakdown.
+    pub shards: usize,
 }
 
 impl Default for ExperimentScale {
@@ -72,6 +77,7 @@ impl Default for ExperimentScale {
             store: StoreKind::Mem,
             topology: TopologyKind::Mem,
             readahead: false,
+            shards: 1,
         }
     }
 }
@@ -114,6 +120,13 @@ impl ExperimentScale {
     /// The same scale with background read-ahead switched on or off.
     pub fn with_readahead(mut self, on: bool) -> Self {
         self.readahead = on;
+        self
+    }
+
+    /// The same scale partitioned across `n` modeled storage devices
+    /// (floored at one).
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
         self
     }
 }
@@ -305,6 +318,7 @@ fn pipe_cfg(scale: &ExperimentScale, workers: usize, train: bool) -> PipelineCon
         store: scale.store,
         topology: scale.topology,
         readahead: scale.readahead,
+        shards: scale.shards,
     }
 }
 

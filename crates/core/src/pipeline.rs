@@ -23,15 +23,18 @@ use smartsage_gnn::gpu::BatchDims;
 use smartsage_gnn::saint::plan_random_walk;
 use smartsage_gnn::sampler::{epoch_targets, plan_sample_on};
 use smartsage_gnn::{Fanouts, SamplePlan};
+use smartsage_graph::NodeId;
 use smartsage_hostio::PrefetchQueue;
 use smartsage_sim::{EventQueue, SimDuration, SimTime, Xoshiro256};
 use smartsage_store::{
-    check_same_population, share_store, share_topology, FileStoreOptions, FileTopology,
-    InMemoryStore, InMemoryTopology, IspGatherOptions, IspGatherStore, IspSampleTopology,
-    MeteredStore, SharedCsrFile, SharedDynStore, SharedFileStore, SharedTopology, StoreHandle,
-    StoreKind, StoreRegistry, StoreStats, TopologyKind,
+    check_sharded_population, shard_ranges, share_store, share_topology, FileStoreOptions,
+    FileTopology, InMemoryStore, InMemoryTopology, IspGatherOptions, IspGatherStore,
+    IspSampleTopology, MeteredStore, ShardedFeatureStore, ShardedTopology, SharedCsrFile,
+    SharedDynStore, SharedFileStore, SharedTopology, StoreHandle, StoreKind, StoreRegistry,
+    StoreStats, TopologyKind,
 };
 use std::collections::VecDeque;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Which sampling algorithm drives the pipeline.
@@ -120,6 +123,19 @@ pub struct PipelineConfig {
     /// [`SharedFileStore::prefetch_stats`]. Ignored without
     /// `store: StoreKind::File`.
     pub readahead: bool,
+    /// Number of modeled storage devices the dataset is partitioned
+    /// across. At `1` (the default) the run uses the single-device
+    /// stores unchanged; above `1` both file-backed axes open a
+    /// `shards`-way contiguous node-range partition through the
+    /// registry — one per-shard file, page-cache budget slice, and
+    /// (on the ISP tiers) SSD timing model per device — behind
+    /// [`ShardedFeatureStore`] /
+    /// [`ShardedTopology`].
+    /// Gathered values, sampled plans, and modeled costs are
+    /// bit-identical at every shard count (the store determinism
+    /// contract; costs price the merged trace); only the I/O
+    /// accounting gains a per-shard breakdown.
+    pub shards: usize,
 }
 
 impl Default for PipelineConfig {
@@ -138,6 +154,7 @@ impl Default for PipelineConfig {
             store: StoreKind::Mem,
             topology: TopologyKind::Mem,
             readahead: false,
+            shards: 1,
         }
     }
 }
@@ -209,43 +226,70 @@ const FILE_STORE_CACHE_PAGES: usize = 1024;
 /// file descriptor and one sharded page cache while keeping exact
 /// per-run counters in its own handle.
 ///
-/// Also returns the shared store itself for the file-backed tiers
-/// ([`StoreKind::File`] and [`StoreKind::Isp`]), so the pipeline can
-/// attach a read-ahead worker (file tier only) and cross-check the
-/// node population against a file-backed topology store.
+/// Also returns the shard map for the file-backed tiers
+/// ([`StoreKind::File`] and [`StoreKind::Isp`]): each shared shard
+/// file with the global node range it holds (one full-range entry for
+/// an unsharded run, empty for the mem tier), so the pipeline can
+/// route its read-ahead worker (file tier only) per device and
+/// cross-check the node population against a file-backed topology
+/// store.
 ///
 /// # Panics
 ///
-/// Panics if the feature file cannot be written or opened — a real I/O
+/// Panics if a feature file cannot be written or opened — a real I/O
 /// failure on the host filesystem.
+type FeatureShardMap = Vec<(Range<u32>, Arc<SharedFileStore>)>;
+
 fn build_store(
     ctx: &Arc<RunContext>,
     kind: StoreKind,
-) -> (SharedDynStore, Option<Arc<SharedFileStore>>) {
+    shards: usize,
+) -> (SharedDynStore, FeatureShardMap) {
     let features = ctx.data.features.clone();
     let num_nodes = ctx.graph().num_nodes();
     if kind == StoreKind::Mem {
-        return (
-            share_store(MeteredStore::new(InMemoryStore::new(features, num_nodes))),
-            None,
-        );
+        let store = if shards > 1 {
+            share_store(ShardedFeatureStore::mem(features, num_nodes, shards))
+        } else {
+            share_store(MeteredStore::new(InMemoryStore::new(features, num_nodes)))
+        };
+        return (store, Vec::new());
     }
-    let opts = FileStoreOptions {
-        cache_pages: FILE_STORE_CACHE_PAGES,
-        ..FileStoreOptions::default()
-    };
+    let opts = file_store_opts(shards);
     let scope_registry = store_metrics::current_registry();
     let registry: &StoreRegistry = scope_registry
         .as_deref()
         .unwrap_or_else(|| StoreRegistry::global());
+    if shards > 1 {
+        let files = registry
+            .open_feature_shards(&features, num_nodes, shards, opts)
+            .unwrap_or_else(|e| panic!("opening sharded feature store failed: {e}"));
+        let sharded = match kind {
+            StoreKind::Mem => unreachable!("handled above"),
+            StoreKind::File => ShardedFeatureStore::over_files(&files),
+            // Each ISP shard gets its own device model (SSD timing,
+            // queue depth, pack cores) — N modeled devices, one per
+            // partition range.
+            StoreKind::Isp => ShardedFeatureStore::over_isp(&files, IspGatherOptions::default()),
+        }
+        .unwrap_or_else(|e| panic!("assembling sharded feature store failed: {e}"));
+        let map = sharded
+            .ranges()
+            .iter()
+            .map(|&(start, end)| start as u32..end as u32)
+            .zip(files)
+            .collect();
+        return (share_store(sharded), map);
+    }
     let shared = registry
         .open_feature_table(&features, num_nodes, opts)
         .unwrap_or_else(|e| panic!("opening shared feature store failed: {e}"));
+    let full_range = 0..num_nodes as u32;
     match kind {
         StoreKind::Mem => unreachable!("handled above"),
         StoreKind::File => (
             share_store(StoreHandle::new(Arc::clone(&shared))),
-            Some(shared),
+            vec![(full_range, shared)],
         ),
         // The ISP tier keeps a run-private device model (its virtual
         // clock belongs to this run) over the registry-shared file and
@@ -260,8 +304,19 @@ fn build_store(
                 Arc::clone(&shared),
                 IspGatherOptions::default(),
             )),
-            Some(shared),
+            vec![(full_range, shared)],
         ),
+    }
+}
+
+/// Store options for one modeled device of a `shards`-way run: the
+/// fixed [`FILE_STORE_CACHE_PAGES`] budget is sliced evenly across the
+/// devices, so the *total* cache budget stays constant as the shard
+/// count changes.
+fn file_store_opts(shards: usize) -> FileStoreOptions {
+    FileStoreOptions {
+        cache_pages: (FILE_STORE_CACHE_PAGES / shards.max(1)).max(1),
+        ..FileStoreOptions::default()
     }
 }
 
@@ -274,33 +329,49 @@ fn build_store(
 /// file descriptor and one sharded page cache; the run holds a scoped
 /// [`FileTopology`] handle (or its own [`IspSampleTopology`] device
 /// model — the virtual clock belongs to this run) onto it. Also
-/// returns the shared file itself so the pipeline can cross-check it
-/// against a file-backed feature store.
+/// returns the shared shard files (one full-graph entry for an
+/// unsharded run, empty for the mem tier) so the pipeline can
+/// cross-check them against a file-backed feature store.
 ///
 /// # Panics
 ///
-/// Panics if the graph file cannot be written or opened — a real I/O
+/// Panics if a graph file cannot be written or opened — a real I/O
 /// failure on the host filesystem.
 fn build_topology(
     ctx: &Arc<RunContext>,
     kind: TopologyKind,
-) -> (SharedTopology, Option<Arc<SharedCsrFile>>) {
+    shards: usize,
+) -> (SharedTopology, Vec<Arc<SharedCsrFile>>) {
     if kind == TopologyKind::Mem {
         // An Arc clone of the context's graph — never a copy of the
         // CSR arrays.
-        return (
-            share_topology(InMemoryTopology::from_arc(Arc::clone(&ctx.data.graph))),
-            None,
-        );
+        let topo = if shards > 1 {
+            share_topology(ShardedTopology::mem(Arc::clone(&ctx.data.graph), shards))
+        } else {
+            share_topology(InMemoryTopology::from_arc(Arc::clone(&ctx.data.graph)))
+        };
+        return (topo, Vec::new());
     }
-    let opts = FileStoreOptions {
-        cache_pages: FILE_STORE_CACHE_PAGES,
-        ..FileStoreOptions::default()
-    };
+    let opts = file_store_opts(shards);
     let scope_registry = store_metrics::current_registry();
     let registry: &StoreRegistry = scope_registry
         .as_deref()
         .unwrap_or_else(|| StoreRegistry::global());
+    if shards > 1 {
+        let files = registry
+            .open_graph_shards(ctx.graph(), shards, opts)
+            .unwrap_or_else(|e| panic!("opening sharded graph topology failed: {e}"));
+        let ranges = shard_ranges(ctx.graph().num_nodes(), shards);
+        let sharded = match kind {
+            TopologyKind::Mem => unreachable!("handled above"),
+            TopologyKind::File => ShardedTopology::over_files(&files, &ranges),
+            TopologyKind::Isp => {
+                ShardedTopology::over_isp(&files, &ranges, IspGatherOptions::default())
+            }
+        }
+        .unwrap_or_else(|e| panic!("assembling sharded graph topology failed: {e}"));
+        return (share_topology(sharded), files);
+    }
     let shared = registry
         .open_graph_csr(ctx.graph(), opts)
         .unwrap_or_else(|e| panic!("opening shared graph topology failed: {e}"));
@@ -308,11 +379,11 @@ fn build_topology(
         TopologyKind::Mem => unreachable!("handled above"),
         TopologyKind::File => (
             share_topology(FileTopology::new(Arc::clone(&shared))),
-            Some(shared),
+            vec![shared],
         ),
         TopologyKind::Isp => {
             let topo = IspSampleTopology::over(Arc::clone(&shared), IspGatherOptions::default());
-            (share_topology(topo), Some(shared))
+            (share_topology(topo), vec![shared])
         }
     }
 }
@@ -387,8 +458,8 @@ fn finish_batch(
 pub fn sample_once(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> FinishedBatch {
     let mut devices = Devices::new(&ctx.config);
     let mut policy = make_policy(ctx, 1);
-    let (store, _shared_file) = build_store(ctx, cfg.store);
-    let (topology, _shared_graph) = build_topology(ctx, cfg.topology);
+    let (store, _feature_shards) = build_store(ctx, cfg.store, cfg.shards);
+    let (topology, _graph_shards) = build_topology(ctx, cfg.topology, cfg.shards);
     let graph = ctx.graph();
     let targets = epoch_targets(graph.num_nodes(), cfg.batch_size, 0, cfg.seed);
     let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
@@ -428,27 +499,42 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
     // the feature store, and its plan is drawn and resolved through the
     // topology store (real I/O for the File tier, device-side
     // resolution for Isp).
-    let (store, shared_file) = build_store(ctx, cfg.store);
-    let (topology, shared_graph) = build_topology(ctx, cfg.topology);
+    let (store, feature_shards) = build_store(ctx, cfg.store, cfg.shards);
+    let (topology, graph_shards) = build_topology(ctx, cfg.topology, cfg.shards);
     // Both halves of the dataset on file-backed tiers must describe
-    // the same node population. The pipeline surfaces store failures
-    // as panics (it has no error channel mid-simulation), but this one
-    // fires *up front* with the typed NodeCountMismatch message naming
-    // both files — never a NodeOutOfRange deep inside a gather.
-    if let (Some(graph), Some(feats)) = (&shared_graph, &shared_file) {
-        check_same_population(graph, feats)
+    // the same node population — and, sharded, the same partition
+    // width. The pipeline surfaces store failures as panics (it has no
+    // error channel mid-simulation), but this one fires *up front*
+    // with the typed ShardCountMismatch/NodeCountMismatch message
+    // naming both files — never a NodeOutOfRange deep inside a gather.
+    if !graph_shards.is_empty() && !feature_shards.is_empty() {
+        let feats: Vec<Arc<SharedFileStore>> =
+            feature_shards.iter().map(|(_, f)| Arc::clone(f)).collect();
+        check_sharded_population(&graph_shards, &feats)
             .unwrap_or_else(|e| panic!("mismatched store population: {e}"));
     }
     // Read-ahead: a background worker resolves each planned batch's
-    // page runs and warms the shared cache while the simulation is
-    // still stepping that batch toward its gather.
-    let prefetcher: Option<PrefetchQueue<SamplePlan>> = shared_file
-        .filter(|_| cfg.readahead && cfg.store == StoreKind::File)
-        .map(|shared| {
+    // page runs and warms the shared caches while the simulation is
+    // still stepping that batch toward its gather. Each shard's nodes
+    // are routed to that shard's cache, translated to the shard file's
+    // local row indices (the prefetch half of the shard map).
+    let prefetcher: Option<PrefetchQueue<SamplePlan>> =
+        (cfg.readahead && cfg.store == StoreKind::File && !feature_shards.is_empty()).then(|| {
             let ctx = Arc::clone(ctx);
+            let shards = feature_shards.clone();
             PrefetchQueue::spawn(move |plan: SamplePlan| {
                 let batch = plan.resolve(ctx.graph());
-                shared.prefetch_nodes(&batch.all_nodes());
+                let nodes = batch.all_nodes();
+                for (range, shared) in &shards {
+                    let local: Vec<NodeId> = nodes
+                        .iter()
+                        .filter(|n| range.contains(&n.raw()))
+                        .map(|n| NodeId::new(n.raw() - range.start))
+                        .collect();
+                    if !local.is_empty() {
+                        shared.prefetch_nodes(&local);
+                    }
+                }
             })
         });
     let gpu_params = ctx.config.devices.gpu.clone();
@@ -620,13 +706,21 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
     // report's prefetch/demand split is settled.
     drop(prefetcher);
     let store_stats = {
-        let stats = store.lock().expect("feature store poisoned").stats();
+        let guard = store.lock().expect("feature store poisoned");
+        let stats = guard.stats();
         store_metrics::record(&stats);
+        if cfg.shards > 1 {
+            store_metrics::record_shards(&guard.shard_stats());
+        }
         stats
     };
     let topology_stats = {
-        let stats = topology.lock().expect("topology store poisoned").stats();
+        let guard = topology.lock().expect("topology store poisoned");
+        let stats = guard.stats();
         store_metrics::record_topology(&stats);
+        if cfg.shards > 1 {
+            store_metrics::record_topology_shards(&guard.shard_stats());
+        }
         stats
     };
 

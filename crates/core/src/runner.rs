@@ -70,6 +70,17 @@ pub struct SweepOutcome {
     /// registry opened — feature files and graph topology files alike
     /// (empty unless a file-backed tier ran).
     pub stores: Vec<StoreOccupancy>,
+    /// Per-shard feature-store breakdown of a sharded sweep
+    /// (`--shards N`, N > 1): entry `i` sums shard `i`'s counters over
+    /// every run. The I/O-level fields (and
+    /// `nodes_gathered`/`feature_bytes`) sum exactly to
+    /// [`SweepOutcome::store_stats`]; per-shard `gathers` counts the
+    /// sub-calls routed to that device. Empty for unsharded sweeps.
+    pub store_shards: Vec<StoreStats>,
+    /// Per-shard graph-topology breakdown, mirroring
+    /// [`SweepOutcome::store_shards`] against
+    /// [`SweepOutcome::topology_stats`].
+    pub topology_shards: Vec<StoreStats>,
 }
 
 impl SweepOutcome {
@@ -141,6 +152,7 @@ pub struct RunnerBuilder {
     observer: Option<Observer>,
     store: Option<smartsage_store::StoreKind>,
     topology: Option<TopologyKind>,
+    shards: Option<usize>,
 }
 
 impl RunnerBuilder {
@@ -153,6 +165,7 @@ impl RunnerBuilder {
             observer: None,
             store: None,
             topology: None,
+            shards: None,
         }
     }
 
@@ -191,6 +204,21 @@ impl RunnerBuilder {
     /// [`RunnerBuilder::store`].
     pub fn topology(mut self, kind: TopologyKind) -> RunnerBuilder {
         self.topology = Some(kind);
+        self
+    }
+
+    /// Partitions every run's file-backed dataset across `n` modeled
+    /// storage devices (`--shards N`): both axes open a contiguous
+    /// node-range partition — one per-shard file, cache-budget slice,
+    /// and (on the isp tiers) SSD timing model per device — and the
+    /// sweep's per-device breakdown comes back in
+    /// [`SweepOutcome::store_shards`] /
+    /// [`SweepOutcome::topology_shards`]. Tables are unchanged by
+    /// construction at every shard count (the determinism contract).
+    /// Composes with [`RunnerBuilder::scale`] in either order, like
+    /// [`RunnerBuilder::store`].
+    pub fn shards(mut self, n: usize) -> RunnerBuilder {
+        self.shards = Some(n);
         self
     }
 
@@ -234,6 +262,9 @@ impl RunnerBuilder {
         }
         if let Some(kind) = self.topology {
             scale.topology = kind;
+        }
+        if let Some(n) = self.shards {
+            scale.shards = n.max(1);
         }
         Runner {
             scale,
@@ -352,6 +383,8 @@ impl Runner {
             store_stats: scope.stats.snapshot(),
             topology_stats: scope.topology.snapshot(),
             stores: scope.registry.occupancy(),
+            store_shards: scope.store_shards_snapshot(),
+            topology_shards: scope.topology_shards_snapshot(),
         }
     }
 

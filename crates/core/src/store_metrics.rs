@@ -24,7 +24,7 @@
 
 use smartsage_store::{AtomicStoreStats, StoreRegistry, StoreStats};
 use std::cell::RefCell;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 thread_local! {
     /// Innermost-last stack of scopes installed on this thread.
@@ -45,6 +45,12 @@ pub struct SweepScope {
     /// shares one open store (feature file and graph file alike) and
     /// one page cache per content key through it.
     pub registry: Arc<StoreRegistry>,
+    /// Per-shard feature-store breakdown of sharded runs, accumulated
+    /// index-wise (shard `i` of every run adds into entry `i`). Empty
+    /// unless the sweep ran with more than one shard.
+    pub store_shards: Arc<Mutex<Vec<StoreStats>>>,
+    /// Per-shard graph-topology breakdown, mirroring `store_shards`.
+    pub topology_shards: Arc<Mutex<Vec<StoreStats>>>,
 }
 
 impl SweepScope {
@@ -55,7 +61,36 @@ impl SweepScope {
             stats: Arc::new(AtomicStoreStats::default()),
             topology: Arc::new(AtomicStoreStats::default()),
             registry: Arc::new(StoreRegistry::new()),
+            store_shards: Arc::new(Mutex::new(Vec::new())),
+            topology_shards: Arc::new(Mutex::new(Vec::new())),
         }
+    }
+
+    /// The accumulated per-shard feature-store breakdown.
+    pub fn store_shards_snapshot(&self) -> Vec<StoreStats> {
+        self.store_shards
+            .lock()
+            .expect("shard accumulator poisoned")
+            .clone()
+    }
+
+    /// The accumulated per-shard graph-topology breakdown.
+    pub fn topology_shards_snapshot(&self) -> Vec<StoreStats> {
+        self.topology_shards
+            .lock()
+            .expect("shard accumulator poisoned")
+            .clone()
+    }
+}
+
+/// Adds `per_shard` index-wise into `acc`, growing it as needed.
+fn accumulate_shards(acc: &Mutex<Vec<StoreStats>>, per_shard: &[StoreStats]) {
+    let mut acc = acc.lock().expect("shard accumulator poisoned");
+    if acc.len() < per_shard.len() {
+        acc.resize(per_shard.len(), StoreStats::default());
+    }
+    for (slot, shard) in acc.iter_mut().zip(per_shard) {
+        slot.accumulate(shard);
     }
 }
 
@@ -117,6 +152,27 @@ pub fn record_topology(stats: &StoreStats) {
     SCOPES.with(|s| {
         for scope in s.borrow().iter() {
             scope.topology.add(stats);
+        }
+    });
+}
+
+/// Adds one sharded run's per-device feature-store breakdown to every
+/// active scope on this thread, index-wise (shard `i` into entry `i`).
+/// Scoped-only, like [`record_topology`].
+pub fn record_shards(per_shard: &[StoreStats]) {
+    SCOPES.with(|s| {
+        for scope in s.borrow().iter() {
+            accumulate_shards(&scope.store_shards, per_shard);
+        }
+    });
+}
+
+/// Adds one sharded run's per-device graph-topology breakdown to every
+/// active scope on this thread, mirroring [`record_shards`].
+pub fn record_topology_shards(per_shard: &[StoreStats]) {
+    SCOPES.with(|s| {
+        for scope in s.borrow().iter() {
+            accumulate_shards(&scope.topology_shards, per_shard);
         }
     });
 }

@@ -33,6 +33,8 @@ usage: serve [options]
   --fanouts A,B        default per-hop fan-outs (default 25,10)
   --seed N             model weight seed (default 1234)
   --cache-pages N      file/isp page-cache capacity in pages (default 1024)
+  --shards N           modeled storage devices the dataset is partitioned
+                       across; responses are identical at every count (default 1)
   --page-bytes N       file/isp page size (default 4096)
   --window-us N        batcher coalescing window in microseconds (default 2000)
   --max-batch N        most requests merged per pass (default 64)
@@ -77,6 +79,7 @@ fn main() {
                 "--fanouts",
                 "--seed",
                 "--cache-pages",
+                "--shards",
                 "--page-bytes",
                 "--window-us",
                 "--max-batch",
@@ -141,6 +144,7 @@ fn main() {
         model_seed: parse("--seed", 1234),
         page_bytes: parse("--page-bytes", 4096),
         cache_pages: parse("--cache-pages", 1024) as usize,
+        shards: parse("--shards", 1).max(1) as usize,
     };
     let policy = BatchPolicy {
         window: Duration::from_micros(parse("--window-us", 2000)),

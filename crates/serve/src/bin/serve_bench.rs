@@ -41,6 +41,8 @@ usage: serve_bench [options]
   --cache-pages N file/isp page-cache capacity (default 32; small on
                   purpose — the thrashing regime is where coalescing
                   visibly cuts host bytes)
+  --shards N      modeled storage devices the dataset is partitioned
+                  across; responses are identical at every count (default 1)
   --output PATH   where to write the JSON report (default BENCH_6.json)
   --help          this text
 ";
@@ -118,6 +120,7 @@ fn engine_config(
     topology: TopologyKind,
     nodes: usize,
     cache_pages: usize,
+    shards: usize,
 ) -> EngineConfig {
     EngineConfig {
         dataset: DatasetConfig {
@@ -129,6 +132,7 @@ fn engine_config(
         topology,
         fanouts: Fanouts::new(vec![10, 5]),
         cache_pages,
+        shards,
         ..EngineConfig::default()
     }
 }
@@ -139,16 +143,14 @@ fn engine_config(
 /// replays in order — the no-coalescing baseline.
 fn run_tier(
     label: &'static str,
-    (store, topology): (StoreKind, TopologyKind),
+    config: EngineConfig,
     clients: usize,
     stream: &Arc<Vec<(String, String)>>,
-    nodes: usize,
-    cache_pages: usize,
     policy: BatchPolicy,
 ) -> TierRun {
     assert!(stream.len().is_multiple_of(clients), "stream splits evenly");
     let per_client = stream.len() / clients;
-    let engine = Engine::new(engine_config(store, topology, nodes, cache_pages))
+    let engine = Engine::new(config)
         .unwrap_or_else(|e| fatal(&format!("{label}: failed to open store tiers: {e}")));
     let server = Server::start(engine, policy, HttpOptions::default(), "127.0.0.1:0")
         .unwrap_or_else(|e| fatal(&format!("{label}: failed to bind: {e}")));
@@ -263,6 +265,7 @@ fn main() {
     let requests = parse("--requests", 25).max(1);
     let nodes = parse("--nodes", 4096).max(64);
     let cache_pages = parse("--cache-pages", 32).max(1);
+    let shards = parse("--shards", 1).max(1);
     let output = value_of("--output").unwrap_or("BENCH_6.json").to_string();
 
     let coalescing = BatchPolicy {
@@ -294,11 +297,9 @@ fn main() {
     for (label, store, topology) in tiers {
         let run = run_tier(
             label,
-            (store, topology),
+            engine_config(store, topology, nodes, cache_pages, shards),
             clients,
             &stream,
-            nodes,
-            cache_pages,
             coalescing,
         );
         println!(
@@ -318,11 +319,15 @@ fn main() {
     // multiset, one client, serial policy.
     let serial = run_tier(
         "file-serial",
-        (StoreKind::File, TopologyKind::File),
+        engine_config(
+            StoreKind::File,
+            TopologyKind::File,
+            nodes,
+            cache_pages,
+            shards,
+        ),
         1,
         &stream,
-        nodes,
-        cache_pages,
         BatchPolicy::serial(),
     );
     println!(

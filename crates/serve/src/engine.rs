@@ -23,10 +23,11 @@ use smartsage_graph::generate::{generate_power_law, PowerLawConfig};
 use smartsage_graph::{FeatureTable, NodeId};
 use smartsage_sim::Xoshiro256;
 use smartsage_store::{
-    FeatureStore, FileStoreOptions, FileTopology, InMemoryStore, InMemoryTopology,
-    IspGatherOptions, IspGatherStore, IspSampleTopology, StoreError, StoreHandle, StoreKind,
-    StoreRegistry, StoreStats, TopologyKind, TopologyStore,
+    shard_ranges, FeatureStore, FileStoreOptions, FileTopology, InMemoryStore, InMemoryTopology,
+    IspGatherOptions, IspGatherStore, IspSampleTopology, ShardedFeatureStore, ShardedTopology,
+    StoreError, StoreHandle, StoreKind, StoreRegistry, StoreStats, TopologyKind, TopologyStore,
 };
+use std::sync::Arc;
 
 /// The synthetic dataset an engine materializes and publishes to its
 /// store tiers.
@@ -80,6 +81,11 @@ pub struct EngineConfig {
     /// caches put the server in the thrashing regime where coalescing
     /// visibly cuts host bytes.
     pub cache_pages: usize,
+    /// Modeled storage devices the dataset is partitioned across
+    /// (contiguous node ranges, one per-shard file and cache-budget
+    /// slice per device). Responses are identical at every shard
+    /// count; only the I/O accounting gains a per-shard breakdown.
+    pub shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +99,7 @@ impl Default for EngineConfig {
             model_seed: 1234,
             page_bytes: 4096,
             cache_pages: 1024,
+            shards: 1,
         }
     }
 }
@@ -138,30 +145,53 @@ impl Engine {
             ..PowerLawConfig::default()
         });
         let table = FeatureTable::new(d.feature_dim, d.classes, d.feature_seed);
+        let shards = config.shards.max(1);
+        // The cache budget is sliced across devices, so an N-shard
+        // engine holds the same total pages as an unsharded one.
         let opts = FileStoreOptions {
             page_bytes: config.page_bytes,
-            cache_pages: config.cache_pages,
+            cache_pages: (config.cache_pages / shards).max(1),
         };
         let registry = StoreRegistry::new();
-        let store: Box<dyn FeatureStore + Send> = match config.store {
-            StoreKind::Mem => Box::new(InMemoryStore::new(table.clone(), d.nodes)),
-            StoreKind::File => Box::new(StoreHandle::new(
+        let store: Box<dyn FeatureStore + Send> = match (config.store, shards) {
+            (StoreKind::Mem, 1) => Box::new(InMemoryStore::new(table.clone(), d.nodes)),
+            (StoreKind::Mem, n) => Box::new(ShardedFeatureStore::mem(table.clone(), d.nodes, n)),
+            (StoreKind::File, 1) => Box::new(StoreHandle::new(
                 registry.open_feature_table(&table, d.nodes, opts)?,
             )),
-            StoreKind::Isp => Box::new(IspGatherStore::over(
+            (StoreKind::File, n) => Box::new(ShardedFeatureStore::over_files(
+                &registry.open_feature_shards(&table, d.nodes, n, opts)?,
+            )?),
+            (StoreKind::Isp, 1) => Box::new(IspGatherStore::over(
                 registry.open_feature_table(&table, d.nodes, opts)?,
                 IspGatherOptions::default(),
             )),
+            (StoreKind::Isp, n) => Box::new(ShardedFeatureStore::over_isp(
+                &registry.open_feature_shards(&table, d.nodes, n, opts)?,
+                IspGatherOptions::default(),
+            )?),
         };
-        let topology: Box<dyn TopologyStore + Send> = match config.topology {
-            TopologyKind::Mem => Box::new(InMemoryTopology::new(graph)),
-            TopologyKind::File => {
+        let graph = Arc::new(graph);
+        let ranges = shard_ranges(d.nodes, shards);
+        let topology: Box<dyn TopologyStore + Send> = match (config.topology, shards) {
+            (TopologyKind::Mem, 1) => Box::new(InMemoryTopology::from_arc(Arc::clone(&graph))),
+            (TopologyKind::Mem, n) => Box::new(ShardedTopology::mem(Arc::clone(&graph), n)),
+            (TopologyKind::File, 1) => {
                 Box::new(FileTopology::new(registry.open_graph_csr(&graph, opts)?))
             }
-            TopologyKind::Isp => Box::new(IspSampleTopology::over(
+            (TopologyKind::File, n) => Box::new(ShardedTopology::over_files(
+                &registry.open_graph_shards(&graph, n, opts)?,
+                &ranges,
+            )?),
+            (TopologyKind::Isp, 1) => Box::new(IspSampleTopology::over(
                 registry.open_graph_csr(&graph, opts)?,
                 IspGatherOptions::default(),
             )),
+            (TopologyKind::Isp, n) => Box::new(ShardedTopology::over_isp(
+                &registry.open_graph_shards(&graph, n, opts)?,
+                &ranges,
+                IspGatherOptions::default(),
+            )?),
         };
         let dims = ModelDims {
             features: d.feature_dim,
@@ -202,6 +232,19 @@ impl Engine {
     /// Topology-store I/O counters (scoped to this engine's handle).
     pub fn topology_stats(&self) -> StoreStats {
         self.topology.stats()
+    }
+
+    /// Per-device feature-store breakdown of a sharded engine (one
+    /// entry, equal to [`Engine::store_stats`], when unsharded). The
+    /// I/O-level fields sum exactly to the totals.
+    pub fn store_shard_stats(&self) -> Vec<StoreStats> {
+        self.store.shard_stats()
+    }
+
+    /// Per-device topology breakdown, mirroring
+    /// [`Engine::store_shard_stats`].
+    pub fn topology_shard_stats(&self) -> Vec<StoreStats> {
+        self.topology.shard_stats()
     }
 
     /// Executes one admission window of requests and returns one
@@ -498,6 +541,61 @@ mod tests {
         let want = run(StoreKind::Mem, TopologyKind::Mem);
         assert_eq!(run(StoreKind::File, TopologyKind::File), want);
         assert_eq!(run(StoreKind::Isp, TopologyKind::Isp), want);
+    }
+
+    #[test]
+    fn responses_are_identical_across_shard_counts_with_exact_breakdowns() {
+        let requests = vec![
+            request("infer", &[1, 2, 3], 5),
+            request("sample", &[4, 5, 299], 6),
+        ];
+        let run = |store, topology, shards| {
+            let mut engine = Engine::new(EngineConfig {
+                store,
+                topology,
+                shards,
+                ..tiny_config()
+            })
+            .unwrap();
+            let responses = engine
+                .execute(&requests)
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect::<Vec<_>>();
+            (responses, engine)
+        };
+        let (want, _) = run(StoreKind::Mem, TopologyKind::Mem, 1);
+        for (store, topology) in [
+            (StoreKind::Mem, TopologyKind::Mem),
+            (StoreKind::File, TopologyKind::File),
+            (StoreKind::Isp, TopologyKind::Isp),
+        ] {
+            let (got, engine) = run(store, topology, 3);
+            assert_eq!(got, want, "{store:?}/{topology:?} diverged under shards");
+            // The per-device breakdown is exact: I/O-level fields sum
+            // to the engine totals.
+            for (per_shard, total) in [
+                (engine.store_shard_stats(), engine.store_stats()),
+                (engine.topology_shard_stats(), engine.topology_stats()),
+            ] {
+                assert_eq!(per_shard.len(), 3);
+                assert_eq!(
+                    per_shard.iter().map(|s| s.nodes_gathered).sum::<u64>(),
+                    total.nodes_gathered
+                );
+                assert_eq!(
+                    per_shard.iter().map(|s| s.bytes_read).sum::<u64>(),
+                    total.bytes_read
+                );
+                assert_eq!(
+                    per_shard
+                        .iter()
+                        .map(|s| s.host_bytes_transferred)
+                        .sum::<u64>(),
+                    total.host_bytes_transferred
+                );
+            }
+        }
     }
 
     #[test]

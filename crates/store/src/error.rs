@@ -105,6 +105,52 @@ pub enum StoreError {
         /// Provided element count.
         actual: usize,
     },
+    /// A shard manifest names a file that does not exist (or cannot be
+    /// opened). Raised per shard so the message always names the
+    /// missing file and its position in the manifest.
+    ShardMissing {
+        /// The shard file the manifest points at.
+        path: PathBuf,
+        /// The shard's index in the manifest.
+        shard: usize,
+        /// The OS error that surfaced when opening it.
+        source: io::Error,
+    },
+    /// A shard manifest's node ranges do not tile the node space:
+    /// a gap, an overlap, an inverted range, or endpoints that miss
+    /// `0..num_nodes`.
+    ShardLayout {
+        /// The shard file whose range is at fault.
+        path: PathBuf,
+        /// The shard's index in the manifest.
+        shard: usize,
+        /// What is wrong with the layout.
+        reason: String,
+    },
+    /// A shard file's on-disk geometry disagrees with the manifest or
+    /// its sibling shards (wrong node count for its range, mismatched
+    /// feature dim/classes, mismatched global node count).
+    ShardGeometry {
+        /// The offending shard file.
+        path: PathBuf,
+        /// The shard's index in the manifest.
+        shard: usize,
+        /// What disagrees.
+        reason: String,
+    },
+    /// The feature side and the graph side of a sharded dataset are
+    /// partitioned differently — scatter/gather cannot route one plan
+    /// over both.
+    ShardCountMismatch {
+        /// The first graph shard file (names the graph partition).
+        graph: PathBuf,
+        /// Graph shard count.
+        graph_shards: usize,
+        /// The first feature shard file (names the feature partition).
+        features: PathBuf,
+        /// Feature shard count.
+        feature_shards: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -190,6 +236,54 @@ impl fmt::Display for StoreError {
                     "gather buffer holds {actual} elements, need exactly {expected}"
                 )
             }
+            StoreError::ShardMissing {
+                path,
+                shard,
+                source,
+            } => {
+                write!(
+                    f,
+                    "shard {shard} file '{}' is missing or unopenable: {source}",
+                    path.display()
+                )
+            }
+            StoreError::ShardLayout {
+                path,
+                shard,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "shard {shard} file '{}' breaks the shard layout: {reason}",
+                    path.display()
+                )
+            }
+            StoreError::ShardGeometry {
+                path,
+                shard,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "shard {shard} file '{}' has mismatched geometry: {reason}",
+                    path.display()
+                )
+            }
+            StoreError::ShardCountMismatch {
+                graph,
+                graph_shards,
+                features,
+                feature_shards,
+            } => {
+                write!(
+                    f,
+                    "graph partition '{}' has {graph_shards} shard(s) but feature \
+                     partition '{}' has {feature_shards}; refusing to scatter one \
+                     plan across mismatched partitions",
+                    graph.display(),
+                    features.display()
+                )
+            }
         }
     }
 }
@@ -197,7 +291,7 @@ impl fmt::Display for StoreError {
 impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            StoreError::Io { source, .. } => Some(source),
+            StoreError::Io { source, .. } | StoreError::ShardMissing { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -110,6 +110,49 @@ pub fn write_feature_file(
     Ok(())
 }
 
+/// Serializes the rows of the global node range `start..end` of
+/// `table` to `path` as a standalone feature-shard file. The shard
+/// file is a perfectly ordinary `SSFEAT01` file holding `end - start`
+/// rows at **local** indices — local row `j` is global node
+/// `start + j` — so every existing open path validates it unchanged.
+/// An empty range writes a valid zero-row file (shards may be empty
+/// when there are more shards than nodes). Overwrites any existing
+/// file.
+pub fn write_feature_shard(
+    path: &Path,
+    table: &FeatureTable,
+    start: usize,
+    end: usize,
+) -> Result<(), StoreError> {
+    assert!(start <= end, "inverted shard range {start}..{end}");
+    let io_err = |action: &'static str| {
+        move |source: std::io::Error| StoreError::Io {
+            path: path.to_path_buf(),
+            action,
+            source,
+        }
+    };
+    let file = File::create(path).map_err(io_err("create"))?;
+    let mut w = BufWriter::new(file);
+    let mut header = [0u8; HEADER_BYTES as usize];
+    header[0..8].copy_from_slice(&FEATURE_FILE_MAGIC);
+    header[8..16].copy_from_slice(&(table.dim() as u64).to_le_bytes());
+    header[16..24].copy_from_slice(&((end - start) as u64).to_le_bytes());
+    header[24..32].copy_from_slice(&(table.num_classes() as u64).to_le_bytes());
+    w.write_all(&header).map_err(io_err("write header"))?;
+    let mut row = vec![0.0f32; table.dim()];
+    let mut bytes = vec![0u8; table.dim() * 4];
+    for i in start..end {
+        table.features_into(NodeId::new(i as u32), &mut row);
+        for (chunk, v) in bytes.chunks_exact_mut(4).zip(&row) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&bytes).map_err(io_err("write row"))?;
+    }
+    w.flush().map_err(io_err("flush"))?;
+    Ok(())
+}
+
 /// An opened, fully validated feature file: the raw handle plus its
 /// header fields. Shared by [`FileStore`] and the concurrent
 /// [`SharedFileStore`](crate::SharedFileStore) so the two open paths

@@ -112,6 +112,72 @@ pub fn write_graph_file(path: &Path, graph: &CsrGraph) -> Result<(), StoreError>
     Ok(())
 }
 
+/// Serializes the edge lists of the global node range `start..end` of
+/// `graph` to `path` as a standalone graph-shard file.
+///
+/// A graph shard is a perfectly ordinary `SSGRPH01` file that keeps the
+/// **global** node count in its header (so neighbor ids — which remain
+/// global — still validate against it) and a full-length offset array
+/// that is flat outside the shard's range: offsets below `start` are
+/// `0`, offsets inside `start..=end` are rebased by the shard's first
+/// global edge offset, and offsets above `end` equal the shard's edge
+/// count. The endpoint invariants every open path checks (first offset
+/// `0`, last offset == header edge count) therefore hold by
+/// construction, out-of-shard nodes read as degree `0`, and in-shard
+/// nodes resolve to exactly their global edge lists — no id
+/// translation anywhere on the topology axis. An empty range writes a
+/// valid zero-edge shard. Overwrites any existing file.
+pub fn write_graph_shard(
+    path: &Path,
+    graph: &CsrGraph,
+    start: usize,
+    end: usize,
+) -> Result<(), StoreError> {
+    let n = graph.num_nodes();
+    assert!(start <= end && end <= n, "bad shard range {start}..{end}");
+    let io_err = |action: &'static str| {
+        move |source: std::io::Error| StoreError::Io {
+            path: path.to_path_buf(),
+            action,
+            source,
+        }
+    };
+    let off_global = |i: usize| -> u64 {
+        if i == n {
+            graph.num_edges()
+        } else {
+            graph.edge_list_start(NodeId::new(i as u32))
+        }
+    };
+    let base = off_global(start);
+    let top = off_global(end);
+    let shard_edges = top - base;
+    let file = File::create(path).map_err(io_err("create"))?;
+    let mut w = BufWriter::new(file);
+    let mut header = [0u8; GRAPH_HEADER_BYTES as usize];
+    header[0..8].copy_from_slice(&GRAPH_FILE_MAGIC);
+    header[8..16].copy_from_slice(&(n as u64).to_le_bytes());
+    header[16..24].copy_from_slice(&shard_edges.to_le_bytes());
+    w.write_all(&header).map_err(io_err("write header"))?;
+    for i in 0..=n {
+        let off = off_global(i).clamp(base, top) - base;
+        w.write_all(&off.to_le_bytes())
+            .map_err(io_err("write offsets"))?;
+    }
+    let n64 = n as u64;
+    let pad = edge_array_base(n64) - (GRAPH_HEADER_BYTES + (n64 + 1) * GRAPH_ENTRY_BYTES);
+    w.write_all(&vec![0u8; pad as usize])
+        .map_err(io_err("write padding"))?;
+    for i in start..end {
+        for &t in graph.neighbors(NodeId::new(i as u32)) {
+            w.write_all(&(t.raw() as u64).to_le_bytes())
+                .map_err(io_err("write edges"))?;
+        }
+    }
+    w.flush().map_err(io_err("flush"))?;
+    Ok(())
+}
+
 /// An opened, validated graph file: the raw handle plus header fields.
 #[derive(Debug)]
 pub(crate) struct RawGraphFile {

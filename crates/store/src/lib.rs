@@ -80,14 +80,15 @@ pub mod mem;
 pub mod metered;
 pub mod registry;
 pub mod scratch;
+pub mod sharded;
 pub mod shared;
 pub mod stats;
 pub mod topology;
 pub mod trace;
 
 pub use error::StoreError;
-pub use file::{write_feature_file, FileStore, FileStoreOptions};
-pub use graph_file::{check_same_population, write_graph_file, SharedCsrFile};
+pub use file::{write_feature_file, write_feature_shard, FileStore, FileStoreOptions};
+pub use graph_file::{check_same_population, write_graph_file, write_graph_shard, SharedCsrFile};
 pub use handle::StoreHandle;
 pub use isp::{IspGatherOptions, IspGatherStore};
 pub use isp_topology::IspSampleTopology;
@@ -97,6 +98,10 @@ pub use registry::{
     remove_cached_feature_files, sweep_stale_tmp_files, StoreOccupancy, StoreRegistry,
 };
 pub use scratch::ScratchFile;
+pub use sharded::{
+    check_sharded_population, shard_ranges, ShardEntry, ShardManifest, ShardedFeatureStore,
+    ShardedTopology,
+};
 pub use shared::SharedFileStore;
 pub use stats::AtomicStoreStats;
 pub use topology::{
@@ -272,6 +277,16 @@ pub trait FeatureStore: std::fmt::Debug {
 
     /// Resets all counters (and nothing else — cache contents survive).
     fn reset_stats(&mut self);
+
+    /// Per-shard counter breakdown. A single-device store is its own
+    /// one-shard partition, so the default is one entry equal to
+    /// [`FeatureStore::stats`]; a sharded store
+    /// ([`ShardedFeatureStore`]) reports one entry per member device
+    /// whose I/O fields sum exactly to the merged totals (see its docs
+    /// for the summation contract).
+    fn shard_stats(&self) -> Vec<StoreStats> {
+        vec![self.stats()]
+    }
 
     /// Gathers the feature rows of `nodes` as a fresh matrix.
     fn gather(&mut self, nodes: &[NodeId]) -> Result<Vec<f32>, StoreError> {

@@ -32,8 +32,9 @@
 //! cannot be checked).
 
 use crate::error::StoreError;
-use crate::file::{write_feature_file, FileStoreOptions};
-use crate::graph_file::{write_graph_file, SharedCsrFile};
+use crate::file::{write_feature_file, write_feature_shard, FileStoreOptions};
+use crate::graph_file::{write_graph_file, write_graph_shard, SharedCsrFile};
+use crate::sharded::shard_ranges;
 use crate::shared::{SharedFileStore, DEFAULT_CACHE_SHARDS};
 use smartsage_graph::{CsrGraph, FeatureTable};
 use smartsage_hostio::LockExt;
@@ -205,26 +206,179 @@ impl StoreRegistry {
     /// materialization that produced the graph, paid once per
     /// `open_graph_csr` (a per-run cost, like materialization itself).
     pub fn graph_content_key_path(graph: &CsrGraph) -> PathBuf {
-        let mut h: u64 = 0xcbf29ce484222325;
-        let mut mix = |v: u64| {
-            for b in v.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100000001b3);
-            }
-        };
-        mix(graph.num_nodes() as u64);
-        mix(graph.num_edges());
-        for node in graph.node_ids() {
-            mix(graph.edge_list_start(node));
-            for &t in graph.neighbors(node) {
-                mix(t.raw() as u64);
-            }
-        }
         std::env::temp_dir().join(format!(
-            "{GRAPH_PREFIX}n{}-e{}-h{h:016x}.gbin",
+            "{GRAPH_PREFIX}n{}-e{}-h{:016x}.gbin",
             graph.num_nodes(),
             graph.num_edges(),
+            graph_fingerprint(graph),
         ))
+    }
+
+    /// The content-keyed path for shard `shard` of a `shards`-way
+    /// feature partition of `table`'s first `num_nodes` rows. The key
+    /// extends [`StoreRegistry::content_key_path`] with a `-p{i}of{k}`
+    /// suffix, so every partition width publishes its own immutable
+    /// file set and shard files never collide with the unsharded file.
+    pub fn feature_shard_key_path(
+        table: &FeatureTable,
+        num_nodes: usize,
+        shard: usize,
+        shards: usize,
+    ) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "{FILE_PREFIX}n{num_nodes}-d{}-c{}-s{:x}-p{shard}of{shards}.fbin",
+            table.dim(),
+            table.num_classes(),
+            table.seed(),
+        ))
+    }
+
+    /// The content-keyed path for shard `shard` of a `shards`-way
+    /// topology partition of `graph` — the graph analogue of
+    /// [`StoreRegistry::feature_shard_key_path`].
+    pub fn graph_shard_key_path(graph: &CsrGraph, shard: usize, shards: usize) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "{GRAPH_PREFIX}n{}-e{}-h{:016x}-p{shard}of{shards}.gbin",
+            graph.num_nodes(),
+            graph.num_edges(),
+            graph_fingerprint(graph),
+        ))
+    }
+
+    /// Opens (publishing first if needed) the `shards`-way feature
+    /// partition of `table`'s first `num_nodes` rows: one shard file
+    /// per contiguous [`shard_ranges`] range, each holding its range's
+    /// rows at local indices, each deduplicated under the same per-key
+    /// slot discipline as [`StoreRegistry::open_feature_table`]. The
+    /// returned stores are in shard order.
+    pub fn open_feature_shards(
+        &self,
+        table: &FeatureTable,
+        num_nodes: usize,
+        shards: usize,
+        opts: FileStoreOptions,
+    ) -> Result<Vec<Arc<SharedFileStore>>, StoreError> {
+        let ranges = shard_ranges(num_nodes, shards);
+        let mut out = Vec::with_capacity(shards);
+        for (i, &(start, end)) in ranges.iter().enumerate() {
+            let path = StoreRegistry::feature_shard_key_path(table, num_nodes, i, shards);
+            let slot: Slot = {
+                let mut entries = self.entries.safe_lock();
+                Arc::clone(entries.entry(path.clone()).or_default())
+            };
+            let mut guard = slot.safe_lock();
+            if let Some(existing) = guard.as_ref() {
+                if existing.options() != opts {
+                    return Err(StoreError::OptionsConflict {
+                        path,
+                        requested: opts,
+                        open: existing.options(),
+                    });
+                }
+                out.push(Arc::clone(existing));
+                continue;
+            }
+            let rows = end - start;
+            let matches = |s: &SharedFileStore| {
+                s.dim() == table.dim()
+                    && s.num_nodes() == rows
+                    && s.num_classes() == table.num_classes()
+            };
+            let store = match SharedFileStore::open_with(&path, opts, DEFAULT_CACHE_SHARDS) {
+                Ok(store) if matches(&store) => store,
+                _ => {
+                    if let Some(dir) = path.parent() {
+                        sweep_stale_tmp_files(dir);
+                    }
+                    let tmp = path.with_extension(format!(
+                        "tmp-{}-{}",
+                        std::process::id(),
+                        publish_seq()
+                    ));
+                    write_feature_shard(&tmp, table, start, end)?;
+                    std::fs::rename(&tmp, &path).map_err(|source| StoreError::Io {
+                        path: path.clone(),
+                        action: "publish",
+                        source,
+                    })?;
+                    SharedFileStore::open_with(&path, opts, DEFAULT_CACHE_SHARDS)?
+                }
+            };
+            let store = Arc::new(store);
+            *guard = Some(Arc::clone(&store));
+            out.push(store);
+        }
+        Ok(out)
+    }
+
+    /// Opens (publishing first if needed) the `shards`-way topology
+    /// partition of `graph`: one shard file per contiguous
+    /// [`shard_ranges`] range, each an `SSGRPH01` file carrying the
+    /// global node count and its own range's edges (see
+    /// [`write_graph_shard`]), deduplicated under the same per-key
+    /// slot discipline as [`StoreRegistry::open_graph_csr`]. The
+    /// returned files are in shard order.
+    pub fn open_graph_shards(
+        &self,
+        graph: &CsrGraph,
+        shards: usize,
+        opts: FileStoreOptions,
+    ) -> Result<Vec<Arc<SharedCsrFile>>, StoreError> {
+        let n = graph.num_nodes();
+        let ranges = shard_ranges(n, shards);
+        let offset = |i: usize| -> u64 {
+            if i == n {
+                graph.num_edges()
+            } else {
+                graph.edge_list_start(smartsage_graph::NodeId::new(i as u32))
+            }
+        };
+        let mut out = Vec::with_capacity(shards);
+        for (i, &(start, end)) in ranges.iter().enumerate() {
+            let path = StoreRegistry::graph_shard_key_path(graph, i, shards);
+            let slot: GraphSlot = {
+                let mut entries = self.graph_entries.safe_lock();
+                Arc::clone(entries.entry(path.clone()).or_default())
+            };
+            let mut guard = slot.safe_lock();
+            if let Some(existing) = guard.as_ref() {
+                if existing.options() != opts {
+                    return Err(StoreError::OptionsConflict {
+                        path,
+                        requested: opts,
+                        open: existing.options(),
+                    });
+                }
+                out.push(Arc::clone(existing));
+                continue;
+            }
+            let shard_edges = offset(end) - offset(start);
+            let matches = |s: &SharedCsrFile| s.num_nodes() == n && s.num_edges() == shard_edges;
+            let store = match SharedCsrFile::open_with(&path, opts, DEFAULT_CACHE_SHARDS) {
+                Ok(store) if matches(&store) => store,
+                _ => {
+                    if let Some(dir) = path.parent() {
+                        sweep_stale_tmp_files(dir);
+                    }
+                    let tmp = path.with_extension(format!(
+                        "tmp-{}-{}",
+                        std::process::id(),
+                        publish_seq()
+                    ));
+                    write_graph_shard(&tmp, graph, start, end)?;
+                    std::fs::rename(&tmp, &path).map_err(|source| StoreError::Io {
+                        path: path.clone(),
+                        action: "publish",
+                        source,
+                    })?;
+                    SharedCsrFile::open_with(&path, opts, DEFAULT_CACHE_SHARDS)?
+                }
+            };
+            let store = Arc::new(store);
+            *guard = Some(Arc::clone(&store));
+            out.push(store);
+        }
+        Ok(out)
     }
 
     /// Opens (publishing first if needed) the shared topology file for
@@ -373,6 +527,38 @@ impl StoreRegistry {
         self.entries.safe_lock().clear();
         self.graph_entries.safe_lock().clear();
     }
+}
+
+/// FNV-1a fingerprint of a graph's full CSR content (node/edge counts,
+/// offsets, neighbor ids), so distinct graphs can never collide on a
+/// content key. One O(edges) pass per call — the same order of work as
+/// the materialization that produced the graph.
+fn graph_fingerprint(graph: &CsrGraph) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    mix(graph.num_nodes() as u64);
+    mix(graph.num_edges());
+    for node in graph.node_ids() {
+        mix(graph.edge_list_start(node));
+        for &t in graph.neighbors(node) {
+            mix(t.raw() as u64);
+        }
+    }
+    h
+}
+
+/// Next publish-temporary sequence number — names temporary files,
+/// never read as a statistic.
+fn publish_seq() -> u64 {
+    // ssl::allow(SSL004): publish-temporary sequence number — names
+    // files, never read as a statistic.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    SEQ.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Parses the pid out of a publish-temporary file name

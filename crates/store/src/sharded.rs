@@ -1,0 +1,948 @@
+//! Sharded stores: the dataset partitioned by node range across N
+//! modeled SSDs behind the ordinary store interfaces.
+//!
+//! SmartSAGE's single-SSD in-storage model is a one-device ceiling;
+//! this module lifts it by partitioning the node space into contiguous
+//! ranges, one per shard, with each shard backed by its own file — and
+//! therefore its own page cache, its own [`smartsage_storage::Ssd`]
+//! timing model, and its own ISP cores. A [`ShardedFeatureStore`] /
+//! [`ShardedTopology`] then scatter/gathers each batched call:
+//!
+//! 1. **Scatter** — split the request by shard (a binary search per
+//!    node over the contiguous ranges), remembering each element's
+//!    original position.
+//! 2. **Resolve** — run each shard's sub-batch through that shard's
+//!    ordinary single-device store (so all existing coalescing —
+//!    [`smartsage_hostio::merge_page_runs`], the ISP cost pass — is
+//!    reused unchanged, per device).
+//! 3. **Gather** — copy each shard's answers back to the request-order
+//!    positions.
+//!
+//! Because every member store is bit-deterministic and the scatter is a
+//! pure function of the node list, the merged answer is bit-identical
+//! to the single-shard path *by construction*; the conformance suite
+//! (`tests/sharded_store_conformance.rs`) asserts it by measurement.
+//!
+//! # Shard layout
+//!
+//! * **Feature shards** hold their range's rows at *local* indices
+//!   (global node `start + j` is row `j`), so each shard file is an
+//!   ordinary self-contained `SSFEAT01` file of `end − start` rows.
+//! * **Graph shards** keep the *global* node count in their header and
+//!   a full-length offset array clamped to the shard's edge window, so
+//!   each shard file is an ordinary `SSGRPH01` file that answers its
+//!   own nodes exactly and reports degree 0 elsewhere (the router never
+//!   asks a shard about nodes outside its range). Neighbor ids stay
+//!   global — no id translation on the topology axis.
+//!
+//! A [`ShardManifest`] names the per-shard files and their ranges and
+//! validates the whole layout (tiling, on-disk geometry) with typed
+//! [`StoreError`]s before anything is read.
+//!
+//! # Stats scoping
+//!
+//! The merged [`StoreStats`] keeps the access-level counters
+//! (`gathers`, `nodes_gathered`, `feature_bytes`) at the sharded store
+//! itself — one per caller-visible call, identical to the unsharded
+//! path at any shard count — and sums the I/O-level counters over the
+//! members. `shard_stats()` exposes the per-member breakdown; its I/O
+//! fields (and `nodes_gathered`/`feature_bytes`) sum exactly to the
+//! merged totals, while per-shard `gathers` counts the *sub*-calls
+//! routed to that device.
+
+use crate::error::StoreError;
+use crate::file::FileStoreOptions;
+use crate::graph_file::SharedCsrFile;
+use crate::handle::StoreHandle;
+use crate::isp::{IspGatherOptions, IspGatherStore};
+use crate::isp_topology::IspSampleTopology;
+use crate::shared::{SharedFileStore, DEFAULT_CACHE_SHARDS};
+use crate::topology::{check_out_len, count_answers, FileTopology, InMemoryTopology};
+use crate::{FeatureStore, StoreStats, TopologyStore};
+use smartsage_graph::generate::community_of;
+use smartsage_graph::{CsrGraph, FeatureTable, NodeId};
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The contiguous node ranges of an N-way partition: an even split
+/// with the remainder spread over the first shards, so ranges differ
+/// in length by at most one. When `shards > num_nodes` the tail
+/// shards are empty — legal, and covered by the conformance suite.
+pub fn shard_ranges(num_nodes: usize, shards: usize) -> Vec<(usize, usize)> {
+    assert!(shards > 0, "a partition needs at least one shard");
+    let base = num_nodes / shards;
+    let extra = num_nodes % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Which shard holds global node index `idx`. `ranges` must tile
+/// `0..num_nodes` contiguously and `idx` must be below the last end
+/// (both enforced before any routing happens).
+fn shard_of(ranges: &[(usize, usize)], idx: usize) -> usize {
+    ranges.partition_point(|&(_, end)| end <= idx)
+}
+
+/// Adds `member`'s I/O-level counters into `total`, leaving the
+/// access-level counters (`gathers`, `nodes_gathered`, `feature_bytes`)
+/// alone — those are kept once at the sharded store (see the module
+/// docs on stats scoping).
+fn merge_io(total: &mut StoreStats, member: &StoreStats) {
+    total.pages_read += member.pages_read;
+    total.bytes_read += member.bytes_read;
+    total.page_hits += member.page_hits;
+    total.page_misses += member.page_misses;
+    total.device_bytes_read += member.device_bytes_read;
+    total.host_bytes_transferred += member.host_bytes_transferred;
+    total.device_ns += member.device_ns;
+}
+
+/// One shard's entry in a [`ShardManifest`]: the per-shard file and the
+/// global node range `start..end` it holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// The per-shard file.
+    pub path: PathBuf,
+    /// First global node id the shard holds.
+    pub start: usize,
+    /// One past the last global node id the shard holds.
+    pub end: usize,
+}
+
+/// How one axis of a dataset (features or topology) is partitioned
+/// across per-shard files. [`ShardManifest::validate`] checks that the
+/// ranges tile `0..num_nodes`; the open methods additionally check
+/// each file's on-disk geometry against its manifest entry — every
+/// failure is a typed [`StoreError`] naming the file and shard index,
+/// never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Global node count the shards tile.
+    pub num_nodes: usize,
+    /// Per-shard files and ranges, in node order.
+    pub shards: Vec<ShardEntry>,
+}
+
+impl ShardManifest {
+    /// The even-split manifest over `paths` (one shard per path),
+    /// with ranges from [`shard_ranges`].
+    pub fn for_paths(num_nodes: usize, paths: Vec<PathBuf>) -> ShardManifest {
+        let ranges = shard_ranges(num_nodes, paths.len().max(1));
+        let shards = paths
+            .into_iter()
+            .zip(ranges)
+            .map(|(path, (start, end))| ShardEntry { path, start, end })
+            .collect();
+        ShardManifest { num_nodes, shards }
+    }
+
+    /// The `(start, end)` ranges of the shards, in order.
+    pub fn ranges(&self) -> Vec<(usize, usize)> {
+        self.shards.iter().map(|e| (e.start, e.end)).collect()
+    }
+
+    /// Checks that the shard ranges tile `0..num_nodes` exactly: no
+    /// empty manifest, no inverted range, no gap, no overlap, and
+    /// endpoints that meet `0` and `num_nodes`.
+    pub fn validate(&self) -> Result<(), StoreError> {
+        let Some(first) = self.shards.first() else {
+            return Err(StoreError::ShardLayout {
+                path: PathBuf::from("<empty manifest>"),
+                shard: 0,
+                reason: "manifest lists no shards".to_string(),
+            });
+        };
+        if first.start != 0 {
+            return Err(StoreError::ShardLayout {
+                path: first.path.clone(),
+                shard: 0,
+                reason: format!("first shard starts at node {} instead of 0", first.start),
+            });
+        }
+        let mut expected = 0usize;
+        for (i, e) in self.shards.iter().enumerate() {
+            if e.start > e.end {
+                return Err(StoreError::ShardLayout {
+                    path: e.path.clone(),
+                    shard: i,
+                    reason: format!("inverted range {}..{}", e.start, e.end),
+                });
+            }
+            if e.start != expected {
+                let kind = if e.start < expected {
+                    "overlaps the previous shard"
+                } else {
+                    "leaves a gap after the previous shard"
+                };
+                return Err(StoreError::ShardLayout {
+                    path: e.path.clone(),
+                    shard: i,
+                    reason: format!(
+                        "range {}..{} {kind} (previous shard ends at node {expected})",
+                        e.start, e.end
+                    ),
+                });
+            }
+            expected = e.end;
+        }
+        if expected != self.num_nodes {
+            let last = self.shards.len() - 1;
+            return Err(StoreError::ShardLayout {
+                path: self.shards[last].path.clone(),
+                shard: last,
+                reason: format!("shards cover {expected} of {} nodes", self.num_nodes),
+            });
+        }
+        Ok(())
+    }
+
+    /// Opens every feature shard file, checking each file's row count
+    /// against its manifest range. A missing file is
+    /// [`StoreError::ShardMissing`]; a wrong row count is
+    /// [`StoreError::ShardGeometry`] — both name the file.
+    pub fn open_feature_shards(
+        &self,
+        opts: FileStoreOptions,
+    ) -> Result<Vec<Arc<SharedFileStore>>, StoreError> {
+        self.validate()?;
+        let mut out = Vec::with_capacity(self.shards.len());
+        for (i, e) in self.shards.iter().enumerate() {
+            let shared = SharedFileStore::open_with(&e.path, opts, DEFAULT_CACHE_SHARDS)
+                .map_err(|err| mark_missing(err, i))?;
+            if shared.num_nodes() != e.end - e.start {
+                return Err(StoreError::ShardGeometry {
+                    path: e.path.clone(),
+                    shard: i,
+                    reason: format!(
+                        "file holds {} rows but the manifest range {}..{} needs {}",
+                        shared.num_nodes(),
+                        e.start,
+                        e.end,
+                        e.end - e.start
+                    ),
+                });
+            }
+            out.push(Arc::new(shared));
+        }
+        Ok(out)
+    }
+
+    /// Opens every graph shard file, checking each file's global node
+    /// count against the manifest. A missing file is
+    /// [`StoreError::ShardMissing`]; a wrong node count is
+    /// [`StoreError::ShardGeometry`] — both name the file.
+    pub fn open_graph_shards(
+        &self,
+        opts: FileStoreOptions,
+    ) -> Result<Vec<Arc<SharedCsrFile>>, StoreError> {
+        self.validate()?;
+        let mut out = Vec::with_capacity(self.shards.len());
+        for (i, e) in self.shards.iter().enumerate() {
+            let shared = SharedCsrFile::open_with(&e.path, opts, DEFAULT_CACHE_SHARDS)
+                .map_err(|err| mark_missing(err, i))?;
+            if shared.num_nodes() != self.num_nodes {
+                return Err(StoreError::ShardGeometry {
+                    path: e.path.clone(),
+                    shard: i,
+                    reason: format!(
+                        "graph shard header says {} global nodes, manifest says {}",
+                        shared.num_nodes(),
+                        self.num_nodes
+                    ),
+                });
+            }
+            out.push(Arc::new(shared));
+        }
+        Ok(out)
+    }
+
+    /// Opens the manifest as a host-path [`ShardedFeatureStore`].
+    pub fn open_features(&self, opts: FileStoreOptions) -> Result<ShardedFeatureStore, StoreError> {
+        ShardedFeatureStore::over_files(&self.open_feature_shards(opts)?)
+    }
+
+    /// Opens the manifest as a host-path [`ShardedTopology`].
+    pub fn open_topology(&self, opts: FileStoreOptions) -> Result<ShardedTopology, StoreError> {
+        ShardedTopology::over_files(&self.open_graph_shards(opts)?, &self.ranges())
+    }
+}
+
+/// Rewrites a not-found open error into [`StoreError::ShardMissing`]
+/// so the message carries the shard index; every other error passes
+/// through unchanged.
+fn mark_missing(err: StoreError, shard: usize) -> StoreError {
+    match err {
+        StoreError::Io { path, source, .. } if source.kind() == io::ErrorKind::NotFound => {
+            StoreError::ShardMissing {
+                path,
+                shard,
+                source,
+            }
+        }
+        other => other,
+    }
+}
+
+/// Checks that the graph and feature sides of a sharded dataset are
+/// partitioned compatibly: same shard count
+/// ([`StoreError::ShardCountMismatch`] otherwise) and the feature rows
+/// summing to the graph's global node count
+/// ([`StoreError::NodeCountMismatch`] otherwise).
+pub fn check_sharded_population(
+    graphs: &[Arc<SharedCsrFile>],
+    features: &[Arc<SharedFileStore>],
+) -> Result<(), StoreError> {
+    assert!(
+        !graphs.is_empty() && !features.is_empty(),
+        "a sharded dataset needs at least one shard on each axis"
+    );
+    if graphs.len() != features.len() {
+        return Err(StoreError::ShardCountMismatch {
+            graph: graphs[0].path().to_path_buf(),
+            graph_shards: graphs.len(),
+            features: features[0].path().to_path_buf(),
+            feature_shards: features.len(),
+        });
+    }
+    let graph_nodes = graphs[0].num_nodes();
+    let feature_nodes: usize = features.iter().map(|f| f.num_nodes()).sum();
+    if graph_nodes != feature_nodes {
+        return Err(StoreError::NodeCountMismatch {
+            graph: graphs[0].path().to_path_buf(),
+            graph_nodes,
+            features: features[0].path().to_path_buf(),
+            feature_nodes,
+        });
+    }
+    Ok(())
+}
+
+/// An in-memory feature shard: a contiguous row window onto a shared
+/// [`FeatureTable`], addressed by local index — the mem-tier twin of a
+/// feature shard file, so the sharded mem store exercises exactly the
+/// same scatter/gather routing as the file tiers.
+#[derive(Debug)]
+struct TableSlice {
+    table: Arc<FeatureTable>,
+    start: usize,
+    len: usize,
+    stats: StoreStats,
+}
+
+impl FeatureStore for TableSlice {
+    fn dim(&self) -> usize {
+        self.table.dim()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.table.num_classes()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.len
+    }
+
+    fn label(&self, node: NodeId) -> usize {
+        self.table
+            .label(NodeId::new((self.start + node.index()) as u32))
+    }
+
+    fn gather_into(&mut self, nodes: &[NodeId], out: &mut [f32]) -> Result<(), StoreError> {
+        let dim = self.table.dim();
+        if out.len() != nodes.len() * dim {
+            return Err(StoreError::BadBuffer {
+                expected: nodes.len() * dim,
+                actual: out.len(),
+            });
+        }
+        for &node in nodes {
+            if node.index() >= self.len {
+                return Err(StoreError::NodeOutOfRange {
+                    node,
+                    num_nodes: self.len,
+                });
+            }
+        }
+        for (row, &node) in out.chunks_exact_mut(dim).zip(nodes) {
+            self.table
+                .features_into(NodeId::new((self.start + node.index()) as u32), row);
+        }
+        self.stats.gathers += 1;
+        self.stats.nodes_gathered += nodes.len() as u64;
+        self.stats.feature_bytes += nodes.len() as u64 * self.table.bytes_per_node();
+        Ok(())
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = StoreStats::default();
+    }
+}
+
+/// A [`FeatureStore`] over N per-shard member stores, each holding one
+/// contiguous node range at local indices. Gathers are scattered by
+/// shard, resolved per device, and merged back in request order —
+/// bit-identical to the single-shard path by construction (module
+/// docs). The merged stats keep access counters here and sum the
+/// members' I/O counters; `shard_stats()` is the per-device breakdown.
+#[derive(Debug)]
+pub struct ShardedFeatureStore {
+    members: Vec<Box<dyn FeatureStore + Send>>,
+    ranges: Vec<(usize, usize)>,
+    dim: usize,
+    num_classes: usize,
+    num_nodes: usize,
+    access: StoreStats,
+}
+
+impl ShardedFeatureStore {
+    /// The mem tier: `shards` windows onto one shared table, split by
+    /// [`shard_ranges`]. No I/O — but the same routing as the file
+    /// tiers, which is what the conformance suite leans on.
+    pub fn mem(table: FeatureTable, num_nodes: usize, shards: usize) -> ShardedFeatureStore {
+        let table = Arc::new(table);
+        let ranges = shard_ranges(num_nodes, shards);
+        let dim = table.dim();
+        let num_classes = table.num_classes();
+        let members = ranges
+            .iter()
+            .map(|&(start, end)| {
+                Box::new(TableSlice {
+                    table: Arc::clone(&table),
+                    start,
+                    len: end - start,
+                    stats: StoreStats::default(),
+                }) as Box<dyn FeatureStore + Send>
+            })
+            .collect();
+        ShardedFeatureStore {
+            members,
+            ranges,
+            dim,
+            num_classes,
+            num_nodes,
+            access: StoreStats::default(),
+        }
+    }
+
+    /// The host-path file tier: one scoped [`StoreHandle`] per shard
+    /// file. Ranges are derived from the files' cumulative row counts.
+    pub fn over_files(files: &[Arc<SharedFileStore>]) -> Result<ShardedFeatureStore, StoreError> {
+        ShardedFeatureStore::build_over(files, |f| Box::new(StoreHandle::new(Arc::clone(f))))
+    }
+
+    /// The ISP tier: one [`IspGatherStore`] — its own SSD timing model
+    /// and ISP cores — per shard file.
+    pub fn over_isp(
+        files: &[Arc<SharedFileStore>],
+        opts: IspGatherOptions,
+    ) -> Result<ShardedFeatureStore, StoreError> {
+        ShardedFeatureStore::build_over(files, move |f| {
+            Box::new(IspGatherStore::over(Arc::clone(f), opts.clone()))
+        })
+    }
+
+    fn build_over(
+        files: &[Arc<SharedFileStore>],
+        make: impl Fn(&Arc<SharedFileStore>) -> Box<dyn FeatureStore + Send>,
+    ) -> Result<ShardedFeatureStore, StoreError> {
+        assert!(
+            !files.is_empty(),
+            "a sharded store needs at least one shard"
+        );
+        let dim = files[0].dim();
+        let num_classes = files[0].num_classes();
+        let mut ranges = Vec::with_capacity(files.len());
+        let mut start = 0usize;
+        for (i, f) in files.iter().enumerate() {
+            if f.dim() != dim || f.num_classes() != num_classes {
+                return Err(StoreError::ShardGeometry {
+                    path: f.path().to_path_buf(),
+                    shard: i,
+                    reason: format!(
+                        "dim {} / classes {} disagree with shard 0's dim {dim} / classes \
+                         {num_classes}",
+                        f.dim(),
+                        f.num_classes()
+                    ),
+                });
+            }
+            ranges.push((start, start + f.num_nodes()));
+            start += f.num_nodes();
+        }
+        let members = files.iter().map(make).collect();
+        Ok(ShardedFeatureStore {
+            members,
+            ranges,
+            dim,
+            num_classes,
+            num_nodes: start,
+            access: StoreStats::default(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The contiguous `(start, end)` node range of each shard.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+}
+
+impl FeatureStore for ShardedFeatureStore {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn label(&self, node: NodeId) -> usize {
+        // Labels are a global property (community of the global node
+        // id); asking a member would answer in its local id space.
+        community_of(node, self.num_classes)
+    }
+
+    fn gather_into(&mut self, nodes: &[NodeId], out: &mut [f32]) -> Result<(), StoreError> {
+        let dim = self.dim;
+        if out.len() != nodes.len() * dim {
+            return Err(StoreError::BadBuffer {
+                expected: nodes.len() * dim,
+                actual: out.len(),
+            });
+        }
+        // Validate the whole batch before any member does I/O, so a
+        // failed gather counts nothing anywhere.
+        for &node in nodes {
+            if node.index() >= self.num_nodes {
+                return Err(StoreError::NodeOutOfRange {
+                    node,
+                    num_nodes: self.num_nodes,
+                });
+            }
+        }
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); self.members.len()];
+        let mut locals: Vec<Vec<NodeId>> = vec![Vec::new(); self.members.len()];
+        for (pos, &node) in nodes.iter().enumerate() {
+            let s = shard_of(&self.ranges, node.index());
+            positions[s].push(pos);
+            locals[s].push(NodeId::new((node.index() - self.ranges[s].0) as u32));
+        }
+        let mut shard_rows = Vec::new();
+        for (s, member) in self.members.iter_mut().enumerate() {
+            if locals[s].is_empty() {
+                continue;
+            }
+            shard_rows.clear();
+            shard_rows.resize(locals[s].len() * dim, 0.0);
+            member.gather_into(&locals[s], &mut shard_rows)?;
+            for (j, &pos) in positions[s].iter().enumerate() {
+                out[pos * dim..(pos + 1) * dim]
+                    .copy_from_slice(&shard_rows[j * dim..(j + 1) * dim]);
+            }
+        }
+        self.access.gathers += 1;
+        self.access.nodes_gathered += nodes.len() as u64;
+        self.access.feature_bytes += nodes.len() as u64 * dim as u64 * 4;
+        Ok(())
+    }
+
+    fn stats(&self) -> StoreStats {
+        let mut total = self.access;
+        for m in &self.members {
+            merge_io(&mut total, &m.stats());
+        }
+        total
+    }
+
+    fn reset_stats(&mut self) {
+        self.access = StoreStats::default();
+        for m in &mut self.members {
+            m.reset_stats();
+        }
+    }
+
+    fn shard_stats(&self) -> Vec<StoreStats> {
+        self.members.iter().map(|m| m.stats()).collect()
+    }
+}
+
+/// A [`TopologyStore`] over N per-shard member topologies, each
+/// answering the nodes of one contiguous range (by *global* id — the
+/// topology axis needs no translation, see the module docs on the
+/// graph shard layout). Requests scatter by shard, resolve per device,
+/// and merge back in request order.
+#[derive(Debug)]
+pub struct ShardedTopology {
+    members: Vec<Box<dyn TopologyStore + Send>>,
+    ranges: Vec<(usize, usize)>,
+    num_nodes: usize,
+    num_edges: u64,
+    access: StoreStats,
+}
+
+impl ShardedTopology {
+    /// The mem tier: `shards` wrappers over one shared graph, split by
+    /// [`shard_ranges`]. No I/O, same routing as the file tiers.
+    pub fn mem(graph: Arc<CsrGraph>, shards: usize) -> ShardedTopology {
+        let num_nodes = graph.num_nodes();
+        let num_edges = graph.num_edges();
+        let ranges = shard_ranges(num_nodes, shards);
+        let members = ranges
+            .iter()
+            .map(|_| {
+                Box::new(InMemoryTopology::from_arc(Arc::clone(&graph)))
+                    as Box<dyn TopologyStore + Send>
+            })
+            .collect();
+        ShardedTopology {
+            members,
+            ranges,
+            num_nodes,
+            num_edges,
+            access: StoreStats::default(),
+        }
+    }
+
+    /// The host-path file tier: one [`FileTopology`] per shard file.
+    /// `ranges` must tile `0..num_nodes` (the manifest's ranges).
+    pub fn over_files(
+        files: &[Arc<SharedCsrFile>],
+        ranges: &[(usize, usize)],
+    ) -> Result<ShardedTopology, StoreError> {
+        ShardedTopology::build_over(files, ranges, |f| {
+            Box::new(FileTopology::new(Arc::clone(f)))
+        })
+    }
+
+    /// The ISP tier: one [`IspSampleTopology`] — its own SSD timing
+    /// model — per shard file.
+    pub fn over_isp(
+        files: &[Arc<SharedCsrFile>],
+        ranges: &[(usize, usize)],
+        opts: IspGatherOptions,
+    ) -> Result<ShardedTopology, StoreError> {
+        ShardedTopology::build_over(files, ranges, move |f| {
+            Box::new(IspSampleTopology::over(Arc::clone(f), opts.clone()))
+        })
+    }
+
+    fn build_over(
+        files: &[Arc<SharedCsrFile>],
+        ranges: &[(usize, usize)],
+        make: impl Fn(&Arc<SharedCsrFile>) -> Box<dyn TopologyStore + Send>,
+    ) -> Result<ShardedTopology, StoreError> {
+        assert!(
+            !files.is_empty(),
+            "a sharded topology needs at least one shard"
+        );
+        assert_eq!(files.len(), ranges.len(), "one node range per shard file");
+        let mut expected = 0usize;
+        for (i, &(start, end)) in ranges.iter().enumerate() {
+            if start != expected || start > end {
+                return Err(StoreError::ShardLayout {
+                    path: files[i].path().to_path_buf(),
+                    shard: i,
+                    reason: format!("range {start}..{end} does not continue from node {expected}"),
+                });
+            }
+            expected = end;
+        }
+        let num_nodes = expected;
+        let mut num_edges = 0u64;
+        for (i, f) in files.iter().enumerate() {
+            if f.num_nodes() != num_nodes {
+                return Err(StoreError::ShardGeometry {
+                    path: f.path().to_path_buf(),
+                    shard: i,
+                    reason: format!(
+                        "graph shard header says {} global nodes, partition covers {num_nodes}",
+                        f.num_nodes()
+                    ),
+                });
+            }
+            num_edges += f.num_edges();
+        }
+        let members = files.iter().map(make).collect();
+        Ok(ShardedTopology {
+            members,
+            ranges: ranges.to_vec(),
+            num_nodes,
+            num_edges,
+            access: StoreStats::default(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The contiguous `(start, end)` node range of each shard.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    fn check_nodes<'a>(
+        &self,
+        nodes: impl IntoIterator<Item = &'a NodeId>,
+    ) -> Result<(), StoreError> {
+        for &node in nodes {
+            if node.index() >= self.num_nodes {
+                return Err(StoreError::NodeOutOfRange {
+                    node,
+                    num_nodes: self.num_nodes,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl TopologyStore for ShardedTopology {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    fn degrees_into(&mut self, nodes: &[NodeId], out: &mut [u64]) -> Result<(), StoreError> {
+        check_out_len(nodes.len(), out)?;
+        self.check_nodes(nodes)?;
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); self.members.len()];
+        let mut routed: Vec<Vec<NodeId>> = vec![Vec::new(); self.members.len()];
+        for (pos, &node) in nodes.iter().enumerate() {
+            let s = shard_of(&self.ranges, node.index());
+            positions[s].push(pos);
+            routed[s].push(node);
+        }
+        let mut answers = Vec::new();
+        for (s, member) in self.members.iter_mut().enumerate() {
+            if routed[s].is_empty() {
+                continue;
+            }
+            answers.clear();
+            answers.resize(routed[s].len(), 0u64);
+            member.degrees_into(&routed[s], &mut answers)?;
+            for (j, &pos) in positions[s].iter().enumerate() {
+                out[pos] = answers[j];
+            }
+        }
+        count_answers(&mut self.access, nodes.len() as u64);
+        Ok(())
+    }
+
+    fn pick_neighbors_into(
+        &mut self,
+        picks: &[(NodeId, u64)],
+        out: &mut [NodeId],
+    ) -> Result<(), StoreError> {
+        check_out_len(picks.len(), out)?;
+        self.check_nodes(picks.iter().map(|(node, _)| node))?;
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); self.members.len()];
+        let mut routed: Vec<Vec<(NodeId, u64)>> = vec![Vec::new(); self.members.len()];
+        for (pos, &pick) in picks.iter().enumerate() {
+            let s = shard_of(&self.ranges, pick.0.index());
+            positions[s].push(pos);
+            routed[s].push(pick);
+        }
+        let mut answers = Vec::new();
+        for (s, member) in self.members.iter_mut().enumerate() {
+            if routed[s].is_empty() {
+                continue;
+            }
+            answers.clear();
+            answers.resize(routed[s].len(), NodeId::default());
+            member.pick_neighbors_into(&routed[s], &mut answers)?;
+            for (j, &pos) in positions[s].iter().enumerate() {
+                out[pos] = answers[j];
+            }
+        }
+        count_answers(&mut self.access, picks.len() as u64);
+        Ok(())
+    }
+
+    fn stats(&self) -> StoreStats {
+        let mut total = self.access;
+        for m in &self.members {
+            merge_io(&mut total, &m.stats());
+        }
+        total
+    }
+
+    fn reset_stats(&mut self) {
+        self.access = StoreStats::default();
+        for m in &mut self.members {
+            m.reset_stats();
+        }
+    }
+
+    fn shard_stats(&self) -> Vec<StoreStats> {
+        self.members.iter().map(|m| m.stats()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::InMemoryStore;
+    use crate::topology::CsrView;
+    use smartsage_graph::generate::{generate_power_law, PowerLawConfig};
+
+    fn graph(nodes: usize, seed: u64) -> CsrGraph {
+        generate_power_law(&PowerLawConfig {
+            nodes,
+            avg_degree: 4.0,
+            seed,
+            ..PowerLawConfig::default()
+        })
+    }
+
+    #[test]
+    fn ranges_tile_exactly() {
+        for (n, k) in [(10, 3), (7, 7), (3, 7), (0, 2), (1, 1), (100, 1)] {
+            let ranges = shard_ranges(n, k);
+            assert_eq!(ranges.len(), k);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges[k - 1].1, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous: {ranges:?}");
+            }
+            let lens: Vec<usize> = ranges.iter().map(|&(s, e)| e - s).collect();
+            let (lo, hi) = (lens.iter().min(), lens.iter().max());
+            assert!(hi.unwrap() - lo.unwrap() <= 1, "even split: {lens:?}");
+        }
+    }
+
+    #[test]
+    fn routing_picks_the_owning_shard() {
+        let ranges = shard_ranges(10, 3); // (0,4)(4,7)(7,10)
+        for idx in 0..10 {
+            let s = shard_of(&ranges, idx);
+            assert!(ranges[s].0 <= idx && idx < ranges[s].1);
+        }
+        // Empty tail shards are skipped over, never routed to.
+        let ranges = shard_ranges(2, 5);
+        assert_eq!(shard_of(&ranges, 0), 0);
+        assert_eq!(shard_of(&ranges, 1), 1);
+    }
+
+    #[test]
+    fn sharded_mem_store_matches_unsharded() {
+        let table = FeatureTable::new(7, 4, 0x5A4D);
+        let mut solo = InMemoryStore::new(FeatureTable::new(7, 4, 0x5A4D), 23);
+        let mut sharded = ShardedFeatureStore::mem(table, 23, 4);
+        let nodes: Vec<NodeId> = [22u32, 0, 7, 7, 13, 1, 19].map(NodeId::new).to_vec();
+        let a = solo.gather(&nodes).unwrap();
+        let b = sharded.gather(&nodes).unwrap();
+        assert_eq!(a, b);
+        for node in (0..23u32).map(NodeId::new) {
+            assert_eq!(solo.label(node), sharded.label(node));
+        }
+        // Access counters identical to the unsharded store; per-shard
+        // nodes sum to the total.
+        let (s, t) = (sharded.stats(), solo.stats());
+        assert_eq!(s, t);
+        let per: u64 = sharded.shard_stats().iter().map(|p| p.nodes_gathered).sum();
+        assert_eq!(per, s.nodes_gathered);
+    }
+
+    #[test]
+    fn sharded_mem_topology_matches_unsharded() {
+        let g = Arc::new(graph(31, 0x70B0));
+        let mut solo = CsrView::new(&g);
+        let mut sharded = ShardedTopology::mem(Arc::clone(&g), 3);
+        assert_eq!(sharded.num_nodes(), 31);
+        assert_eq!(sharded.num_edges(), g.num_edges());
+        let nodes: Vec<NodeId> = (0..31u32).rev().map(NodeId::new).collect();
+        let mut want = vec![0u64; nodes.len()];
+        let mut got = vec![0u64; nodes.len()];
+        solo.degrees_into(&nodes, &mut want).unwrap();
+        sharded.degrees_into(&nodes, &mut got).unwrap();
+        assert_eq!(want, got);
+        let picks: Vec<(NodeId, u64)> = nodes
+            .iter()
+            .zip(&want)
+            .filter(|(_, &d)| d > 0)
+            .map(|(&n, &d)| (n, d - 1))
+            .collect();
+        let mut want_n = vec![NodeId::default(); picks.len()];
+        let mut got_n = vec![NodeId::default(); picks.len()];
+        solo.pick_neighbors_into(&picks, &mut want_n).unwrap();
+        sharded.pick_neighbors_into(&picks, &mut got_n).unwrap();
+        assert_eq!(want_n, got_n);
+        assert_eq!(sharded.stats(), solo.stats());
+    }
+
+    #[test]
+    fn out_of_range_requests_fail_before_any_member_counts() {
+        let mut store = ShardedFeatureStore::mem(FeatureTable::new(3, 2, 1), 10, 3);
+        let err = store.gather(&[NodeId::new(10)]).unwrap_err();
+        assert!(matches!(err, StoreError::NodeOutOfRange { .. }), "{err}");
+        assert_eq!(store.stats(), StoreStats::default());
+        let mut topo = ShardedTopology::mem(Arc::new(graph(10, 1)), 2);
+        let mut out = [0u64];
+        let err = topo.degrees_into(&[NodeId::new(10)], &mut out).unwrap_err();
+        assert!(matches!(err, StoreError::NodeOutOfRange { .. }), "{err}");
+        assert_eq!(topo.stats(), StoreStats::default());
+    }
+
+    #[test]
+    fn manifest_layout_errors_name_file_and_shard() {
+        let entry = |p: &str, start, end| ShardEntry {
+            path: PathBuf::from(p),
+            start,
+            end,
+        };
+        let gap = ShardManifest {
+            num_nodes: 10,
+            shards: vec![entry("a", 0, 4), entry("b", 5, 10)],
+        };
+        let err = gap.validate().unwrap_err();
+        assert!(
+            matches!(err, StoreError::ShardLayout { shard: 1, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains('b'), "{err}");
+        assert!(err.to_string().contains("gap"), "{err}");
+        let overlap = ShardManifest {
+            num_nodes: 10,
+            shards: vec![entry("a", 0, 6), entry("b", 5, 10)],
+        };
+        let err = overlap.validate().unwrap_err();
+        assert!(err.to_string().contains("overlap"), "{err}");
+        let short = ShardManifest {
+            num_nodes: 10,
+            shards: vec![entry("a", 0, 9)],
+        };
+        assert!(short.validate().is_err());
+        let empty = ShardManifest {
+            num_nodes: 0,
+            shards: vec![],
+        };
+        assert!(empty.validate().is_err());
+        let ok = ShardManifest::for_paths(10, vec!["a".into(), "b".into(), "c".into()]);
+        ok.validate().unwrap();
+        assert_eq!(ok.ranges(), shard_ranges(10, 3));
+    }
+}

@@ -117,6 +117,16 @@ pub trait TopologyStore: std::fmt::Debug {
     /// Resets all counters (and nothing else — cache contents survive).
     fn reset_stats(&mut self);
 
+    /// Per-shard counter breakdown. A single-device topology is its own
+    /// one-shard partition, so the default is one entry equal to
+    /// [`TopologyStore::stats`]; a sharded topology
+    /// ([`ShardedTopology`](crate::ShardedTopology)) reports one entry
+    /// per member device whose I/O fields sum exactly to the merged
+    /// totals.
+    fn shard_stats(&self) -> Vec<StoreStats> {
+        vec![self.stats()]
+    }
+
     /// The out-degree of one node.
     fn degree(&mut self, node: NodeId) -> Result<u64, StoreError> {
         let mut out = [0u64];
@@ -201,7 +211,7 @@ fn csr_picks_into(
 /// every tier so exact cross-tier counter equality holds: `gathers`
 /// counts batched operations, `nodes_gathered` counts answers,
 /// `feature_bytes` counts delivered payload.
-fn count_answers(stats: &mut StoreStats, answers: u64) {
+pub(crate) fn count_answers(stats: &mut StoreStats, answers: u64) {
     stats.gathers += 1;
     stats.nodes_gathered += answers;
     stats.feature_bytes += answers * GRAPH_ENTRY_BYTES;

@@ -151,6 +151,57 @@
 //! assert!(i.transfer_reduction() > 1.0);
 //! assert!(!isp.device_time().is_zero()); // modeled FTL + flash + PCIe time
 //! ```
+//!
+//! # Sharded stores
+//!
+//! Either axis can be partitioned across N modeled SSDs: contiguous
+//! node ranges, one per-shard file and page-cache budget per device.
+//! Batched requests scatter to their owning shards and merge back in
+//! request order, so an N-shard store is bit-identical to the 1-shard
+//! and in-memory tiers — only the I/O accounting gains a per-shard
+//! breakdown that sums exactly to the totals (this example is the
+//! README's "Sharded stores" snippet, kept honest by `cargo test`):
+//!
+//! ```
+//! use smartsage::graph::{FeatureTable, NodeId};
+//! use smartsage::store::{
+//!     shard_ranges, write_feature_shard, FeatureStore, InMemoryStore, ScratchFile,
+//!     ShardManifest,
+//! };
+//!
+//! // Publish 256 nodes of 8-dim features as three shard files.
+//! let table = FeatureTable::new(8, 4, 7);
+//! let ranges = shard_ranges(256, 3); // [(0,86),(86,171),(171,256)]
+//! let files: Vec<ScratchFile> = (0..3)
+//!     .map(|i| ScratchFile::new(&format!("readme-shard-{i}")))
+//!     .collect();
+//! for (f, &(start, end)) in files.iter().zip(&ranges) {
+//!     write_feature_shard(f.path(), &table, start, end).unwrap();
+//! }
+//!
+//! // The manifest validates the layout and opens the sharded store.
+//! let manifest = ShardManifest::for_paths(
+//!     256,
+//!     files.iter().map(|f| f.path().to_path_buf()).collect(),
+//! );
+//! let mut sharded = manifest.open_features(Default::default()).unwrap();
+//!
+//! // A batch straddling every shard boundary: bit-identical to the
+//! // unsharded mem tier, merged back in request order.
+//! let nodes: Vec<NodeId> = [255u32, 0, 86, 85, 171, 170].map(NodeId::new).to_vec();
+//! let mut mem = InMemoryStore::new(table, 256);
+//! assert_eq!(sharded.gather(&nodes).unwrap(), mem.gather(&nodes).unwrap());
+//!
+//! // Per-device accounting: each shard resolved two of the six rows,
+//! // and the breakdown sums exactly to the store's own totals.
+//! let per_shard = sharded.shard_stats();
+//! assert_eq!(per_shard.len(), 3);
+//! assert!(per_shard.iter().all(|s| s.nodes_gathered == 2));
+//! assert_eq!(
+//!     per_shard.iter().map(|s| s.bytes_read).sum::<u64>(),
+//!     sharded.stats().bytes_read,
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 

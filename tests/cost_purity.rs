@@ -25,7 +25,10 @@ use smartsage::graph::{CsrGraph, Dataset, DatasetProfile, GraphScale, NodeId};
 use smartsage::sim::{SimTime, Xoshiro256};
 use smartsage::store::topology::{FileTopology, InMemoryTopology};
 use smartsage::store::trace::TracingTopology;
-use smartsage::store::{write_graph_file, IspSampleTopology, ScratchFile, TopologyStore};
+use smartsage::store::{
+    shard_ranges, write_graph_file, write_graph_shard, IspGatherOptions, IspSampleTopology,
+    ScratchFile, ShardManifest, ShardedTopology, TopologyStore,
+};
 use std::sync::Arc;
 
 fn arbitrary_graph(nodes: usize, seed: u64) -> CsrGraph {
@@ -112,6 +115,46 @@ proptest! {
         // The determinism contract across tiers: one plan, one trace.
         prop_assert_eq!(&mem_plan, &disk_plan, "mem vs file trace");
         prop_assert_eq!(&mem_plan, &isp_plan, "mem vs isp trace");
+
+        // And across *shard counts*: partitioning the topology over N
+        // modeled devices routes each hop to its owning shard but never
+        // changes the plan — so the (merged) trace a cost policy prices
+        // is shard-agnostic by construction.
+        for shards in [2usize, 3] {
+            let ranges = shard_ranges(graph.num_nodes(), shards);
+            let shard_files: Vec<ScratchFile> = (0..shards)
+                .map(|i| ScratchFile::new(&format!("cost-purity-shard-{i}of{shards}")))
+                .collect();
+            for (file, &(start, end)) in shard_files.iter().zip(&ranges) {
+                write_graph_shard(file.path(), &graph, start, end).expect("write graph shard");
+            }
+            let manifest = ShardManifest::for_paths(
+                graph.num_nodes(),
+                shard_files.iter().map(|f| f.path().to_path_buf()).collect(),
+            );
+
+            let mut sharded_mem = ShardedTopology::mem(Arc::new(graph.clone()), shards);
+            let (seen, plan) = traced_plan(&mut sharded_mem, &graph, &t, &fanouts, seed);
+            prop_assert_eq!(&seen, &plan, "sharded mem tier ({} shards)", shards);
+            prop_assert_eq!(&plan, &mem_plan, "sharded mem vs unsharded trace");
+
+            let mut sharded_disk = manifest
+                .open_topology(Default::default())
+                .expect("open sharded file topology");
+            let (seen, plan) = traced_plan(&mut sharded_disk, &graph, &t, &fanouts, seed);
+            prop_assert_eq!(&seen, &plan, "sharded file tier ({} shards)", shards);
+            prop_assert_eq!(&plan, &mem_plan, "sharded file vs unsharded trace");
+
+            let files = manifest
+                .open_graph_shards(Default::default())
+                .expect("open shard files");
+            let mut sharded_isp =
+                ShardedTopology::over_isp(&files, &ranges, IspGatherOptions::default())
+                    .expect("assemble sharded isp topology");
+            let (seen, plan) = traced_plan(&mut sharded_isp, &graph, &t, &fanouts, seed);
+            prop_assert_eq!(&seen, &plan, "sharded isp tier ({} shards)", shards);
+            prop_assert_eq!(&plan, &mem_plan, "sharded isp vs unsharded trace");
+        }
     }
 
     #[test]

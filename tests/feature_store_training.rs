@@ -148,6 +148,7 @@ fn feature_store_pipeline_run_reports_nonzero_io_without_timing_drift() {
         store: StoreKind::Mem,
         topology: TopologyKind::Mem,
         readahead: false,
+        shards: 1,
     };
     let plain = run_system(Dataset::Amazon, SystemKind::Dram, &scale, 2, true);
     assert_eq!(plain.store_stats.bytes_read, 0, "mem tier does no disk I/O");
@@ -218,6 +219,7 @@ fn feature_store_works_under_every_cost_policy() {
         store: StoreKind::File,
         topology: TopologyKind::Mem,
         readahead: false,
+        shards: 1,
     };
     let mut reference = None;
     let mut total = smartsage::store::StoreStats::default();

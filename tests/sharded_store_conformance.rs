@@ -1,0 +1,547 @@
+//! Shard-conformance suite: partitioning either axis of a dataset
+//! across N modeled devices is **invisible in the values**.
+//!
+//! The sharded stores scatter each batched request to its owning
+//! shards and merge the answers back in request order, so an N-shard
+//! store must be bit-identical to the 1-shard and in-memory tiers for
+//! random Kronecker graphs, shard counts {1, 2, 3, 7} (including
+//! counts above the node count, i.e. empty tail shards), page sizes,
+//! cache budgets, and batches that straddle shard boundaries — while
+//! the per-shard [`StoreStats`] breakdown sums *exactly* to the
+//! unsharded totals. The negative paths are typed too: a missing shard
+//! file, a manifest whose ranges overlap or gap, a shard file with the
+//! wrong geometry, and mismatched feature-vs-graph shard counts each
+//! fail with a [`StoreError`] naming the file — never a panic.
+
+use proptest::prelude::*;
+use smartsage::graph::generate::{generate_power_law, PowerLawConfig};
+use smartsage::graph::kronecker::{expand, KroneckerConfig};
+use smartsage::graph::{CsrGraph, FeatureTable, NodeId};
+use smartsage::store::{
+    check_sharded_population, shard_ranges, write_feature_shard, write_graph_shard, CsrView,
+    FeatureStore, FileStoreOptions, InMemoryStore, IspGatherOptions, ScratchFile, ShardEntry,
+    ShardManifest, ShardedFeatureStore, ShardedTopology, StoreError, StoreStats, TopologyStore,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+const PAGE_SIZES: [u64; 6] = [512, 1024, 2048, 4096, 8192, 16384];
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+/// A small random Kronecker graph: a power-law base expanded by a
+/// power-law seed graph with random edge thinning.
+fn kronecker(base_nodes: usize, seed_nodes: usize, seed: u64) -> CsrGraph {
+    let base = generate_power_law(&PowerLawConfig {
+        nodes: base_nodes,
+        avg_degree: 3.0,
+        seed,
+        ..PowerLawConfig::default()
+    });
+    let seed_graph = generate_power_law(&PowerLawConfig {
+        nodes: seed_nodes,
+        avg_degree: 2.0,
+        seed: seed ^ 0xD1CE,
+        ..PowerLawConfig::default()
+    });
+    expand(
+        &base,
+        &seed_graph,
+        &KroneckerConfig {
+            edge_keep_probability: 0.8,
+            seed: seed ^ 0x5EED,
+        },
+    )
+}
+
+/// Writes one feature shard file per range and returns the manifest
+/// (the scratch files keep the shards alive).
+fn feature_shards(
+    table: &FeatureTable,
+    num_nodes: usize,
+    shards: usize,
+) -> (ShardManifest, Vec<ScratchFile>) {
+    let ranges = shard_ranges(num_nodes, shards);
+    let files: Vec<ScratchFile> = (0..shards)
+        .map(|i| ScratchFile::new(&format!("conf-feat-{i}of{shards}")))
+        .collect();
+    for (file, &(start, end)) in files.iter().zip(&ranges) {
+        write_feature_shard(file.path(), table, start, end).unwrap();
+    }
+    let manifest = ShardManifest::for_paths(
+        num_nodes,
+        files.iter().map(|f| f.path().to_path_buf()).collect(),
+    );
+    (manifest, files)
+}
+
+/// Writes one graph shard file per range and returns the manifest.
+fn graph_shards(graph: &CsrGraph, shards: usize) -> (ShardManifest, Vec<ScratchFile>) {
+    let ranges = shard_ranges(graph.num_nodes(), shards);
+    let files: Vec<ScratchFile> = (0..shards)
+        .map(|i| ScratchFile::new(&format!("conf-graph-{i}of{shards}")))
+        .collect();
+    for (file, &(start, end)) in files.iter().zip(&ranges) {
+        write_graph_shard(file.path(), graph, start, end).unwrap();
+    }
+    let manifest = ShardManifest::for_paths(
+        graph.num_nodes(),
+        files.iter().map(|f| f.path().to_path_buf()).collect(),
+    );
+    (manifest, files)
+}
+
+/// Every request batch deliberately straddles shard boundaries: the
+/// raw picks are wrapped into range, then each boundary node and its
+/// predecessor are appended so every shard seam is crossed.
+fn straddling_batch(raw: &[u32], num_nodes: usize, ranges: &[(usize, usize)]) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = raw
+        .iter()
+        .map(|&r| NodeId::new(r % num_nodes as u32))
+        .collect();
+    for &(start, _) in ranges {
+        if start > 0 && start < num_nodes {
+            nodes.push(NodeId::new(start as u32));
+            nodes.push(NodeId::new(start as u32 - 1));
+        }
+    }
+    nodes
+}
+
+/// The exact summation contract: every I/O-level field (and the
+/// answer-volume fields) of the per-shard breakdown sums to the
+/// store's own totals.
+fn assert_shards_sum_to_total(per_shard: &[StoreStats], total: StoreStats, shards: usize) {
+    assert_eq!(per_shard.len(), shards);
+    let sum = |f: fn(&StoreStats) -> u64| -> u64 { per_shard.iter().map(f).sum() };
+    assert_eq!(sum(|s| s.nodes_gathered), total.nodes_gathered);
+    assert_eq!(sum(|s| s.feature_bytes), total.feature_bytes);
+    assert_eq!(sum(|s| s.pages_read), total.pages_read);
+    assert_eq!(sum(|s| s.bytes_read), total.bytes_read);
+    assert_eq!(sum(|s| s.page_hits), total.page_hits);
+    assert_eq!(sum(|s| s.page_misses), total.page_misses);
+    assert_eq!(sum(|s| s.device_bytes_read), total.device_bytes_read);
+    assert_eq!(
+        sum(|s| s.host_bytes_transferred),
+        total.host_bytes_transferred
+    );
+    assert_eq!(sum(|s| s.device_ns), total.device_ns);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_feature_stores_match_the_unsharded_mem_tier_bit_for_bit(
+        num_nodes in 1usize..180,
+        dim in 1usize..24,
+        classes in 1usize..7,
+        seed in any::<u64>(),
+        shard_pick in 0usize..4,
+        page_pick in 0usize..6,
+        cache_pages in 0usize..48,
+        raw_batches in proptest::collection::vec(
+            proptest::collection::vec(0u32..100_000, 0..24),
+            1..4,
+        ),
+    ) {
+        let shards = SHARD_COUNTS[shard_pick];
+        let ranges = shard_ranges(num_nodes, shards);
+        let table = FeatureTable::new(dim, classes, seed);
+        let (manifest, _files) = feature_shards(&table, num_nodes, shards);
+        let opts = FileStoreOptions {
+            page_bytes: PAGE_SIZES[page_pick],
+            cache_pages,
+        };
+        let mut reference = InMemoryStore::new(table.clone(), num_nodes);
+        let mut sharded_mem = ShardedFeatureStore::mem(table, num_nodes, shards);
+        let mut sharded_file = manifest.open_features(opts).unwrap();
+        let mut sharded_isp = ShardedFeatureStore::over_isp(
+            &manifest.open_feature_shards(opts).unwrap(),
+            IspGatherOptions::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(sharded_file.num_shards(), shards);
+
+        for raw in &raw_batches {
+            let nodes = straddling_batch(raw, num_nodes, &ranges);
+            let want = reference.gather(&nodes).unwrap();
+            for (label, store) in [
+                ("mem", &mut sharded_mem),
+                ("file", &mut sharded_file),
+                ("isp", &mut sharded_isp),
+            ] {
+                let got = (store as &mut dyn FeatureStore).gather(&nodes).unwrap();
+                prop_assert_eq!(
+                    bits(&got),
+                    bits(&want),
+                    "sharded {} tier diverged (nodes={}, shards={}, page={}, cache={})",
+                    label, num_nodes, shards, opts.page_bytes, cache_pages
+                );
+            }
+        }
+
+        // Labels and geometry agree across every sharded tier.
+        for node in (0..num_nodes as u32).map(NodeId::new) {
+            let want = reference.label(node);
+            prop_assert_eq!(sharded_mem.label(node), want);
+            prop_assert_eq!(sharded_file.label(node), want);
+            prop_assert_eq!(sharded_isp.label(node), want);
+        }
+
+        // Access-level counters are identical to the unsharded store at
+        // every shard count, and the per-shard breakdown sums exactly.
+        let want = reference.stats();
+        for store in [
+            &sharded_mem as &dyn FeatureStore,
+            &sharded_file,
+            &sharded_isp,
+        ] {
+            let total = store.stats();
+            prop_assert_eq!(total.gathers, want.gathers);
+            prop_assert_eq!(total.nodes_gathered, want.nodes_gathered);
+            prop_assert_eq!(total.feature_bytes, want.feature_bytes);
+            assert_shards_sum_to_total(&store.shard_stats(), total, shards);
+        }
+        // The mem tier does no I/O, sharded or not.
+        let mem_total = sharded_mem.stats();
+        prop_assert_eq!(
+            mem_total.bytes_read + mem_total.pages_read + mem_total.page_hits
+                + mem_total.page_misses,
+            0
+        );
+    }
+
+    #[test]
+    fn sharded_topologies_match_the_unsharded_mem_tier_exactly(
+        base_nodes in 2usize..14,
+        seed_nodes in 2usize..6,
+        seed in any::<u64>(),
+        shard_pick in 0usize..4,
+        page_pick in 0usize..6,
+        cache_pages in 0usize..48,
+        raw_batches in proptest::collection::vec(
+            proptest::collection::vec((0u32..100_000, 0u64..100), 0..24),
+            1..4,
+        ),
+    ) {
+        let shards = SHARD_COUNTS[shard_pick];
+        let graph = Arc::new(kronecker(base_nodes, seed_nodes, seed));
+        let num_nodes = graph.num_nodes();
+        let ranges = shard_ranges(num_nodes, shards);
+        let (manifest, _files) = graph_shards(&graph, shards);
+        let opts = FileStoreOptions {
+            page_bytes: PAGE_SIZES[page_pick],
+            cache_pages,
+        };
+        let mut reference = CsrView::new(&graph);
+        let mut sharded_mem = ShardedTopology::mem(Arc::clone(&graph), shards);
+        let mut sharded_file = manifest.open_topology(opts).unwrap();
+        let shard_files = manifest.open_graph_shards(opts).unwrap();
+        let mut sharded_isp =
+            ShardedTopology::over_isp(&shard_files, &ranges, IspGatherOptions::default()).unwrap();
+        prop_assert_eq!(sharded_file.num_shards(), shards);
+        prop_assert_eq!(sharded_file.num_edges(), graph.num_edges());
+        prop_assert_eq!(sharded_isp.num_edges(), graph.num_edges());
+
+        for raw in &raw_batches {
+            // Degree queries straddle every shard seam...
+            let nodes = straddling_batch(
+                &raw.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
+                num_nodes,
+                &ranges,
+            );
+            let mut want = vec![0u64; nodes.len()];
+            reference.degrees_into(&nodes, &mut want).unwrap();
+            for (label, topo) in [
+                ("mem", &mut sharded_mem),
+                ("file", &mut sharded_file),
+                ("isp", &mut sharded_isp),
+            ] {
+                let mut got = vec![0u64; nodes.len()];
+                (topo as &mut dyn TopologyStore)
+                    .degrees_into(&nodes, &mut got)
+                    .unwrap();
+                prop_assert_eq!(
+                    &got,
+                    &want,
+                    "sharded {} degrees diverged (nodes={}, shards={})",
+                    label, num_nodes, shards
+                );
+            }
+            // ...and so do the neighbor picks derived from them.
+            let picks: Vec<(NodeId, u64)> = nodes
+                .iter()
+                .zip(&want)
+                .zip(raw.iter().map(|&(_, k)| k).chain(0u64..))
+                .filter(|((_, &d), _)| d > 0)
+                .map(|((&n, &d), k)| (n, k % d))
+                .collect();
+            let mut want_n = vec![NodeId::default(); picks.len()];
+            reference.pick_neighbors_into(&picks, &mut want_n).unwrap();
+            for (label, topo) in [
+                ("mem", &mut sharded_mem),
+                ("file", &mut sharded_file),
+                ("isp", &mut sharded_isp),
+            ] {
+                let mut got_n = vec![NodeId::default(); picks.len()];
+                (topo as &mut dyn TopologyStore)
+                    .pick_neighbors_into(&picks, &mut got_n)
+                    .unwrap();
+                prop_assert_eq!(
+                    &got_n,
+                    &want_n,
+                    "sharded {} picks diverged (nodes={}, shards={})",
+                    label, num_nodes, shards
+                );
+            }
+        }
+
+        // Access counters match the unsharded view; per-shard I/O sums
+        // exactly to each sharded store's totals.
+        let want = reference.stats();
+        for topo in [
+            &sharded_mem as &dyn TopologyStore,
+            &sharded_file,
+            &sharded_isp,
+        ] {
+            let total = topo.stats();
+            prop_assert_eq!(total.gathers, want.gathers);
+            prop_assert_eq!(total.nodes_gathered, want.nodes_gathered);
+            prop_assert_eq!(total.feature_bytes, want.feature_bytes);
+            assert_shards_sum_to_total(&topo.shard_stats(), total, shards);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Negative paths: every malformed shard setup is a typed error naming
+// the file — never a panic.
+// ---------------------------------------------------------------------
+
+#[test]
+fn missing_shard_file_is_a_typed_error_naming_file_and_shard() {
+    let table = FeatureTable::new(4, 2, 7);
+    let (manifest, files) = feature_shards(&table, 30, 3);
+    let missing = files[1].path().to_path_buf();
+    std::fs::remove_file(&missing).unwrap();
+    let err = manifest
+        .open_features(FileStoreOptions::default())
+        .unwrap_err();
+    assert!(
+        matches!(err, StoreError::ShardMissing { shard: 1, .. }),
+        "{err}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains(missing.to_str().unwrap()), "{msg}");
+    assert!(msg.contains("shard 1"), "{msg}");
+
+    let graph = kronecker(4, 3, 1);
+    let (manifest, files) = graph_shards(&graph, 3);
+    let missing = files[2].path().to_path_buf();
+    std::fs::remove_file(&missing).unwrap();
+    let err = manifest
+        .open_topology(FileStoreOptions::default())
+        .unwrap_err();
+    assert!(
+        matches!(err, StoreError::ShardMissing { shard: 2, .. }),
+        "{err}"
+    );
+    assert!(
+        err.to_string().contains(missing.to_str().unwrap()),
+        "{}",
+        err
+    );
+}
+
+#[test]
+fn overlapping_and_gapped_manifests_are_typed_layout_errors() {
+    let table = FeatureTable::new(4, 2, 8);
+    let (mut manifest, _files) = feature_shards(&table, 30, 3);
+    // Overlap: shard 1 reaches back into shard 0's range.
+    manifest.shards[1].start -= 3;
+    let err = manifest
+        .open_features(FileStoreOptions::default())
+        .unwrap_err();
+    assert!(
+        matches!(err, StoreError::ShardLayout { shard: 1, .. }),
+        "{err}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("overlaps"), "{msg}");
+    assert!(
+        msg.contains(manifest.shards[1].path.to_str().unwrap()),
+        "{msg}"
+    );
+
+    // Gap: shard 2 starts past where shard 1 ended.
+    let (mut manifest, _files) = feature_shards(&table, 30, 3);
+    manifest.shards[2].start += 2;
+    let err = manifest
+        .open_features(FileStoreOptions::default())
+        .unwrap_err();
+    assert!(
+        matches!(err, StoreError::ShardLayout { shard: 2, .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("gap"), "{}", err);
+
+    // Short coverage: the shards never reach num_nodes.
+    let (mut manifest, _files) = feature_shards(&table, 30, 3);
+    manifest.num_nodes = 31;
+    let err = manifest.validate().unwrap_err();
+    assert!(
+        matches!(err, StoreError::ShardLayout { shard: 2, .. }),
+        "{err}"
+    );
+
+    // An empty manifest is rejected too, not indexed into.
+    let empty = ShardManifest {
+        num_nodes: 10,
+        shards: Vec::new(),
+    };
+    let err = empty.validate().unwrap_err();
+    assert!(matches!(err, StoreError::ShardLayout { .. }), "{err}");
+}
+
+#[test]
+fn shard_geometry_mismatch_is_a_typed_error_naming_the_file() {
+    // A feature shard file holding the wrong number of rows for its
+    // manifest range: rewrite shard 1 (10 rows) with only 4 rows.
+    let table = FeatureTable::new(4, 2, 9);
+    let (manifest, files) = feature_shards(&table, 30, 3);
+    write_feature_shard(files[1].path(), &table, 10, 14).unwrap();
+    let err = manifest
+        .open_features(FileStoreOptions::default())
+        .unwrap_err();
+    assert!(
+        matches!(err, StoreError::ShardGeometry { shard: 1, .. }),
+        "{err}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains(files[1].path().to_str().unwrap()), "{msg}");
+    assert!(msg.contains("4 rows"), "{msg}");
+
+    // A graph shard whose global node count disagrees with the
+    // manifest: shard 0 written from a smaller graph.
+    let graph = kronecker(4, 3, 2);
+    let (manifest, files) = graph_shards(&graph, 2);
+    let smaller = kronecker(3, 3, 2);
+    write_graph_shard(files[0].path(), &smaller, 0, smaller.num_nodes() / 2).unwrap();
+    let err = manifest
+        .open_topology(FileStoreOptions::default())
+        .unwrap_err();
+    assert!(
+        matches!(err, StoreError::ShardGeometry { shard: 0, .. }),
+        "{err}"
+    );
+    assert!(
+        err.to_string().contains(files[0].path().to_str().unwrap()),
+        "{}",
+        err
+    );
+}
+
+#[test]
+fn feature_vs_graph_shard_count_mismatch_is_typed_and_names_both_files() {
+    let graph = kronecker(4, 3, 3);
+    let table = FeatureTable::new(4, 2, 3);
+    let (graph_manifest, _gf) = graph_shards(&graph, 2);
+    let (feat_manifest, _ff) = feature_shards(&table, graph.num_nodes(), 3);
+    let opts = FileStoreOptions::default();
+    let graphs = graph_manifest.open_graph_shards(opts).unwrap();
+    let features = feat_manifest.open_feature_shards(opts).unwrap();
+    let err = check_sharded_population(&graphs, &features).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            StoreError::ShardCountMismatch {
+                graph_shards: 2,
+                feature_shards: 3,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains(graphs[0].path().to_str().unwrap()), "{msg}");
+    assert!(msg.contains(features[0].path().to_str().unwrap()), "{msg}");
+
+    // Same shard count but mismatched populations stays a typed
+    // node-count error.
+    let (small_manifest, _sf) = feature_shards(&table, graph.num_nodes() - 1, 2);
+    let small = small_manifest.open_feature_shards(opts).unwrap();
+    let err = check_sharded_population(&graphs, &small).unwrap_err();
+    assert!(matches!(err, StoreError::NodeCountMismatch { .. }), "{err}");
+}
+
+#[test]
+fn empty_shards_resolve_nothing_but_stay_in_the_breakdown() {
+    // 7 shards over 4 nodes: shards 4..7 hold no rows. They must open,
+    // answer nothing, and appear (all-zero) in the per-shard stats.
+    let table = FeatureTable::new(3, 2, 11);
+    let (manifest, _files) = feature_shards(&table, 4, 7);
+    let mut reference = InMemoryStore::new(table.clone(), 4);
+    let mut sharded = manifest.open_features(FileStoreOptions::default()).unwrap();
+    let nodes: Vec<NodeId> = [3u32, 0, 1, 2, 3].map(NodeId::new).to_vec();
+    let want = reference.gather(&nodes).unwrap();
+    assert_eq!(bits(&sharded.gather(&nodes).unwrap()), bits(&want));
+    let per_shard = sharded.shard_stats();
+    assert_eq!(per_shard.len(), 7);
+    assert_shards_sum_to_total(&per_shard, sharded.stats(), 7);
+    for empty in &per_shard[4..] {
+        assert_eq!(empty.nodes_gathered, 0, "an empty shard answers nothing");
+    }
+    // One row per populated shard, except node 3's shard (asked twice).
+    assert_eq!(
+        per_shard[..4]
+            .iter()
+            .map(|s| s.nodes_gathered)
+            .collect::<Vec<_>>(),
+        [1, 1, 1, 2]
+    );
+}
+
+#[test]
+fn manifest_paths_survive_in_every_error_message() {
+    // The SSL001 contract behind the negative paths: errors carry the
+    // offending path so operators can fix the layout, and nothing in
+    // the validation path can panic on untrusted manifests.
+    let bogus = ShardManifest {
+        num_nodes: 12,
+        shards: vec![
+            ShardEntry {
+                path: PathBuf::from("/nonexistent/shard-0.fbin"),
+                start: 0,
+                end: 6,
+            },
+            ShardEntry {
+                path: PathBuf::from("/nonexistent/shard-1.fbin"),
+                start: 6,
+                end: 12,
+            },
+        ],
+    };
+    let err = bogus
+        .open_features(FileStoreOptions::default())
+        .unwrap_err();
+    assert!(
+        matches!(err, StoreError::ShardMissing { shard: 0, .. }),
+        "{err}"
+    );
+    assert!(
+        err.to_string().contains("/nonexistent/shard-0.fbin"),
+        "{}",
+        err
+    );
+    let err = bogus
+        .open_graph_shards(FileStoreOptions::default())
+        .unwrap_err();
+    assert!(
+        matches!(err, StoreError::ShardMissing { shard: 0, .. }),
+        "{err}"
+    );
+}

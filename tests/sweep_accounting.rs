@@ -26,6 +26,7 @@ fn sweep(jobs: usize, names: &[&str]) -> SweepOutcome {
         store: StoreKind::File,
         topology: TopologyKind::Mem,
         readahead: false,
+        shards: 1,
     };
     Runner::builder()
         .scale(scale)
@@ -97,6 +98,7 @@ fn readahead_changes_only_the_io_split_never_results() {
         store: StoreKind::File,
         topology: TopologyKind::Mem,
         readahead: false,
+        shards: 1,
     };
     let run = |readahead: bool| {
         Runner::builder()
@@ -144,6 +146,7 @@ fn graph_sweep(jobs: usize, names: &[&str]) -> SweepOutcome {
         store: StoreKind::Mem,
         topology: TopologyKind::File,
         readahead: false,
+        shards: 1,
     };
     Runner::builder()
         .scale(scale)
@@ -208,6 +211,7 @@ fn memory_store_sweeps_scope_their_stats_too() {
         store: StoreKind::Mem,
         topology: TopologyKind::Mem,
         readahead: false,
+        shards: 1,
     };
     let run = || {
         Runner::builder()
@@ -243,6 +247,7 @@ fn default_mem_tier_sweep_counts_accesses_without_any_io() {
             store: StoreKind::Mem,
             topology: TopologyKind::Mem,
             readahead: false,
+            shards: 1,
         })
         .filter(|e| e.name == "fig7")
         .build()
@@ -272,6 +277,7 @@ fn modeled_time_is_a_pure_function_of_the_trace_across_tiers_and_jobs() {
                 store,
                 topology,
                 readahead: false,
+                shards: 1,
             })
             .filter(|e| names(e.name))
             .jobs(jobs)
@@ -294,4 +300,184 @@ fn modeled_time_is_a_pure_function_of_the_trace_across_tiers_and_jobs() {
             "tables diverged under store={store:?} topology={topology:?} jobs={jobs}"
         );
     }
+}
+
+/// A deliberately small sweep with both axes file-backed and the
+/// dataset partitioned across three modeled devices.
+fn sharded_sweep(jobs: usize, shards: usize, names: &[&str]) -> SweepOutcome {
+    let scale = ExperimentScale {
+        edge_budget: 20_000,
+        batch_size: 8,
+        batches: 2,
+        workers: 1,
+        seed: 0x5EEDB,
+        store: StoreKind::File,
+        topology: TopologyKind::File,
+        readahead: false,
+        shards,
+    };
+    Runner::builder()
+        .scale(scale)
+        .filter(|e| names.contains(&e.name))
+        .jobs(jobs)
+        .build()
+        .sweep()
+}
+
+#[test]
+fn sharded_sweeps_scope_their_stats_exactly_like_unsharded_ones() {
+    // The scoping contract holds on the shard axis too: the second
+    // three-shard sweep in a process reports exactly its solo stats —
+    // totals AND the per-device breakdown.
+    let first = sharded_sweep(1, 3, &["fig7"]);
+    let second = sharded_sweep(1, 3, &["fig7"]);
+    assert!(first.store_stats.bytes_read > 0, "sweep did real I/O");
+    assert_eq!(
+        first.store_shards.len(),
+        3,
+        "one breakdown entry per device"
+    );
+    assert_eq!(first.topology_shards.len(), 3);
+    assert_eq!(first.store_stats, second.store_stats);
+    assert_eq!(first.topology_stats, second.topology_stats);
+    assert_eq!(first.store_shards, second.store_shards);
+    assert_eq!(first.topology_shards, second.topology_shards);
+}
+
+#[test]
+fn sharded_jobs_4_matches_jobs_1_and_tables_match_unsharded() {
+    let serial = sharded_sweep(1, 3, &["fig6", "fig7"]);
+    let parallel = sharded_sweep(4, 3, &["fig6", "fig7"]);
+    let unsharded = sharded_sweep(1, 1, &["fig6", "fig7"]);
+    // Tables are byte-identical across job counts AND shard counts —
+    // partitioning the store moves bytes between devices, never
+    // results.
+    let reference = OutputFormat::Text.render(&unsharded.outcomes);
+    assert_eq!(OutputFormat::Text.render(&serial.outcomes), reference);
+    assert_eq!(OutputFormat::Text.render(&parallel.outcomes), reference);
+    // Access-level counters are interleaving- and shard-independent.
+    for (s, p, u) in [
+        (
+            serial.store_stats,
+            parallel.store_stats,
+            unsharded.store_stats,
+        ),
+        (
+            serial.topology_stats,
+            parallel.topology_stats,
+            unsharded.topology_stats,
+        ),
+    ] {
+        assert_eq!(s.gathers, p.gathers);
+        assert_eq!(s.gathers, u.gathers);
+        assert_eq!(s.nodes_gathered, p.nodes_gathered);
+        assert_eq!(s.nodes_gathered, u.nodes_gathered);
+        assert_eq!(s.feature_bytes, p.feature_bytes);
+        assert_eq!(s.feature_bytes, u.feature_bytes);
+        assert_eq!(s.page_hits + s.page_misses, p.page_hits + p.page_misses);
+        assert_eq!(p.pages_read, p.page_misses);
+    }
+    // One registry entry per shard file: 5 datasets x 3 shards on each
+    // axis (feature shards + graph shards).
+    assert_eq!(parallel.stores.len(), 30, "one entry per shard file");
+    assert_eq!(serial.stores.len(), 30);
+    assert_eq!(unsharded.stores.len(), 10);
+    // An unsharded sweep reports no per-device breakdown.
+    assert!(unsharded.store_shards.is_empty());
+    assert!(unsharded.topology_shards.is_empty());
+}
+
+#[test]
+fn per_shard_breakdowns_sum_exactly_to_the_sweep_totals() {
+    let outcome = sharded_sweep(1, 3, &["fig7"]);
+    for (per_shard, total) in [
+        (&outcome.store_shards, outcome.store_stats),
+        (&outcome.topology_shards, outcome.topology_stats),
+    ] {
+        assert_eq!(per_shard.len(), 3);
+        let sum =
+            |f: fn(&smartsage::store::StoreStats) -> u64| -> u64 { per_shard.iter().map(f).sum() };
+        // Work splits across devices: every I/O-level field (and the
+        // answer-volume fields) sums exactly to the sweep total.
+        assert_eq!(sum(|s| s.nodes_gathered), total.nodes_gathered);
+        assert_eq!(sum(|s| s.feature_bytes), total.feature_bytes);
+        assert_eq!(sum(|s| s.pages_read), total.pages_read);
+        assert_eq!(sum(|s| s.bytes_read), total.bytes_read);
+        assert_eq!(sum(|s| s.page_hits), total.page_hits);
+        assert_eq!(sum(|s| s.page_misses), total.page_misses);
+        assert_eq!(sum(|s| s.device_bytes_read), total.device_bytes_read);
+        assert_eq!(
+            sum(|s| s.host_bytes_transferred),
+            total.host_bytes_transferred
+        );
+        assert!(
+            per_shard.iter().filter(|s| s.bytes_read > 0).count() >= 2,
+            "a three-shard sweep must spread I/O over at least two devices"
+        );
+    }
+}
+
+#[test]
+fn readahead_prefetches_into_each_shards_cache_without_changing_results() {
+    // The prefetch-routing regression: `--readahead --shards N` must
+    // translate each prefetched node to its owning shard's local id
+    // and warm THAT device's cache — and, like unsharded read-ahead,
+    // never change results.
+    let scale = ExperimentScale {
+        edge_budget: 20_000,
+        batch_size: 8,
+        batches: 2,
+        workers: 1,
+        seed: 0x5EEDC,
+        store: StoreKind::File,
+        topology: TopologyKind::Mem,
+        readahead: false,
+        shards: 3,
+    };
+    let run = |readahead: bool| {
+        Runner::builder()
+            .scale(ExperimentScale { readahead, ..scale })
+            .filter(|e| e.name == "fig7")
+            .build()
+            .sweep()
+    };
+    let plain = run(false);
+    let ahead = run(true);
+    assert_eq!(
+        OutputFormat::Text.render(&plain.outcomes),
+        OutputFormat::Text.render(&ahead.outcomes),
+        "read-ahead over shards changed results"
+    );
+    // The demand-side contract is unchanged: what training asked for
+    // is identical, and every lookup is classified exactly once.
+    let (p, a) = (plain.store_stats, ahead.store_stats);
+    assert_eq!(p.gathers, a.gathers);
+    assert_eq!(p.nodes_gathered, a.nodes_gathered);
+    assert_eq!(p.feature_bytes, a.feature_bytes);
+    assert_eq!(p.page_hits + p.page_misses, a.page_hits + a.page_misses);
+    // Prefetched pages landed in the per-shard caches: at least two of
+    // the three per-shard feature files saw prefetch I/O, and every
+    // prefetching file IS a shard file.
+    let prefetched: Vec<_> = ahead
+        .stores
+        .iter()
+        .filter(|occ| occ.prefetch_pages > 0)
+        .collect();
+    assert!(
+        prefetched.len() >= 2,
+        "read-ahead reached {} of 3 shard devices",
+        prefetched.len()
+    );
+    for occ in &prefetched {
+        let path = occ.path.to_string_lossy().into_owned();
+        assert!(
+            path.contains("of3"),
+            "prefetch hit a non-shard file: {path}"
+        );
+    }
+    assert_eq!(
+        plain.stores.iter().map(|s| s.prefetch_pages).sum::<u64>(),
+        0,
+        "no prefetch without --readahead"
+    );
 }
