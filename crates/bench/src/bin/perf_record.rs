@@ -1,0 +1,464 @@
+//! `perf_record` — the per-PR performance trajectory recorder.
+//!
+//! One binary, one JSON artifact (`BENCH_<pr>.json`), three sections:
+//!
+//! 1. **Offline sweeps** (`sweeps`): the fig7-style training pipeline
+//!    and the fig14-style sampling-only pipeline, each run over
+//!    tier × jobs × shards at a tiny deterministic scale, recording
+//!    real wall-clock, the tier's exact host/device byte split, and
+//!    bytes/s. The file tier runs with read-ahead on, so the sweep
+//!    exercises the batched read engine and the plan-ahead pool.
+//! 2. **Engine occupancy** (`engine`): the process-global
+//!    [`ReadEngine`] counters after the sweeps — total batches/jobs/
+//!    bytes plus the peak concurrent reads (`max_inflight`) and peak
+//!    submission-queue depth. `max_inflight >= 2` is the proof that
+//!    reads actually overlapped.
+//! 3. **Serve latency** (`serve`): an in-process server probed two
+//!    ways. A solo closed loop (every request alone in its coalescing
+//!    window) checks the window-linger fix: solo p50 must land
+//!    *below* the window, not on it. A loaded multi-client run
+//!    reports throughput — with QPS *and* the batcher's exact
+//!    service-time vs window-wait split, so coalescing idle is never
+//!    conflated with engine service again.
+//!
+//! The bench is self-asserting: solo p50 >= window, an idle engine, or
+//! a byte-free file sweep all exit nonzero.
+//!
+//! ## Field reference (`serve` section)
+//!
+//! - `window_ms` — the coalescing window of the run's [`BatchPolicy`].
+//! - `p50_ms` / `p99_ms` — client-observed request latency
+//!   percentiles (includes window wait).
+//! - `qps` — requests / wall-clock. Includes coalescing idle by
+//!   definition; compare against `qps_service_only`.
+//! - `window_wait_ms_total` / `window_wait_ms_per_request` — time
+//!   requests spent parked between admission and the start of their
+//!   batch's execution pass (coalescing idle).
+//! - `service_ms_total` / `service_ms_per_request` — execution-pass
+//!   time attributed to requests (each pass charged once per rider).
+//! - `qps_service_only` — requests / total service time: the
+//!   throughput the engine itself sustained once batches fired.
+
+#![forbid(unsafe_code)]
+
+use smartsage_core::config::{SystemConfig, SystemKind};
+use smartsage_core::context::RunContext;
+use smartsage_core::experiments::ExperimentScale;
+use smartsage_core::json::number;
+use smartsage_core::pipeline::{run_pipeline, PipelineConfig, SamplerKind};
+use smartsage_core::store_metrics::{self, SweepScope};
+use smartsage_core::{StoreKind, TopologyKind};
+use smartsage_gnn::Fanouts;
+use smartsage_graph::{Dataset, DatasetProfile, GraphScale};
+use smartsage_hostio::{ReadEngine, ReadRequest, ReadSource};
+use smartsage_serve::batcher::{BatchPolicy, BatchTiming};
+use smartsage_serve::client::HttpClient;
+use smartsage_serve::engine::{DatasetConfig, Engine, EngineConfig};
+use smartsage_serve::http::{HttpOptions, Server};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+usage: perf_record [options]
+
+  --output PATH   where to write the JSON report (default BENCH_10.json)
+  --help          this text
+";
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("perf_record: {msg}");
+    std::process::exit(1);
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn percentile(latencies: &[Duration], p: f64) -> Duration {
+    let mut sorted = latencies.to_vec();
+    sorted.sort();
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+// ---------------------------------------------------------------------
+// Offline sweeps: tier x jobs x shards, fig7 (train) and fig14
+// (sampling-only) modes.
+// ---------------------------------------------------------------------
+
+/// One measured sweep cell.
+struct Cell {
+    figure: &'static str,
+    tier: &'static str,
+    jobs: usize,
+    shards: usize,
+    wall: Duration,
+    host_bytes: u64,
+    device_bytes: u64,
+    batches: usize,
+}
+
+impl Cell {
+    fn bytes_per_sec(&self) -> f64 {
+        (self.host_bytes + self.device_bytes) as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"figure\":\"{}\",\"tier\":\"{}\",\"jobs\":{},\"shards\":{},\
+             \"wall_ms\":{},\"batches\":{},\"host_bytes\":{},\"device_bytes\":{},\
+             \"bytes_per_sec\":{}}}",
+            self.figure,
+            self.tier,
+            self.jobs,
+            self.shards,
+            number(ms(self.wall)),
+            self.batches,
+            self.host_bytes,
+            self.device_bytes,
+            number(self.bytes_per_sec()),
+        )
+    }
+}
+
+/// Runs one pipeline cell: the fig7 mode trains end to end, the fig14
+/// mode measures data preparation only (`train: false`). The file tier
+/// runs with read-ahead on, so its gathers and plan-ahead warms all
+/// flow through the batched read engine.
+fn run_cell(
+    figure: &'static str,
+    train: bool,
+    tier: (&'static str, StoreKind, TopologyKind, SystemKind),
+    jobs: usize,
+    shards: usize,
+    scale: &ExperimentScale,
+) -> Cell {
+    let (label, store, topology, kind) = tier;
+    let data = DatasetProfile::of(Dataset::Amazon).materialize(
+        GraphScale::LargeScale,
+        scale.edge_budget,
+        scale.seed,
+    );
+    let ctx = Arc::new(RunContext::new(data, SystemConfig::new(kind)));
+    // A private registry per cell: fresh store files and cold page
+    // caches, so every cell pays (and reports) its own I/O instead of
+    // hitting pages a previous cell left warm in the process-global
+    // registry.
+    let _scope = store_metrics::install_scope(SweepScope::new());
+    let cfg = PipelineConfig {
+        workers: jobs,
+        total_batches: scale.batches,
+        batch_size: scale.batch_size,
+        fanouts: Fanouts::paper_default(),
+        queue_depth: 4,
+        hidden_dim: 64,
+        classes: 8,
+        seed: scale.seed,
+        sampler: SamplerKind::GraphSage,
+        train,
+        store,
+        topology,
+        readahead: store == StoreKind::File,
+        shards,
+    };
+    let start = Instant::now();
+    let report = run_pipeline(&ctx, &cfg);
+    let wall = start.elapsed();
+    Cell {
+        figure,
+        tier: label,
+        jobs,
+        shards,
+        wall,
+        host_bytes: report.store_stats.host_bytes_transferred
+            + report.topology_stats.host_bytes_transferred,
+        device_bytes: report.store_stats.device_bytes_read
+            + report.topology_stats.device_bytes_read,
+        batches: report.batches,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serve latency: solo window-linger probe + loaded timing split.
+// ---------------------------------------------------------------------
+
+/// One serve run's client-observed latencies and the batcher's exact
+/// service vs window-wait attribution.
+struct ServeRun {
+    wall: Duration,
+    latencies: Vec<Duration>,
+    timing: BatchTiming,
+}
+
+impl ServeRun {
+    fn qps(&self) -> f64 {
+        self.timing.requests as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn json(&self, clients: usize) -> String {
+        let n = self.timing.requests.max(1) as f64;
+        format!(
+            "{{\"clients\":{clients},\"requests\":{},\"batches\":{},\"wall_ms\":{},\
+             \"qps\":{},\"p50_ms\":{},\"p99_ms\":{},\
+             \"window_wait_ms_total\":{},\"window_wait_ms_per_request\":{},\
+             \"service_ms_total\":{},\"service_ms_per_request\":{},\
+             \"qps_service_only\":{}}}",
+            self.timing.requests,
+            self.timing.batches,
+            number(ms(self.wall)),
+            number(self.qps()),
+            number(ms(percentile(&self.latencies, 0.50))),
+            number(ms(percentile(&self.latencies, 0.99))),
+            number(ms(self.timing.window_wait)),
+            number(ms(self.timing.window_wait) / n),
+            number(ms(self.timing.service)),
+            number(ms(self.timing.service) / n),
+            number(self.timing.requests as f64 / self.timing.service.as_secs_f64().max(1e-9)),
+        )
+    }
+}
+
+/// Stands up a file-tier server under `policy` and drives `clients`
+/// closed loops of `per_client` requests each. With `clients == 1`
+/// every request is solo: the queue goes quiet the moment it is
+/// admitted, so the linger's early-fire path decides its latency.
+fn run_serve(clients: usize, per_client: usize, policy: BatchPolicy) -> ServeRun {
+    let config = EngineConfig {
+        dataset: DatasetConfig {
+            nodes: 2048,
+            feature_dim: 64,
+            ..DatasetConfig::default()
+        },
+        store: StoreKind::File,
+        topology: TopologyKind::File,
+        fanouts: Fanouts::new(vec![10, 5]),
+        cache_pages: 32,
+        ..EngineConfig::default()
+    };
+    let engine =
+        Engine::new(config).unwrap_or_else(|e| fatal(&format!("failed to open store tiers: {e}")));
+    let server = Server::start(engine, policy, HttpOptions::default(), "127.0.0.1:0")
+        .unwrap_or_else(|e| fatal(&format!("failed to bind: {e}")));
+    let addr = server.addr();
+    let start = Instant::now();
+    let mut workers = Vec::new();
+    for client in 0..clients {
+        workers.push(std::thread::spawn(move || {
+            let mut conn = HttpClient::connect(addr)
+                .unwrap_or_else(|e| fatal(&format!("client {client}: connect: {e}")));
+            let mut latencies = Vec::with_capacity(per_client);
+            for i in 0..per_client {
+                let targets: Vec<String> = (0..4)
+                    .map(|j| ((i * 37 + j * 509 + client * 13) % 2048).to_string())
+                    .collect();
+                let body = format!(
+                    "{{\"nodes\":[{}],\"seed\":{}}}",
+                    targets.join(","),
+                    client * 10_000 + i
+                );
+                let sent = Instant::now();
+                let (status, response) = conn
+                    .request("POST", "/v1/infer", Some(&body))
+                    .unwrap_or_else(|e| fatal(&format!("client {client}: {e}")));
+                latencies.push(sent.elapsed());
+                if status != 200 {
+                    fatal(&format!("client {client} got {status}: {response}"));
+                }
+            }
+            latencies
+        }));
+    }
+    let mut latencies = Vec::new();
+    for worker in workers {
+        latencies.extend(worker.join().unwrap_or_else(|_| fatal("client panicked")));
+    }
+    let wall = start.elapsed();
+    server.shutdown();
+    ServeRun {
+        wall,
+        latencies,
+        timing: server.batch_timing(),
+    }
+}
+
+/// Saturates the global engine with one wide batch of large reads and
+/// returns the peak concurrency it reached. The pipeline's page runs
+/// at bench scale are small enough that a read often completes before
+/// a second worker wakes, so this probe is what demonstrates the
+/// engine actually overlaps I/O: 64 × 128 KiB reads cannot all finish
+/// inside one worker's turn.
+fn engine_occupancy_probe() -> u64 {
+    const CHUNK: usize = 128 << 10;
+    const JOBS: u64 = 64;
+    let path = std::env::temp_dir().join(format!("ss-perfrec-{}.bin", std::process::id()));
+    if let Err(e) = std::fs::write(&path, vec![0x5Au8; CHUNK * 8]) {
+        fatal(&format!("failed to write probe file: {e}"));
+    }
+    let file = std::fs::File::open(&path)
+        .unwrap_or_else(|e| fatal(&format!("failed to reopen probe file: {e}")));
+    let source = ReadSource::new(file, path.clone());
+    let engine = ReadEngine::global();
+    let requests: Vec<ReadRequest> = (0..JOBS)
+        .map(|i| ReadRequest {
+            source: source.clone(),
+            offset: (i % 8) * CHUNK as u64,
+            len: CHUNK,
+        })
+        .collect();
+    let results = engine.submit(requests).wait();
+    let _ = std::fs::remove_file(&path);
+    for result in results {
+        if let Err(e) = result {
+            fatal(&format!("probe read failed: {e}"));
+        }
+    }
+    engine.stats().max_inflight
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    let output = args
+        .iter()
+        .position(|a| a == "--output")
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| fatal(&format!("--output needs a value\n\n{USAGE}")))
+                .clone()
+        })
+        .unwrap_or_else(|| "BENCH_10.json".to_string());
+
+    // --- Offline sweeps -----------------------------------------------
+    let scale = ExperimentScale::tiny();
+    let tiers = [
+        ("mem", StoreKind::Mem, TopologyKind::Mem, SystemKind::Dram),
+        (
+            "file",
+            StoreKind::File,
+            TopologyKind::File,
+            SystemKind::SsdMmap,
+        ),
+        (
+            "isp",
+            StoreKind::Isp,
+            TopologyKind::Isp,
+            SystemKind::SmartSageHwSw,
+        ),
+    ];
+    let mut cells = Vec::new();
+    for (figure, train) in [("fig7", true), ("fig14", false)] {
+        for tier in tiers {
+            for jobs in [1usize, 4] {
+                for shards in [1usize, 4] {
+                    let cell = run_cell(figure, train, tier, jobs, shards, &scale);
+                    println!(
+                        "  {figure}/{}: jobs={jobs} shards={shards} {:.1} ms wall, {:.1} MB/s",
+                        cell.tier,
+                        ms(cell.wall),
+                        cell.bytes_per_sec() / 1e6,
+                    );
+                    cells.push(cell);
+                }
+            }
+        }
+    }
+    let probe_peak = engine_occupancy_probe();
+    let engine_stats = ReadEngine::global().stats();
+    println!(
+        "  engine: {} batches, {} jobs, {} bytes, max {} in flight, queue depth peak {}",
+        engine_stats.batches,
+        engine_stats.jobs,
+        engine_stats.bytes_read,
+        engine_stats.max_inflight,
+        engine_stats.max_queue_depth,
+    );
+
+    // --- Serve probes --------------------------------------------------
+    let window = Duration::from_millis(25);
+    let solo = run_serve(
+        1,
+        24,
+        BatchPolicy {
+            window,
+            max_batch: 64,
+            queue_depth: 1024,
+        },
+    );
+    let loaded = run_serve(
+        6,
+        20,
+        BatchPolicy {
+            window: Duration::from_millis(2),
+            max_batch: 64,
+            queue_depth: 1024,
+        },
+    );
+    println!(
+        "  serve solo: p50 {:.2} ms vs {:.0} ms window; loaded: {:.0} qps \
+         ({:.2} ms window-wait, {:.2} ms service per request)",
+        ms(percentile(&solo.latencies, 0.50)),
+        ms(window),
+        loaded.qps(),
+        ms(loaded.timing.window_wait) / loaded.timing.requests.max(1) as f64,
+        ms(loaded.timing.service) / loaded.timing.requests.max(1) as f64,
+    );
+
+    // --- The perf contract (self-asserting) ----------------------------
+    let solo_p50 = percentile(&solo.latencies, 0.50);
+    if solo_p50 >= window {
+        fatal(&format!(
+            "solo p50 {:.2} ms did not land below the {:.0} ms coalescing window — \
+             the linger is sleeping the full window again",
+            ms(solo_p50),
+            ms(window),
+        ));
+    }
+    if engine_stats.jobs == 0 || engine_stats.max_inflight == 0 {
+        fatal("the file sweeps never reached the read engine");
+    }
+    if probe_peak < 2 {
+        fatal(&format!(
+            "engine occupancy probe peaked at {probe_peak} concurrent reads — \
+             the worker pool is not overlapping I/O"
+        ));
+    }
+    if !cells
+        .iter()
+        .filter(|c| c.tier == "file")
+        .all(|c| c.host_bytes > 0)
+    {
+        fatal("a file-tier sweep cell moved zero host bytes");
+    }
+
+    // --- BENCH_10.json -------------------------------------------------
+    let sweep_json: Vec<String> = cells.iter().map(Cell::json).collect();
+    let report = format!(
+        "{{\n  \"bench\": \"perf_record\",\n  \"engine\": {{\
+         \"workers\":{},\"batches\":{},\"jobs\":{},\"bytes_read\":{},\
+         \"max_inflight\":{},\"max_queue_depth\":{},\"probe_max_inflight\":{probe_peak}}},\n  \
+         \"sweeps\": [\n    {}\n  ],\n  \
+         \"serve\": {{\n    \"window_ms\": {},\n    \"solo\": {},\n    \"loaded\": {}\n  }},\n  \
+         \"asserts\": {{\"solo_p50_below_window\": true, \
+         \"engine_concurrency_nonzero\": true}}\n}}\n",
+        engine_stats.workers,
+        engine_stats.batches,
+        engine_stats.jobs,
+        engine_stats.bytes_read,
+        engine_stats.max_inflight,
+        engine_stats.max_queue_depth,
+        sweep_json.join(",\n    "),
+        number(ms(window)),
+        solo.json(1),
+        loaded.json(6),
+    );
+    if let Err(e) = std::fs::write(&output, &report) {
+        fatal(&format!("failed to write {output}: {e}"));
+    }
+    println!("perf_record: wrote {output}");
+}

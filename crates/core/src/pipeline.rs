@@ -213,6 +213,13 @@ enum Event {
 /// feature files do not fit, so runs report both hits and misses.
 const FILE_STORE_CACHE_PAGES: usize = 1024;
 
+/// Workers in the read-ahead pool: one can resolve a batch's feature
+/// warm while the other issues the next batch's offset warm, so the
+/// two [`PrefetchItem`] kinds overlap instead of queueing behind each
+/// other. Per-item work is already batched through the read engine, so
+/// more pool workers would only contend on the shard caches.
+const PREFETCH_POOL_WORKERS: usize = 2;
+
 /// Builds the configured feature store for one run.
 ///
 /// For [`StoreKind::File`] the run receives a scoped [`StoreHandle`]
@@ -485,6 +492,19 @@ struct ReadyBatch {
     compute: SimDuration,
 }
 
+/// One unit of background read-ahead work. The pool drains these while
+/// the simulation is still stepping earlier batches, so the warm I/O
+/// overlaps the modeled compute exactly as the paper's pipelined
+/// design intends.
+enum PrefetchItem {
+    /// Warm batch N's gathered feature pages: resolve the plan to its
+    /// node set and route each node to its feature shard's cache.
+    Features(SamplePlan),
+    /// Plan-ahead for batch N+1: warm the offset/degree pages its hop
+    /// expansion will read first through the file topology tier.
+    OffsetsAhead(Vec<NodeId>),
+}
+
 /// Runs the pipeline for `ctx` and returns its report.
 ///
 /// # Panics
@@ -513,29 +533,64 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
         check_sharded_population(&graph_shards, &feats)
             .unwrap_or_else(|e| panic!("mismatched store population: {e}"));
     }
-    // Read-ahead: a background worker resolves each planned batch's
+    // Read-ahead: a small worker pool resolves each planned batch's
     // page runs and warms the shared caches while the simulation is
-    // still stepping that batch toward its gather. Each shard's nodes
-    // are routed to that shard's cache, translated to the shard file's
-    // local row indices (the prefetch half of the shard map).
-    let prefetcher: Option<PrefetchQueue<SamplePlan>> =
-        (cfg.readahead && cfg.store == StoreKind::File && !feature_shards.is_empty()).then(|| {
+    // still stepping that batch toward its gather. Two item kinds
+    // share the pool: feature warms for the batch just planned, and
+    // plan-ahead offset/degree warms for the *next* batch (its targets
+    // are a pure function of the epoch index and seed, so the warm is
+    // issued before that batch is even planned). Each shard's nodes
+    // are routed to that shard's cache; feature shards index by local
+    // row (the prefetch half of the shard map), graph shards by global
+    // node id (their headers declare the full population). Both warms
+    // ride the batched read engine, so a pool worker keeps several
+    // shard files busy at once.
+    let warm_features = cfg.store == StoreKind::File && !feature_shards.is_empty();
+    let warm_offsets = cfg.topology == TopologyKind::File && !graph_shards.is_empty();
+    let prefetcher: Option<PrefetchQueue<PrefetchItem>> =
+        (cfg.readahead && (warm_features || warm_offsets)).then(|| {
             let ctx = Arc::clone(ctx);
-            let shards = feature_shards.clone();
-            PrefetchQueue::spawn(move |plan: SamplePlan| {
-                let batch = plan.resolve(ctx.graph());
-                let nodes = batch.all_nodes();
-                for (range, shared) in &shards {
-                    let local: Vec<NodeId> = nodes
-                        .iter()
-                        .filter(|n| range.contains(&n.raw()))
-                        .map(|n| NodeId::new(n.raw() - range.start))
-                        .collect();
-                    if !local.is_empty() {
-                        shared.prefetch_nodes(&local);
+            let feature_map = feature_shards.clone();
+            let graph_map: Vec<(Range<usize>, Arc<SharedCsrFile>)> = if warm_offsets {
+                shard_ranges(ctx.graph().num_nodes(), graph_shards.len().max(1))
+                    .into_iter()
+                    .map(|(start, end)| start..end)
+                    .zip(graph_shards.iter().cloned())
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            PrefetchQueue::spawn_pool(
+                PREFETCH_POOL_WORKERS,
+                move |item: PrefetchItem| match item {
+                    PrefetchItem::Features(plan) => {
+                        let batch = plan.resolve(ctx.graph());
+                        let nodes = batch.all_nodes();
+                        for (range, shared) in &feature_map {
+                            let local: Vec<NodeId> = nodes
+                                .iter()
+                                .filter(|n| range.contains(&n.raw()))
+                                .map(|n| NodeId::new(n.raw() - range.start))
+                                .collect();
+                            if !local.is_empty() {
+                                shared.prefetch_nodes(&local);
+                            }
+                        }
                     }
-                }
-            })
+                    PrefetchItem::OffsetsAhead(targets) => {
+                        for (range, file) in &graph_map {
+                            let mine: Vec<NodeId> = targets
+                                .iter()
+                                .filter(|n| range.contains(&n.index()))
+                                .copied()
+                                .collect();
+                            if !mine.is_empty() {
+                                file.prefetch_offsets(&mine);
+                            }
+                        }
+                    }
+                },
+            )
         });
     let gpu_params = ctx.config.devices.gpu.clone();
     let feat_dim = ctx.data.features.dim() as u64;
@@ -578,10 +633,22 @@ pub fn run_pipeline(ctx: &Arc<RunContext>, cfg: &PipelineConfig) -> PipelineRepo
             }
         };
         // The batch begins stepping (virtually) as soon as it is
-        // planned; hand the plan to the read-ahead worker so its pages
-        // are warm by the time the gather resolves.
+        // planned; hand the plan to the read-ahead pool so its feature
+        // pages are warm by the time the gather resolves, and — since
+        // the next batch's targets are already determined — warm that
+        // batch's offset/degree pages while this one runs.
         if let Some(queue) = &prefetcher {
-            queue.enqueue(plan.clone());
+            if warm_features {
+                queue.enqueue(PrefetchItem::Features(plan.clone()));
+            }
+            if warm_offsets && index + 1 < cfg.total_batches {
+                queue.enqueue(PrefetchItem::OffsetsAhead(epoch_targets(
+                    graph.num_nodes(),
+                    cfg.batch_size,
+                    index + 1,
+                    cfg.seed,
+                )));
+            }
         }
         plan
     };

@@ -21,9 +21,13 @@
 //! * [`sharded_cache::ShardedPageCache`] — a lock-striped payload page
 //!   cache (N exact-LRU shards) for the *shared* feature store, so
 //!   parallel gathers don't serialize on one cache lock.
-//! * [`prefetch::PrefetchQueue`] — a background read-ahead worker with a
-//!   drain barrier, used by the pipeline to warm the shared cache with
-//!   the next batch's pages while the current batch computes.
+//! * [`prefetch::PrefetchQueue`] — a background read-ahead worker (or
+//!   pool) with a drain barrier, used by the pipeline to warm the shared
+//!   cache with the next batch's pages while the current batch computes.
+//! * [`engine::ReadEngine`] — the submission-queue batched read engine:
+//!   a fixed pool of I/O workers executing positioned reads
+//!   concurrently per file, with an order-preserving completion handle
+//!   so batched results stay bit-identical to serial reads.
 //! * [`coalesce`] — NVMe command coalescing cost model (Fig 15).
 //! * [`locality`] — Che's approximation for LRU hit rates at *full-scale*
 //!   capacities. Scaled-down materializations would otherwise overstate
@@ -36,6 +40,7 @@
 
 pub mod coalesce;
 pub mod direct_io;
+pub mod engine;
 pub mod layout;
 pub mod locality;
 pub mod lru;
@@ -48,6 +53,7 @@ pub mod sync;
 
 pub use coalesce::{merge_page_runs, PageRun};
 pub use direct_io::DirectIoReader;
+pub use engine::{Completion, EngineStats, ReadEngine, ReadRequest, ReadSource};
 pub use layout::{ByteRange, GraphFile};
 pub use locality::lru_hit_rate;
 pub use lru::LruSet;

@@ -7,18 +7,30 @@
 //! compute exactly the way a production loader would.
 //!
 //! The queue is deliberately generic: it moves opaque work items to one
-//! worker closure. Ordering is FIFO, the worker owns its closure state,
-//! and [`PrefetchQueue::drain`] is a barrier — it blocks until every
+//! worker closure ([`PrefetchQueue::spawn`]) or a small pool sharing
+//! one closure ([`PrefetchQueue::spawn_pool`], used for plan-ahead
+//! pipelining where feature warming for batch N must not delay
+//! topology warming for batch N+1). Dequeue order is FIFO, and
+//! [`PrefetchQueue::drain`] is a barrier — it blocks until every
 //! enqueued item has been fully processed, which is how callers
 //! quiesce background I/O before reading exact per-run counters.
 //!
 //! Dropping the queue closes the channel, drains the remaining items,
-//! and joins the worker, so background reads can never leak past the
+//! and joins the workers, so background reads can never leak past the
 //! pipeline run that issued them.
+//!
+//! All counter access goes through [`LockExt::safe_lock`] /
+//! [`CondvarExt`]: prefetching is advisory and runs concurrently with
+//! unwinding tests, so a poisoned mutex must recover — in particular
+//! the in-flight guard's `Drop` may run *during* an unwind, where a
+//! panic from `.lock().expect(…)` would escalate into a double-panic
+//! abort.
 
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+use crate::sync::{CondvarExt, LockExt};
 
 /// Count of enqueued-but-unfinished items, with a condvar for `drain`.
 #[derive(Debug, Default)]
@@ -48,18 +60,20 @@ struct Inflight {
 #[derive(Debug)]
 pub struct PrefetchQueue<T: Send + 'static> {
     tx: Option<mpsc::Sender<T>>,
-    worker: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
     inflight: Arc<Inflight>,
 }
 
 /// Decrements the inflight count when dropped — including during an
 /// unwind out of the work closure — so `drain` can never wait on an
-/// item that will no longer be accounted for.
+/// item that will no longer be accounted for. Uses `safe_lock`: this
+/// drop can run while unwinding, and panicking on a poisoned count
+/// would turn a contained worker panic into a double-panic abort.
 struct InflightGuard<'a>(&'a Inflight);
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
-        let mut count = self.0.count.lock().expect("inflight count");
+        let mut count = self.0.count.safe_lock();
         *count -= 1;
         if *count == 0 {
             self.0.idle.notify_all();
@@ -67,8 +81,26 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// One pool worker: pull items off the shared receiver in FIFO order
+/// and run them with panic containment.
+fn pool_worker<T: Send + 'static>(
+    rx: &Mutex<mpsc::Receiver<T>>,
+    counter: &Inflight,
+    work: &(impl Fn(T) + Sync),
+) {
+    loop {
+        let item = {
+            let receiver = rx.safe_lock();
+            receiver.recv()
+        };
+        let Ok(item) = item else { return };
+        let _guard = InflightGuard(counter);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(item)));
+    }
+}
+
 impl<T: Send + 'static> PrefetchQueue<T> {
-    /// Spawns the worker thread; `work` runs once per enqueued item, in
+    /// Spawns one worker thread; `work` runs once per enqueued item, in
     /// FIFO order. A panic in `work` is contained: the item is counted
     /// as processed, the worker keeps serving the queue, and `drain`
     /// still terminates — prefetching is advisory, so a failed item
@@ -88,15 +120,49 @@ impl<T: Send + 'static> PrefetchQueue<T> {
             .expect("spawn prefetch worker");
         PrefetchQueue {
             tx: Some(tx),
-            worker: Some(worker),
+            workers: vec![worker],
             inflight,
         }
     }
 
-    /// Queues `item` for the background worker and returns immediately.
+    /// Spawns a pool of `workers` threads sharing one `work` closure.
+    ///
+    /// Dequeue order stays FIFO, but up to `workers` items are in
+    /// flight at once — the plan-ahead shape, where a long feature
+    /// warm for batch N must not delay the hop-ahead offset/degree
+    /// warm for batch N+1. Panic containment and the `drain` barrier
+    /// behave exactly as in [`PrefetchQueue::spawn`].
+    pub fn spawn_pool(
+        workers: usize,
+        work: impl Fn(T) + Send + Sync + 'static,
+    ) -> PrefetchQueue<T> {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::channel::<T>();
+        let rx = Arc::new(Mutex::new(rx));
+        let work = Arc::new(work);
+        let inflight = Arc::new(Inflight::default());
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let counter = Arc::clone(&inflight);
+                let work = Arc::clone(&work);
+                std::thread::Builder::new()
+                    .name(format!("smartsage-prefetch-{i}"))
+                    .spawn(move || pool_worker(&rx, &counter, work.as_ref()))
+                    .expect("spawn prefetch worker")
+            })
+            .collect();
+        PrefetchQueue {
+            tx: Some(tx),
+            workers: handles,
+            inflight,
+        }
+    }
+
+    /// Queues `item` for the background workers and returns immediately.
     pub fn enqueue(&self, item: T) {
         {
-            let mut count = self.inflight.count.lock().expect("inflight count");
+            let mut count = self.inflight.count.safe_lock();
             *count += 1;
         }
         self.tx
@@ -108,24 +174,24 @@ impl<T: Send + 'static> PrefetchQueue<T> {
 
     /// Items enqueued but not yet fully processed.
     pub fn pending(&self) -> usize {
-        *self.inflight.count.lock().expect("inflight count")
+        *self.inflight.count.safe_lock()
     }
 
     /// Blocks until every item enqueued so far has been processed.
     pub fn drain(&self) {
-        let mut count = self.inflight.count.lock().expect("inflight count");
+        let mut count = self.inflight.count.safe_lock();
         while *count > 0 {
-            count = self.inflight.idle.wait(count).expect("inflight count");
+            count = self.inflight.idle.safe_wait(count);
         }
     }
 }
 
 impl<T: Send + 'static> Drop for PrefetchQueue<T> {
     fn drop(&mut self) {
-        // Closing the sender ends the worker's recv loop after it
-        // finishes whatever is already queued.
+        // Closing the sender ends the workers' recv loops after they
+        // finish whatever is already queued.
         drop(self.tx.take());
-        if let Some(worker) = self.worker.take() {
+        for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
@@ -141,13 +207,13 @@ mod tests {
         let log = Arc::new(Mutex::new(Vec::new()));
         let sink = Arc::clone(&log);
         let q = PrefetchQueue::spawn(move |n: usize| {
-            sink.lock().unwrap().push(n);
+            sink.safe_lock().push(n);
         });
         for n in 0..100 {
             q.enqueue(n);
         }
         q.drain();
-        assert_eq!(*log.lock().unwrap(), (0..100).collect::<Vec<_>>());
+        assert_eq!(*log.safe_lock(), (0..100).collect::<Vec<_>>());
         assert_eq!(q.pending(), 0);
     }
 
@@ -200,5 +266,80 @@ mod tests {
         }
         q.drain();
         assert_eq!(done.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn pool_processes_every_item_and_overlaps_work() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let live = Arc::new(AtomicUsize::new(0));
+        let (seen, high, busy) = (Arc::clone(&done), Arc::clone(&peak), Arc::clone(&live));
+        let q = PrefetchQueue::spawn_pool(4, move |_: ()| {
+            let now = busy.fetch_add(1, Ordering::SeqCst) + 1;
+            high.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            busy.fetch_sub(1, Ordering::SeqCst);
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        for _ in 0..16 {
+            q.enqueue(());
+        }
+        q.drain();
+        assert_eq!(done.load(Ordering::Relaxed), 16);
+        assert_eq!(q.pending(), 0);
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "a 4-worker pool should overlap 16 slow items"
+        );
+    }
+
+    #[test]
+    fn pool_contains_panics_like_the_single_worker() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&done);
+        let q = PrefetchQueue::spawn_pool(3, move |n: usize| {
+            assert!(n.is_multiple_of(2), "odd items blow up");
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        for n in 0..10 {
+            q.enqueue(n);
+        }
+        q.drain();
+        assert_eq!(done.load(Ordering::Relaxed), 5);
+        drop(q); // workers must all join cleanly after contained panics
+    }
+
+    /// Regression test for the poisoned-lock double-panic: if the
+    /// inflight mutex is poisoned (a thread panicked while holding
+    /// it), `InflightGuard::drop` must still decrement — even when the
+    /// drop itself runs during an unwind, where a second panic would
+    /// abort the process — and `enqueue`/`pending`/`drain` must keep
+    /// working on the recovered guard.
+    #[test]
+    fn poisoned_inflight_count_recovers_instead_of_double_panicking() {
+        let inflight = Arc::new(Inflight::default());
+        *inflight.count.safe_lock() = 2;
+        // Poison the mutex: panic while holding the guard.
+        let poisoner = Arc::clone(&inflight);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.count.lock().unwrap();
+            panic!("poison the inflight count");
+        })
+        .join();
+        assert!(inflight.count.lock().is_err(), "mutex should be poisoned");
+
+        // Drop a guard *during an unwind* over the poisoned mutex —
+        // the pre-fix `.lock().expect(…)` would double-panic here.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = InflightGuard(&inflight);
+            panic!("unwind with a live guard");
+        }));
+        assert!(result.is_err(), "the work panic itself still propagates");
+        assert_eq!(*inflight.count.safe_lock(), 1);
+
+        // And a plain (non-unwinding) drop also decrements to zero,
+        // releasing any drain waiter.
+        drop(InflightGuard(&inflight));
+        assert_eq!(*inflight.count.safe_lock(), 0);
     }
 }

@@ -23,7 +23,7 @@
 
 use smartsage_core::{ExperimentScale, Runner, StoreKind, TopologyKind};
 use smartsage_gnn::Fanouts;
-use smartsage_serve::batcher::BatchPolicy;
+use smartsage_serve::batcher::{BatchPolicy, BatchTiming};
 use smartsage_serve::client::HttpClient;
 use smartsage_serve::engine::{DatasetConfig, Engine, EngineConfig, EngineCounters};
 use smartsage_serve::http::{HttpOptions, Server};
@@ -58,6 +58,11 @@ struct TierRun {
     wall: Duration,
     latencies: Vec<Duration>,
     counters: EngineCounters,
+    /// The batcher's exact wait-vs-work attribution: `window_wait` is
+    /// coalescing idle (admission → execution pass), `service` is
+    /// execution-pass time charged per rider. `qps` alone conflates
+    /// the two; the JSON reports them separately.
+    timing: BatchTiming,
     store: StoreStats,
     topology: StoreStats,
     /// body -> response, for the bit-identity check.
@@ -193,6 +198,7 @@ fn run_tier(
     }
     let wall = start.elapsed();
     server.shutdown();
+    let timing = server.batch_timing();
     let engine = server.engine();
     let engine = engine
         .lock()
@@ -202,6 +208,7 @@ fn run_tier(
         wall,
         latencies,
         counters: engine.counters(),
+        timing,
         store: engine.store_stats(),
         topology: engine.topology_stats(),
         responses,
@@ -221,6 +228,7 @@ fn tier_json(run: &TierRun) -> String {
     use smartsage_core::json::number;
     format!(
         "{{\"requests\":{},\"wall_ms\":{},\"qps\":{},\"p50_ms\":{},\"p99_ms\":{},\
+         \"window_wait_ms\":{},\"service_ms\":{},\"qps_service_only\":{},\
          \"merged_batches\":{},\"coalesced_requests\":{},\
          \"host_bytes\":{},\"host_bytes_per_request\":{},\"host_bytes_per_sec\":{},\
          \"device_bytes_read\":{},\"store_page_hit_rate\":{},\"topology_page_hit_rate\":{}}}",
@@ -229,6 +237,9 @@ fn tier_json(run: &TierRun) -> String {
         number(run.qps()),
         number(ms(run.percentile(0.50))),
         number(ms(run.percentile(0.99))),
+        number(ms(run.timing.window_wait)),
+        number(ms(run.timing.service)),
+        number(run.timing.requests as f64 / run.timing.service.as_secs_f64().max(1e-9)),
         run.counters.merged_batches,
         run.counters.coalesced_requests,
         run.host_bytes(),

@@ -143,6 +143,12 @@ impl Server {
         Arc::clone(&self.inner.engine)
     }
 
+    /// The batcher's window-wait vs service-time split, for harnesses
+    /// that report engine throughput separately from coalescing idle.
+    pub fn batch_timing(&self) -> crate::batcher::BatchTiming {
+        self.inner.batcher.timing()
+    }
+
     /// Blocks until a `POST /v1/shutdown` arrives (the caller then
     /// runs [`Server::shutdown`]).
     pub fn wait(&self) {

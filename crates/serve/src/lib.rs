@@ -78,6 +78,6 @@ pub mod engine;
 pub mod http;
 
 pub use api::{ApiRequest, SampleRequest, ServeError};
-pub use batcher::{BatchPolicy, Batcher};
+pub use batcher::{BatchPolicy, BatchTiming, Batcher};
 pub use engine::{DatasetConfig, Engine, EngineConfig, EngineCounters};
 pub use http::{HttpOptions, Server};

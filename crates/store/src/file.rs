@@ -42,10 +42,12 @@ use crate::error::StoreError;
 use crate::{FeatureStore, StoreStats};
 use smartsage_graph::generate::community_of;
 use smartsage_graph::{FeatureTable, NodeId};
-use smartsage_hostio::{merge_page_runs, ByteRange, ShardedPageCache};
+use smartsage_hostio::{
+    merge_page_runs, ByteRange, ReadEngine, ReadRequest, ReadSource, ShardedPageCache,
+};
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -246,7 +248,7 @@ impl RawFeatureFile {
 /// A [`FeatureStore`] over an on-disk feature file.
 #[derive(Debug)]
 pub struct FileStore {
-    file: File,
+    source: ReadSource,
     path: PathBuf,
     dim: usize,
     num_nodes: usize,
@@ -256,6 +258,7 @@ pub struct FileStore {
     // The same exact-LRU payload cache the shared store stripes over N
     // shards — a single shard here, since FileStore is single-owner.
     cache: ShardedPageCache,
+    engine: Arc<ReadEngine>,
     stats: StoreStats,
 }
 
@@ -266,12 +269,14 @@ impl FileStore {
     }
 
     /// Opens `path`, validating magic, header consistency, and the
-    /// exact file length before any row can be read.
+    /// exact file length before any row can be read. Reads go through
+    /// the process-wide [`ReadEngine`] — even a single-owner store
+    /// overlaps its miss stretches across the I/O workers.
     pub fn open_with(path: &Path, opts: FileStoreOptions) -> Result<FileStore, StoreError> {
         assert!(opts.page_bytes > 0, "page size must be positive");
         let raw = RawFeatureFile::open(path)?;
         Ok(FileStore {
-            file: raw.file,
+            source: ReadSource::new(raw.file, raw.path.clone()),
             path: raw.path,
             dim: raw.dim,
             num_nodes: raw.num_nodes,
@@ -279,6 +284,7 @@ impl FileStore {
             file_len: raw.file_len,
             opts,
             cache: ShardedPageCache::new(opts.cache_pages, 1),
+            engine: Arc::clone(ReadEngine::global()),
             stats: StoreStats::default(),
         })
     }
@@ -308,33 +314,45 @@ impl FileStore {
         })
     }
 
-    /// Reads pages `[first, first + count)` with one syscall; returns
-    /// one buffer per page (the final page of the file may be short).
-    fn read_page_run(&mut self, first: u64, count: u64) -> Result<Vec<Arc<[u8]>>, StoreError> {
+    /// Submits one positioned read per missing page stretch as a
+    /// single engine batch; results come back in submission order, so
+    /// staging stays identical to reading the stretches serially.
+    /// Successful stretches count into `stats`; the first failure is
+    /// surfaced after counting the successes before it.
+    fn fetch_runs(&mut self, runs: &[(u64, u64)]) -> Result<Vec<Vec<Arc<[u8]>>>, StoreError> {
+        if runs.is_empty() {
+            return Ok(Vec::new());
+        }
         let pb = self.opts.page_bytes;
-        let start = first * pb;
-        let len = (count * pb).min(self.file_len - start) as usize;
-        let mut buf = vec![0u8; len];
-        let io_err = |action: &'static str| {
-            let path = self.path.clone();
-            move |source: std::io::Error| StoreError::Io {
-                path,
-                action,
+        let requests = runs
+            .iter()
+            .map(|&(first, count)| {
+                let start = first * pb;
+                ReadRequest {
+                    source: self.source.clone(),
+                    offset: start,
+                    len: (count * pb).min(self.file_len - start) as usize,
+                }
+            })
+            .collect();
+        let results = self.engine.submit(requests).wait();
+        let mut out = Vec::with_capacity(runs.len());
+        for (&(_, count), result) in runs.iter().zip(results) {
+            let buf = result.map_err(|source| StoreError::Io {
+                path: self.path.clone(),
+                action: "read run",
                 source,
-            }
-        };
-        self.file
-            .seek(SeekFrom::Start(start))
-            .map_err(io_err("seek"))?;
-        self.file.read_exact(&mut buf).map_err(io_err("read run"))?;
-        self.stats.pages_read += count;
-        self.stats.page_misses += count;
-        self.stats.bytes_read += len as u64;
-        // Host path (Fig 10(a)): every page read from media crosses the
-        // host link whole.
-        self.stats.device_bytes_read += len as u64;
-        self.stats.host_bytes_transferred += len as u64;
-        Ok(buf.chunks(pb as usize).map(Arc::from).collect())
+            })?;
+            self.stats.pages_read += count;
+            self.stats.page_misses += count;
+            self.stats.bytes_read += buf.len() as u64;
+            // Host path (Fig 10(a)): every page read from media crosses
+            // the host link whole.
+            self.stats.device_bytes_read += buf.len() as u64;
+            self.stats.host_bytes_transferred += buf.len() as u64;
+            out.push(buf.chunks(pb as usize).map(Arc::from).collect());
+        }
+        Ok(out)
     }
 }
 
@@ -374,12 +392,12 @@ impl FeatureStore for FileStore {
             }
         }
         let runs = merge_page_runs(&pages);
-        // Classify + fetch: resident pages are hits (promoted now, and
-        // staged as cheap Arc clones so eviction in an undersized cache
+        // Classify: resident pages are hits (promoted now, and staged
+        // as cheap Arc clones so eviction in an undersized cache
         // cannot disturb assembly); each maximal stretch of missing
-        // pages costs one read syscall.
+        // pages becomes one positioned read.
         let mut staged: HashMap<u64, Arc<[u8]>> = HashMap::new();
-        let mut fetched: Vec<(u64, Arc<[u8]>)> = Vec::new();
+        let mut miss_runs: Vec<(u64, u64)> = Vec::new();
         for run in &runs {
             let mut p = run.first;
             while p < run.end() {
@@ -393,11 +411,18 @@ impl FeatureStore for FileStore {
                 while q < run.end() && !self.cache.contains(q) {
                     q += 1;
                 }
-                for (i, page_buf) in self.read_page_run(p, q - p)?.into_iter().enumerate() {
-                    staged.insert(p + i as u64, Arc::clone(&page_buf));
-                    fetched.push((p + i as u64, page_buf));
-                }
+                miss_runs.push((p, q - p));
                 p = q;
+            }
+        }
+        // Fetch: the whole miss plan goes to the read engine as one
+        // batch; the order-preserving completion keeps staging and the
+        // ascending cache commit identical to the serial path.
+        let mut fetched: Vec<(u64, Arc<[u8]>)> = Vec::new();
+        for ((first, _), pages) in miss_runs.iter().zip(self.fetch_runs(&miss_runs)?) {
+            for (i, page_buf) in pages.into_iter().enumerate() {
+                staged.insert(first + i as u64, Arc::clone(&page_buf));
+                fetched.push((first + i as u64, page_buf));
             }
         }
         // Resolve: assemble each row from the staged pages.

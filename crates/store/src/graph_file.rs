@@ -44,9 +44,12 @@
 
 use crate::error::StoreError;
 use crate::file::FileStoreOptions;
+use crate::stats::AtomicStoreStats;
 use crate::StoreStats;
 use smartsage_graph::{CsrGraph, NodeId};
-use smartsage_hostio::{merge_page_runs, ByteRange, ShardedPageCache};
+use smartsage_hostio::{
+    merge_page_runs, ByteRange, ReadEngine, ReadRequest, ReadSource, ShardedPageCache,
+};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
@@ -311,7 +314,7 @@ fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()
 /// state.
 #[derive(Debug)]
 pub struct SharedCsrFile {
-    file: File,
+    source: ReadSource,
     path: PathBuf,
     num_nodes: usize,
     num_edges: u64,
@@ -319,6 +322,8 @@ pub struct SharedCsrFile {
     edge_base: u64,
     opts: FileStoreOptions,
     cache: ShardedPageCache,
+    engine: Arc<ReadEngine>,
+    prefetch: AtomicStoreStats,
 }
 
 impl SharedCsrFile {
@@ -332,16 +337,29 @@ impl SharedCsrFile {
     }
 
     /// Opens `path` through the full magic/header/length/end-point
-    /// validation, striping the page cache over `shards` locks.
+    /// validation, striping the page cache over `shards` locks. Reads
+    /// go through the process-wide [`ReadEngine`].
     pub fn open_with(
         path: &Path,
         opts: FileStoreOptions,
         shards: usize,
     ) -> Result<SharedCsrFile, StoreError> {
+        SharedCsrFile::open_with_engine(path, opts, shards, Arc::clone(ReadEngine::global()))
+    }
+
+    /// Like [`SharedCsrFile::open_with`], but reads through a
+    /// caller-supplied engine — conformance suites use this to sweep
+    /// I/O worker counts.
+    pub fn open_with_engine(
+        path: &Path,
+        opts: FileStoreOptions,
+        shards: usize,
+        engine: Arc<ReadEngine>,
+    ) -> Result<SharedCsrFile, StoreError> {
         assert!(opts.page_bytes > 0, "page size must be positive");
         let raw = RawGraphFile::open(path)?;
         Ok(SharedCsrFile {
-            file: raw.file,
+            source: ReadSource::new(raw.file, raw.path.clone()),
             edge_base: edge_array_base(raw.num_nodes as u64),
             path: raw.path,
             num_nodes: raw.num_nodes,
@@ -349,6 +367,8 @@ impl SharedCsrFile {
             file_len: raw.file_len,
             opts,
             cache: ShardedPageCache::new(opts.cache_pages, shards),
+            engine,
+            prefetch: AtomicStoreStats::default(),
         })
     }
 
@@ -444,32 +464,48 @@ impl SharedCsrFile {
         plan
     }
 
-    /// Reads pages `[first, first + count)` with one positioned read;
-    /// returns one immutable buffer per page. Counts into `io`.
-    fn read_page_run(
+    /// Submits one positioned read per missing page stretch as a
+    /// single engine batch; results come back in submission order (see
+    /// [`SharedFileStore`](crate::SharedFileStore)'s identical helper).
+    /// Successful stretches count into `io`; a failed stretch
+    /// surfaces as its `Err` slot and counts nothing.
+    fn fetch_runs(
         &self,
-        first: u64,
-        count: u64,
+        runs: &[(u64, u64)],
         io: &mut StoreStats,
-    ) -> Result<Vec<Arc<[u8]>>, StoreError> {
+    ) -> Vec<Result<Vec<Arc<[u8]>>, std::io::Error>> {
+        if runs.is_empty() {
+            return Vec::new();
+        }
         let pb = self.opts.page_bytes;
-        let start = first * pb;
-        let len = (count * pb).min(self.file_len - start) as usize;
-        let mut buf = vec![0u8; len];
-        read_exact_at(&self.file, &mut buf, start).map_err(|source| StoreError::Io {
-            path: self.path.clone(),
-            action: "read run",
-            source,
-        })?;
-        io.pages_read += count;
-        io.page_misses += count;
-        io.bytes_read += len as u64;
-        // Host-path split (Fig 10(a)): every page read from media
-        // crosses the host link whole. The ISP topology tier re-scopes
-        // the host side of this split after the fact.
-        io.device_bytes_read += len as u64;
-        io.host_bytes_transferred += len as u64;
-        Ok(buf.chunks(pb as usize).map(Arc::from).collect())
+        let requests = runs
+            .iter()
+            .map(|&(first, count)| {
+                let start = first * pb;
+                ReadRequest {
+                    source: self.source.clone(),
+                    offset: start,
+                    len: (count * pb).min(self.file_len - start) as usize,
+                }
+            })
+            .collect();
+        let results = self.engine.submit(requests).wait();
+        runs.iter()
+            .zip(results)
+            .map(|(&(_, count), result)| {
+                let buf = result?;
+                io.pages_read += count;
+                io.page_misses += count;
+                io.bytes_read += buf.len() as u64;
+                // Host-path split (Fig 10(a)): every page read from
+                // media crosses the host link whole. The ISP topology
+                // tier re-scopes the host side of this split after the
+                // fact.
+                io.device_bytes_read += buf.len() as u64;
+                io.host_bytes_transferred += buf.len() as u64;
+                Ok(buf.chunks(pb as usize).map(Arc::from).collect())
+            })
+            .collect()
     }
 
     /// Resolves `ranges` (each one or two u64 entries) to their LE
@@ -488,12 +524,12 @@ impl SharedCsrFile {
             }
         }
         let runs = merge_page_runs(&pages);
-        // Classify + fetch: resident pages are hits (promoted now,
-        // staged as cheap Arc clones so eviction in an undersized cache
-        // cannot disturb assembly); each maximal stretch of missing
-        // pages costs one positioned read.
+        // Classify: resident pages are hits (promoted now, staged as
+        // cheap Arc clones so eviction in an undersized cache cannot
+        // disturb assembly); each maximal stretch of missing pages
+        // becomes one positioned read.
         let mut staged: HashMap<u64, Arc<[u8]>> = HashMap::new();
-        let mut fetched: Vec<(u64, Arc<[u8]>)> = Vec::new();
+        let mut miss_runs: Vec<(u64, u64)> = Vec::new();
         for run in &runs {
             let mut p = run.first;
             while p < run.end() {
@@ -507,11 +543,23 @@ impl SharedCsrFile {
                 while q < run.end() && !self.cache.contains(q) {
                     q += 1;
                 }
-                for (i, page_buf) in self.read_page_run(p, q - p, io)?.into_iter().enumerate() {
-                    staged.insert(p + i as u64, Arc::clone(&page_buf));
-                    fetched.push((p + i as u64, page_buf));
-                }
+                miss_runs.push((p, q - p));
                 p = q;
+            }
+        }
+        // Fetch: the whole miss plan goes to the read engine as one
+        // batch; order-preserving completion keeps staging and the
+        // ascending cache commit identical to the serial path.
+        let mut fetched: Vec<(u64, Arc<[u8]>)> = Vec::new();
+        for (&(first, _), result) in miss_runs.iter().zip(self.fetch_runs(&miss_runs, io)) {
+            let pages = result.map_err(|source| StoreError::Io {
+                path: self.path.clone(),
+                action: "read run",
+                source,
+            })?;
+            for (i, page_buf) in pages.into_iter().enumerate() {
+                staged.insert(first + i as u64, Arc::clone(&page_buf));
+                fetched.push((first + i as u64, page_buf));
             }
         }
         // Assemble each entry from the staged pages (an entry may
@@ -650,6 +698,61 @@ impl SharedCsrFile {
         let (targets, edge_io) = self.edge_targets(&edges)?;
         io.accumulate(&edge_io);
         Ok((targets, edges, io))
+    }
+
+    /// Advisory read-ahead for the *next* hop: loads the offset-pair
+    /// (degree) pages of `nodes` that are not yet resident, without
+    /// promoting pages that are. This is the topology half of
+    /// plan-ahead pipelining — the pipeline warms hop N+1's
+    /// offset/degree pages while hop N's gathers run. I/O is counted
+    /// in [`SharedCsrFile::prefetch_stats`], never in any caller's
+    /// scoped stats; errors (including out-of-range nodes) are
+    /// swallowed — the demand path surfaces real failures with full
+    /// context.
+    pub fn prefetch_offsets(&self, nodes: &[NodeId]) {
+        let pb = self.opts.page_bytes;
+        let mut pages = Vec::with_capacity(nodes.len());
+        for &node in nodes {
+            if node.index() >= self.num_nodes {
+                continue;
+            }
+            if let Some((first, last)) = self.offset_pair_range(node).blocks(pb) {
+                pages.extend(first..=last);
+            }
+        }
+        let mut io = StoreStats::default();
+        let mut miss_runs: Vec<(u64, u64)> = Vec::new();
+        for run in merge_page_runs(&pages) {
+            let mut p = run.first;
+            while p < run.end() {
+                if self.cache.contains(p) {
+                    p += 1;
+                    continue;
+                }
+                let mut q = p + 1;
+                while q < run.end() && !self.cache.contains(q) {
+                    q += 1;
+                }
+                miss_runs.push((p, q - p));
+                p = q;
+            }
+        }
+        // One engine batch for the whole advisory plan; failed
+        // stretches are skipped (and uncounted) so prefetch_stats
+        // always explains every resident page.
+        for (&(first, _), result) in miss_runs.iter().zip(self.fetch_runs(&miss_runs, &mut io)) {
+            let Ok(bufs) = result else { continue };
+            for (i, buf) in bufs.into_iter().enumerate() {
+                self.cache.insert(first + i as u64, buf);
+            }
+        }
+        self.prefetch.add(&io);
+    }
+
+    /// I/O performed by background offset prefetches so far (never
+    /// part of any caller's scoped stats).
+    pub fn prefetch_stats(&self) -> StoreStats {
+        self.prefetch.snapshot()
     }
 
     /// The page plan of an offset-pair batch (for the ISP timing

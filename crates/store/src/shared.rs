@@ -32,9 +32,8 @@ use crate::isp::RowScratchpad;
 use crate::StoreStats;
 use smartsage_graph::generate::community_of;
 use smartsage_graph::NodeId;
-use smartsage_hostio::{merge_page_runs, ShardedPageCache};
+use smartsage_hostio::{merge_page_runs, ReadEngine, ReadRequest, ReadSource, ShardedPageCache};
 use std::collections::HashMap;
-use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
 
@@ -52,7 +51,7 @@ pub const DEFAULT_CACHE_SHARDS: usize = 8;
 /// counters; this type itself only counts its background prefetch I/O.
 #[derive(Debug)]
 pub struct SharedFileStore {
-    file: File,
+    source: ReadSource,
     path: PathBuf,
     dim: usize,
     num_nodes: usize,
@@ -60,6 +59,7 @@ pub struct SharedFileStore {
     file_len: u64,
     opts: FileStoreOptions,
     cache: ShardedPageCache,
+    engine: Arc<ReadEngine>,
     prefetch: AtomicStoreStats,
     scratchpad: OnceLock<Arc<RowScratchpad>>,
 }
@@ -72,16 +72,29 @@ impl SharedFileStore {
 
     /// Opens `path` through the same magic/header/length validation as
     /// [`crate::FileStore`], striping the page cache over `shards`
-    /// locks (rounded up to a power of two).
+    /// locks (rounded up to a power of two). Reads go through the
+    /// process-wide [`ReadEngine`].
     pub fn open_with(
         path: &Path,
         opts: FileStoreOptions,
         shards: usize,
     ) -> Result<SharedFileStore, StoreError> {
+        SharedFileStore::open_with_engine(path, opts, shards, Arc::clone(ReadEngine::global()))
+    }
+
+    /// Like [`SharedFileStore::open_with`], but reads through a
+    /// caller-supplied engine — conformance suites use this to sweep
+    /// I/O worker counts.
+    pub fn open_with_engine(
+        path: &Path,
+        opts: FileStoreOptions,
+        shards: usize,
+        engine: Arc<ReadEngine>,
+    ) -> Result<SharedFileStore, StoreError> {
         assert!(opts.page_bytes > 0, "page size must be positive");
         let raw = RawFeatureFile::open(path)?;
         Ok(SharedFileStore {
-            file: raw.file,
+            source: ReadSource::new(raw.file, raw.path.clone()),
             path: raw.path,
             dim: raw.dim,
             num_nodes: raw.num_nodes,
@@ -89,6 +102,7 @@ impl SharedFileStore {
             file_len: raw.file_len,
             opts,
             cache: ShardedPageCache::new(opts.cache_pages, shards),
+            engine,
             prefetch: AtomicStoreStats::default(),
             scratchpad: OnceLock::new(),
         })
@@ -202,52 +216,49 @@ impl SharedFileStore {
         })
     }
 
-    /// Positioned read: no shared cursor, safe from any thread.
-    fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<(), StoreError> {
-        let io_err = |source: std::io::Error| StoreError::Io {
-            path: self.path.clone(),
-            action: "read run",
-            source,
-        };
-        #[cfg(unix)]
-        {
-            use std::os::unix::fs::FileExt;
-            self.file.read_exact_at(buf, offset).map_err(io_err)
-        }
-        #[cfg(not(unix))]
-        {
-            // Portable fallback: a private handle per read keeps the
-            // shared store cursor-free at the cost of an extra open.
-            use std::io::{Read, Seek, SeekFrom};
-            let mut file = File::open(&self.path).map_err(io_err)?;
-            file.seek(SeekFrom::Start(offset)).map_err(io_err)?;
-            file.read_exact(buf).map_err(io_err)
-        }
-    }
-
-    /// Reads pages `[first, first + count)` with one positioned read;
-    /// returns one immutable buffer per page (the file's final page may
-    /// be short). Counts into `io`.
-    fn read_page_run(
+    /// Submits one positioned read per missing page stretch as a
+    /// single engine batch and returns the per-stretch page buffers
+    /// **in submission order** (the file's final page may be short).
+    /// Successful stretches count into `io` exactly as the serial path
+    /// did — one `(pages_read, page_misses, bytes)` delta per stretch;
+    /// a failed stretch surfaces as its `Err` slot and counts nothing.
+    fn fetch_runs(
         &self,
-        first: u64,
-        count: u64,
+        runs: &[(u64, u64)],
         io: &mut StoreStats,
-    ) -> Result<Vec<Arc<[u8]>>, StoreError> {
+    ) -> Vec<Result<Vec<Arc<[u8]>>, std::io::Error>> {
+        if runs.is_empty() {
+            return Vec::new();
+        }
         let pb = self.opts.page_bytes;
-        let start = first * pb;
-        let len = (count * pb).min(self.file_len - start) as usize;
-        let mut buf = vec![0u8; len];
-        self.read_at(&mut buf, start)?;
-        io.pages_read += count;
-        io.page_misses += count;
-        io.bytes_read += len as u64;
-        // Host-path split: the device read these pages from media and
-        // shipped them to the host whole (Fig 10(a)). The ISP tier
-        // re-scopes the host side of this split after the fact.
-        io.device_bytes_read += len as u64;
-        io.host_bytes_transferred += len as u64;
-        Ok(buf.chunks(pb as usize).map(Arc::from).collect())
+        let requests = runs
+            .iter()
+            .map(|&(first, count)| {
+                let start = first * pb;
+                ReadRequest {
+                    source: self.source.clone(),
+                    offset: start,
+                    len: (count * pb).min(self.file_len - start) as usize,
+                }
+            })
+            .collect();
+        let results = self.engine.submit(requests).wait();
+        runs.iter()
+            .zip(results)
+            .map(|(&(_, count), result)| {
+                let buf = result?;
+                io.pages_read += count;
+                io.page_misses += count;
+                io.bytes_read += buf.len() as u64;
+                // Host-path split: the device read these pages from
+                // media and shipped them to the host whole (Fig
+                // 10(a)). The ISP tier re-scopes the host side of this
+                // split after the fact.
+                io.device_bytes_read += buf.len() as u64;
+                io.host_bytes_transferred += buf.len() as u64;
+                Ok(buf.chunks(pb as usize).map(Arc::from).collect())
+            })
+            .collect()
     }
 
     /// Gathers the feature rows of `nodes` into `out` (row-major,
@@ -275,12 +286,12 @@ impl SharedFileStore {
             }
         }
         let runs = merge_page_runs(&pages);
-        // Classify + fetch. A cache probe atomically hands back the
-        // page payload on a hit (promoting it), so a concurrent
-        // eviction can never invalidate bytes mid-assembly; each
-        // maximal stretch of missing pages costs one positioned read.
+        // Classify. A cache probe atomically hands back the page
+        // payload on a hit (promoting it), so a concurrent eviction
+        // can never invalidate bytes mid-assembly; each maximal
+        // stretch of missing pages becomes one positioned read.
         let mut staged: HashMap<u64, Arc<[u8]>> = HashMap::new();
-        let mut fetched: Vec<(u64, Arc<[u8]>)> = Vec::new();
+        let mut miss_runs: Vec<(u64, u64)> = Vec::new();
         for run in &runs {
             let mut p = run.first;
             while p < run.end() {
@@ -294,15 +305,25 @@ impl SharedFileStore {
                 while q < run.end() && !self.cache.contains(q) {
                     q += 1;
                 }
-                for (i, page_buf) in self
-                    .read_page_run(p, q - p, &mut io)?
-                    .into_iter()
-                    .enumerate()
-                {
-                    staged.insert(p + i as u64, Arc::clone(&page_buf));
-                    fetched.push((p + i as u64, page_buf));
-                }
+                miss_runs.push((p, q - p));
                 p = q;
+            }
+        }
+        // Fetch: the whole miss plan goes to the read engine as one
+        // batch — stretches resolve concurrently across I/O workers,
+        // but the completion hands results back in submission order,
+        // so staging (and the ascending cache commit below) is
+        // bit-identical to executing the stretches serially.
+        let mut fetched: Vec<(u64, Arc<[u8]>)> = Vec::new();
+        for (&(first, _), result) in miss_runs.iter().zip(self.fetch_runs(&miss_runs, &mut io)) {
+            let pages = result.map_err(|source| StoreError::Io {
+                path: self.path.clone(),
+                action: "read run",
+                source,
+            })?;
+            for (i, page_buf) in pages.into_iter().enumerate() {
+                staged.insert(first + i as u64, Arc::clone(&page_buf));
+                fetched.push((first + i as u64, page_buf));
             }
         }
         // Resolve: assemble each row from the staged pages.
@@ -359,6 +380,7 @@ impl SharedFileStore {
             }
         }
         let mut io = StoreStats::default();
+        let mut miss_runs: Vec<(u64, u64)> = Vec::new();
         for run in merge_page_runs(&pages) {
             let mut p = run.first;
             while p < run.end() {
@@ -370,18 +392,17 @@ impl SharedFileStore {
                 while q < run.end() && !self.cache.contains(q) {
                     q += 1;
                 }
-                let Ok(bufs) = self.read_page_run(p, q - p, &mut io) else {
-                    // Earlier runs of this call may already have read
-                    // and cached pages: commit their exact counts
-                    // before giving up, so prefetch_stats always
-                    // explains every resident page.
-                    self.prefetch.add(&io);
-                    return;
-                };
-                for (i, buf) in bufs.into_iter().enumerate() {
-                    self.cache.insert(p + i as u64, buf);
-                }
+                miss_runs.push((p, q - p));
                 p = q;
+            }
+        }
+        // One engine batch for the whole advisory plan. A failed
+        // stretch is skipped (and uncounted) while the rest still
+        // land, so prefetch_stats always explains every resident page.
+        for (&(first, _), result) in miss_runs.iter().zip(self.fetch_runs(&miss_runs, &mut io)) {
+            let Ok(bufs) = result else { continue };
+            for (i, buf) in bufs.into_iter().enumerate() {
+                self.cache.insert(first + i as u64, buf);
             }
         }
         self.prefetch.add(&io);

@@ -1,0 +1,336 @@
+//! Read-engine conformance: the batched, overlapped I/O engine under
+//! the store tiers is **invisible in the values and in the scoped
+//! counters**. A store reading through a 1-worker engine (effectively
+//! serial) and the same store reading through a wide worker pool must
+//! produce bit-identical gathers, bit-identical sample plans, and
+//! *identical* demand/prefetch stat attribution — across random
+//! Kronecker graphs, page sizes, shard counts, and engine worker
+//! counts. The engine's ordering guarantee (completion slots indexed
+//! by submission order over immutable files) is what makes this hold;
+//! this suite is the proof.
+
+use proptest::prelude::*;
+use smartsage::gnn::sampler::{plan_sample, plan_sample_on};
+use smartsage::gnn::Fanouts;
+use smartsage::graph::generate::{generate_power_law, generate_seed_graph, PowerLawConfig};
+use smartsage::graph::kronecker::{expand, KroneckerConfig};
+use smartsage::graph::{CsrGraph, FeatureTable, NodeId};
+use smartsage::hostio::ReadEngine;
+use smartsage::sim::Xoshiro256;
+use smartsage::store::{
+    shard_ranges, write_feature_file, write_feature_shard, write_graph_file, FeatureStore,
+    FileStoreOptions, FileTopology, InMemoryStore, ScratchFile, ShardedFeatureStore, SharedCsrFile,
+    SharedFileStore, StoreStats, TopologyStore,
+};
+use std::sync::Arc;
+
+const PAGE_SIZES: [u64; 5] = [512, 1024, 2048, 4096, 8192];
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+const SHARD_COUNTS: [usize; 3] = [1, 2, 3];
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// A random Kronecker-expanded graph, miniaturized.
+fn kronecker_graph(base_nodes: usize, seed: u64) -> CsrGraph {
+    let base = generate_power_law(&PowerLawConfig {
+        nodes: base_nodes.max(8),
+        avg_degree: 4.0,
+        seed,
+        ..PowerLawConfig::default()
+    });
+    let seed_graph = generate_seed_graph(3, 2.0, seed ^ 0x5EED);
+    expand(
+        &base,
+        &seed_graph,
+        &KroneckerConfig {
+            edge_keep_probability: 0.6,
+            seed,
+        },
+    )
+}
+
+/// Replays `batches` through `store` demand-path only, returning the
+/// gathered bits per batch and the summed exact stats.
+fn replay(store: &SharedFileStore, batches: &[Vec<NodeId>]) -> (Vec<Vec<u32>>, StoreStats) {
+    let dim = store.dim();
+    let mut all_bits = Vec::with_capacity(batches.len());
+    let acc = smartsage::store::AtomicStoreStats::default();
+    for nodes in batches {
+        let mut out = vec![0.0f32; nodes.len() * dim];
+        let io = store.gather_into(nodes, &mut out).unwrap();
+        acc.add(&io);
+        all_bits.push(bits(&out));
+    }
+    (all_bits, acc.snapshot())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Demand gathers: same file, same batches, engines of every
+    /// width — values bit-identical to the in-memory reference, and
+    /// the per-call demand counters identical across widths.
+    #[test]
+    fn gathers_are_bit_identical_across_engine_worker_counts(
+        num_nodes in 1usize..180,
+        dim in 1usize..40,
+        seed in any::<u64>(),
+        page_pick in 0usize..5,
+        cache_pages in 0usize..32,
+        raw_batches in proptest::collection::vec(
+            proptest::collection::vec(0u32..100_000, 0..32),
+            1..4,
+        ),
+    ) {
+        let table = FeatureTable::new(dim, 3, seed);
+        let file = ScratchFile::new("engine-conf");
+        write_feature_file(file.path(), &table, num_nodes).unwrap();
+        let opts = FileStoreOptions {
+            page_bytes: PAGE_SIZES[page_pick],
+            cache_pages,
+        };
+        let batches: Vec<Vec<NodeId>> = raw_batches
+            .iter()
+            .map(|raw| raw.iter().map(|&r| NodeId::new(r % num_nodes as u32)).collect())
+            .collect();
+
+        // In-memory reference.
+        let mut in_mem = InMemoryStore::new(table, num_nodes);
+        let mut reference = Vec::new();
+        for nodes in &batches {
+            reference.push(bits(&in_mem.gather(nodes).unwrap()));
+        }
+
+        let mut baseline: Option<(Vec<Vec<u32>>, StoreStats)> = None;
+        for workers in WORKER_COUNTS {
+            let store = SharedFileStore::open_with_engine(
+                file.path(),
+                opts,
+                4,
+                Arc::new(ReadEngine::new(workers)),
+            )
+            .unwrap();
+            let (got, stats) = replay(&store, &batches);
+            prop_assert_eq!(
+                &got,
+                &reference,
+                "gather diverged from mem (workers={}, page={}, cache={})",
+                workers, opts.page_bytes, cache_pages
+            );
+            match &baseline {
+                None => baseline = Some((got, stats)),
+                Some((_, serial_stats)) => prop_assert_eq!(
+                    &stats,
+                    serial_stats,
+                    "demand stats drifted across engine widths (workers={})",
+                    workers
+                ),
+            }
+        }
+    }
+
+    /// Prefetch attribution: an advisory warm of the whole batch is
+    /// charged entirely to `prefetch_stats` — exactly the I/O a cold
+    /// demand gather would have paid — and the demand gather that
+    /// follows reads zero bytes at every engine width.
+    #[test]
+    fn prefetch_attribution_is_exact_at_every_engine_width(
+        num_nodes in 1usize..150,
+        dim in 1usize..32,
+        seed in any::<u64>(),
+        page_pick in 0usize..5,
+        raw in proptest::collection::vec(0u32..100_000, 1..40),
+    ) {
+        let table = FeatureTable::new(dim, 3, seed);
+        let file = ScratchFile::new("engine-pref");
+        write_feature_file(file.path(), &table, num_nodes).unwrap();
+        // Cache big enough to hold the whole warm, so the demand pass
+        // afterwards must be all hits.
+        let opts = FileStoreOptions {
+            page_bytes: PAGE_SIZES[page_pick],
+            cache_pages: 4096,
+        };
+        let nodes: Vec<NodeId> = raw
+            .iter()
+            .map(|&r| NodeId::new(r % num_nodes as u32))
+            .collect();
+
+        // What a cold demand gather pays (the attribution reference).
+        let cold = SharedFileStore::open_with_engine(
+            file.path(),
+            opts,
+            4,
+            Arc::new(ReadEngine::new(1)),
+        )
+        .unwrap();
+        let mut out = vec![0.0f32; nodes.len() * dim];
+        let cold_io = cold.gather_into(&nodes, &mut out).unwrap();
+        let reference = bits(&out);
+
+        let mut baseline: Option<StoreStats> = None;
+        for workers in WORKER_COUNTS {
+            let store = SharedFileStore::open_with_engine(
+                file.path(),
+                opts,
+                4,
+                Arc::new(ReadEngine::new(workers)),
+            )
+            .unwrap();
+            store.prefetch_nodes(&nodes);
+            let warm = store.prefetch_stats();
+            prop_assert_eq!(
+                (warm.pages_read, warm.bytes_read, warm.page_misses),
+                (cold_io.pages_read, cold_io.bytes_read, cold_io.page_misses),
+                "prefetch did not pay exactly the cold demand I/O (workers={})",
+                workers
+            );
+            match &baseline {
+                None => baseline = Some(warm),
+                Some(serial) => prop_assert_eq!(
+                    &warm, serial,
+                    "prefetch stats drifted across engine widths (workers={})",
+                    workers
+                ),
+            }
+            let mut warm_out = vec![0.0f32; nodes.len() * dim];
+            let demand = store.gather_into(&nodes, &mut warm_out).unwrap();
+            prop_assert_eq!(bits(&warm_out), reference.clone());
+            prop_assert_eq!(demand.bytes_read, 0, "warm demand gather still read bytes");
+            prop_assert_eq!(demand.page_misses, 0);
+            prop_assert_eq!(
+                demand.page_hits,
+                cold_io.page_hits + cold_io.page_misses,
+                "every planned page lookup must be a hit after the warm"
+            );
+        }
+    }
+
+    /// The sharded scatter/gather layer over engines of every width:
+    /// shard count x worker count is invisible in the values.
+    #[test]
+    fn sharded_gathers_ride_any_engine_width(
+        num_nodes in 1usize..160,
+        dim in 1usize..32,
+        seed in any::<u64>(),
+        page_pick in 0usize..5,
+        shard_pick in 0usize..3,
+        raw_batches in proptest::collection::vec(
+            proptest::collection::vec(0u32..100_000, 0..24),
+            1..3,
+        ),
+    ) {
+        let table = FeatureTable::new(dim, 3, seed);
+        let shards = SHARD_COUNTS[shard_pick];
+        let opts = FileStoreOptions {
+            page_bytes: PAGE_SIZES[page_pick],
+            cache_pages: 16,
+        };
+        let ranges = shard_ranges(num_nodes, shards);
+        let files: Vec<ScratchFile> = ranges
+            .iter()
+            .enumerate()
+            .map(|(i, &(start, end))| {
+                let f = ScratchFile::new(&format!("engine-shard{i}"));
+                write_feature_shard(f.path(), &table, start, end).unwrap();
+                f
+            })
+            .collect();
+        let batches: Vec<Vec<NodeId>> = raw_batches
+            .iter()
+            .map(|raw| raw.iter().map(|&r| NodeId::new(r % num_nodes as u32)).collect())
+            .collect();
+
+        let mut in_mem = InMemoryStore::new(table, num_nodes);
+        let mut reference = Vec::new();
+        for nodes in &batches {
+            reference.push(bits(&in_mem.gather(nodes).unwrap()));
+        }
+
+        for workers in WORKER_COUNTS {
+            let members: Vec<Arc<SharedFileStore>> = files
+                .iter()
+                .map(|f| {
+                    Arc::new(
+                        SharedFileStore::open_with_engine(
+                            f.path(),
+                            opts,
+                            2,
+                            Arc::new(ReadEngine::new(workers)),
+                        )
+                        .unwrap(),
+                    )
+                })
+                .collect();
+            let mut sharded = ShardedFeatureStore::over_files(&members).unwrap();
+            for (nodes, expect) in batches.iter().zip(&reference) {
+                let got = sharded.gather(nodes).unwrap();
+                prop_assert_eq!(
+                    &bits(&got),
+                    expect,
+                    "sharded gather diverged (shards={}, workers={})",
+                    shards, workers
+                );
+            }
+        }
+    }
+
+    /// The file topology tier: hop-expansion plans stay bit-identical
+    /// to the in-memory planner at every engine width, and the
+    /// advisory offset warm is charged to the file's prefetch stats
+    /// identically across widths.
+    #[test]
+    fn topology_plans_and_offset_warms_survive_any_engine_width(
+        base_nodes in 8usize..40,
+        seed in any::<u64>(),
+        page_pick in 0usize..5,
+        batch in 1usize..12,
+    ) {
+        let graph = kronecker_graph(base_nodes, seed);
+        let file = ScratchFile::new("engine-topo");
+        write_graph_file(file.path(), &graph).unwrap();
+        let opts = FileStoreOptions {
+            page_bytes: PAGE_SIZES[page_pick],
+            cache_pages: 64,
+        };
+        let targets: Vec<NodeId> = (0..batch)
+            .map(|i| NodeId::new((i * 7 % graph.num_nodes()) as u32))
+            .collect();
+        let fanouts = Fanouts::new(vec![4, 3]);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let reference = plan_sample(&graph, &targets, &fanouts, &mut rng);
+
+        let mut warm_baseline: Option<StoreStats> = None;
+        for workers in WORKER_COUNTS {
+            let shared = Arc::new(
+                SharedCsrFile::open_with_engine(
+                    file.path(),
+                    opts,
+                    4,
+                    Arc::new(ReadEngine::new(workers)),
+                )
+                .unwrap(),
+            );
+            shared.prefetch_offsets(&targets);
+            let warm = shared.prefetch_stats();
+            match &warm_baseline {
+                None => warm_baseline = Some(warm),
+                Some(serial) => prop_assert_eq!(
+                    &warm, serial,
+                    "offset-warm stats drifted across engine widths (workers={})",
+                    workers
+                ),
+            }
+            let mut topo = FileTopology::new(Arc::clone(&shared));
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            let plan = plan_sample_on(&mut topo as &mut dyn TopologyStore, &targets, &fanouts, &mut rng)
+                .unwrap();
+            prop_assert_eq!(
+                &plan, &reference,
+                "file-tier plan diverged from mem (workers={})",
+                workers
+            );
+        }
+    }
+}
